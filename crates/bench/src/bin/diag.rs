@@ -1,0 +1,58 @@
+//! Per-benchmark diagnostic table: cycle composition of a default-config
+//! run next to the Pentium III baseline. The calibration tool behind
+//! EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p vta-bench --bin diag
+//! ```
+
+use vta_dbt::{System, VirtualArchConfig};
+use vta_pentium::PentiumModel;
+use vta_workloads::{all, Scale};
+
+fn main() {
+    println!(
+        "{:<12} {:>6} {:>11} {:>11} {:>7} {:>6} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "bench",
+        "slow",
+        "cycles",
+        "piii",
+        "piiiCPI",
+        "emuCPI",
+        "hostinsns",
+        "l1c.miss",
+        "l15.hit",
+        "l2c.acc",
+        "l2c.miss",
+        "chains",
+        "memdram"
+    );
+    for w in all(Scale::Small) {
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &w.image);
+        let r = sys.run(2_000_000_000).expect("benchmark runs");
+        let p = PentiumModel::new()
+            .run(&w.image, 2_000_000_000)
+            .expect("baseline runs");
+        let s = &r.stats;
+        println!(
+            "{:<12} {:>6.1} {:>11} {:>11} {:>7.2} {:>6.2} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
+            w.name,
+            r.cycles as f64 / p.cycles as f64,
+            r.cycles,
+            p.cycles,
+            p.cpi(),
+            r.cycles as f64 / r.guest_insns as f64,
+            s.get("host_insns"),
+            s.get("l1code.miss"),
+            s.get("l15.hit"),
+            s.get("l2code.access"),
+            s.get("l2code.miss"),
+            s.get("chain.taken"),
+            s.get("mem.dram"),
+        );
+        println!(
+            "    piii: insns={} mem={} l1miss={} l2miss={} mispredicts={}",
+            p.insns, p.mem_accesses, p.l1_misses, p.l2_misses, p.mispredicts
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Regenerates the paper's figures/tables from the simulated system.
+//!
+//! ```text
+//! figures [--fig 4|5|6|7|8|9|10|11|cpi|headline|all] [--scale test|small|large] [--csv]
+//! ```
+
+use vta_bench::figures as f;
+use vta_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fig = "all".to_string();
+    let mut scale = Scale::Small;
+    let mut csv = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                i += 1;
+                fig = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("large") => Scale::Large,
+                    _ => usage(),
+                };
+            }
+            "--csv" => csv = true,
+            _ => {
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let print = |t: &vta_bench::Table| {
+        if csv {
+            println!("{}", t.to_csv());
+        } else {
+            println!("{}", t.render());
+        }
+    };
+
+    match fig.as_str() {
+        "4" => print(&f::fig4(scale)),
+        "5" | "6" | "7" => {
+            let ms = f::fig5_measurements(scale);
+            match fig.as_str() {
+                "5" => print(&f::fig5(&ms)),
+                "6" => print(&f::fig6(&ms)),
+                _ => print(&f::fig7(&ms)),
+            }
+        }
+        "8" => print(&f::fig8(scale)),
+        "9" | "10" => {
+            let ms = f::fig9_measurements(scale);
+            if fig == "9" {
+                print(&f::fig9(&ms));
+            } else {
+                print(&f::fig10(&ms));
+            }
+        }
+        "11" => println!("{}", f::fig11()),
+        "cpi" => println!("{}", f::cpi_analysis()),
+        "headline" => print(&f::headline(scale)),
+        "all" => {
+            print(&f::headline(scale));
+            print(&f::fig4(scale));
+            let ms = f::fig5_measurements(scale);
+            print(&f::fig5(&ms));
+            print(&f::fig6(&ms));
+            print(&f::fig7(&ms));
+            print(&f::fig8(scale));
+            let ms = f::fig9_measurements(scale);
+            print(&f::fig9(&ms));
+            print(&f::fig10(&ms));
+            println!("{}", f::fig11());
+            println!("{}", f::cpi_analysis());
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--fig 4|5|6|7|8|9|10|11|cpi|headline|all] \
+         [--scale test|small|large] [--csv]"
+    );
+    std::process::exit(2);
+}

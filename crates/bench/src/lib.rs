@@ -1,0 +1,145 @@
+//! # vta-bench — the experiment harness
+//!
+//! Regenerates every figure and table of the paper's evaluation (§4) from
+//! the simulated system. Each `figN` function returns a [`Table`] whose
+//! rows are the eleven benchmarks and whose columns are the paper's
+//! machine configurations; the `figures` binary prints them.
+//!
+//! Runs are embarrassingly parallel (each `(benchmark, config)` pair is
+//! an independent simulation), so sweeps fan out across host threads with
+//! crossbeam's scoped threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod table;
+
+use vta_dbt::{RunReport, StopCause, System, VirtualArchConfig};
+use vta_pentium::PentiumModel;
+use vta_workloads::{Scale, Workload};
+use vta_x86::GuestImage;
+
+pub use table::Table;
+
+/// Instruction budget for experiment runs (workloads terminate long
+/// before this; the cap only guards against regressions).
+pub const RUN_BUDGET: u64 = 2_000_000_000;
+
+/// One measured `(benchmark, configuration)` cell.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name (`164.gzip`, ...).
+    pub bench: String,
+    /// Configuration label.
+    pub config: String,
+    /// The DBT run report.
+    pub report: RunReport,
+    /// Modelled Pentium III cycles for the same program.
+    pub piii_cycles: u64,
+}
+
+impl Measurement {
+    /// The paper's slowdown metric.
+    pub fn slowdown(&self) -> f64 {
+        self.report.cycles as f64 / self.piii_cycles as f64
+    }
+
+    /// L2 code-cache accesses per cycle (Figure 6's y-axis).
+    pub fn l2code_access_rate(&self) -> f64 {
+        self.report.stats.get("l2code.access") as f64 / self.report.cycles as f64
+    }
+
+    /// L2 code-cache misses per access (Figure 7's y-axis).
+    pub fn l2code_miss_rate(&self) -> f64 {
+        let acc = self.report.stats.get("l2code.access");
+        if acc == 0 {
+            0.0
+        } else {
+            self.report.stats.get("l2code.miss") as f64 / acc as f64
+        }
+    }
+}
+
+/// Runs one benchmark image under `cfg` and under the PIII model.
+///
+/// # Panics
+///
+/// Panics if either machine faults — the differential tests guarantee
+/// they do not.
+pub fn measure(bench: &str, image: &GuestImage, config_label: &str, cfg: VirtualArchConfig) -> Measurement {
+    let report = System::new(cfg, image)
+        .run(RUN_BUDGET)
+        .unwrap_or_else(|e| panic!("{bench}/{config_label}: {e}"));
+    assert_eq!(
+        report.stop,
+        StopCause::Exit,
+        "{bench}/{config_label} must run to completion"
+    );
+    let piii = PentiumModel::new()
+        .run(image, RUN_BUDGET)
+        .unwrap_or_else(|e| panic!("{bench}: pentium model: {e}"));
+    Measurement {
+        bench: bench.to_string(),
+        config: config_label.to_string(),
+        report,
+        piii_cycles: piii.cycles,
+    }
+}
+
+/// Fans a set of `(config_label, config)` pairs across every benchmark,
+/// running all simulations in parallel host threads.
+pub fn sweep(
+    scale: Scale,
+    configs: &[(String, VirtualArchConfig)],
+) -> Vec<Measurement> {
+    let suite: Vec<Workload> = vta_workloads::all(scale);
+    let mut jobs: Vec<(usize, usize)> = Vec::new();
+    for b in 0..suite.len() {
+        for c in 0..configs.len() {
+            jobs.push((b, c));
+        }
+    }
+
+    let results: Vec<Measurement> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|&(b, c)| {
+                let w = &suite[b];
+                let (label, cfg) = &configs[c];
+                s.spawn(move |_| measure(w.name, &w.image, label, cfg.clone()))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+    })
+    .expect("scope");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_sane_slowdown() {
+        let w = vta_workloads::by_name("gzip", Scale::Test).unwrap();
+        let m = measure(
+            w.name,
+            &w.image,
+            "default",
+            VirtualArchConfig::paper_default(),
+        );
+        assert!(m.slowdown() > 1.0, "the emulator cannot beat the PIII");
+        assert!(m.slowdown() < 500.0, "slowdown out of plausible range");
+    }
+
+    #[test]
+    fn sweep_covers_all_pairs() {
+        let configs = vec![
+            ("a".to_string(), VirtualArchConfig::paper_default()),
+            ("b".to_string(), VirtualArchConfig::with_translators(2, true)),
+        ];
+        let ms = sweep(Scale::Test, &configs);
+        assert_eq!(ms.len(), 11 * 2);
+    }
+}

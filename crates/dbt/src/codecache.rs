@@ -1,0 +1,338 @@
+//! The three-level code cache hierarchy (Figure 3).
+//!
+//! - **L1**: translated blocks copied into the execution tile's
+//!   software-managed instruction memory. Blocks are tight-packed; when
+//!   the next block does not fit, the whole cache is flushed (the paper's
+//!   "tight packing and flushing algorithm", §4.2). Chaining is only
+//!   possible here, because only at copy-in time is a block's absolute
+//!   position known.
+//! - **L1.5**: one or two dedicated tiles holding recently used translated
+//!   blocks close to the execution tile; no chaining through it.
+//! - **L2**: the manager tile's map of every translation, stored in
+//!   off-chip DRAM (105 MB in the paper) — plus in-flight bookkeeping for
+//!   the speculative translation pipeline.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use vta_ir::TBlock;
+
+/// The execution tile's L1 code cache (instruction memory).
+#[derive(Debug, Clone)]
+pub struct L1Code {
+    capacity: u32,
+    used: u32,
+    blocks: HashMap<u32, Arc<TBlock>>,
+    flushes: u64,
+    inserts: u64,
+}
+
+impl L1Code {
+    /// Creates an empty L1 code cache of `capacity` bytes.
+    pub fn new(capacity: u32) -> L1Code {
+        L1Code {
+            capacity,
+            used: 0,
+            blocks: HashMap::new(),
+            flushes: 0,
+            inserts: 0,
+        }
+    }
+
+    /// Looks up a resident translation.
+    pub fn get(&self, guest_addr: u32) -> Option<&Arc<TBlock>> {
+        self.blocks.get(&guest_addr)
+    }
+
+    /// Whether a translation for `guest_addr` is resident (chainable).
+    pub fn contains(&self, guest_addr: u32) -> bool {
+        self.blocks.contains_key(&guest_addr)
+    }
+
+    /// Inserts a block, tight-packing; returns `true` if the cache had to
+    /// be flushed to make room. Blocks larger than the whole cache are
+    /// not cached (they execute from the fetch path each time).
+    pub fn insert(&mut self, block: Arc<TBlock>) -> bool {
+        let bytes = block.host_bytes();
+        if bytes > self.capacity {
+            return false;
+        }
+        let mut flushed = false;
+        if self.used + bytes > self.capacity {
+            self.blocks.clear();
+            self.used = 0;
+            self.flushes += 1;
+            flushed = true;
+        }
+        self.used += bytes;
+        self.inserts += 1;
+        self.blocks.insert(block.guest_addr, block);
+        flushed
+    }
+
+    /// Drops one translation (self-modifying-code invalidation).
+    pub fn invalidate(&mut self, guest_addr: u32) {
+        if let Some(b) = self.blocks.remove(&guest_addr) {
+            self.used = self.used.saturating_sub(b.host_bytes());
+        }
+    }
+
+    /// Number of whole-cache flushes so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Bytes currently packed.
+    pub fn used_bytes(&self) -> u32 {
+        self.used
+    }
+}
+
+/// One L1.5 code-cache bank tile.
+///
+/// Eviction is *hash-retention* rather than LRU: each block has a fixed
+/// pseudo-random priority derived from its guest address, and
+/// low-priority blocks stick. Under a cyclic sweep larger than the bank
+/// (the gcc/vortex pattern) LRU retains nothing, while a sticky subset
+/// gives the capacity-proportional hit rate a hashed hardware cache
+/// would.
+#[derive(Debug, Clone)]
+pub struct L15Bank {
+    capacity: u32,
+    used: u32,
+    blocks: HashMap<u32, (Arc<TBlock>, u64)>,
+    tick: u64,
+}
+
+impl L15Bank {
+    /// Creates an empty bank of `capacity` bytes.
+    pub fn new(capacity: u32) -> L15Bank {
+        L15Bank {
+            capacity,
+            used: 0,
+            blocks: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Looks up a block.
+    pub fn get(&mut self, guest_addr: u32) -> Option<Arc<TBlock>> {
+        self.tick += 1;
+        self.blocks.get(&guest_addr).map(|(b, _)| Arc::clone(b))
+    }
+
+    /// Fixed per-address retention priority (lower sticks harder).
+    fn retention(addr: u32) -> u64 {
+        (addr ^ 0x9E37_79B9).wrapping_mul(0x85EB_CA6B) as u64
+    }
+
+    /// Inserts a block; evicts the highest-retention-priority blocks
+    /// (possibly the incoming block itself) until the bank fits.
+    pub fn insert(&mut self, block: Arc<TBlock>) {
+        let bytes = block.host_bytes();
+        if bytes > self.capacity {
+            return;
+        }
+        self.tick += 1;
+        self.used += bytes;
+        self.blocks.insert(block.guest_addr, (block, self.tick));
+        while self.used > self.capacity {
+            let victim = self
+                .blocks
+                .keys()
+                .max_by_key(|&&a| Self::retention(a))
+                .copied()
+                .expect("cache non-empty when over capacity");
+            let (b, _) = self.blocks.remove(&victim).expect("victim present");
+            self.used -= b.host_bytes();
+        }
+    }
+
+    /// Drops one translation.
+    pub fn invalidate(&mut self, guest_addr: u32) {
+        if let Some((b, _)) = self.blocks.remove(&guest_addr) {
+            self.used -= b.host_bytes();
+        }
+    }
+}
+
+/// The manager tile's L2 code cache (in DRAM) plus translation
+/// bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct L2Code {
+    capacity: u64,
+    used: u64,
+    blocks: HashMap<u32, Arc<TBlock>>,
+    /// Guest addresses currently being translated by a slave.
+    in_flight: HashMap<u32, usize>,
+}
+
+impl L2Code {
+    /// Creates an empty L2 code cache of `capacity` bytes.
+    pub fn new(capacity: u64) -> L2Code {
+        L2Code {
+            capacity,
+            ..L2Code::default()
+        }
+    }
+
+    /// Looks up a committed translation.
+    pub fn get(&self, guest_addr: u32) -> Option<&Arc<TBlock>> {
+        self.blocks.get(&guest_addr)
+    }
+
+    /// Whether `guest_addr` is translated or being translated.
+    pub fn known(&self, guest_addr: u32) -> bool {
+        self.blocks.contains_key(&guest_addr) || self.in_flight.contains_key(&guest_addr)
+    }
+
+    /// Commits a finished translation. At capacity the cache drops the
+    /// new block (105 MB never fills in practice).
+    pub fn commit(&mut self, block: Arc<TBlock>) {
+        self.in_flight.remove(&block.guest_addr);
+        let bytes = block.host_bytes() as u64;
+        if self.used + bytes > self.capacity {
+            return;
+        }
+        self.used += bytes;
+        self.blocks.insert(block.guest_addr, block);
+    }
+
+    /// Marks `guest_addr` as being translated by `slave`.
+    pub fn mark_in_flight(&mut self, guest_addr: u32, slave: usize) {
+        self.in_flight.insert(guest_addr, slave);
+    }
+
+    /// The slave translating `guest_addr`, if any.
+    pub fn in_flight_on(&self, guest_addr: u32) -> Option<usize> {
+        self.in_flight.get(&guest_addr).copied()
+    }
+
+    /// Drops a translation (self-modifying-code invalidation).
+    pub fn invalidate(&mut self, guest_addr: u32) {
+        if let Some(b) = self.blocks.remove(&guest_addr) {
+            self.used -= b.host_bytes() as u64;
+        }
+    }
+
+    /// All committed guest addresses (used by SMC page invalidation).
+    pub fn addrs(&self) -> impl Iterator<Item = u32> + '_ {
+        self.blocks.keys().copied()
+    }
+
+    /// Bytes committed.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vta_raw::isa::RInsn;
+
+    fn block(addr: u32, insns: usize) -> Arc<TBlock> {
+        Arc::new(TBlock {
+            guest_addr: addr,
+            guest_len: 4,
+            guest_insns: 1,
+            code: vec![RInsn::Nop; insns],
+            translate_cycles: 100,
+            term: vta_ir::mir::Term::Halt,
+            is_call: false,
+        })
+    }
+
+    #[test]
+    fn l1_tight_pack_then_flush() {
+        let mut l1 = L1Code::new(100); // room for 25 words
+        assert!(!l1.insert(block(0x1000, 10))); // 40 bytes
+        assert!(!l1.insert(block(0x2000, 10))); // 80 bytes
+        assert!(l1.contains(0x1000));
+        // Next insert exceeds capacity → flush-all.
+        assert!(l1.insert(block(0x3000, 10)));
+        assert!(!l1.contains(0x1000), "flush removes everything");
+        assert!(l1.contains(0x3000));
+        assert_eq!(l1.flushes(), 1);
+        assert_eq!(l1.used_bytes(), 40);
+    }
+
+    #[test]
+    fn l1_oversize_block_not_cached() {
+        let mut l1 = L1Code::new(100);
+        assert!(!l1.insert(block(0x1000, 100))); // 400 bytes > 100
+        assert!(!l1.contains(0x1000));
+        assert_eq!(l1.used_bytes(), 0);
+    }
+
+    #[test]
+    fn l1_invalidate_reclaims() {
+        let mut l1 = L1Code::new(100);
+        l1.insert(block(0x1000, 10));
+        l1.invalidate(0x1000);
+        assert!(!l1.contains(0x1000));
+        assert_eq!(l1.used_bytes(), 0);
+    }
+
+    #[test]
+    fn l15_hash_retention_is_stable() {
+        // Cyclic sweep over 3 blocks through a 2-block bank: a fixed
+        // subset must stay resident (LRU would evict everything).
+        let mut bank = L15Bank::new(100);
+        let addrs = [0x1000u32, 0x2000, 0x3000];
+        for _ in 0..4 {
+            for &a in &addrs {
+                if bank.get(a).is_none() {
+                    bank.insert(block(a, 10));
+                }
+            }
+        }
+        let resident: Vec<u32> = addrs
+            .iter()
+            .copied()
+            .filter(|&a| bank.get(a).is_some())
+            .collect();
+        assert_eq!(resident.len(), 2, "two of three fit and must stick");
+        // The resident set is deterministic across rebuilds.
+        let mut bank2 = L15Bank::new(100);
+        for _ in 0..4 {
+            for &a in &addrs {
+                if bank2.get(a).is_none() {
+                    bank2.insert(block(a, 10));
+                }
+            }
+        }
+        for &a in &resident {
+            assert!(bank2.get(a).is_some());
+        }
+    }
+
+    #[test]
+    fn l15_oversize_block_skipped() {
+        let mut bank = L15Bank::new(16);
+        bank.insert(block(0x1000, 10)); // 40 bytes > 16
+        assert!(bank.get(0x1000).is_none());
+    }
+
+    #[test]
+    fn l2_commit_and_in_flight() {
+        let mut l2 = L2Code::new(1 << 20);
+        assert!(!l2.known(0x1000));
+        l2.mark_in_flight(0x1000, 3);
+        assert!(l2.known(0x1000));
+        assert_eq!(l2.in_flight_on(0x1000), Some(3));
+        l2.commit(block(0x1000, 10));
+        assert!(l2.get(0x1000).is_some());
+        assert_eq!(l2.in_flight_on(0x1000), None);
+        assert_eq!(l2.used_bytes(), 40);
+    }
+
+    #[test]
+    fn l2_invalidate() {
+        let mut l2 = L2Code::new(1 << 20);
+        l2.commit(block(0x1000, 10));
+        l2.invalidate(0x1000);
+        assert!(l2.get(0x1000).is_none());
+        assert_eq!(l2.used_bytes(), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The spatially pipelined data memory system (§2.2, Figure 2).
+//!
+//! A guest access that misses the execution tile's L1 data cache travels:
+//! execution tile → **MMU/TLB tile** (x86 virtual → x86 physical → Raw
+//! physical) → an **L2 data-cache bank tile** (a software transactor
+//! serving a fraction of the physical address space) → off-chip DRAM on a
+//! bank miss. Every leg pays network hop latency; MMU and banks serialize
+//! requests, so memory-intensive phases queue — and removing bank tiles
+//! (morphing them into translators) genuinely shrinks L2 capacity.
+
+use vta_raw::{Cache, CacheConfig, Dram, TileId};
+use vta_sim::Cycle;
+
+use crate::timing::Timing;
+
+/// Where an access was satisfied (for statistics and Figure 11 probes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemLevel {
+    /// Execution-tile L1 data cache hit.
+    L1,
+    /// L2 data-cache bank hit.
+    L2,
+    /// Off-chip DRAM.
+    Dram,
+}
+
+/// One L2 data bank tile: a cache plus a service queue.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    /// Grid position.
+    pub tile: TileId,
+    /// Tag array.
+    pub cache: Cache,
+    /// When the software transactor is next free.
+    pub next_free: Cycle,
+}
+
+/// The pipelined memory system state.
+#[derive(Debug, Clone)]
+pub struct MemSys {
+    /// Execution tile's L1 data cache.
+    pub l1d: Cache,
+    /// MMU tile TLB (4 KiB pages).
+    pub tlb: Cache,
+    /// When the MMU software loop is next free.
+    pub mmu_next_free: Cycle,
+    /// The L2 data bank tiles.
+    pub banks: Vec<Bank>,
+    /// Counters: `(l1_hit, l2_hit, dram, tlb_miss)`.
+    pub counts: [u64; 4],
+}
+
+fn bank_cache(bytes: u32) -> Cache {
+    Cache::new(CacheConfig {
+        size_bytes: bytes,
+        line_bytes: 32,
+        ways: 2,
+    })
+}
+
+impl MemSys {
+    /// Builds the memory system for the given bank tiles.
+    pub fn new(bank_tiles: &[TileId], bank_bytes: u32) -> MemSys {
+        MemSys {
+            l1d: Cache::new(CacheConfig::RAW_L1D),
+            // 128-entry, 4-way TLB over 4 KiB pages.
+            tlb: Cache::new(CacheConfig {
+                size_bytes: 128 * 4096,
+                line_bytes: 4096,
+                ways: 4,
+            }),
+            mmu_next_free: Cycle::ZERO,
+            banks: bank_tiles
+                .iter()
+                .map(|&tile| Bank {
+                    tile,
+                    cache: bank_cache(bank_bytes),
+                    next_free: Cycle::ZERO,
+                })
+                .collect(),
+            counts: [0; 4],
+        }
+    }
+
+    /// Adds a bank tile (morphing: translator → cache).
+    pub fn add_bank(&mut self, tile: TileId, bank_bytes: u32) {
+        self.banks.push(Bank {
+            tile,
+            cache: bank_cache(bank_bytes),
+            next_free: Cycle::ZERO,
+        });
+    }
+
+    /// Removes the last-added bank; returns `(tile, dirty_lines)` for the
+    /// flush-cost accounting (§2.3: shrinking the L2 means write-backs).
+    pub fn remove_bank(&mut self) -> Option<(TileId, u32)> {
+        let mut bank = self.banks.pop()?;
+        let dirty = bank.cache.flush();
+        Some((bank.tile, dirty))
+    }
+
+    /// Performs one guest access; returns `(stall_cycles, level)`.
+    ///
+    /// `exec`/`mmu` are grid positions; `now` is the execution-tile time
+    /// at issue.
+    #[allow(clippy::too_many_arguments)] // one arg per pipeline stage
+    pub fn access(
+        &mut self,
+        now: Cycle,
+        addr: u32,
+        write: bool,
+        exec: TileId,
+        mmu: TileId,
+        dram: &mut Dram,
+        t: &Timing,
+    ) -> (u64, MemLevel) {
+        // L1: inline software address translation + hardware D$ probe.
+        if self.l1d.access(addr as u64, write).is_hit() {
+            self.counts[0] += 1;
+            return (t.l1d_hit, MemLevel::L1);
+        }
+
+        // Miss: request travels to the MMU tile.
+        let mut when = now + t.l1d_hit;
+        when += net_latency(exec, mmu, 1);
+        when = when.max(self.mmu_next_free);
+        when += t.mmu_service;
+        if !self.tlb.access(addr as u64, false).is_hit() {
+            // Page-table walk in DRAM.
+            self.counts[3] += 1;
+            let walk_done = dram.access(when, 2).max(when);
+            when = walk_done + t.tlb_miss_walk.saturating_sub(t.dram_latency);
+        }
+        self.mmu_next_free = when;
+
+        // MMU forwards to the owning bank (interleaved by line address).
+        let (stall, level) = if self.banks.is_empty() {
+            // No cache tiles: straight to DRAM.
+            let done = dram.access(when, t.line_words) + net_latency_raw(mmu, exec, t.line_words);
+            self.counts[2] += 1;
+            (done - now, MemLevel::Dram)
+        } else {
+            // Lines interleave across banks; each bank indexes with its
+            // bank-local line address so aggregate capacity scales with
+            // the number of bank tiles (the resource morphing trades).
+            let line = (addr >> 5) as u64;
+            let idx = (line as usize) % self.banks.len();
+            let local = (line / self.banks.len() as u64) << 5;
+            let bank_tile = self.banks[idx].tile;
+            let mut when = when + net_latency(mmu, bank_tile, 1);
+            when = when.max(self.banks[idx].next_free);
+            when += t.bank_service;
+            let access = self.banks[idx].cache.access(local, write);
+            let level = if access.is_hit() {
+                self.counts[1] += 1;
+                MemLevel::L2
+            } else {
+                self.counts[2] += 1;
+                // Line fill from DRAM (plus any write-back occupancy).
+                if let vta_raw::Access::Miss { writeback: Some(_) } = access {
+                    dram.access(when, t.line_words);
+                }
+                when = dram.access(when, t.line_words).max(when);
+                MemLevel::Dram
+            };
+            self.banks[idx].next_free = when;
+            let done = when + net_latency_raw(bank_tile, exec, t.line_words);
+            (done - now, level)
+        };
+
+        // The L1 fill itself (tag write + critical-word restart).
+        (stall + 2, level)
+    }
+
+    /// `(l1_hits, l2_hits, dram_accesses, tlb_misses)`.
+    pub fn stats(&self) -> [u64; 4] {
+        self.counts
+    }
+}
+
+/// One-way network latency: inject + hops + payload + eject.
+fn net_latency(from: TileId, to: TileId, words: u32) -> u64 {
+    net_latency_raw(from, to, words)
+}
+
+fn net_latency_raw(from: TileId, to: TileId, words: u32) -> u64 {
+    vta_raw::net::INJECT_COST
+        + from.hops_to(to) as u64 * vta_raw::net::HOP_COST
+        + words as u64
+        + vta_raw::net::EJECT_COST
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> (MemSys, Dram, Timing, TileId, TileId) {
+        let t = Timing::default();
+        let m = MemSys::new(&[TileId::new(2, 2), TileId::new(3, 1)], 32 * 1024);
+        let dram = Dram::new(t.dram_latency, t.dram_word);
+        (m, dram, t, TileId::new(1, 1), TileId::new(2, 1))
+    }
+
+    #[test]
+    fn l1_hit_costs_software_translation() {
+        let (mut m, mut d, t, exec, mmu) = sys();
+        // Prime.
+        m.access(Cycle(0), 0x1000, false, exec, mmu, &mut d, &t);
+        let (stall, level) = m.access(Cycle(500), 0x1000, false, exec, mmu, &mut d, &t);
+        assert_eq!(level, MemLevel::L1);
+        assert_eq!(stall, t.l1d_hit, "Figure 11: L1 hit occupancy 4");
+    }
+
+    #[test]
+    fn first_touch_goes_to_dram() {
+        let (mut m, mut d, t, exec, mmu) = sys();
+        let (stall, level) = m.access(Cycle(0), 0x4000, false, exec, mmu, &mut d, &t);
+        assert_eq!(level, MemLevel::Dram);
+        assert!(stall > 100, "cold miss ≈ 151 cycles, got {stall}");
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let (mut m, mut d, t, exec, mmu) = sys();
+        // Fill the same L1 set with three conflicting lines (2-way L1,
+        // 512 sets × 32B → stride 16 KiB).
+        m.access(Cycle(0), 0x0_0000, false, exec, mmu, &mut d, &t);
+        m.access(Cycle(1000), 0x0_4000, false, exec, mmu, &mut d, &t);
+        m.access(Cycle(2000), 0x0_8000, false, exec, mmu, &mut d, &t);
+        // First line is now out of L1 but still in its L2 bank.
+        let (stall, level) = m.access(Cycle(9000), 0x0_0000, false, exec, mmu, &mut d, &t);
+        assert_eq!(level, MemLevel::L2);
+        assert!(
+            (60..=110).contains(&stall),
+            "Figure 11: L2 hit ≈ 87, got {stall}"
+        );
+    }
+
+    #[test]
+    fn bank_contention_queues() {
+        let (mut m, mut d, t, exec, mmu) = sys();
+        // Two cold misses to the same bank at the same cycle.
+        let (s1, _) = m.access(Cycle(0), 0x0_0000, false, exec, mmu, &mut d, &t);
+        let (s2, _) = m.access(Cycle(0), 0x1_0000, false, exec, mmu, &mut d, &t);
+        assert!(s2 > s1, "second request queues at MMU/bank: {s1} vs {s2}");
+    }
+
+    #[test]
+    fn removing_banks_loses_capacity() {
+        let (mut m, mut d, t, exec, mmu) = sys();
+        m.access(Cycle(0), 0x2_0000, true, exec, mmu, &mut d, &t);
+        let removed = m.remove_bank().expect("bank present");
+        assert_eq!(m.banks.len(), 1);
+        let _ = removed;
+        // With one bank gone the address re-homes and must refill.
+        let (_, level) = m.access(Cycle(50_000), 0x2_0040, false, exec, mmu, &mut d, &t);
+        assert_eq!(level, MemLevel::Dram);
+    }
+
+    #[test]
+    fn tlb_miss_charged_once_per_page() {
+        let (mut m, mut d, t, exec, mmu) = sys();
+        m.access(Cycle(0), 0x9_0000, false, exec, mmu, &mut d, &t);
+        let before = m.stats()[3];
+        m.access(Cycle(5000), 0x9_0100, false, exec, mmu, &mut d, &t);
+        assert_eq!(m.stats()[3], before, "same page: no second TLB miss");
+    }
+
+    #[test]
+    fn zero_banks_straight_to_dram() {
+        let t = Timing::default();
+        let mut m = MemSys::new(&[], 32 * 1024);
+        let mut d = Dram::new(t.dram_latency, t.dram_word);
+        let (_, level) = m.access(
+            Cycle(0),
+            0x1234,
+            false,
+            TileId::new(1, 1),
+            TileId::new(2, 1),
+            &mut d,
+            &t,
+        );
+        assert_eq!(level, MemLevel::Dram);
+    }
+}

@@ -1,0 +1,141 @@
+//! Dynamic virtual-architecture reconfiguration ("morphing", §2.3, §4.4).
+//!
+//! The morph manager introspects the translation work queues at a fixed
+//! sampling interval and trades L2 data-cache tiles for translation tiles
+//! when translation pressure is high, and back when the queues drain.
+//! Reconfiguration has real costs (cache flush write-backs, role reload)
+//! and hysteresis prevents thrashing, exactly as the paper prescribes.
+//!
+//! The implementation morphs between the paper's two poles:
+//! 4 mem / 6 translators ↔ 1 mem / 9 translators.
+
+use vta_sim::Cycle;
+
+use crate::config::MorphConfig;
+
+/// Which way to reconfigure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MorphAction {
+    /// Convert one L2 data bank tile into a translation slave.
+    CacheToTranslator,
+    /// Convert one translation slave back into an L2 data bank tile.
+    TranslatorToCache,
+}
+
+/// The reconfiguration decision engine.
+#[derive(Debug, Clone)]
+pub struct MorphManager {
+    cfg: MorphConfig,
+    next_check: Cycle,
+    last_reconfig: Cycle,
+    /// Number of reconfigurations performed.
+    pub reconfigs: u64,
+    /// Bank-tile budget limits (min mem tiles, max translators added).
+    min_banks: usize,
+    max_banks: usize,
+}
+
+impl MorphManager {
+    /// Creates a manager morphing between `min_banks` and `max_banks`
+    /// L2 data tiles.
+    pub fn new(cfg: MorphConfig, min_banks: usize, max_banks: usize) -> MorphManager {
+        MorphManager {
+            cfg,
+            next_check: Cycle(cfg.check_interval),
+            last_reconfig: Cycle::ZERO,
+            reconfigs: 0,
+            min_banks,
+            max_banks,
+        }
+    }
+
+    /// Samples the queue length; returns a reconfiguration decision.
+    ///
+    /// Sampling only happens every `check_interval` cycles, so the
+    /// monitoring cost is negligible (§2.3); hysteresis enforces a
+    /// minimum gap between reconfigurations.
+    pub fn decide(&mut self, now: Cycle, queue_len: usize, cur_banks: usize) -> Option<MorphAction> {
+        if now < self.next_check {
+            return None;
+        }
+        self.next_check = now + self.cfg.check_interval;
+        if now.saturating_since(self.last_reconfig) < self.cfg.hysteresis {
+            return None;
+        }
+        if queue_len > self.cfg.threshold && cur_banks > self.min_banks {
+            self.last_reconfig = now;
+            self.reconfigs += 1;
+            return Some(MorphAction::CacheToTranslator);
+        }
+        if queue_len == 0 && cur_banks < self.max_banks {
+            self.last_reconfig = now;
+            self.reconfigs += 1;
+            return Some(MorphAction::TranslatorToCache);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(threshold: usize) -> MorphManager {
+        MorphManager::new(
+            MorphConfig {
+                threshold,
+                check_interval: 1000,
+                hysteresis: 5000,
+            },
+            1,
+            4,
+        )
+    }
+
+    #[test]
+    fn no_decision_between_samples() {
+        let mut m = mgr(5);
+        assert_eq!(m.decide(Cycle(10), 100, 4), None, "before first sample");
+        assert_eq!(
+            m.decide(Cycle(6000), 100, 4),
+            Some(MorphAction::CacheToTranslator)
+        );
+    }
+
+    #[test]
+    fn hysteresis_blocks_rapid_flapping() {
+        let mut m = mgr(5);
+        assert!(m.decide(Cycle(6000), 100, 4).is_some());
+        // Queue drains immediately, but hysteresis holds.
+        assert_eq!(m.decide(Cycle(7000), 0, 3), None);
+        assert_eq!(
+            m.decide(Cycle(12_000), 0, 3),
+            Some(MorphAction::TranslatorToCache)
+        );
+    }
+
+    #[test]
+    fn respects_bank_budget() {
+        let mut m = mgr(5);
+        assert_eq!(m.decide(Cycle(6000), 100, 1), None, "min banks reached");
+        let mut m = mgr(5);
+        assert_eq!(m.decide(Cycle(6000), 0, 4), None, "max banks reached");
+    }
+
+    #[test]
+    fn threshold_zero_morphs_on_any_queue() {
+        let mut m = mgr(0);
+        assert_eq!(
+            m.decide(Cycle(6000), 1, 4),
+            Some(MorphAction::CacheToTranslator)
+        );
+    }
+
+    #[test]
+    fn counts_reconfigs() {
+        let mut m = mgr(0);
+        m.decide(Cycle(6000), 1, 4);
+        m.decide(Cycle(20_000), 0, 3);
+        assert_eq!(m.reconfigs, 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Prioritized speculative-translation work queues (§2.1).
+//!
+//! Translation requests are prioritized by their *speculation depth* —
+//! the distance in control-flow edges from the last block known to be on
+//! the program's real execution path. Demand misses enter at depth 0;
+//! each speculative successor is one deeper; return-predictor addresses
+//! enter at low priority ("the code inside of the function has a higher
+//! probability of being needed than the return location").
+
+use std::collections::{HashSet, VecDeque};
+
+/// Depth used for return-predictor entries.
+pub const RETURN_DEPTH: u8 = 4;
+
+/// A set of FIFO queues indexed by speculation depth (0 = highest).
+#[derive(Debug, Clone)]
+pub struct SpecQueues {
+    queues: Vec<VecDeque<u32>>,
+    queued: HashSet<u32>,
+    max_depth: u8,
+    pushes: u64,
+}
+
+impl SpecQueues {
+    /// Creates queues for depths `0..=max_depth`.
+    pub fn new(max_depth: u8) -> SpecQueues {
+        SpecQueues {
+            queues: vec![VecDeque::new(); max_depth as usize + 1],
+            queued: HashSet::new(),
+            max_depth,
+            pushes: 0,
+        }
+    }
+
+    /// Enqueues `addr` at `depth` (clamped). Duplicates are dropped;
+    /// re-pushing at a *shallower* depth promotes the entry.
+    pub fn push(&mut self, addr: u32, depth: u8) {
+        let depth = depth.min(self.max_depth);
+        if self.queued.contains(&addr) {
+            // Promote if it now sits deeper than `depth`.
+            for d in (depth as usize + 1)..self.queues.len() {
+                if let Some(pos) = self.queues[d].iter().position(|&a| a == addr) {
+                    self.queues[d].remove(pos);
+                    self.queues[depth as usize].push_back(addr);
+                    return;
+                }
+            }
+            return;
+        }
+        self.queued.insert(addr);
+        self.pushes += 1;
+        self.queues[depth as usize].push_back(addr);
+    }
+
+    /// Pops the highest-priority pending address.
+    pub fn pop(&mut self) -> Option<(u32, u8)> {
+        for (d, q) in self.queues.iter_mut().enumerate() {
+            if let Some(addr) = q.pop_front() {
+                self.queued.remove(&addr);
+                return Some((addr, d as u8));
+            }
+        }
+        None
+    }
+
+    /// Removes a specific address (e.g. it was translated on demand).
+    pub fn remove(&mut self, addr: u32) {
+        if self.queued.remove(&addr) {
+            for q in &mut self.queues {
+                if let Some(pos) = q.iter().position(|&a| a == addr) {
+                    q.remove(pos);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Total pending entries (the morph manager's reconfiguration metric).
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `addr` is pending.
+    pub fn contains(&self, addr: u32) -> bool {
+        self.queued.contains(&addr)
+    }
+
+    /// Total pushes accepted (for statistics).
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Drops all speculative work (used when morphing shrinks the pool).
+    pub fn clear_speculative(&mut self, keep_depth: u8) {
+        for d in (keep_depth as usize + 1)..self.queues.len() {
+            while let Some(a) = self.queues[d].pop_front() {
+                self.queued.remove(&a);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_order() {
+        let mut q = SpecQueues::new(4);
+        q.push(0x30, 3);
+        q.push(0x10, 1);
+        q.push(0x00, 0);
+        q.push(0x11, 1);
+        assert_eq!(q.pop(), Some((0x00, 0)));
+        assert_eq!(q.pop(), Some((0x10, 1)));
+        assert_eq!(q.pop(), Some((0x11, 1)));
+        assert_eq!(q.pop(), Some((0x30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn duplicates_dropped() {
+        let mut q = SpecQueues::new(4);
+        q.push(0x10, 2);
+        q.push(0x10, 2);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn promotion_on_shallower_push() {
+        let mut q = SpecQueues::new(4);
+        q.push(0x10, 3);
+        q.push(0x20, 1);
+        q.push(0x10, 0); // promote
+        assert_eq!(q.pop(), Some((0x10, 0)));
+        assert_eq!(q.pop(), Some((0x20, 1)));
+    }
+
+    #[test]
+    fn depth_clamped() {
+        let mut q = SpecQueues::new(2);
+        q.push(0x10, 7);
+        assert_eq!(q.pop(), Some((0x10, 2)));
+    }
+
+    #[test]
+    fn remove_specific() {
+        let mut q = SpecQueues::new(2);
+        q.push(0x10, 1);
+        q.push(0x20, 1);
+        q.remove(0x10);
+        assert_eq!(q.len(), 1);
+        assert!(!q.contains(0x10));
+        assert_eq!(q.pop(), Some((0x20, 1)));
+    }
+
+    #[test]
+    fn clear_speculative_keeps_demand() {
+        let mut q = SpecQueues::new(4);
+        q.push(0x00, 0);
+        q.push(0x10, 2);
+        q.push(0x20, 4);
+        q.clear_speculative(0);
+        assert_eq!(q.len(), 1);
+        assert!(q.contains(0x00));
+    }
+}

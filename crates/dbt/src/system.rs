@@ -1,0 +1,965 @@
+//! The whole virtual machine: tile roles wired together and run.
+//!
+//! The runtime-execution tile drives simulated time. Translation slaves
+//! live on their own timelines; the manager "catches up" their
+//! completions whenever the execution tile interacts with it, which keeps
+//! the simulation fast, deterministic, and faithful to the overlap the
+//! paper exploits: translation proceeds in the background while the
+//! execution tile runs already-translated code.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use vta_ir::mir::Term;
+use vta_ir::{apply_helper, translate_block, TBlock, TranslateError};
+use vta_raw::exec::{run_block, BlockExit, CoreState, DataPort, Fault};
+use vta_raw::isa::{HelperKind, MemOp, RReg};
+use vta_raw::{Dram, TileId};
+use vta_sim::{Cycle, Stats};
+use vta_x86::{GuestImage, GuestMem, SysState, SyscallResult};
+
+use crate::codecache::{L15Bank, L1Code, L2Code};
+use crate::config::VirtualArchConfig;
+use crate::memsys::MemSys;
+use crate::morph::{MorphAction, MorphManager};
+use crate::slave::{InFlight, SlavePool};
+use crate::specq::{SpecQueues, RETURN_DEPTH};
+use crate::timing::Timing;
+
+/// Host register holding guest `EAX` (fixed mapping).
+const R_EAX: RReg = RReg(1);
+/// Host register holding guest `ESP`.
+const R_ESP: RReg = RReg(5);
+/// Register carrying the resume address across a syscall.
+const R_RESUME: RReg = RReg(26);
+
+/// Why the run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The guest called `exit`.
+    Exit,
+    /// The guest executed `hlt`.
+    Halt,
+    /// The guest-instruction budget ran out.
+    InsnBudget,
+}
+
+/// A finished run: outcome plus every counter the figures need.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Why the run stopped.
+    pub stop: StopCause,
+    /// Exit code if the guest exited.
+    pub exit_code: Option<u32>,
+    /// Total simulated cycles on the virtual machine.
+    pub cycles: u64,
+    /// Guest instructions retired.
+    pub guest_insns: u64,
+    /// Everything the guest wrote to stdout/stderr.
+    pub output: Vec<u8>,
+    /// All event counters.
+    pub stats: Stats,
+}
+
+/// A fatal error while running the guest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// The demanded guest code could not be translated.
+    Translate {
+        /// Guest address.
+        addr: u32,
+        /// The underlying failure.
+        error: TranslateError,
+    },
+    /// Translated code faulted (unmapped access, divide error).
+    GuestFault {
+        /// Guest block the fault occurred in.
+        block: u32,
+        /// The fault.
+        fault: Fault,
+    },
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::Translate { addr, error } => {
+                write!(f, "translation of {addr:#010x} failed: {error}")
+            }
+            SystemError::GuestFault { block, fault } => {
+                write!(f, "guest fault in block {block:#010x}: {fault:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// The executing virtual machine.
+pub struct System {
+    cfg: VirtualArchConfig,
+    timing: Timing,
+    now: Cycle,
+    mem: GuestMem,
+    sys: SysState,
+    state: CoreState,
+    pc: u32,
+    l1: L1Code,
+    l15: Vec<L15Bank>,
+    l15_next_free: Vec<Cycle>,
+    l2code: L2Code,
+    queues: SpecQueues,
+    pool: SlavePool,
+    memsys: MemSys,
+    dram: Dram,
+    manager_next_free: Cycle,
+    morph: Option<MorphManager>,
+    stats: Stats,
+    guest_insns: u64,
+    /// Pages containing translated guest code (SMC detection).
+    code_pages: HashSet<u32>,
+    /// Map page → translated block addresses (for invalidation).
+    page_blocks: HashMap<u32, Vec<u32>>,
+    /// Addresses whose translation failed (speculation into data).
+    failed: HashSet<u32>,
+}
+
+impl System {
+    /// Boots `image` under the given virtual architecture.
+    pub fn new(cfg: VirtualArchConfig, image: &GuestImage) -> System {
+        let timing = Timing::default();
+        Self::with_timing(cfg, timing, image)
+    }
+
+    /// Boots with explicit timing parameters (sensitivity studies).
+    pub fn with_timing(cfg: VirtualArchConfig, timing: Timing, image: &GuestImage) -> System {
+        let mut sys = SysState::new(image.brk_base);
+        sys.set_input(image.input.clone());
+        let mut state = CoreState::new();
+        state.set(R_ESP, image.initial_esp());
+        let l15 = cfg
+            .placement
+            .l15_banks
+            .iter()
+            .map(|_| L15Bank::new(cfg.l15_bank_bytes))
+            .collect::<Vec<_>>();
+        let min_banks = 1;
+        let max_banks = cfg.placement.l2_banks.len();
+        System {
+            now: Cycle::ZERO,
+            mem: image.build_mem(),
+            sys,
+            state,
+            pc: image.entry,
+            l1: L1Code::new(cfg.l1_code_bytes),
+            l15_next_free: vec![Cycle::ZERO; l15.len()],
+            l15,
+            l2code: L2Code::new(cfg.l2_code_bytes),
+            queues: SpecQueues::new(cfg.max_spec_depth),
+            pool: SlavePool::new(&cfg.placement.slaves),
+            memsys: MemSys::new(&cfg.placement.l2_banks, cfg.l2_bank_bytes),
+            dram: Dram::new(timing.dram_latency, timing.dram_word),
+            manager_next_free: Cycle::ZERO,
+            morph: cfg
+                .morph
+                .map(|m| MorphManager::new(m, min_banks, max_banks.max(min_banks))),
+            stats: Stats::new(),
+            guest_insns: 0,
+            code_pages: HashSet::new(),
+            page_blocks: HashMap::new(),
+            failed: HashSet::new(),
+            timing,
+            cfg,
+        }
+    }
+
+    /// Runs the guest until exit/halt/fault or `max_guest_insns`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] on guest faults or untranslatable demanded
+    /// code.
+    pub fn run(&mut self, max_guest_insns: u64) -> Result<RunReport, SystemError> {
+        let stop = loop {
+            if self.guest_insns >= max_guest_insns {
+                break (StopCause::InsnBudget, None);
+            }
+
+            self.maybe_morph();
+
+            let pc = self.pc;
+            let block = self.fetch_block(pc)?;
+
+            // Execute the block on the execution tile.
+            let mut smc = Vec::new();
+            let outcome = {
+                let mut port = ExecPort {
+                    mem: &mut self.mem,
+                    memsys: &mut self.memsys,
+                    dram: &mut self.dram,
+                    timing: &self.timing,
+                    exec: self.cfg.placement.exec,
+                    mmu: self.cfg.placement.mmu,
+                    now: self.now,
+                    code_pages: &self.code_pages,
+                    smc: &mut smc,
+                };
+                run_block(&mut self.state, &block.code, &mut port, 50_000_000)
+            };
+            self.now += outcome.cycles;
+            self.guest_insns += block.guest_insns as u64;
+            self.stats.add("host_insns", outcome.insns);
+            self.stats.add("exec.blocks", 1);
+
+            // Self-modifying-code invalidation.
+            for page in smc {
+                self.invalidate_page(page);
+            }
+
+            match outcome.exit {
+                BlockExit::Goto(t) => {
+                    if self.l1.contains(t) {
+                        // Chained: patched direct branch inside L1 I-mem.
+                        self.now += self.timing.chain;
+                        self.stats.bump("chain.taken");
+                    } else {
+                        self.now += self.timing.dispatch_miss;
+                        self.stats.bump("dispatch.direct_miss");
+                    }
+                    self.pc = t;
+                }
+                BlockExit::Indirect(t) => {
+                    self.now += self.timing.dispatch_indirect;
+                    self.stats.bump("dispatch.indirect");
+                    self.pc = t;
+                }
+                BlockExit::Sys => {
+                    self.stats.bump("syscalls");
+                    if let Some(code) = self.do_syscall() {
+                        break (StopCause::Exit, Some(code));
+                    }
+                }
+                BlockExit::Halt => break (StopCause::Halt, None),
+                BlockExit::Fault(fault) => {
+                    return Err(SystemError::GuestFault { block: pc, fault });
+                }
+            }
+
+            self.catch_up(self.now);
+        };
+
+        self.stats.set("cycles", self.now.as_u64());
+        self.stats.set("guest_insns", self.guest_insns);
+        let mem = self.memsys.stats();
+        self.stats.set("mem.l1_hit", mem[0]);
+        self.stats.set("mem.l2_hit", mem[1]);
+        self.stats.set("mem.dram", mem[2]);
+        self.stats.set("mem.tlb_miss", mem[3]);
+        self.stats.set("l1code.flushes", self.l1.flushes());
+        self.stats.set("translate.blocks", self.pool.total_completed());
+        self.stats.set("translate.busy_cycles", self.pool.total_busy());
+        self.stats.set("spec.pushes", self.queues.pushes());
+        if let Some(m) = &self.morph {
+            self.stats.set("morph.reconfigs", m.reconfigs);
+        }
+
+        Ok(RunReport {
+            stop: stop.0,
+            exit_code: stop.1,
+            cycles: self.now.as_u64(),
+            guest_insns: self.guest_insns,
+            output: self.sys.output.clone(),
+            stats: self.stats.clone(),
+        })
+    }
+
+    /// Convenience: current cycle count.
+    pub fn cycles(&self) -> u64 {
+        self.now.as_u64()
+    }
+
+    // ---- code fetch path -------------------------------------------------
+
+    /// Obtains the translated block for `pc`, charging the lookup costs of
+    /// whichever code-cache level supplies it.
+    fn fetch_block(&mut self, pc: u32) -> Result<Arc<TBlock>, SystemError> {
+        if let Some(b) = self.l1.get(pc) {
+            self.stats.bump("l1code.hit");
+            return Ok(Arc::clone(b));
+        }
+        self.stats.bump("l1code.miss");
+
+        // L1.5 banks.
+        if !self.l15.is_empty() {
+            let idx = (pc as usize >> 2) % self.l15.len();
+            let bank_tile = self.cfg.placement.l15_banks[idx];
+            self.now += self.net(self.cfg.placement.exec, bank_tile, 1);
+            self.now = self.now.max(self.l15_next_free[idx]);
+            self.now += self.timing.l15_service;
+            self.l15_next_free[idx] = self.now;
+            if let Some(b) = self.l15[idx].get(pc) {
+                self.stats.bump("l15.hit");
+                self.now += self.net(bank_tile, self.cfg.placement.exec, b.code.len() as u32);
+                self.install_l1(&b);
+                return Ok(b);
+            }
+            self.stats.bump("l15.miss");
+        }
+
+        // L2 manager.
+        let manager = self.cfg.placement.manager;
+        self.now += self.net(self.cfg.placement.exec, manager, 1);
+        self.catch_up(self.now);
+        self.now = self.now.max(self.manager_next_free);
+        self.now += self.timing.manager_service;
+        // The manager looks its metadata up in DRAM-resident structures.
+        self.now = self.dram.access(self.now, 2).max(self.now);
+        self.manager_next_free = self.now;
+        self.stats.bump("l2code.access");
+
+        let block = if let Some(b) = self.l2code.get(pc) {
+            Arc::clone(b)
+        } else {
+            self.stats.bump("l2code.miss");
+            let waited_from = self.now;
+            let ready_at = self.demand_translate(pc)?;
+            self.now = self.now.max(ready_at);
+            self.stats
+                .record("demand.wait_cycles", self.now.saturating_since(waited_from));
+            self.l2code
+                .get(pc)
+                .map(Arc::clone)
+                .expect("demand translation committed")
+        };
+
+        // Fetch the block image from DRAM through the manager.
+        let words = block.code.len() as u32;
+        self.now = self.dram.access(self.now, words).max(self.now);
+        self.now += self.net(manager, self.cfg.placement.exec, words);
+
+        // Install into L1.5 (if present) and L1.
+        if !self.l15.is_empty() {
+            let idx = (pc as usize >> 2) % self.l15.len();
+            self.l15[idx].insert(Arc::clone(&block));
+        }
+        self.install_l1(&block);
+        Ok(block)
+    }
+
+    fn install_l1(&mut self, block: &Arc<TBlock>) {
+        // Relocate the block into I-mem: copy plus chain re-patching.
+        let words = block.code.len() as u64;
+        self.now += 30 + words * self.timing.l1code_copy_per_word;
+        if self.l1.insert(Arc::clone(block)) {
+            self.now += self.timing.l1code_flush;
+        }
+    }
+
+    /// Demand-translates `pc`, waiting on the slave pipeline; returns the
+    /// cycle the block is committed at the manager.
+    fn demand_translate(&mut self, pc: u32) -> Result<Cycle, SystemError> {
+        if !self.l2code.known(pc) {
+            self.queues.push(pc, 0);
+        }
+        let mut t = self.now;
+        loop {
+            self.assign_idle(t);
+            if self.l2code.get(pc).is_some() {
+                return Ok(t);
+            }
+            if self.failed.contains(&pc) {
+                // Re-translate on the spot to surface the error.
+                let err = translate_block(&self.mem, pc, self.cfg.opt)
+                    .expect_err("known-failed address");
+                return Err(SystemError::Translate { addr: pc, error: err });
+            }
+            match self.pool.earliest_done() {
+                Some((_, done)) => {
+                    t = t.max(done);
+                    self.commit_ready(t);
+                }
+                None => {
+                    // Nothing in flight and nothing committed: the pool is
+                    // empty or the queue lost the entry; translate inline.
+                    match translate_block(&self.mem, pc, self.cfg.opt) {
+                        Ok(b) => {
+                            let b = Arc::new(b);
+                            t += b.translate_cycles;
+                            self.record_block(&b);
+                            self.l2code.commit(b);
+                            return Ok(t);
+                        }
+                        Err(error) => {
+                            return Err(SystemError::Translate { addr: pc, error })
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- manager / slave pipeline -----------------------------------------
+
+    /// Commits every slave completion due by `now` and keeps slaves fed.
+    fn catch_up(&mut self, now: Cycle) {
+        loop {
+            let mut progressed = false;
+            while let Some((i, inflight)) = self.pool.pop_done(now) {
+                progressed = true;
+                self.finish(i, inflight);
+            }
+            if self.assign_idle(now) {
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Commits completions due by `now` (used while blocked on demand).
+    fn commit_ready(&mut self, now: Cycle) {
+        while let Some((i, inflight)) = self.pool.pop_done(now) {
+            self.finish(i, inflight);
+        }
+        self.assign_idle(now);
+    }
+
+    fn finish(&mut self, slave_idx: usize, inflight: InFlight) {
+        let done = inflight.done_at;
+        if let Some(block) = inflight.block {
+            // Committing occupies the manager tile: speculative traffic
+            // competes with demand lookups for the shared resource — the
+            // congestion the paper blames for vpr/gcc/crafty (§4.3).
+            let commit_cost = 40 + block.code.len() as u64 / 2;
+            self.manager_next_free = self.manager_next_free.max(done) + commit_cost;
+            // Writing the block into the DRAM-resident L2 code cache
+            // shares the channel with demand fetches.
+            self.dram.access(done, block.code.len() as u32);
+            self.stats
+                .record("translate.block_host_bytes", block.host_bytes() as u64);
+            self.stats
+                .record("translate.block_guest_insns", block.guest_insns as u64);
+            self.record_block(&block);
+            self.l2code.commit(block);
+        } else if inflight.addr != u32::MAX {
+            self.failed.insert(inflight.addr);
+        }
+        // Keep this slave busy.
+        self.assign_one(slave_idx, done);
+    }
+
+    /// Registers a committed block's pages for SMC detection.
+    fn record_block(&mut self, block: &Arc<TBlock>) {
+        let first = block.guest_addr / 4096;
+        let last = (block.guest_addr + block.guest_len.max(1) - 1) / 4096;
+        for page in first..=last {
+            self.code_pages.insert(page);
+            self.page_blocks.entry(page).or_default().push(block.guest_addr);
+        }
+        self.stats.bump("translate.committed");
+    }
+
+    /// Pushes a finished block's likely successors (§2.1's speculative
+    /// parallel translation, with static backward-taken prediction and
+    /// the return predictor).
+    fn enqueue_successors(&mut self, block: &TBlock, depth: u8) {
+        let d1 = depth.saturating_add(1);
+        let d2 = depth.saturating_add(2);
+        match block.term {
+            Term::Goto(t) => self.push_spec(t, d1),
+            Term::CondGoto { taken, fall, .. } => {
+                if taken <= block.guest_addr {
+                    // Backward branch: predict taken (loop).
+                    self.push_spec(taken, d1);
+                    self.push_spec(fall, d2);
+                } else {
+                    self.push_spec(fall, d1);
+                    self.push_spec(taken, d2);
+                }
+            }
+            Term::Sys(next) => self.push_spec(next, d1),
+            Term::Indirect(_) | Term::Halt => {}
+        }
+        if block.is_call {
+            // Return predictor: the address after the call, low priority.
+            self.push_spec(block.guest_addr.wrapping_add(block.guest_len), RETURN_DEPTH);
+        }
+    }
+
+    fn push_spec(&mut self, addr: u32, depth: u8) {
+        if !self.l2code.known(addr) && !self.failed.contains(&addr) {
+            self.queues.push(addr, depth);
+        }
+    }
+
+    /// Starts idle slaves on queued work at time `now`; true if any.
+    fn assign_idle(&mut self, now: Cycle) -> bool {
+        let mut any = false;
+        loop {
+            if self.queues.is_empty() {
+                break;
+            }
+            let skip = usize::from(self.cfg.reserve_demand_slave && self.pool.len() > 1);
+            let Some(i) = self.pool.idle_slave(skip) else {
+                // Try the reserved slave for demand (depth 0) work.
+                if skip == 1 {
+                    // Peek: only depth-0 entries may use the reserved slave.
+                    // SpecQueues has no peek; pop and re-push if deeper.
+                    if let Some(ri) = self.pool.reserved_idle() {
+                        if let Some((addr, depth)) = self.queues.pop() {
+                            if depth == 0 {
+                                self.start_translation(ri, addr, depth, now);
+                                any = true;
+                                continue;
+                            }
+                            self.queues.push(addr, depth);
+                        }
+                    }
+                }
+                break;
+            };
+            let Some((addr, depth)) = self.queues.pop() else {
+                break;
+            };
+            if self.l2code.known(addr) || self.failed.contains(&addr) {
+                continue;
+            }
+            self.start_translation(i, addr, depth, now);
+            any = true;
+        }
+        any
+    }
+
+    fn assign_one(&mut self, slave_idx: usize, at: Cycle) {
+        // Respect the demand reservation: slave 0 only takes depth 0.
+        loop {
+            let Some((addr, depth)) = self.queues.pop() else { return };
+            if self.l2code.known(addr) || self.failed.contains(&addr) {
+                continue;
+            }
+            if self.cfg.reserve_demand_slave && slave_idx == 0 && depth != 0 && self.pool.len() > 1
+            {
+                self.queues.push(addr, depth);
+                return;
+            }
+            self.start_translation(slave_idx, addr, depth, at);
+            return;
+        }
+    }
+
+    fn start_translation(&mut self, slave_idx: usize, addr: u32, depth: u8, at: Cycle) {
+        // Handing out work occupies the manager's software loop.
+        self.manager_next_free = self.manager_next_free.max(at) + 30;
+        let tile = self.pool.slave(slave_idx).tile;
+        let manager = self.cfg.placement.manager;
+        let result = translate_block(&self.mem, addr, self.cfg.opt).ok().map(Arc::new);
+        let (cycles, words) = match &result {
+            Some(b) => (b.translate_cycles, b.code.len() as u32),
+            // Failed translations still burn decode time.
+            None => (200, 0),
+        };
+        let done_at = at + cycles + net_cost(tile, manager, words.max(1));
+        let slave = self.pool.slave_mut(slave_idx);
+        slave.busy_cycles += cycles;
+        slave.current = Some(InFlight {
+            addr,
+            depth,
+            done_at,
+            block: result.clone(),
+        });
+        self.l2code.mark_in_flight(addr, slave_idx);
+        // Successors are visible as soon as the slave has decoded the
+        // block — the translator "runs ahead translating the program"
+        // (§2.1) rather than waiting for its own commit.
+        if self.cfg.speculation {
+            if let Some(block) = result {
+                self.enqueue_successors(&block, depth);
+            }
+        }
+    }
+
+    // ---- syscalls, morphing, SMC ------------------------------------------
+
+    /// Proxies a syscall to the syscall tile; returns `Some(code)` on exit.
+    fn do_syscall(&mut self) -> Option<u32> {
+        let p = &self.cfg.placement;
+        self.now += self.net(p.exec, p.syscall, 4);
+        self.now += self.timing.syscall_service;
+        self.now += self.net(p.syscall, p.exec, 1);
+
+        let nr = self.state.get(R_EAX);
+        let args = [
+            self.state.get(RReg(4)), // EBX
+            self.state.get(RReg(2)), // ECX
+            self.state.get(RReg(3)), // EDX
+        ];
+        match self.sys.dispatch(&mut self.mem, nr, args) {
+            SyscallResult::Continue(ret) => {
+                self.state.set(R_EAX, ret);
+                self.pc = self.state.get(R_RESUME);
+                None
+            }
+            SyscallResult::Exit(code) => Some(code),
+        }
+    }
+
+    fn maybe_morph(&mut self) {
+        let Some(m) = &mut self.morph else { return };
+        let action = m.decide(self.now, self.queues.len(), self.memsys.banks.len());
+        match action {
+            Some(MorphAction::CacheToTranslator) => {
+                if let Some((tile, dirty)) = self.memsys.remove_bank() {
+                    // Write back the dirty lines (DRAM occupancy) and
+                    // reload the tile's software role.
+                    self.dram
+                        .access(self.now, dirty * self.timing.line_words);
+                    self.now += self.timing.reconfig_per_dirty_line * dirty as u64 / 8 + 50;
+                    self.pool.grow(tile);
+                    let ready = self.now + self.timing.reconfig;
+                    let n = self.pool.len();
+                    self.pool.slave_mut(n - 1).current = Some(InFlight {
+                        addr: u32::MAX,
+                        depth: 0,
+                        done_at: ready,
+                        block: None,
+                    });
+                    self.stats.bump("morph.to_translator");
+                }
+            }
+            Some(MorphAction::TranslatorToCache) => {
+                if let Some((tile, free_at)) = self.pool.shrink(self.now) {
+                    self.memsys.add_bank(tile, self.cfg.l2_bank_bytes);
+                    let bank = self.memsys.banks.last_mut().expect("just added");
+                    bank.next_free = free_at + self.timing.reconfig;
+                    self.now += 50;
+                    self.stats.bump("morph.to_cache");
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn invalidate_page(&mut self, page: u32) {
+        let Some(addrs) = self.page_blocks.remove(&page) else { return };
+        self.stats.bump("smc.invalidations");
+        for addr in addrs {
+            self.l1.invalidate(addr);
+            for bank in &mut self.l15 {
+                bank.invalidate(addr);
+            }
+            self.l2code.invalidate(addr);
+        }
+        self.code_pages.remove(&page);
+        // Invalidation round trips to the manager.
+        self.now += self.timing.manager_service
+            + 2 * self.net(self.cfg.placement.exec, self.cfg.placement.manager, 1);
+    }
+
+    fn net(&self, from: TileId, to: TileId, words: u32) -> u64 {
+        net_cost(from, to, words)
+    }
+}
+
+/// One-way message cost: inject + hops + payload + eject.
+fn net_cost(from: TileId, to: TileId, words: u32) -> u64 {
+    vta_raw::net::INJECT_COST
+        + from.hops_to(to) as u64 * vta_raw::net::HOP_COST
+        + words as u64
+        + vta_raw::net::EJECT_COST
+}
+
+/// The execution tile's memory port during one block.
+struct ExecPort<'a> {
+    mem: &'a mut GuestMem,
+    memsys: &'a mut MemSys,
+    dram: &'a mut Dram,
+    timing: &'a Timing,
+    exec: TileId,
+    mmu: TileId,
+    now: Cycle,
+    code_pages: &'a HashSet<u32>,
+    smc: &'a mut Vec<u32>,
+}
+
+impl DataPort for ExecPort<'_> {
+    fn load(&mut self, addr: u32, op: MemOp) -> Result<(u32, u64), Fault> {
+        let value = self
+            .mem
+            .read_sized(addr, op.bytes())
+            .map_err(|e| Fault::Unmapped { addr: e.addr })?;
+        let (stall, _level) = self.memsys.access(
+            self.now, addr, false, self.exec, self.mmu, self.dram, self.timing,
+        );
+        self.now += stall + 1;
+        Ok((value, stall))
+    }
+
+    fn store(&mut self, addr: u32, value: u32, op: MemOp) -> Result<u64, Fault> {
+        self.mem
+            .write_sized(addr, value, op.bytes())
+            .map_err(|e| Fault::Unmapped { addr: e.addr })?;
+        let page = addr / 4096;
+        if self.code_pages.contains(&page) {
+            self.smc.push(page);
+        }
+        let (stall, _level) = self.memsys.access(
+            self.now, addr, true, self.exec, self.mmu, self.dram, self.timing,
+        );
+        self.now += stall + 1;
+        Ok(stall)
+    }
+
+    fn helper(&mut self, kind: HelperKind, state: &mut CoreState) -> Result<(), Fault> {
+        apply_helper(kind, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vta_x86::{Asm, Cond, Reg};
+
+    const BASE: u32 = 0x0800_0000;
+
+    fn image(f: impl FnOnce(&mut Asm)) -> GuestImage {
+        let mut asm = Asm::new(BASE);
+        f(&mut asm);
+        GuestImage::from_code(asm.finish()).with_bss(0x0900_0000, 0x4000)
+    }
+
+    fn loop_program(iters: u32) -> GuestImage {
+        image(|a| {
+            a.mov_ri(Reg::ECX, iters);
+            a.mov_ri(Reg::EAX, 0);
+            let top = a.here();
+            a.add_rr(Reg::EAX, Reg::ECX);
+            a.dec_r(Reg::ECX);
+            a.jcc(Cond::Ne, top);
+            a.exit_with_eax();
+        })
+    }
+
+    #[test]
+    fn runs_simple_program_to_exit() {
+        let img = loop_program(100);
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        let report = sys.run(1_000_000).expect("runs");
+        assert_eq!(report.stop, StopCause::Exit);
+        assert_eq!(report.exit_code, Some((1..=100).sum::<u32>()));
+        assert!(report.cycles > 0);
+        assert!(report.guest_insns > 300);
+    }
+
+    #[test]
+    fn deterministic_cycle_counts() {
+        let img = loop_program(500);
+        let run = || {
+            let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+            sys.run(10_000_000).expect("runs").cycles
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn hot_loop_chains_in_l1() {
+        let img = loop_program(10_000);
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        let report = sys.run(10_000_000).expect("runs");
+        assert!(
+            report.stats.get("chain.taken") > 9_000,
+            "the loop back-edge must chain: {}",
+            report.stats.get("chain.taken")
+        );
+        // Only a couple of blocks ever translated.
+        assert!(report.stats.get("l2code.access") < 20);
+    }
+
+    #[test]
+    fn speculation_reduces_demand_misses() {
+        // A long chain of distinct blocks: speculative translators run
+        // ahead; the conservative translator takes a demand miss per block.
+        let img = image(|a| {
+            for i in 0..200u32 {
+                a.add_ri(Reg::EAX, i as i32);
+                let l = a.label();
+                a.jmp(l);
+                a.bind(l);
+            }
+            a.exit_with_eax();
+        });
+        let run = |cfg: VirtualArchConfig| {
+            let mut sys = System::new(cfg, &img);
+            sys.run(10_000_000).expect("runs")
+        };
+        let spec = run(VirtualArchConfig::with_translators(6, true));
+        let cons = run(VirtualArchConfig::with_translators(1, false));
+        assert!(
+            spec.cycles < cons.cycles,
+            "speculative {} should beat conservative {}",
+            spec.cycles,
+            cons.cycles
+        );
+    }
+
+    #[test]
+    fn exit_code_and_output_match_reference() {
+        let img = image(|a| {
+            a.mov_ri(Reg::EAX, 4);
+            a.mov_ri(Reg::EBX, 1);
+            a.mov_ri(Reg::ECX, 0x0900_0000);
+            a.mov_mi(vta_x86::MemRef::abs(0x0900_0000), u32::from_le_bytes(*b"abcd"));
+            a.mov_ri(Reg::EDX, 4);
+            a.int_(0x80);
+            a.exit(9);
+        });
+        let mut cpu = vta_x86::Cpu::new(&img);
+        let ref_stop = cpu.run(1_000_000).unwrap();
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        let report = sys.run(1_000_000).expect("runs");
+        assert_eq!(ref_stop, vta_x86::StopReason::Exit(9));
+        assert_eq!(report.exit_code, Some(9));
+        assert_eq!(report.output, cpu.sys.output);
+    }
+
+    #[test]
+    fn guest_fault_is_reported() {
+        let img = image(|a| {
+            a.mov_rm(Reg::EAX, vta_x86::MemRef::abs(0x4000_0000));
+            a.hlt();
+        });
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        match sys.run(1_000) {
+            Err(SystemError::GuestFault { fault: Fault::Unmapped { addr }, .. }) => {
+                assert_eq!(addr, 0x4000_0000);
+            }
+            other => panic!("expected unmapped fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insn_budget_stops() {
+        let img = image(|a| {
+            let top = a.here();
+            a.inc_r(Reg::EAX);
+            a.jmp(top);
+        });
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        let report = sys.run(10_000).expect("runs");
+        assert_eq!(report.stop, StopCause::InsnBudget);
+    }
+
+    #[test]
+    fn smc_invalidates_translations() {
+        // Code writes over its own (already executed) bytes; execution
+        // must pick up the new translation.
+        let img = image(|a| {
+            // First pass writes "mov eax, 7; ret"-style patch over a
+            // later instruction; here we simply patch an immediate.
+            let patch_site = BASE + 0x40;
+            a.mov_ri(Reg::ECX, 2);
+            let top = a.here();
+            // Patch the immediate byte of the `mov_ri(EBX, 11)` below.
+            a.mov_mi8(vta_x86::MemRef::abs(patch_site + 1), 99);
+            a.dec_r(Reg::ECX);
+            a.jcc(Cond::Ne, top);
+            // Pad to the patch site.
+            while a.cur_addr() < patch_site {
+                a.nop();
+            }
+            a.mov_ri(Reg::EBX, 11); // byte at patch_site+1 becomes 99
+            a.mov_rr(Reg::EAX, Reg::EBX);
+            a.exit_with_eax();
+        });
+        // Reference semantics.
+        let mut cpu = vta_x86::Cpu::new(&img);
+        let want = match cpu.run(1_000_000).unwrap() {
+            vta_x86::StopReason::Exit(c) => c,
+            other => panic!("reference stopped with {other:?}"),
+        };
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        let report = sys.run(1_000_000).expect("runs");
+        assert_eq!(report.exit_code, Some(want));
+        assert!(report.stats.get("smc.invalidations") > 0);
+    }
+
+    #[test]
+    fn histograms_record_translation_shape() {
+        let img = loop_program(200);
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        let report = sys.run(1_000_000).expect("runs");
+        let h = report
+            .stats
+            .histogram("translate.block_host_bytes")
+            .expect("translation sizes recorded");
+        assert!(h.count() > 0);
+        assert!(h.mean() > 4.0, "blocks are bigger than one instruction");
+        let w = report
+            .stats
+            .histogram("demand.wait_cycles")
+            .expect("demand misses recorded");
+        assert!(w.count() >= 1, "at least the first block demand-misses");
+    }
+
+    #[test]
+    fn morphing_reconfigures_under_pressure() {
+        // Conditional branches fan the speculative frontier out two ways
+        // per block, faster than the slaves can drain it.
+        let img = image(|a| {
+            for i in 0..400u32 {
+                a.test_ri(Reg::EAX, 1);
+                let taken = a.label();
+                a.jcc(Cond::Ne, taken);
+                a.add_ri(Reg::EBX, i as i32);
+                a.bind(taken);
+                a.add_ri(Reg::EAX, 1);
+            }
+            a.exit_with_eax();
+        });
+        let mut sys = System::new(VirtualArchConfig::morphing(0), &img);
+        let report = sys.run(10_000_000).expect("runs");
+        assert!(
+            report.stats.get("morph.to_translator") > 0,
+            "queue pressure must trigger reconfiguration: {:?}",
+            report.stats
+        );
+    }
+
+    #[test]
+    fn l15_banks_absorb_l1_flush_traffic() {
+        // Working set larger than L1 code: with L1.5 the refill is cheap.
+        let big_code = |a: &mut Asm| {
+            for i in 0..700u32 {
+                a.add_ri(Reg::EAX, i as i32);
+                a.xor_rr(Reg::EDX, Reg::EAX);
+                a.imul_rri(Reg::EBX, Reg::EAX, 3);
+                a.add_rr(Reg::EDX, Reg::EBX);
+                a.rol_ri(Reg::EAX, 3);
+                let l = a.label();
+                a.jmp(l);
+                a.bind(l);
+            }
+        };
+        let img = image(|a| {
+            // Run the big straight-line region twice.
+            a.mov_ri(Reg::ESI, 2);
+            let top = a.here();
+            big_code(a);
+            a.dec_r(Reg::ESI);
+            a.jcc(Cond::Ne, top);
+            a.exit_with_eax();
+        });
+        let with = {
+            let mut s = System::new(VirtualArchConfig::with_l15_banks(2), &img);
+            s.run(50_000_000).expect("runs").cycles
+        };
+        let without = {
+            let mut s = System::new(VirtualArchConfig::with_l15_banks(0), &img);
+            s.run(50_000_000).expect("runs").cycles
+        };
+        assert!(
+            with < without,
+            "L1.5 banks must help big working sets: with={with} without={without}"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests on the DBT components: work-queue invariants, code
+//! cache accounting, and morph-manager hysteresis.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vta_dbt::codecache::{L15Bank, L1Code};
+use vta_dbt::config::MorphConfig;
+use vta_dbt::morph::MorphManager;
+use vta_dbt::specq::SpecQueues;
+use vta_ir::TBlock;
+use vta_raw::isa::RInsn;
+use vta_sim::Cycle;
+
+fn block(addr: u32, insns: usize) -> Arc<TBlock> {
+    Arc::new(TBlock {
+        guest_addr: addr,
+        guest_len: 4,
+        guest_insns: 1,
+        code: vec![RInsn::Nop; insns.max(1)],
+        translate_cycles: 100,
+        term: vta_ir::mir::Term::Halt,
+        is_call: false,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pops come out in non-decreasing depth order, each address at most
+    /// once, and every accepted push is eventually popped.
+    #[test]
+    fn specq_priority_and_uniqueness(pushes in proptest::collection::vec((any::<u32>(), 0u8..8), 1..100)) {
+        let mut q = SpecQueues::new(5);
+        for &(addr, depth) in &pushes {
+            q.push(addr, depth);
+        }
+        let mut unique: Vec<u32> = pushes.iter().map(|&(a, _)| a).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(q.len(), unique.len());
+
+        let mut seen = std::collections::HashSet::new();
+        let mut last_depth = 0u8;
+        while let Some((addr, depth)) = q.pop() {
+            prop_assert!(depth >= last_depth, "priority inversion");
+            last_depth = depth;
+            prop_assert!(seen.insert(addr), "duplicate pop");
+        }
+        prop_assert_eq!(seen.len(), unique.len());
+        prop_assert!(q.is_empty());
+    }
+
+    /// Promotion: re-pushing at a shallower depth moves an entry forward,
+    /// never backward.
+    #[test]
+    fn specq_promotion_monotone(addr in any::<u32>(), d1 in 0u8..6, d2 in 0u8..6) {
+        let mut q = SpecQueues::new(5);
+        q.push(addr, d1);
+        q.push(addr, d2);
+        let (_, popped) = q.pop().expect("entry present");
+        prop_assert!(popped <= d1.min(5).max(d2.min(5)).min(d1.min(5)) || popped <= d1.min(5),
+            "promotion must not deepen");
+        prop_assert!(q.is_empty());
+    }
+
+    /// L1 code cache byte accounting never exceeds capacity and flushes
+    /// keep the invariant.
+    #[test]
+    fn l1code_accounting(inserts in proptest::collection::vec((any::<u32>(), 1usize..200), 1..100)) {
+        let capacity = 4096u32;
+        let mut l1 = L1Code::new(capacity);
+        for &(addr, insns) in &inserts {
+            if (insns * 4) as u32 > capacity {
+                continue;
+            }
+            l1.insert(block(addr, insns));
+            prop_assert!(l1.used_bytes() <= capacity, "over capacity");
+            prop_assert!(l1.contains(addr), "inserted block resident");
+        }
+    }
+
+    /// L1.5 retention policy is deterministic: two banks fed identically
+    /// end with the same resident set.
+    #[test]
+    fn l15_retention_deterministic(inserts in proptest::collection::vec((any::<u32>(), 1usize..80), 1..80)) {
+        let run = || {
+            let mut bank = L15Bank::new(2048);
+            for &(addr, insns) in &inserts {
+                bank.insert(block(addr, insns));
+            }
+            let mut resident: Vec<u32> = inserts
+                .iter()
+                .map(|&(a, _)| a)
+                .filter(|&a| bank.get(a).is_some())
+                .collect();
+            resident.sort_unstable();
+            resident.dedup();
+            resident
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Morph decisions never fire inside the hysteresis window and never
+    /// violate the bank budget.
+    #[test]
+    fn morph_hysteresis(samples in proptest::collection::vec((0u64..2000, 0usize..40), 1..200)) {
+        let cfg = MorphConfig {
+            threshold: 5,
+            check_interval: 500,
+            hysteresis: 3000,
+        };
+        let mut m = MorphManager::new(cfg, 1, 4);
+        let mut banks = 4usize;
+        let mut now = Cycle::ZERO;
+        let mut last_reconfig: Option<Cycle> = None;
+        for &(dt, qlen) in &samples {
+            now += dt;
+            if let Some(action) = m.decide(now, qlen, banks) {
+                if let Some(prev) = last_reconfig {
+                    prop_assert!(now.saturating_since(prev) >= cfg.hysteresis,
+                        "hysteresis violated");
+                }
+                last_reconfig = Some(now);
+                match action {
+                    vta_dbt::morph::MorphAction::CacheToTranslator => {
+                        prop_assert!(banks > 1);
+                        banks -= 1;
+                    }
+                    vta_dbt::morph::MorphAction::TranslatorToCache => {
+                        prop_assert!(banks < 4);
+                        banks += 1;
+                    }
+                }
+            }
+        }
+    }
+}

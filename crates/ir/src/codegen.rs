@@ -1,0 +1,1190 @@
+//! Code generation: mid-level IR → host [`RInsn`] sequences.
+//!
+//! Guest state lives in a fixed host-register mapping (`EAX..EDI` in
+//! `r1..r8`, packed EFLAGS in `r9`); temporaries get host registers by
+//! linear scan. Flag definitions expand to short bit-manipulation
+//! sequences ending in an `ins` into the packed flags word — the encoding
+//! the paper describes (§4.5) — and conditional branches expand to an
+//! extract plus a branch.
+
+use vta_raw::isa::{
+    AluIOp, AluOp, BrCond, BranchTarget, HelperKind, MemOp, RInsn, RReg, ShiftOp,
+};
+use vta_x86::flags::Flags;
+use vta_x86::{Cond, Rep, Size};
+
+use crate::mir::{BinOp, Flag, FlagKind, MBlock, MInsn, ShiftKind, StringOp, Term, VReg, Val};
+
+/// Host register of guest register number `n` (0..=7).
+pub fn guest_host_reg(n: u32) -> RReg {
+    debug_assert!(n < 8);
+    RReg(n as u8 + 1)
+}
+
+/// Host register holding the packed EFLAGS word.
+pub const FLAGS_REG: RReg = RReg(9);
+/// Expansion output scratch (also the helper-ABI value/count registers).
+pub const OUT0: RReg = RReg(24);
+/// Second expansion output scratch.
+pub const OUT1: RReg = RReg(25);
+/// Scratch registers reserved for materializing constant operands.
+pub const SCRATCH: [RReg; 3] = [RReg(27), RReg(28), RReg(29)];
+/// Register carrying the guest resume address across a `Sys` exit.
+pub const SYS_RESUME_REG: RReg = RReg(26);
+/// Temp pool for linear-scan allocation.
+pub const TEMP_POOL: [RReg; 16] = [
+    RReg(10),
+    RReg(11),
+    RReg(12),
+    RReg(13),
+    RReg(14),
+    RReg(15),
+    RReg(16),
+    RReg(17),
+    RReg(18),
+    RReg(19),
+    RReg(20),
+    RReg(21),
+    RReg(22),
+    RReg(23),
+    RReg(30),
+    RReg(31),
+];
+
+/// Code generation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// More temporaries were simultaneously live than the host register
+    /// file can hold (the translator caps block size precisely to keep
+    /// this from happening).
+    RegisterPressure {
+        /// The block's guest address.
+        guest_addr: u32,
+    },
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodegenError::RegisterPressure { guest_addr } => {
+                write!(f, "register pressure exceeded in block {guest_addr:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+struct Emitter {
+    code: Vec<RInsn>,
+}
+
+impl Emitter {
+    fn emit(&mut self, i: RInsn) {
+        self.code.push(i);
+    }
+
+    fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Patches a branch/jump at `at` to target instruction index `target`.
+    fn patch(&mut self, at: usize, target: usize) {
+        match &mut self.code[at] {
+            RInsn::Branch { target: t, .. } | RInsn::Jump { target: t } => {
+                *t = BranchTarget::Local(target);
+            }
+            other => panic!("patch target is not a branch: {other:?}"),
+        }
+    }
+
+    /// rd = constant.
+    fn load_const(&mut self, rd: RReg, c: u32) {
+        let sc = c as i32;
+        if (-32768..=32767).contains(&sc) {
+            self.emit(RInsn::AluI {
+                op: AluIOp::Addi,
+                rd,
+                rs: RReg(0),
+                imm: sc,
+            });
+        } else if c & 0xFFFF == 0 {
+            self.emit(RInsn::Lui { rd, imm: c >> 16 });
+        } else {
+            self.emit(RInsn::Lui { rd, imm: c >> 16 });
+            self.emit(RInsn::AluI {
+                op: AluIOp::Ori,
+                rd,
+                rs: rd,
+                imm: (c & 0xFFFF) as i32,
+            });
+        }
+    }
+
+    /// rd = rs (register move).
+    fn mov(&mut self, rd: RReg, rs: RReg) {
+        if rd != rs {
+            self.emit(RInsn::Alu {
+                op: AluOp::Or,
+                rd,
+                rs,
+                rt: RReg(0),
+            });
+        }
+    }
+}
+
+/// A value resolved to the host level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HostVal {
+    Reg(RReg),
+    Const(u32),
+}
+
+/// Per-expansion scratch register dispenser.
+struct Scratch {
+    next: usize,
+}
+
+impl Scratch {
+    fn new() -> Scratch {
+        Scratch { next: 0 }
+    }
+
+    fn take(&mut self) -> RReg {
+        let r = SCRATCH[self.next % SCRATCH.len()];
+        assert!(
+            self.next < SCRATCH.len(),
+            "expansion exceeded scratch budget"
+        );
+        self.next += 1;
+        r
+    }
+
+    /// Materializes a value into a register (constants use scratch).
+    fn reg(&mut self, em: &mut Emitter, v: HostVal) -> RReg {
+        match v {
+            HostVal::Reg(r) => r,
+            HostVal::Const(0) => RReg(0),
+            HostVal::Const(c) => {
+                let r = self.take();
+                em.load_const(r, c);
+                r
+            }
+        }
+    }
+}
+
+struct Alloc {
+    /// `map[v]` = host register of temp `v` (indexed by VReg number).
+    map: std::collections::HashMap<u32, RReg>,
+    free: Vec<RReg>,
+    last_use: std::collections::HashMap<u32, usize>,
+    guest_addr: u32,
+}
+
+impl Alloc {
+    fn new(block: &MBlock) -> Alloc {
+        let mut last_use = std::collections::HashMap::new();
+        for (i, insn) in block.insns.iter().enumerate() {
+            for v in insn.uses() {
+                if let Val::Reg(r) = v {
+                    if !r.is_guest_state() {
+                        last_use.insert(r.0, i);
+                    }
+                }
+            }
+            // A def with a later use extends; def alone keeps at def point.
+            if let Some(d) = insn.def() {
+                if !d.is_guest_state() {
+                    last_use.entry(d.0).or_insert(i);
+                }
+            }
+        }
+        if let Term::Indirect(r) = block.term {
+            if !r.is_guest_state() {
+                last_use.insert(r.0, block.insns.len());
+            }
+        }
+        Alloc {
+            map: std::collections::HashMap::new(),
+            free: TEMP_POOL.iter().rev().copied().collect(),
+            last_use,
+            guest_addr: block.guest_addr,
+        }
+    }
+
+    /// Host register of `v` (guest state is fixed; temps must be live).
+    fn read(&self, v: VReg) -> RReg {
+        if v.0 < 8 {
+            guest_host_reg(v.0)
+        } else if v == VReg::FLAGS {
+            FLAGS_REG
+        } else {
+            *self
+                .map
+                .get(&v.0)
+                .unwrap_or_else(|| panic!("use of unallocated temp {v}"))
+        }
+    }
+
+    /// Host register for defining `v`, allocating a temp if needed.
+    fn def(&mut self, v: VReg) -> Result<RReg, CodegenError> {
+        if v.0 < 8 {
+            return Ok(guest_host_reg(v.0));
+        }
+        if v == VReg::FLAGS {
+            return Ok(FLAGS_REG);
+        }
+        if let Some(&r) = self.map.get(&v.0) {
+            return Ok(r);
+        }
+        let r = self
+            .free
+            .pop()
+            .ok_or(CodegenError::RegisterPressure {
+                guest_addr: self.guest_addr,
+            })?;
+        self.map.insert(v.0, r);
+        Ok(r)
+    }
+
+    /// Releases temps whose last use is at instruction index `i`.
+    fn expire(&mut self, i: usize) {
+        let dead: Vec<u32> = self
+            .map
+            .keys()
+            .copied()
+            .filter(|v| self.last_use.get(v).copied().unwrap_or(0) <= i)
+            .collect();
+        for v in dead {
+            let r = self.map.remove(&v).expect("just found it");
+            self.free.push(r);
+        }
+    }
+
+    /// Temporarily grabs `n` registers from the free pool.
+    fn grab(&mut self, n: usize) -> Result<Vec<RReg>, CodegenError> {
+        if self.free.len() < n {
+            return Err(CodegenError::RegisterPressure {
+                guest_addr: self.guest_addr,
+            });
+        }
+        Ok((0..n).map(|_| self.free.pop().expect("checked")).collect())
+    }
+
+    fn release(&mut self, regs: Vec<RReg>) {
+        self.free.extend(regs);
+    }
+
+    fn val(&self, v: Val) -> HostVal {
+        match v {
+            Val::Reg(r) => HostVal::Reg(self.read(r)),
+            Val::Const(c) => HostVal::Const(c),
+        }
+    }
+}
+
+/// Generates host code for a mid-level block.
+///
+/// # Errors
+///
+/// Returns [`CodegenError::RegisterPressure`] if the block needs more
+/// simultaneously-live temporaries than the tile register file provides.
+pub fn codegen(block: &MBlock) -> Result<Vec<RInsn>, CodegenError> {
+    let mut em = Emitter { code: Vec::new() };
+    let mut alloc = Alloc::new(block);
+
+    for (i, insn) in block.insns.iter().enumerate() {
+        emit_insn(&mut em, &mut alloc, insn)?;
+        alloc.expire(i);
+    }
+    emit_term(&mut em, &mut alloc, block.term);
+    Ok(em.code)
+}
+
+fn bin_alu(op: BinOp) -> AluOp {
+    match op {
+        BinOp::Add => AluOp::Add,
+        BinOp::Sub => AluOp::Sub,
+        BinOp::And => AluOp::And,
+        BinOp::Or => AluOp::Or,
+        BinOp::Xor => AluOp::Xor,
+        BinOp::Mul => AluOp::Mul,
+        BinOp::MulhS => AluOp::Mulh,
+        BinOp::MulhU => AluOp::Mulhu,
+        BinOp::Shl => AluOp::Sllv,
+        BinOp::Shr => AluOp::Srlv,
+        BinOp::Sar => AluOp::Srav,
+        BinOp::SltS => AluOp::Slt,
+        BinOp::SltU => AluOp::Sltu,
+    }
+}
+
+fn emit_insn(em: &mut Emitter, alloc: &mut Alloc, insn: &MInsn) -> Result<(), CodegenError> {
+    match *insn {
+        MInsn::Mov { dst, src } => {
+            let d = alloc.def(dst)?;
+            match alloc.val(src) {
+                HostVal::Reg(r) => em.mov(d, r),
+                HostVal::Const(c) => em.load_const(d, c),
+            }
+        }
+        MInsn::Bin { op, dst, a, b } => {
+            let av = alloc.val(a);
+            let bv = alloc.val(b);
+            let d = alloc.def(dst)?;
+            emit_bin(em, op, d, av, bv);
+        }
+        MInsn::Load { dst, base, off, width } => {
+            let (base_r, off) = resolve_addr(em, alloc, base, off);
+            let d = alloc.def(dst)?;
+            em.emit(RInsn::Load {
+                op: width_memop(width),
+                rd: d,
+                base: base_r,
+                off,
+            });
+        }
+        MInsn::Store { src, base, off, width } => {
+            let mut sc = Scratch::new();
+            let sv = alloc.val(src);
+            let s = sc.reg(em, sv);
+            let (base_r, off) = resolve_addr(em, alloc, base, off);
+            em.emit(RInsn::Store {
+                op: width_memop(width),
+                src: s,
+                base: base_r,
+                off,
+            });
+        }
+        MInsn::FlagDef { flag, kind, size, a, b, res, cin } => {
+            emit_flagdef(em, alloc, flag, kind, size, a, b, res, cin);
+        }
+        MInsn::EvalCond { dst, cond } => {
+            let d = alloc.def(dst)?;
+            emit_eval_cond(em, d, cond);
+        }
+        MInsn::ShiftFx { op, size, dst, a, count } => {
+            // ABI: value in r24, count in r25; result replaces r24, flags r9.
+            match alloc.val(a) {
+                HostVal::Reg(r) => em.mov(OUT0, r),
+                HostVal::Const(c) => em.load_const(OUT0, c),
+            }
+            match alloc.val(count) {
+                HostVal::Reg(r) => em.mov(OUT1, r),
+                HostVal::Const(c) => em.load_const(OUT1, c),
+            }
+            em.emit(RInsn::Helper {
+                kind: HelperKind::Shift {
+                    op: shift_helper_op(op),
+                    width: size.bytes() as u8,
+                },
+            });
+            let d = alloc.def(dst)?;
+            em.mov(d, OUT0);
+        }
+        MInsn::DivHelper { signed, size, divisor } => {
+            match alloc.val(divisor) {
+                HostVal::Reg(r) => em.mov(OUT0, r),
+                HostVal::Const(c) => em.load_const(OUT0, c),
+            }
+            em.emit(RInsn::Helper {
+                kind: HelperKind::Div {
+                    signed,
+                    width: size.bytes() as u8,
+                },
+            });
+        }
+        MInsn::RepString { op, size, rep } => {
+            emit_string(em, alloc, op, size, rep)?;
+        }
+        MInsn::SetDf(v) => {
+            if v {
+                em.load_const(OUT0, 1);
+                em.emit(RInsn::Ins {
+                    rd: FLAGS_REG,
+                    rs: OUT0,
+                    pos: 10,
+                    len: 1,
+                });
+            } else {
+                em.emit(RInsn::Ins {
+                    rd: FLAGS_REG,
+                    rs: RReg(0),
+                    pos: 10,
+                    len: 1,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn width_memop(width: u8) -> MemOp {
+    match width {
+        1 => MemOp::Bu,
+        2 => MemOp::Hu,
+        4 => MemOp::W,
+        other => panic!("invalid access width {other}"),
+    }
+}
+
+fn shift_helper_op(op: ShiftKind) -> ShiftOp {
+    match op {
+        ShiftKind::Shl => ShiftOp::Shl,
+        ShiftKind::Shr => ShiftOp::Shr,
+        ShiftKind::Sar => ShiftOp::Sar,
+        ShiftKind::Rol => ShiftOp::Rol,
+        ShiftKind::Ror => ShiftOp::Ror,
+    }
+}
+
+/// Emits `d = a <op> b`, folding small constants into immediate forms.
+fn emit_bin(em: &mut Emitter, op: BinOp, d: RReg, a: HostVal, b: HostVal) {
+    let mut sc = Scratch::new();
+    // Immediate forms.
+    if let HostVal::Const(c) = b {
+        let sc32 = c as i32;
+        match op {
+            BinOp::Add if (-32768..=32767).contains(&sc32) => {
+                let ar = sc.reg(em, a);
+                em.emit(RInsn::AluI { op: AluIOp::Addi, rd: d, rs: ar, imm: sc32 });
+                return;
+            }
+            BinOp::Sub if (-32767..=32768).contains(&sc32) => {
+                let ar = sc.reg(em, a);
+                em.emit(RInsn::AluI { op: AluIOp::Addi, rd: d, rs: ar, imm: -sc32 });
+                return;
+            }
+            BinOp::And if c <= 0xFFFF => {
+                let ar = sc.reg(em, a);
+                em.emit(RInsn::AluI { op: AluIOp::Andi, rd: d, rs: ar, imm: c as i32 });
+                return;
+            }
+            BinOp::Or if c <= 0xFFFF => {
+                let ar = sc.reg(em, a);
+                em.emit(RInsn::AluI { op: AluIOp::Ori, rd: d, rs: ar, imm: c as i32 });
+                return;
+            }
+            BinOp::Xor if c <= 0xFFFF => {
+                let ar = sc.reg(em, a);
+                em.emit(RInsn::AluI { op: AluIOp::Xori, rd: d, rs: ar, imm: c as i32 });
+                return;
+            }
+            BinOp::Shl | BinOp::Shr | BinOp::Sar => {
+                let ar = sc.reg(em, a);
+                let iop = match op {
+                    BinOp::Shl => AluIOp::Sll,
+                    BinOp::Shr => AluIOp::Srl,
+                    _ => AluIOp::Sra,
+                };
+                em.emit(RInsn::AluI { op: iop, rd: d, rs: ar, imm: (c & 31) as i32 });
+                return;
+            }
+            BinOp::SltS if (-32768..=32767).contains(&sc32) => {
+                let ar = sc.reg(em, a);
+                em.emit(RInsn::AluI { op: AluIOp::Slti, rd: d, rs: ar, imm: sc32 });
+                return;
+            }
+            BinOp::SltU if c <= 0xFFFF => {
+                let ar = sc.reg(em, a);
+                em.emit(RInsn::AluI { op: AluIOp::Sltiu, rd: d, rs: ar, imm: c as i32 });
+                return;
+            }
+            _ => {}
+        }
+    }
+    let ar = sc.reg(em, a);
+    let br = sc.reg(em, b);
+    em.emit(RInsn::Alu { op: bin_alu(op), rd: d, rs: ar, rt: br });
+}
+
+fn resolve_addr(_em: &mut Emitter, alloc: &Alloc, base: Val, off: i32) -> (RReg, i32) {
+    match alloc.val(base) {
+        HostVal::Reg(r) => (r, off),
+        HostVal::Const(c) => {
+            // Absolute guest addresses use r0-relative addressing; the
+            // offset field is a full 32-bit word and wraps like the ALU.
+            let abs = c.wrapping_add(off as u32);
+            (RReg(0), abs as i32)
+        }
+    }
+}
+
+/// Emits the computation of one flag bit and inserts it into `r9`.
+#[allow(clippy::too_many_arguments)]
+fn emit_flagdef(
+    em: &mut Emitter,
+    alloc: &Alloc,
+    flag: Flag,
+    kind: FlagKind,
+    size: Size,
+    a: Val,
+    b: Val,
+    res: Val,
+    cin: Option<Val>,
+) {
+    let av = alloc.val(a);
+    let bv = alloc.val(b);
+    let rv = alloc.val(res);
+    let cv = cin.map(|c| alloc.val(c));
+
+    // Fully-constant flag effects fold to a static bit.
+    if let (HostVal::Const(ca), HostVal::Const(cb), HostVal::Const(cr)) = (av, bv, rv) {
+        let cc = match cv {
+            Some(HostVal::Const(c)) => Some(c),
+            None => None,
+            _ => {
+                emit_flag_dynamic(em, flag, kind, size, av, bv, rv, cv);
+                return;
+            }
+        };
+        let bit = const_flag_bit(flag, kind, size, ca, cb, cr, cc);
+        if bit {
+            em.load_const(OUT0, 1);
+            em.emit(RInsn::Ins { rd: FLAGS_REG, rs: OUT0, pos: flag.bit(), len: 1 });
+        } else {
+            em.emit(RInsn::Ins { rd: FLAGS_REG, rs: RReg(0), pos: flag.bit(), len: 1 });
+        }
+        return;
+    }
+    emit_flag_dynamic(em, flag, kind, size, av, bv, rv, cv);
+}
+
+/// Computes a flag on compile-time constants (mirrors `vta_x86::flags`).
+fn const_flag_bit(
+    flag: Flag,
+    kind: FlagKind,
+    size: Size,
+    a: u32,
+    b: u32,
+    res: u32,
+    cin: Option<u32>,
+) -> bool {
+    use vta_x86::flags as xf;
+    let mut f = Flags(0);
+    if cin == Some(1) {
+        f.set_cf(true);
+    }
+    match kind {
+        FlagKind::Add => {
+            xf::add(&mut f, size, a, b);
+        }
+        FlagKind::Adc => {
+            xf::adc(&mut f, size, a, b);
+        }
+        FlagKind::Sub | FlagKind::Neg => {
+            xf::sub(&mut f, size, a, b);
+        }
+        FlagKind::Sbb => {
+            xf::sbb(&mut f, size, a, b);
+        }
+        FlagKind::Logic => {
+            xf::logic(&mut f, size, res);
+        }
+        FlagKind::MulU => {
+            // a = lo, b = hi.
+            let over = b & size.mask() != 0;
+            f.set_cf(over);
+            f.set_of(over);
+            f.set_af(false);
+            f.set_zf(res & size.mask() == 0);
+            f.set_sf(res & size.sign_bit() != 0);
+            f.set_pf(xf::parity_even(res));
+        }
+        FlagKind::MulS => {
+            let expected = if res & size.sign_bit() != 0 { size.mask() } else { 0 };
+            let over = b & size.mask() != expected;
+            f.set_cf(over);
+            f.set_of(over);
+            f.set_af(false);
+            f.set_zf(res & size.mask() == 0);
+            f.set_sf(res & size.sign_bit() != 0);
+            f.set_pf(xf::parity_even(res));
+        }
+    }
+    match flag {
+        Flag::Cf => f.cf(),
+        Flag::Pf => f.pf(),
+        Flag::Af => f.af(),
+        Flag::Zf => f.zf(),
+        Flag::Sf => f.sf(),
+        Flag::Of => f.of(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_flag_dynamic(
+    em: &mut Emitter,
+    flag: Flag,
+    kind: FlagKind,
+    size: Size,
+    a: HostVal,
+    b: HostVal,
+    res: HostVal,
+    cin: Option<HostVal>,
+) {
+    let mut sc = Scratch::new();
+    let sign_shift = (size.bits() - 1) as i32;
+    let s = OUT0;
+
+    match (flag, kind) {
+        // ---- CF --------------------------------------------------------
+        (Flag::Cf, FlagKind::Add) => {
+            // carry ⟺ res < a (operands size-masked).
+            let (rr, ar) = (sc.reg(em, res), sc.reg(em, a));
+            em.emit(RInsn::Alu { op: AluOp::Sltu, rd: s, rs: rr, rt: ar });
+        }
+        (Flag::Cf, FlagKind::Adc) => {
+            // carry ⟺ res < a ∨ (res == a ∧ cin).
+            let (rr, ar) = (sc.reg(em, res), sc.reg(em, a));
+            let cr = match cin.expect("adc has carry-in") {
+                HostVal::Reg(r) => r,
+                HostVal::Const(c) => {
+                    let t = sc.take();
+                    em.load_const(t, c);
+                    t
+                }
+            };
+            em.emit(RInsn::Alu { op: AluOp::Sltu, rd: s, rs: rr, rt: ar });
+            let s2 = OUT1;
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s2, rs: rr, rt: ar });
+            em.emit(RInsn::AluI { op: AluIOp::Sltiu, rd: s2, rs: s2, imm: 1 });
+            em.emit(RInsn::Alu { op: AluOp::And, rd: s2, rs: s2, rt: cr });
+            em.emit(RInsn::Alu { op: AluOp::Or, rd: s, rs: s, rt: s2 });
+        }
+        (Flag::Cf, FlagKind::Sub | FlagKind::Neg) => {
+            let (ar, br) = (sc.reg(em, a), sc.reg(em, b));
+            em.emit(RInsn::Alu { op: AluOp::Sltu, rd: s, rs: ar, rt: br });
+        }
+        (Flag::Cf, FlagKind::Sbb) => {
+            // borrow ⟺ a < b ∨ (a == b ∧ cin).
+            let (ar, br) = (sc.reg(em, a), sc.reg(em, b));
+            let cr = match cin.expect("sbb has carry-in") {
+                HostVal::Reg(r) => r,
+                HostVal::Const(c) => {
+                    let t = sc.take();
+                    em.load_const(t, c);
+                    t
+                }
+            };
+            em.emit(RInsn::Alu { op: AluOp::Sltu, rd: s, rs: ar, rt: br });
+            let s2 = OUT1;
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s2, rs: ar, rt: br });
+            em.emit(RInsn::AluI { op: AluIOp::Sltiu, rd: s2, rs: s2, imm: 1 });
+            em.emit(RInsn::Alu { op: AluOp::And, rd: s2, rs: s2, rt: cr });
+            em.emit(RInsn::Alu { op: AluOp::Or, rd: s, rs: s, rt: s2 });
+        }
+        (Flag::Cf | Flag::Of, FlagKind::Logic) => {
+            em.emit(RInsn::Ins { rd: FLAGS_REG, rs: RReg(0), pos: flag.bit(), len: 1 });
+            return;
+        }
+        (Flag::Cf | Flag::Of, FlagKind::MulU) => {
+            // b holds `hi`; overflow ⟺ hi != 0.
+            let br = sc.reg(em, b);
+            em.emit(RInsn::Alu { op: AluOp::Sltu, rd: s, rs: RReg(0), rt: br });
+        }
+        (Flag::Cf | Flag::Of, FlagKind::MulS) => {
+            // overflow ⟺ hi != sign-fill(lo). a = lo, b = hi.
+            let ar = sc.reg(em, a);
+            let s2 = OUT1;
+            let sh = 32 - size.bits();
+            if sh > 0 {
+                em.emit(RInsn::AluI { op: AluIOp::Sll, rd: s2, rs: ar, imm: sh as i32 });
+                em.emit(RInsn::AluI { op: AluIOp::Sra, rd: s2, rs: s2, imm: sh as i32 });
+                em.emit(RInsn::AluI { op: AluIOp::Sra, rd: s2, rs: s2, imm: 31 });
+                em.emit(RInsn::AluI { op: AluIOp::Andi, rd: s2, rs: s2, imm: size.mask() as i32 });
+            } else {
+                em.emit(RInsn::AluI { op: AluIOp::Sra, rd: s2, rs: ar, imm: 31 });
+            }
+            let br = sc.reg(em, b);
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s2, rs: s2, rt: br });
+            em.emit(RInsn::Alu { op: AluOp::Sltu, rd: s, rs: RReg(0), rt: s2 });
+        }
+        // ---- OF (add/sub families) -------------------------------------
+        (Flag::Of, FlagKind::Add | FlagKind::Adc) => {
+            let (ar, br, rr) = (sc.reg(em, a), sc.reg(em, b), sc.reg(em, res));
+            let s2 = OUT1;
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: ar, rt: rr });
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s2, rs: br, rt: rr });
+            em.emit(RInsn::Alu { op: AluOp::And, rd: s, rs: s, rt: s2 });
+            em.emit(RInsn::AluI { op: AluIOp::Srl, rd: s, rs: s, imm: sign_shift });
+            em.emit(RInsn::AluI { op: AluIOp::Andi, rd: s, rs: s, imm: 1 });
+        }
+        (Flag::Of, FlagKind::Sub | FlagKind::Sbb | FlagKind::Neg) => {
+            let (ar, br, rr) = (sc.reg(em, a), sc.reg(em, b), sc.reg(em, res));
+            let s2 = OUT1;
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: ar, rt: br });
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s2, rs: ar, rt: rr });
+            em.emit(RInsn::Alu { op: AluOp::And, rd: s, rs: s, rt: s2 });
+            em.emit(RInsn::AluI { op: AluIOp::Srl, rd: s, rs: s, imm: sign_shift });
+            em.emit(RInsn::AluI { op: AluIOp::Andi, rd: s, rs: s, imm: 1 });
+        }
+        // ---- AF ---------------------------------------------------------
+        (Flag::Af, FlagKind::Logic | FlagKind::MulU | FlagKind::MulS) => {
+            em.emit(RInsn::Ins { rd: FLAGS_REG, rs: RReg(0), pos: flag.bit(), len: 1 });
+            return;
+        }
+        (Flag::Af, _) => {
+            let (ar, br, rr) = (sc.reg(em, a), sc.reg(em, b), sc.reg(em, res));
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: ar, rt: br });
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: s, rt: rr });
+            em.emit(RInsn::Ext { rd: s, rs: s, pos: 4, len: 1 });
+        }
+        // ---- ZF / SF / PF (from the result, any kind) --------------------
+        (Flag::Zf, _) => {
+            let rr = sc.reg(em, res);
+            em.emit(RInsn::AluI { op: AluIOp::Sltiu, rd: s, rs: rr, imm: 1 });
+        }
+        (Flag::Sf, _) => {
+            let rr = sc.reg(em, res);
+            em.emit(RInsn::AluI { op: AluIOp::Srl, rd: s, rs: rr, imm: sign_shift });
+            em.emit(RInsn::AluI { op: AluIOp::Andi, rd: s, rs: s, imm: 1 });
+        }
+        (Flag::Pf, _) => {
+            let rr = sc.reg(em, res);
+            let s2 = OUT1;
+            em.emit(RInsn::Ext { rd: s, rs: rr, pos: 0, len: 8 });
+            em.emit(RInsn::AluI { op: AluIOp::Srl, rd: s2, rs: s, imm: 4 });
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: s, rt: s2 });
+            em.emit(RInsn::AluI { op: AluIOp::Srl, rd: s2, rs: s, imm: 2 });
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: s, rt: s2 });
+            em.emit(RInsn::AluI { op: AluIOp::Srl, rd: s2, rs: s, imm: 1 });
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: s, rt: s2 });
+            em.emit(RInsn::AluI { op: AluIOp::Xori, rd: s, rs: s, imm: 1 });
+            em.emit(RInsn::AluI { op: AluIOp::Andi, rd: s, rs: s, imm: 1 });
+        }
+    }
+    em.emit(RInsn::Ins { rd: FLAGS_REG, rs: s, pos: flag.bit(), len: 1 });
+}
+
+/// Emits `d = cond(r9) ? 1 : 0`.
+fn emit_eval_cond(em: &mut Emitter, d: RReg, cond: Cond) {
+    let f = FLAGS_REG;
+    let neg = cond.num() & 1 == 1;
+    let base = Cond::from_num(cond.num() & !1);
+    match base {
+        Cond::O => em.emit(RInsn::Ext { rd: d, rs: f, pos: 11, len: 1 }),
+        Cond::B => em.emit(RInsn::Ext { rd: d, rs: f, pos: 0, len: 1 }),
+        Cond::E => em.emit(RInsn::Ext { rd: d, rs: f, pos: 6, len: 1 }),
+        Cond::S => em.emit(RInsn::Ext { rd: d, rs: f, pos: 7, len: 1 }),
+        Cond::P => em.emit(RInsn::Ext { rd: d, rs: f, pos: 2, len: 1 }),
+        Cond::Be => {
+            let s = OUT1;
+            em.emit(RInsn::Ext { rd: d, rs: f, pos: 0, len: 1 });
+            em.emit(RInsn::Ext { rd: s, rs: f, pos: 6, len: 1 });
+            em.emit(RInsn::Alu { op: AluOp::Or, rd: d, rs: d, rt: s });
+        }
+        Cond::L => {
+            let s = OUT1;
+            em.emit(RInsn::Ext { rd: d, rs: f, pos: 7, len: 1 });
+            em.emit(RInsn::Ext { rd: s, rs: f, pos: 11, len: 1 });
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: d, rs: d, rt: s });
+        }
+        Cond::Le => {
+            let s = OUT1;
+            em.emit(RInsn::Ext { rd: d, rs: f, pos: 7, len: 1 });
+            em.emit(RInsn::Ext { rd: s, rs: f, pos: 11, len: 1 });
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: d, rs: d, rt: s });
+            em.emit(RInsn::Ext { rd: s, rs: f, pos: 6, len: 1 });
+            em.emit(RInsn::Alu { op: AluOp::Or, rd: d, rs: d, rt: s });
+        }
+        other => unreachable!("base cond {other:?}"),
+    }
+    if neg {
+        em.emit(RInsn::AluI { op: AluIOp::Xori, rd: d, rs: d, imm: 1 });
+    }
+}
+
+/// Inline expansion of the string operations (with optional `rep`).
+fn emit_string(
+    em: &mut Emitter,
+    alloc: &mut Alloc,
+    op: StringOp,
+    size: Size,
+    rep: Rep,
+) -> Result<(), CodegenError> {
+    let w = size.bytes() as i32;
+    let eax = guest_host_reg(0);
+    let ecx = guest_host_reg(1);
+    let esi = guest_host_reg(6);
+    let edi = guest_host_reg(7);
+    let mop = width_memop(size.bytes() as u8);
+
+    // Temps: step, plus per-op extras.
+    let extra = match op {
+        StringOp::Scas => 3, // bval, am, tz
+        StringOp::Movs | StringOp::Lods => 1,
+        StringOp::Stos => 0,
+    };
+    let mut tmps = alloc.grab(1 + extra)?;
+    let step = tmps.pop().expect("grabbed");
+
+    // step = DF ? -w : w.
+    em.load_const(step, w as u32);
+    em.emit(RInsn::Ext { rd: OUT0, rs: FLAGS_REG, pos: 10, len: 1 });
+    let skip_neg = em.here();
+    em.emit(RInsn::Branch {
+        cond: BrCond::Eq,
+        rs: OUT0,
+        rt: RReg(0),
+        target: BranchTarget::Local(0), // patched
+    });
+    em.emit(RInsn::Alu { op: AluOp::Sub, rd: step, rs: RReg(0), rt: step });
+    let after_neg = em.here();
+    em.patch(skip_neg, after_neg);
+
+    // Scas keeps EAX masked once.
+    let (bval, am, tz) = match op {
+        StringOp::Scas => {
+            let tz = tmps.pop().expect("grabbed");
+            let am = tmps.pop().expect("grabbed");
+            let bval = tmps.pop().expect("grabbed");
+            if size == Size::Dword {
+                em.mov(am, eax);
+            } else {
+                em.emit(RInsn::AluI {
+                    op: AluIOp::Andi,
+                    rd: am,
+                    rs: eax,
+                    imm: size.mask() as i32,
+                });
+            }
+            // Default "no compare ran": bval = am so post-loop flags would
+            // be equal-compare; tz tracks whether any compare ran.
+            em.mov(bval, am);
+            em.emit(RInsn::AluI { op: AluIOp::Addi, rd: tz, rs: RReg(0), imm: 0 });
+            (Some(bval), Some(am), Some(tz))
+        }
+        StringOp::Movs | StringOp::Lods => {
+            let t = tmps.pop().expect("grabbed");
+            (Some(t), None, None)
+        }
+        StringOp::Stos => (None, None, None),
+    };
+
+    let loop_top = em.here();
+    let mut exit_branches: Vec<usize> = Vec::new();
+    if rep != Rep::None {
+        exit_branches.push(em.here());
+        em.emit(RInsn::Branch {
+            cond: BrCond::Eq,
+            rs: ecx,
+            rt: RReg(0),
+            target: BranchTarget::Local(0), // patched to end
+        });
+    }
+
+    // Body.
+    match op {
+        StringOp::Movs => {
+            let t = bval.expect("movs temp");
+            em.emit(RInsn::Load { op: mop, rd: t, base: esi, off: 0 });
+            em.emit(RInsn::Store { op: mop, src: t, base: edi, off: 0 });
+            em.emit(RInsn::Alu { op: AluOp::Add, rd: esi, rs: esi, rt: step });
+            em.emit(RInsn::Alu { op: AluOp::Add, rd: edi, rs: edi, rt: step });
+        }
+        StringOp::Stos => {
+            em.emit(RInsn::Store { op: mop, src: eax, base: edi, off: 0 });
+            em.emit(RInsn::Alu { op: AluOp::Add, rd: edi, rs: edi, rt: step });
+        }
+        StringOp::Lods => {
+            let t = bval.expect("lods temp");
+            em.emit(RInsn::Load { op: mop, rd: t, base: esi, off: 0 });
+            if size == Size::Dword {
+                em.mov(eax, t);
+            } else {
+                // Insert the low bits into EAX.
+                em.emit(RInsn::Ins {
+                    rd: eax,
+                    rs: t,
+                    pos: 0,
+                    len: size.bits() as u8,
+                });
+            }
+            em.emit(RInsn::Alu { op: AluOp::Add, rd: esi, rs: esi, rt: step });
+        }
+        StringOp::Scas => {
+            let b = bval.expect("scas bval");
+            let z = tz.expect("scas tz");
+            em.emit(RInsn::Load { op: mop, rd: b, base: edi, off: 0 });
+            em.emit(RInsn::Alu { op: AluOp::Add, rd: edi, rs: edi, rt: step });
+            em.emit(RInsn::AluI { op: AluIOp::Addi, rd: z, rs: RReg(0), imm: 1 });
+        }
+    }
+
+    if rep != Rep::None {
+        em.emit(RInsn::AluI { op: AluIOp::Addi, rd: ecx, rs: ecx, imm: -1 });
+        if op == StringOp::Scas {
+            // Termination on ZF: repe stops when ZF clears (values differ),
+            // repne stops when ZF sets (values equal).
+            let s = OUT0;
+            let a = am.expect("scas am");
+            let b = bval.expect("scas bval");
+            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: a, rt: b });
+            let cond = match rep {
+                Rep::Rep => BrCond::Ne,   // repe: exit when a != b
+                Rep::Repne => BrCond::Eq, // repne: exit when a == b
+                Rep::None => unreachable!(),
+            };
+            exit_branches.push(em.here());
+            em.emit(RInsn::Branch {
+                cond,
+                rs: s,
+                rt: RReg(0),
+                target: BranchTarget::Local(0),
+            });
+        }
+        em.emit(RInsn::Jump { target: BranchTarget::Local(loop_top) });
+    }
+
+    let end = em.here();
+    for at in exit_branches {
+        em.patch(at, end);
+    }
+
+    // Scas: materialize the sub flags from the last comparison.
+    if op == StringOp::Scas {
+        let a = am.expect("scas am");
+        let b = bval.expect("scas bval");
+        let z = tz.expect("scas tz");
+        let skip = em.here();
+        em.emit(RInsn::Branch {
+            cond: BrCond::Eq,
+            rs: z,
+            rt: RReg(0),
+            target: BranchTarget::Local(0), // patched
+        });
+        // res = (a - b) masked, in scratch[2].
+        let resr = SCRATCH[2];
+        em.emit(RInsn::Alu { op: AluOp::Sub, rd: resr, rs: a, rt: b });
+        if size != Size::Dword {
+            em.emit(RInsn::AluI {
+                op: AluIOp::Andi,
+                rd: resr,
+                rs: resr,
+                imm: size.mask() as i32,
+            });
+        }
+        for flag in Flag::ALL {
+            emit_flag_dynamic(
+                em,
+                flag,
+                FlagKind::Sub,
+                size,
+                HostVal::Reg(a),
+                HostVal::Reg(b),
+                HostVal::Reg(resr),
+                None,
+            );
+        }
+        let after = em.here();
+        em.patch(skip, after);
+        tmps.push(z);
+    }
+
+    // Return the grabbed registers.
+    if let Some(b) = bval {
+        tmps.push(b);
+    }
+    if let Some(a) = am {
+        tmps.push(a);
+    }
+    tmps.push(step);
+    alloc.release(tmps);
+    Ok(())
+}
+
+fn emit_term(em: &mut Emitter, alloc: &mut Alloc, term: Term) {
+    match term {
+        Term::Goto(t) => em.emit(RInsn::Jump {
+            target: BranchTarget::Guest(t),
+        }),
+        Term::CondGoto { cond, taken, fall } => {
+            emit_eval_cond(em, SCRATCH[2], cond);
+            em.emit(RInsn::Branch {
+                cond: BrCond::Ne,
+                rs: SCRATCH[2],
+                rt: RReg(0),
+                target: BranchTarget::Guest(taken),
+            });
+            em.emit(RInsn::Jump {
+                target: BranchTarget::Guest(fall),
+            });
+        }
+        Term::Indirect(r) => {
+            let rr = alloc.read(r);
+            em.emit(RInsn::Dispatch { rs: rr });
+        }
+        Term::Sys(next) => {
+            em.load_const(SYS_RESUME_REG, next);
+            em.emit(RInsn::Sys);
+        }
+        Term::Halt => em.emit(RInsn::Hlt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_block;
+    use vta_x86::decode::SliceSource;
+    use vta_x86::{Asm, Reg::*};
+
+    fn gen(f: impl FnOnce(&mut Asm)) -> Vec<RInsn> {
+        let mut asm = Asm::new(0x1000);
+        f(&mut asm);
+        let p = asm.finish();
+        let src = SliceSource::new(p.base, &p.code);
+        let mut b = lower_block(&src, p.base, 32).unwrap();
+        crate::opt::optimize(&mut b, &src);
+        codegen(&b).expect("codegen")
+    }
+
+    #[test]
+    fn ends_in_terminator() {
+        let code = gen(|a| {
+            a.mov_ri(EAX, 42);
+            a.hlt();
+        });
+        assert_eq!(*code.last().unwrap(), RInsn::Hlt);
+    }
+
+    #[test]
+    fn direct_jump_is_chainable_exit() {
+        let code = gen(|a| {
+            let l = a.label();
+            a.jmp(l);
+            a.bind(l);
+        });
+        assert!(matches!(
+            code.last(),
+            Some(RInsn::Jump { target: BranchTarget::Guest(_) })
+        ));
+    }
+
+    #[test]
+    fn cond_branch_is_extract_plus_branch() {
+        // The block: cmp eax, ebx; je → after optimization only ZF remains,
+        // and the exit is ext + bne + j, matching the paper's
+        // "two instructions per conditional branch" analysis.
+        let code = gen(|a| {
+            a.cmp_rr(EAX, EBX);
+            let t = a.label();
+            a.jcc(vta_x86::Cond::E, t);
+            a.bind(t);
+            a.and_rr(EAX, EAX);
+            a.hlt();
+        });
+        let n = code.len();
+        assert!(matches!(code[n - 3], RInsn::Ext { .. }), "{:?}", code);
+        assert!(matches!(
+            code[n - 2],
+            RInsn::Branch { target: BranchTarget::Guest(_), .. }
+        ));
+        assert!(matches!(
+            code[n - 1],
+            RInsn::Jump { target: BranchTarget::Guest(_) }
+        ));
+    }
+
+    #[test]
+    fn sys_sets_resume_register() {
+        let code = gen(|a| {
+            a.int_(0x80);
+        });
+        assert_eq!(*code.last().unwrap(), RInsn::Sys);
+        // The resume constant must be loaded into r26 beforehand.
+        assert!(code.iter().any(|i| matches!(
+            i,
+            RInsn::AluI { rd, .. } | RInsn::Lui { rd, .. } if *rd == SYS_RESUME_REG
+        )));
+    }
+
+    #[test]
+    fn guest_regs_map_to_r1_r8() {
+        let code = gen(|a| {
+            a.mov_rr(EAX, EBX); // r1 = r4
+            a.hlt();
+        });
+        assert!(code.contains(&RInsn::Alu {
+            op: AluOp::Or,
+            rd: RReg(1),
+            rs: RReg(4),
+            rt: RReg(0),
+        }));
+    }
+
+    #[test]
+    fn small_consts_use_addi() {
+        let code = gen(|a| {
+            a.mov_ri(EAX, 5);
+            a.hlt();
+        });
+        assert!(code.contains(&RInsn::AluI {
+            op: AluIOp::Addi,
+            rd: RReg(1),
+            rs: RReg(0),
+            imm: 5,
+        }));
+    }
+
+    #[test]
+    fn large_consts_use_lui_ori() {
+        let code = gen(|a| {
+            a.mov_ri(EAX, 0xDEAD_BEEF);
+            a.hlt();
+        });
+        assert!(code.iter().any(|i| matches!(i, RInsn::Lui { .. })));
+    }
+
+    #[test]
+    fn rep_movs_emits_loop() {
+        let code = gen(|a| {
+            a.rep_movs(Size::Dword);
+            a.hlt();
+        });
+        // Needs at least one local backward jump.
+        assert!(code.iter().any(|i| matches!(
+            i,
+            RInsn::Jump { target: BranchTarget::Local(_) }
+        )));
+        assert!(code.iter().any(|i| matches!(i, RInsn::Load { .. })));
+        assert!(code.iter().any(|i| matches!(i, RInsn::Store { .. })));
+    }
+
+    #[test]
+    fn div_moves_divisor_to_scratch() {
+        let code = gen(|a| {
+            a.div_r(ECX);
+            a.hlt();
+        });
+        let helper_pos = code
+            .iter()
+            .position(|i| matches!(i, RInsn::Helper { kind: HelperKind::Div { .. } }))
+            .expect("has helper");
+        assert!(helper_pos > 0);
+    }
+
+    #[test]
+    fn flag_dead_block_has_no_ins() {
+        // All flags die: no `ins` into r9 should remain.
+        let code = gen(|a| {
+            a.add_rr(EAX, EBX);
+            let l = a.label();
+            a.jmp(l);
+            a.bind(l);
+            a.and_rr(ECX, ECX);
+            a.hlt();
+        });
+        // The add itself must remain but no flag insertion for it. The
+        // final and's flags are also dead (halt).
+        assert!(
+            !code
+                .iter()
+                .any(|i| matches!(i, RInsn::Ins { rd, .. } if *rd == FLAGS_REG)),
+            "{code:?}"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # vta-ir — the x86 → RawIsa translation pipeline
+//!
+//! The translator that runs on the paper's *translation slave tiles*:
+//! decoded IA-32 basic blocks are lowered to an x86-like mid-level IR
+//! ([`mir`]), optimized ([`opt`]: interblock dead-flag elimination,
+//! constant folding/propagation, copy propagation, dead-code elimination),
+//! and then code-generated ([`codegen`]) to the host tile ISA with
+//! linear-scan register allocation and a fixed guest-state mapping
+//! (`EAX..EDI` in host `r1..r8`, the packed EFLAGS word in `r9` — the
+//! paper's "flags packed in a register" design, §4.5).
+//!
+//! The entry point is [`translate_block`], which produces a [`TBlock`] of
+//! host code plus the translation-occupancy estimate the DBT charges to a
+//! slave tile.
+//!
+//! # Examples
+//!
+//! ```
+//! use vta_ir::{translate_block, OptLevel};
+//! use vta_x86::{Asm, Reg};
+//! use vta_x86::decode::SliceSource;
+//!
+//! let mut asm = Asm::new(0x0800_0000);
+//! asm.mov_ri(Reg::EAX, 5);
+//! asm.add_ri(Reg::EAX, 2);
+//! asm.ret();
+//! let prog = asm.finish();
+//! let src = SliceSource::new(prog.base, &prog.code);
+//! let block = translate_block(&src, prog.base, OptLevel::Full).unwrap();
+//! assert_eq!(block.guest_addr, 0x0800_0000);
+//! assert!(!block.code.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod helper;
+pub mod lower;
+pub mod mir;
+pub mod opt;
+mod translate;
+
+pub use helper::apply_helper;
+pub use mir::{FlagSet, MBlock, MInsn, Term, VReg, Val};
+pub use translate::{translate_block, OptLevel, TBlock, TranslateError};

@@ -1,0 +1,811 @@
+//! Lowering decoded IA-32 instructions to the mid-level IR.
+//!
+//! One guest basic block at a time: decoding continues until a block-ending
+//! instruction (branch, call, return, interrupt, halt) or the instruction
+//! cap is reached. Flag effects are emitted eagerly as per-flag
+//! [`MInsn::FlagDef`]s — the dead-flag-elimination pass removes the ones no
+//! reachable consumer reads.
+
+use vta_x86::decode::{decode, CodeSource, DecodeError};
+use vta_x86::{Cond, Insn, MemRef, Op, Operand, Reg, Size};
+
+use crate::mir::{BinOp, Flag, FlagKind, MBlock, MInsn, ShiftKind, StringOp, Term, VReg, Val};
+
+/// Default cap on guest instructions per translated block.
+pub const MAX_BLOCK_INSNS: u32 = 32;
+
+struct Ctx {
+    insns: Vec<MInsn>,
+    next_temp: u32,
+}
+
+impl Ctx {
+    fn temp(&mut self) -> VReg {
+        let r = VReg(self.next_temp);
+        self.next_temp += 1;
+        r
+    }
+
+    fn emit(&mut self, i: MInsn) {
+        self.insns.push(i);
+    }
+
+    fn bin(&mut self, op: BinOp, a: Val, b: Val) -> VReg {
+        let dst = self.temp();
+        self.emit(MInsn::Bin { op, dst, a, b });
+        dst
+    }
+
+    /// Masks `v` to `size`, returning a value known to fit the width.
+    fn mask_to(&mut self, v: Val, size: Size) -> Val {
+        if size == Size::Dword {
+            return v;
+        }
+        if let Val::Const(c) = v {
+            return Val::Const(c & size.mask());
+        }
+        Val::Reg(self.bin(BinOp::And, v, Val::Const(size.mask())))
+    }
+
+    /// Sign-extends a `size`-masked value to 32 bits.
+    fn sext_from(&mut self, v: Val, size: Size) -> Val {
+        if size == Size::Dword {
+            return v;
+        }
+        if let Val::Const(c) = v {
+            return Val::Const(size.sign_extend(c & size.mask()));
+        }
+        let sh = 32 - size.bits();
+        let t = self.bin(BinOp::Shl, v, Val::Const(sh));
+        Val::Reg(self.bin(BinOp::Sar, Val::Reg(t), Val::Const(sh)))
+    }
+
+    /// Reads a guest register at a width; the result is size-masked.
+    fn read_reg(&mut self, r: Reg, size: Size) -> Val {
+        let n = r.num();
+        match size {
+            Size::Dword => Val::Reg(VReg(n as u32)),
+            Size::Word => {
+                let g = Val::Reg(VReg(n as u32));
+                self.mask_to(g, Size::Word)
+            }
+            Size::Byte => {
+                if n < 4 {
+                    let g = Val::Reg(VReg(n as u32));
+                    self.mask_to(g, Size::Byte)
+                } else {
+                    // High byte of EAX..EBX.
+                    let g = Val::Reg(VReg((n - 4) as u32));
+                    let sh = self.bin(BinOp::Shr, g, Val::Const(8));
+                    self.mask_to(Val::Reg(sh), Size::Byte)
+                }
+            }
+        }
+    }
+
+    /// Writes a guest register at a width, preserving the other bits.
+    fn write_reg(&mut self, r: Reg, size: Size, v: Val) {
+        let n = r.num();
+        match size {
+            Size::Dword => self.emit(MInsn::Mov {
+                dst: VReg(n as u32),
+                src: v,
+            }),
+            Size::Word => {
+                let g = VReg(n as u32);
+                let kept = self.bin(BinOp::And, Val::Reg(g), Val::Const(0xFFFF_0000));
+                let low = self.mask_to(v, Size::Word);
+                let merged = self.bin(BinOp::Or, Val::Reg(kept), low);
+                self.emit(MInsn::Mov {
+                    dst: g,
+                    src: Val::Reg(merged),
+                });
+            }
+            Size::Byte => {
+                let (g, shift, keep_mask) = if n < 4 {
+                    (VReg(n as u32), 0u32, !0xFFu32)
+                } else {
+                    (VReg((n - 4) as u32), 8u32, !0xFF00u32)
+                };
+                let kept = self.bin(BinOp::And, Val::Reg(g), Val::Const(keep_mask));
+                let low = self.mask_to(v, Size::Byte);
+                let placed = if shift == 0 {
+                    low
+                } else {
+                    Val::Reg(self.bin(BinOp::Shl, low, Val::Const(shift)))
+                };
+                let merged = self.bin(BinOp::Or, Val::Reg(kept), placed);
+                self.emit(MInsn::Mov {
+                    dst: g,
+                    src: Val::Reg(merged),
+                });
+            }
+        }
+    }
+
+    /// Computes a memory operand's address as `(base value, offset)`.
+    fn addr_parts(&mut self, m: MemRef) -> (Val, i32) {
+        match (m.base, m.index) {
+            (None, None) => (Val::Const(0), m.disp),
+            (Some(b), None) => (Val::Reg(VReg(b.num() as u32)), m.disp),
+            (base, Some((idx, scale))) => {
+                let idx_v = Val::Reg(VReg(idx.num() as u32));
+                let scaled = if scale == 1 {
+                    idx_v
+                } else {
+                    Val::Reg(self.bin(
+                        BinOp::Shl,
+                        idx_v,
+                        Val::Const(scale.trailing_zeros()),
+                    ))
+                };
+                let sum = match base {
+                    Some(b) => Val::Reg(self.bin(
+                        BinOp::Add,
+                        Val::Reg(VReg(b.num() as u32)),
+                        scaled,
+                    )),
+                    None => scaled,
+                };
+                (sum, m.disp)
+            }
+        }
+    }
+
+    /// The full effective address as a single value.
+    fn addr_value(&mut self, m: MemRef) -> Val {
+        let (base, off) = self.addr_parts(m);
+        if off == 0 {
+            base
+        } else if let Val::Const(c) = base {
+            Val::Const(c.wrapping_add(off as u32))
+        } else {
+            Val::Reg(self.bin(BinOp::Add, base, Val::Const(off as u32)))
+        }
+    }
+
+    /// Reads any operand at a width; result is size-masked.
+    fn read_operand(&mut self, op: Operand, size: Size) -> Val {
+        match op {
+            Operand::Reg(r) => self.read_reg(r, size),
+            Operand::Imm(i) => Val::Const(i as u32 & size.mask()),
+            Operand::Mem(m) => {
+                let (base, off) = self.addr_parts(m);
+                let dst = self.temp();
+                self.emit(MInsn::Load {
+                    dst,
+                    base,
+                    off,
+                    width: size.bytes() as u8,
+                });
+                Val::Reg(dst)
+            }
+            Operand::Target(t) => Val::Const(t),
+        }
+    }
+
+    /// Writes a size-masked value to a register or memory operand.
+    fn write_operand(&mut self, op: Operand, size: Size, v: Val) {
+        match op {
+            Operand::Reg(r) => self.write_reg(r, size, v),
+            Operand::Mem(m) => {
+                let (base, off) = self.addr_parts(m);
+                self.emit(MInsn::Store {
+                    src: v,
+                    base,
+                    off,
+                    width: size.bytes() as u8,
+                });
+            }
+            other => panic!("write to non-lvalue operand {other:?}"),
+        }
+    }
+
+    fn push(&mut self, v: Val) {
+        let esp = VReg::guest(Reg::ESP);
+        let new = self.bin(BinOp::Sub, Val::Reg(esp), Val::Const(4));
+        self.emit(MInsn::Mov {
+            dst: esp,
+            src: Val::Reg(new),
+        });
+        self.emit(MInsn::Store {
+            src: v,
+            base: Val::Reg(esp),
+            off: 0,
+            width: 4,
+        });
+    }
+
+    fn pop(&mut self) -> VReg {
+        let esp = VReg::guest(Reg::ESP);
+        let t = self.temp();
+        self.emit(MInsn::Load {
+            dst: t,
+            base: Val::Reg(esp),
+            off: 0,
+            width: 4,
+        });
+        let new = self.bin(BinOp::Add, Val::Reg(esp), Val::Const(4));
+        self.emit(MInsn::Mov {
+            dst: esp,
+            src: Val::Reg(new),
+        });
+        t
+    }
+
+    /// Emits `FlagDef`s for all six flags.
+    fn flags_all(&mut self, kind: FlagKind, size: Size, a: Val, b: Val, res: Val, cin: Option<Val>) {
+        for flag in Flag::ALL {
+            self.emit(MInsn::FlagDef {
+                flag,
+                kind,
+                size,
+                a,
+                b,
+                res,
+                cin,
+            });
+        }
+    }
+
+    /// Emits `FlagDef`s for every flag except CF (`inc`/`dec`).
+    fn flags_no_cf(&mut self, kind: FlagKind, size: Size, a: Val, b: Val, res: Val) {
+        for flag in Flag::ALL {
+            if flag != Flag::Cf {
+                self.emit(MInsn::FlagDef {
+                    flag,
+                    kind,
+                    size,
+                    a,
+                    b,
+                    res,
+                    cin: None,
+                });
+            }
+        }
+    }
+
+    /// Reads the current CF as a 0/1 value.
+    fn carry_in(&mut self) -> Val {
+        let t = self.temp();
+        self.emit(MInsn::EvalCond { dst: t, cond: Cond::B });
+        Val::Reg(t)
+    }
+}
+
+/// Lowers one guest basic block starting at `addr`.
+///
+/// # Errors
+///
+/// Propagates [`DecodeError`] from the instruction decoder.
+pub fn lower_block<S: CodeSource + ?Sized>(
+    src: &S,
+    addr: u32,
+    max_insns: u32,
+) -> Result<MBlock, DecodeError> {
+    let mut ctx = Ctx {
+        insns: Vec::new(),
+        next_temp: VReg::FIRST_TEMP,
+    };
+    let mut pc = addr;
+    let mut count = 0u32;
+    let term;
+    let mut is_call = false;
+
+    loop {
+        let insn = decode(src, pc)?;
+        count += 1;
+        pc = insn.next_addr();
+        if let Some(t) = lower_insn(&mut ctx, &insn) {
+            term = t;
+            is_call = matches!(insn.op, vta_x86::Op::Call | vta_x86::Op::CallInd);
+            break;
+        }
+        if count >= max_insns {
+            term = Term::Goto(pc);
+            break;
+        }
+    }
+
+    Ok(MBlock {
+        guest_addr: addr,
+        guest_len: pc.wrapping_sub(addr),
+        guest_insns: count,
+        insns: ctx.insns,
+        term,
+        is_call,
+        next_temp: ctx.next_temp,
+    })
+}
+
+/// Lowers one instruction; returns the terminator if it ends the block.
+fn lower_insn(ctx: &mut Ctx, insn: &Insn) -> Option<Term> {
+    let size = insn.size;
+    match insn.op {
+        Op::Nop => {}
+        Op::Mov => {
+            let v = ctx.read_operand(insn.src.unwrap(), size);
+            ctx.write_operand(insn.dst.unwrap(), size, v);
+        }
+        Op::Movzx => {
+            let ss = insn.src_size.unwrap();
+            let v = ctx.read_operand(insn.src.unwrap(), ss);
+            ctx.write_operand(insn.dst.unwrap(), Size::Dword, v);
+        }
+        Op::Movsx => {
+            let ss = insn.src_size.unwrap();
+            let raw = ctx.read_operand(insn.src.unwrap(), ss);
+            let v = ctx.sext_from(raw, ss);
+            ctx.write_operand(insn.dst.unwrap(), Size::Dword, v);
+        }
+        Op::Lea => {
+            let m = insn.src.unwrap().mem().expect("lea needs memory src");
+            let v = ctx.addr_value(m);
+            ctx.write_operand(insn.dst.unwrap(), Size::Dword, v);
+        }
+        Op::Xchg => {
+            let (d, s) = (insn.dst.unwrap(), insn.src.unwrap());
+            let dv = ctx.read_operand(d, size);
+            let sv = ctx.read_operand(s, size);
+            ctx.write_operand(d, size, sv);
+            ctx.write_operand(s, size, dv);
+        }
+        Op::Push => {
+            let v = ctx.read_operand(insn.dst.unwrap(), Size::Dword);
+            ctx.push(v);
+        }
+        Op::Pop => {
+            let v = ctx.pop();
+            ctx.write_operand(insn.dst.unwrap(), Size::Dword, Val::Reg(v));
+        }
+        Op::Add | Op::Adc | Op::Sub | Op::Sbb | Op::Cmp => {
+            let d = insn.dst.unwrap();
+            let a = ctx.read_operand(d, size);
+            let b = ctx.read_operand(insn.src.unwrap(), size);
+            let (kind, cin) = match insn.op {
+                Op::Add => (FlagKind::Add, None),
+                Op::Adc => (FlagKind::Adc, Some(ctx.carry_in())),
+                Op::Sub | Op::Cmp => (FlagKind::Sub, None),
+                Op::Sbb => (FlagKind::Sbb, Some(ctx.carry_in())),
+                _ => unreachable!(),
+            };
+            let mut res = match insn.op {
+                Op::Add | Op::Adc => Val::Reg(ctx.bin(BinOp::Add, a, b)),
+                _ => Val::Reg(ctx.bin(BinOp::Sub, a, b)),
+            };
+            if let Some(c) = cin {
+                let op = if insn.op == Op::Adc { BinOp::Add } else { BinOp::Sub };
+                res = Val::Reg(ctx.bin(op, res, c));
+            }
+            let res = ctx.mask_to(res, size);
+            ctx.flags_all(kind, size, a, b, res, cin);
+            if insn.op != Op::Cmp {
+                ctx.write_operand(d, size, res);
+            }
+        }
+        Op::And | Op::Or | Op::Xor | Op::Test => {
+            let d = insn.dst.unwrap();
+            let a = ctx.read_operand(d, size);
+            let b = ctx.read_operand(insn.src.unwrap(), size);
+            let op = match insn.op {
+                Op::And | Op::Test => BinOp::And,
+                Op::Or => BinOp::Or,
+                Op::Xor => BinOp::Xor,
+                _ => unreachable!(),
+            };
+            // Operands are masked, so the result already fits the width.
+            let res = Val::Reg(ctx.bin(op, a, b));
+            ctx.flags_all(FlagKind::Logic, size, a, b, res, None);
+            if insn.op != Op::Test {
+                ctx.write_operand(d, size, res);
+            }
+        }
+        Op::Inc | Op::Dec => {
+            let d = insn.dst.unwrap();
+            let a = ctx.read_operand(d, size);
+            let (op, kind) = if insn.op == Op::Inc {
+                (BinOp::Add, FlagKind::Add)
+            } else {
+                (BinOp::Sub, FlagKind::Sub)
+            };
+            let res = Val::Reg(ctx.bin(op, a, Val::Const(1)));
+            let res = ctx.mask_to(res, size);
+            ctx.flags_no_cf(kind, size, a, Val::Const(1), res);
+            ctx.write_operand(d, size, res);
+        }
+        Op::Neg => {
+            let d = insn.dst.unwrap();
+            let a = ctx.read_operand(d, size);
+            let res = Val::Reg(ctx.bin(BinOp::Sub, Val::Const(0), a));
+            let res = ctx.mask_to(res, size);
+            ctx.flags_all(FlagKind::Sub, size, Val::Const(0), a, res, None);
+            ctx.write_operand(d, size, res);
+        }
+        Op::Not => {
+            let d = insn.dst.unwrap();
+            let a = ctx.read_operand(d, size);
+            let res = Val::Reg(ctx.bin(BinOp::Xor, a, Val::Const(size.mask())));
+            ctx.write_operand(d, size, res);
+        }
+        Op::Mul | Op::Imul => {
+            let signed = insn.op == Op::Imul;
+            let a = ctx.read_reg(Reg::EAX, size);
+            let b = ctx.read_operand(insn.src.unwrap(), size);
+            let (lo, hi) = widening_mul(ctx, signed, size, a, b);
+            match size {
+                Size::Byte => {
+                    // AX = AL * r/m8.
+                    let hi_shift = ctx.bin(BinOp::Shl, hi, Val::Const(8));
+                    let ax = ctx.bin(BinOp::Or, Val::Reg(hi_shift), lo);
+                    ctx.write_reg(Reg::EAX, Size::Word, Val::Reg(ax));
+                }
+                _ => {
+                    ctx.write_reg(Reg::EAX, size, lo);
+                    ctx.write_reg(Reg::EDX, size, hi);
+                }
+            }
+            let kind = if signed { FlagKind::MulS } else { FlagKind::MulU };
+            ctx.flags_all(kind, size, lo, hi, lo, None);
+        }
+        Op::ImulR => {
+            let (a, b) = match insn.src2 {
+                Some(Operand::Imm(i)) => (
+                    ctx.read_operand(insn.src.unwrap(), size),
+                    Val::Const(i as u32 & size.mask()),
+                ),
+                _ => (
+                    ctx.read_operand(insn.dst.unwrap(), size),
+                    ctx.read_operand(insn.src.unwrap(), size),
+                ),
+            };
+            let (lo, hi) = widening_mul(ctx, true, size, a, b);
+            ctx.flags_all(FlagKind::MulS, size, lo, hi, lo, None);
+            ctx.write_operand(insn.dst.unwrap(), size, lo);
+        }
+        Op::Div | Op::Idiv => {
+            let divisor = ctx.read_operand(insn.src.unwrap(), size);
+            ctx.emit(MInsn::DivHelper {
+                signed: insn.op == Op::Idiv,
+                size,
+                divisor,
+            });
+        }
+        Op::Rol | Op::Ror | Op::Shl | Op::Shr | Op::Sar => {
+            let d = insn.dst.unwrap();
+            let a = ctx.read_operand(d, size);
+            let count = match insn.src.unwrap() {
+                Operand::Imm(i) => Val::Const(i as u32 & 31),
+                Operand::Reg(_) => ctx.read_reg(Reg::ECX, Size::Byte),
+                other => panic!("bad shift count operand {other:?}"),
+            };
+            let op = match insn.op {
+                Op::Rol => ShiftKind::Rol,
+                Op::Ror => ShiftKind::Ror,
+                Op::Shl => ShiftKind::Shl,
+                Op::Shr => ShiftKind::Shr,
+                Op::Sar => ShiftKind::Sar,
+                _ => unreachable!(),
+            };
+            let dst = ctx.temp();
+            ctx.emit(MInsn::ShiftFx {
+                op,
+                size,
+                dst,
+                a,
+                count,
+            });
+            ctx.write_operand(d, size, Val::Reg(dst));
+        }
+        Op::Cwde => {
+            let v = ctx.read_reg(Reg::EAX, Size::Word);
+            let s = ctx.sext_from(v, Size::Word);
+            ctx.write_reg(Reg::EAX, Size::Dword, s);
+        }
+        Op::Cdq => {
+            let s = ctx.bin(
+                BinOp::Sar,
+                Val::Reg(VReg::guest(Reg::EAX)),
+                Val::Const(31),
+            );
+            ctx.write_reg(Reg::EDX, Size::Dword, Val::Reg(s));
+        }
+        Op::Setcc => {
+            let t = ctx.temp();
+            ctx.emit(MInsn::EvalCond {
+                dst: t,
+                cond: insn.cond.unwrap(),
+            });
+            ctx.write_operand(insn.dst.unwrap(), Size::Byte, Val::Reg(t));
+        }
+        Op::Cmovcc => {
+            let v = ctx.read_operand(insn.src.unwrap(), size);
+            let cur = ctx.read_operand(insn.dst.unwrap(), size);
+            let c = ctx.temp();
+            ctx.emit(MInsn::EvalCond {
+                dst: c,
+                cond: insn.cond.unwrap(),
+            });
+            // Branchless select: res = cur ^ ((cur ^ v) & -c).
+            let mask = ctx.bin(BinOp::Sub, Val::Const(0), Val::Reg(c));
+            let diff = ctx.bin(BinOp::Xor, cur, v);
+            let sel = ctx.bin(BinOp::And, Val::Reg(diff), Val::Reg(mask));
+            let res = ctx.bin(BinOp::Xor, cur, Val::Reg(sel));
+            ctx.write_operand(insn.dst.unwrap(), size, Val::Reg(res));
+        }
+        Op::Movs | Op::Stos | Op::Lods | Op::Scas => {
+            let op = match insn.op {
+                Op::Movs => StringOp::Movs,
+                Op::Stos => StringOp::Stos,
+                Op::Lods => StringOp::Lods,
+                Op::Scas => StringOp::Scas,
+                _ => unreachable!(),
+            };
+            ctx.emit(MInsn::RepString {
+                op,
+                size,
+                rep: insn.rep,
+            });
+        }
+        Op::Cld => ctx.emit(MInsn::SetDf(false)),
+        Op::Std => ctx.emit(MInsn::SetDf(true)),
+        // --- terminators ---------------------------------------------
+        Op::Jmp => {
+            return Some(Term::Goto(insn.target().expect("direct jmp target")));
+        }
+        Op::JmpInd => {
+            let t = ctx.read_operand(insn.src.unwrap(), Size::Dword);
+            let r = to_reg(ctx, t);
+            return Some(Term::Indirect(r));
+        }
+        Op::Jcc => {
+            return Some(Term::CondGoto {
+                cond: insn.cond.unwrap(),
+                taken: insn.target().expect("jcc target"),
+                fall: insn.next_addr(),
+            });
+        }
+        Op::Call => {
+            ctx.push(Val::Const(insn.next_addr()));
+            return Some(Term::Goto(insn.target().expect("call target")));
+        }
+        Op::CallInd => {
+            let t = ctx.read_operand(insn.src.unwrap(), Size::Dword);
+            let r = to_reg(ctx, t);
+            ctx.push(Val::Const(insn.next_addr()));
+            return Some(Term::Indirect(r));
+        }
+        Op::Ret => {
+            let t = ctx.pop();
+            if let Some(Operand::Imm(n)) = insn.src {
+                let esp = VReg::guest(Reg::ESP);
+                let new = ctx.bin(BinOp::Add, Val::Reg(esp), Val::Const(n as u32));
+                ctx.emit(MInsn::Mov {
+                    dst: esp,
+                    src: Val::Reg(new),
+                });
+            }
+            return Some(Term::Indirect(t));
+        }
+        Op::Int => {
+            let vector = match insn.src {
+                Some(Operand::Imm(v)) => v as u8,
+                _ => 0,
+            };
+            if vector == 0x80 {
+                return Some(Term::Sys(insn.next_addr()));
+            }
+            // Unsupported interrupt vectors stop the virtual machine.
+            return Some(Term::Halt);
+        }
+        Op::Hlt => return Some(Term::Halt),
+    }
+    None
+}
+
+/// Widening multiply of two size-masked values; returns `(lo, hi)` masked.
+fn widening_mul(ctx: &mut Ctx, signed: bool, size: Size, a: Val, b: Val) -> (Val, Val) {
+    match size {
+        Size::Dword => {
+            let lo = ctx.bin(BinOp::Mul, a, b);
+            let hi_op = if signed { BinOp::MulhS } else { BinOp::MulhU };
+            let hi = ctx.bin(hi_op, a, b);
+            (Val::Reg(lo), Val::Reg(hi))
+        }
+        _ => {
+            // The full product fits in 32 bits for 8/16-bit operands.
+            let (ea, eb) = if signed {
+                (ctx.sext_from(a, size), ctx.sext_from(b, size))
+            } else {
+                (a, b)
+            };
+            let full = ctx.bin(BinOp::Mul, ea, eb);
+            let lo = ctx.mask_to(Val::Reg(full), size);
+            let hi_raw = ctx.bin(BinOp::Shr, Val::Reg(full), Val::Const(size.bits()));
+            let hi = ctx.mask_to(Val::Reg(hi_raw), size);
+            (lo, hi)
+        }
+    }
+}
+
+fn to_reg(ctx: &mut Ctx, v: Val) -> VReg {
+    match v {
+        Val::Reg(r) => r,
+        Val::Const(c) => {
+            let t = ctx.temp();
+            ctx.emit(MInsn::Mov {
+                dst: t,
+                src: Val::Const(c),
+            });
+            t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vta_x86::decode::SliceSource;
+    use vta_x86::{Asm, Reg::*};
+
+    fn lower(f: impl FnOnce(&mut Asm)) -> MBlock {
+        let mut asm = Asm::new(0x1000);
+        f(&mut asm);
+        let p = asm.finish();
+        lower_block(&SliceSource::new(p.base, &p.code), p.base, MAX_BLOCK_INSNS)
+            .expect("lowering")
+    }
+
+    #[test]
+    fn simple_add_produces_flagdefs() {
+        let b = lower(|a| {
+            a.add_rr(EAX, EBX);
+            a.ret();
+        });
+        let flagdefs = b
+            .insns
+            .iter()
+            .filter(|i| matches!(i, MInsn::FlagDef { .. }))
+            .count();
+        assert_eq!(flagdefs, 6, "all six flags defined eagerly");
+        assert!(matches!(b.term, Term::Indirect(_)));
+        assert_eq!(b.guest_insns, 2);
+    }
+
+    #[test]
+    fn inc_omits_cf() {
+        let b = lower(|a| {
+            a.inc_r(ECX);
+            a.ret();
+        });
+        assert!(!b.insns.iter().any(
+            |i| matches!(i, MInsn::FlagDef { flag: Flag::Cf, .. })
+        ));
+        assert_eq!(
+            b.insns
+                .iter()
+                .filter(|i| matches!(i, MInsn::FlagDef { .. }))
+                .count(),
+            5
+        );
+    }
+
+    #[test]
+    fn jcc_ends_block_with_condgoto() {
+        let b = lower(|a| {
+            a.cmp_ri(EAX, 5);
+            let l = a.here();
+            a.jcc(vta_x86::Cond::E, l);
+        });
+        match b.term {
+            Term::CondGoto { cond, taken, fall } => {
+                assert_eq!(cond, vta_x86::Cond::E);
+                assert_eq!(taken, 0x1003, "cmp is 3 bytes");
+                assert_eq!(fall, 0x1003 + 6);
+            }
+            other => panic!("unexpected term {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_pushes_return_address() {
+        let b = lower(|a| {
+            let l = a.label();
+            a.call(l);
+            a.bind(l);
+        });
+        // A push = sub esp + mov esp + store.
+        assert!(b.insns.iter().any(|i| matches!(
+            i,
+            MInsn::Store {
+                src: Val::Const(0x1005),
+                width: 4,
+                ..
+            }
+        )));
+        assert_eq!(b.term, Term::Goto(0x1005));
+    }
+
+    #[test]
+    fn block_caps_at_max_insns() {
+        let b = lower(|a| {
+            for _ in 0..40 {
+                a.nop();
+            }
+            a.ret();
+        });
+        assert_eq!(b.guest_insns, MAX_BLOCK_INSNS);
+        assert_eq!(b.term, Term::Goto(0x1000 + MAX_BLOCK_INSNS));
+    }
+
+    #[test]
+    fn int80_is_sys_terminator() {
+        let b = lower(|a| {
+            a.int_(0x80);
+        });
+        assert_eq!(b.term, Term::Sys(0x1002));
+    }
+
+    #[test]
+    fn shifts_lower_to_shiftfx() {
+        let b = lower(|a| {
+            a.shl_ri(EAX, 3);
+            a.ret();
+        });
+        assert!(b
+            .insns
+            .iter()
+            .any(|i| matches!(i, MInsn::ShiftFx { op: ShiftKind::Shl, .. })));
+    }
+
+    #[test]
+    fn div_lowers_to_helper() {
+        let b = lower(|a| {
+            a.div_r(ECX);
+            a.ret();
+        });
+        assert!(b
+            .insns
+            .iter()
+            .any(|i| matches!(i, MInsn::DivHelper { signed: false, .. })));
+    }
+
+    #[test]
+    fn string_op_does_not_end_block() {
+        let b = lower(|a| {
+            a.rep_movs(Size::Dword);
+            a.mov_ri(EAX, 1);
+            a.ret();
+        });
+        assert!(b
+            .insns
+            .iter()
+            .any(|i| matches!(i, MInsn::RepString { op: StringOp::Movs, .. })));
+        assert_eq!(b.guest_insns, 3);
+    }
+
+    #[test]
+    fn adc_reads_carry() {
+        let b = lower(|a| {
+            a.adc_rr(EAX, EBX);
+            a.ret();
+        });
+        assert!(b.insns.iter().any(|i| matches!(
+            i,
+            MInsn::EvalCond { cond: Cond::B, .. }
+        )));
+    }
+
+    #[test]
+    fn high_byte_write_preserves_surroundings() {
+        // mov ah, imm → read-modify-write of EAX.
+        let b = lower(|a| {
+            a.mov_ri8(4, 0x55);
+            a.ret();
+        });
+        // Must contain an And with the keep-mask !0xFF00.
+        assert!(b.insns.iter().any(|i| matches!(
+            i,
+            MInsn::Bin { op: BinOp::And, b: Val::Const(c), .. } if *c == !0xFF00u32
+        )));
+    }
+}

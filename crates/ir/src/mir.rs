@@ -1,0 +1,577 @@
+//! The x86-like mid-level IR the translation slaves work on.
+//!
+//! Guest architectural state maps to fixed virtual registers:
+//! `VReg(0..=7)` are `EAX..EDI` and `VReg(8)` is the packed EFLAGS word.
+//! Temporaries are numbered from [`VReg::FIRST_TEMP`] upward. Flag effects
+//! are modelled as *per-flag* [`MInsn::FlagDef`] pseudo-instructions so the
+//! dead-flag-elimination pass can kill individual flags.
+
+use std::fmt;
+
+use vta_x86::{Cond, Rep, Size};
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl VReg {
+    /// The packed EFLAGS virtual register.
+    pub const FLAGS: VReg = VReg(8);
+    /// First temporary number (0–7 are guest GPRs, 8 is EFLAGS).
+    pub const FIRST_TEMP: u32 = 9;
+
+    /// The virtual register holding guest register `r`.
+    pub fn guest(r: vta_x86::Reg) -> VReg {
+        VReg(r.num() as u32)
+    }
+
+    /// Whether this is part of the guest architectural state.
+    pub fn is_guest_state(self) -> bool {
+        self.0 <= 8
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 8 {
+            write!(f, "%{}", vta_x86::Reg::from_num(self.0 as u8))
+        } else if *self == VReg::FLAGS {
+            write!(f, "%flags")
+        } else {
+            write!(f, "%t{}", self.0 - Self::FIRST_TEMP)
+        }
+    }
+}
+
+/// An operand: a virtual register or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Val {
+    /// Register value.
+    Reg(VReg),
+    /// 32-bit constant.
+    Const(u32),
+}
+
+impl Val {
+    /// The register, if this is one.
+    pub fn reg(self) -> Option<VReg> {
+        match self {
+            Val::Reg(r) => Some(r),
+            Val::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this is one.
+    pub fn constant(self) -> Option<u32> {
+        match self {
+            Val::Const(c) => Some(c),
+            Val::Reg(_) => None,
+        }
+    }
+}
+
+impl From<VReg> for Val {
+    fn from(r: VReg) -> Val {
+        Val::Reg(r)
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Reg(r) => write!(f, "{r}"),
+            Val::Const(c) => write!(f, "{c:#x}"),
+        }
+    }
+}
+
+/// One of the six arithmetic EFLAGS bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Flag {
+    Cf,
+    Pf,
+    Af,
+    Zf,
+    Sf,
+    Of,
+}
+
+impl Flag {
+    /// All six flags.
+    pub const ALL: [Flag; 6] = [Flag::Cf, Flag::Pf, Flag::Af, Flag::Zf, Flag::Sf, Flag::Of];
+
+    /// Bit position of this flag in the packed EFLAGS word.
+    pub fn bit(self) -> u8 {
+        match self {
+            Flag::Cf => 0,
+            Flag::Pf => 2,
+            Flag::Af => 4,
+            Flag::Zf => 6,
+            Flag::Sf => 7,
+            Flag::Of => 11,
+        }
+    }
+
+    /// Singleton [`FlagSet`].
+    pub fn set(self) -> FlagSet {
+        FlagSet(1 << (self as u8))
+    }
+}
+
+/// A set of arithmetic flags (bitset over [`Flag`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FlagSet(pub u8);
+
+impl FlagSet {
+    /// The empty set.
+    pub const EMPTY: FlagSet = FlagSet(0);
+    /// All six arithmetic flags.
+    pub const ALL: FlagSet = FlagSet(0b11_1111);
+
+    /// Whether `flag` is in the set.
+    pub fn contains(self, flag: Flag) -> bool {
+        self.0 & (1 << flag as u8) != 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: FlagSet) -> FlagSet {
+        FlagSet(self.0 | other.0)
+    }
+
+    /// Set difference.
+    #[must_use]
+    pub fn minus(self, other: FlagSet) -> FlagSet {
+        FlagSet(self.0 & !other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(self, other: FlagSet) -> FlagSet {
+        FlagSet(self.0 & other.0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the members.
+    pub fn iter(self) -> impl Iterator<Item = Flag> {
+        Flag::ALL.into_iter().filter(move |f| self.contains(*f))
+    }
+
+    /// The flags a condition code reads.
+    pub fn for_cond(cond: Cond) -> FlagSet {
+        use Flag::*;
+        match cond {
+            Cond::O | Cond::No => Of.set(),
+            Cond::B | Cond::Ae => Cf.set(),
+            Cond::E | Cond::Ne => Zf.set(),
+            Cond::Be | Cond::A => Cf.set().union(Zf.set()),
+            Cond::S | Cond::Ns => Sf.set(),
+            Cond::P | Cond::Np => Pf.set(),
+            Cond::L | Cond::Ge => Sf.set().union(Of.set()),
+            Cond::Le | Cond::G => Zf.set().union(Sf.set()).union(Of.set()),
+        }
+    }
+}
+
+impl fmt::Display for FlagSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, fl) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{fl:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Pure value-producing binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    /// Low 32 bits of a product.
+    Mul,
+    /// High 32 bits of a signed product.
+    MulhS,
+    /// High 32 bits of an unsigned product.
+    MulhU,
+    /// Logical shift left (count taken mod 32).
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+    /// Signed less-than (0/1).
+    SltS,
+    /// Unsigned less-than (0/1).
+    SltU,
+}
+
+/// How a [`MInsn::FlagDef`] computes its flag.
+///
+/// `a`/`b` are the (size-masked) operands and `res` the size-masked
+/// result; `cin` is the pre-operation carry for `Adc`/`Sbb`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FlagKind {
+    Add,
+    Adc,
+    Sub,
+    Sbb,
+    /// `and`/`or`/`xor`/`test`: CF/OF/AF cleared, SZP from result.
+    Logic,
+    Neg,
+    /// Widening multiply: CF/OF = (hi != 0); `b` holds `hi`.
+    MulU,
+    /// Signed widening multiply: CF/OF = (hi != sign-extension of lo).
+    MulS,
+}
+
+/// Shift/rotate operations that go through the flag-exact helper when any
+/// flag is live (x86 leaves flags untouched for a zero count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ShiftKind {
+    Shl,
+    Shr,
+    Sar,
+    Rol,
+    Ror,
+}
+
+/// String operations (with optional `rep`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum StringOp {
+    Movs,
+    Stos,
+    Lods,
+    Scas,
+}
+
+/// One mid-level IR instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MInsn {
+    /// `dst = src`.
+    Mov {
+        /// Destination.
+        dst: VReg,
+        /// Source value.
+        src: Val,
+    },
+    /// `dst = a <op> b` (pure, full 32-bit).
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: Val,
+        /// Right operand.
+        b: Val,
+    },
+    /// `dst = zero-extended load of `width` bytes from `base + off``.
+    Load {
+        /// Destination.
+        dst: VReg,
+        /// Base address value.
+        base: Val,
+        /// Byte offset.
+        off: i32,
+        /// Access width in bytes (1, 2 or 4).
+        width: u8,
+    },
+    /// Store the low `width` bytes of `src` to `base + off`.
+    Store {
+        /// Value to store.
+        src: Val,
+        /// Base address value.
+        base: Val,
+        /// Byte offset.
+        off: i32,
+        /// Access width in bytes (1, 2 or 4).
+        width: u8,
+    },
+    /// Compute one flag of the packed EFLAGS register.
+    FlagDef {
+        /// Which flag.
+        flag: Flag,
+        /// Semantics.
+        kind: FlagKind,
+        /// Operand width the operation ran at.
+        size: Size,
+        /// Left operand (size-masked).
+        a: Val,
+        /// Right operand (size-masked; `hi` for multiplies).
+        b: Val,
+        /// Result (size-masked).
+        res: Val,
+        /// Pre-operation carry (for `Adc`/`Sbb`).
+        cin: Option<Val>,
+    },
+    /// `dst = 1` if `cond` holds on the packed flags, else `0`.
+    EvalCond {
+        /// Destination (0/1).
+        dst: VReg,
+        /// Condition.
+        cond: Cond,
+    },
+    /// Flag-exact shift/rotate via the runtime helper; replaces the whole
+    /// packed flags word (helper implements the zero-count no-op rule).
+    ShiftFx {
+        /// Operation.
+        op: ShiftKind,
+        /// Operand width.
+        size: Size,
+        /// Destination of the shifted value.
+        dst: VReg,
+        /// Value to shift (size-masked).
+        a: Val,
+        /// Shift count (masked to 5 bits by the helper).
+        count: Val,
+    },
+    /// x86 `div`/`idiv` via the runtime helper (mutates EAX/EDX).
+    DivHelper {
+        /// Signed divide?
+        signed: bool,
+        /// Operand width.
+        size: Size,
+        /// Divisor.
+        divisor: Val,
+    },
+    /// A string operation, possibly `rep`-prefixed (inline host loop).
+    RepString {
+        /// Which operation.
+        op: StringOp,
+        /// Element width.
+        size: Size,
+        /// Repeat prefix.
+        rep: Rep,
+    },
+    /// Set or clear the direction flag (bit 10 of the packed word).
+    SetDf(
+        /// New DF value.
+        bool,
+    ),
+}
+
+impl MInsn {
+    /// The register this instruction defines, if exactly one.
+    pub fn def(&self) -> Option<VReg> {
+        match *self {
+            MInsn::Mov { dst, .. }
+            | MInsn::Bin { dst, .. }
+            | MInsn::Load { dst, .. }
+            | MInsn::EvalCond { dst, .. } => Some(dst),
+            MInsn::ShiftFx { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// Values this instruction reads.
+    pub fn uses(&self) -> Vec<Val> {
+        match *self {
+            MInsn::Mov { src, .. } => vec![src],
+            MInsn::Bin { a, b, .. } => vec![a, b],
+            MInsn::Load { base, .. } => vec![base],
+            MInsn::Store { src, base, .. } => vec![src, base],
+            MInsn::FlagDef { a, b, res, cin, .. } => {
+                let mut v = vec![a, b, res];
+                if let Some(c) = cin {
+                    v.push(c);
+                }
+                v
+            }
+            MInsn::EvalCond { .. } => vec![Val::Reg(VReg::FLAGS)],
+            // The shift helper reads (and merges into) the packed flags.
+            MInsn::ShiftFx { a, count, .. } => {
+                vec![a, count, Val::Reg(VReg::FLAGS)]
+            }
+            // Divides read the widened accumulator (EAX/EDX) implicitly.
+            MInsn::DivHelper { divisor, .. } => {
+                vec![divisor, Val::Reg(VReg(0)), Val::Reg(VReg(2))]
+            }
+            // String ops read EAX/ECX/ESI/EDI and DF implicitly.
+            MInsn::RepString { .. } => vec![
+                Val::Reg(VReg(0)),
+                Val::Reg(VReg(1)),
+                Val::Reg(VReg(6)),
+                Val::Reg(VReg(7)),
+                Val::Reg(VReg::FLAGS),
+            ],
+            // SetDf is a read-modify-write of the packed flags word.
+            MInsn::SetDf(_) => vec![Val::Reg(VReg::FLAGS)],
+        }
+    }
+}
+
+/// How a mid-level block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Term {
+    /// Unconditional transfer to a known guest address.
+    Goto(u32),
+    /// Two-way conditional branch on a condition code.
+    CondGoto {
+        /// Condition evaluated against the packed flags.
+        cond: Cond,
+        /// Target when the condition holds.
+        taken: u32,
+        /// Fall-through target.
+        fall: u32,
+    },
+    /// Computed transfer (indirect jump / call / return).
+    Indirect(
+        /// Register holding the guest target address.
+        VReg,
+    ),
+    /// `int 0x80`; execution resumes at the given guest address.
+    Sys(
+        /// Resume address.
+        u32,
+    ),
+    /// `hlt`.
+    Halt,
+}
+
+impl Term {
+    /// Statically known successor addresses.
+    pub fn known_succs(&self) -> Vec<u32> {
+        match *self {
+            Term::Goto(t) => vec![t],
+            Term::CondGoto { taken, fall, .. } => vec![taken, fall],
+            Term::Sys(next) => vec![next],
+            Term::Indirect(_) | Term::Halt => vec![],
+        }
+    }
+}
+
+/// A translated mid-level basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MBlock {
+    /// Guest address of the first instruction.
+    pub guest_addr: u32,
+    /// Bytes of guest code covered.
+    pub guest_len: u32,
+    /// Guest instructions covered.
+    pub guest_insns: u32,
+    /// Straight-line body.
+    pub insns: Vec<MInsn>,
+    /// Terminator.
+    pub term: Term,
+    /// Whether the terminator is a guest `call` (drives the paper's
+    /// return predictor: the return address is `guest_addr + guest_len`).
+    pub is_call: bool,
+    /// Next free temporary number (passes may allocate more).
+    pub next_temp: u32,
+}
+
+impl MBlock {
+    /// Allocates a fresh temporary.
+    pub fn temp(&mut self) -> VReg {
+        let r = VReg(self.next_temp);
+        self.next_temp += 1;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vta_x86::Reg;
+
+    #[test]
+    fn guest_vreg_mapping() {
+        assert_eq!(VReg::guest(Reg::EAX), VReg(0));
+        assert_eq!(VReg::guest(Reg::EDI), VReg(7));
+        assert!(VReg::guest(Reg::ESP).is_guest_state());
+        assert!(VReg::FLAGS.is_guest_state());
+        assert!(!VReg(9).is_guest_state());
+    }
+
+    #[test]
+    fn flagset_ops() {
+        let s = Flag::Cf.set().union(Flag::Zf.set());
+        assert!(s.contains(Flag::Cf));
+        assert!(!s.contains(Flag::Of));
+        assert_eq!(s.minus(Flag::Cf.set()), Flag::Zf.set());
+        assert_eq!(FlagSet::ALL.iter().count(), 6);
+        assert!(FlagSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn cond_flag_reads() {
+        use vta_x86::Cond;
+        assert_eq!(FlagSet::for_cond(Cond::E), Flag::Zf.set());
+        assert_eq!(
+            FlagSet::for_cond(Cond::Le),
+            Flag::Zf.set().union(Flag::Sf.set()).union(Flag::Of.set())
+        );
+        assert_eq!(FlagSet::for_cond(Cond::B), Flag::Cf.set());
+    }
+
+    #[test]
+    fn flag_bits_match_eflags_layout() {
+        assert_eq!(Flag::Cf.bit(), 0);
+        assert_eq!(Flag::Pf.bit(), 2);
+        assert_eq!(Flag::Af.bit(), 4);
+        assert_eq!(Flag::Zf.bit(), 6);
+        assert_eq!(Flag::Sf.bit(), 7);
+        assert_eq!(Flag::Of.bit(), 11);
+    }
+
+    #[test]
+    fn insn_def_use() {
+        let i = MInsn::Bin {
+            op: BinOp::Add,
+            dst: VReg(9),
+            a: Val::Reg(VReg(0)),
+            b: Val::Const(5),
+        };
+        assert_eq!(i.def(), Some(VReg(9)));
+        assert_eq!(i.uses(), vec![Val::Reg(VReg(0)), Val::Const(5)]);
+
+        let s = MInsn::Store {
+            src: Val::Reg(VReg(1)),
+            base: Val::Reg(VReg(4)),
+            off: -4,
+            width: 4,
+        };
+        assert_eq!(s.def(), None);
+    }
+
+    #[test]
+    fn term_successors() {
+        assert_eq!(Term::Goto(5).known_succs(), vec![5]);
+        assert_eq!(
+            Term::CondGoto {
+                cond: vta_x86::Cond::E,
+                taken: 1,
+                fall: 2
+            }
+            .known_succs(),
+            vec![1, 2]
+        );
+        assert!(Term::Indirect(VReg(9)).known_succs().is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VReg(0).to_string(), "%eax");
+        assert_eq!(VReg::FLAGS.to_string(), "%flags");
+        assert_eq!(VReg(9).to_string(), "%t0");
+        assert_eq!(Val::Const(16).to_string(), "0x10");
+        let s = Flag::Cf.set().union(Flag::Zf.set());
+        assert_eq!(s.to_string(), "{Cf,Zf}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Dead temporary elimination (backward liveness over one block).
+
+use std::collections::HashSet;
+
+use crate::mir::{MBlock, MInsn, Term, VReg, Val};
+
+/// Removes pure instructions whose destination temporary is never read.
+///
+/// Guest state (`VReg(0..=8)`) is always live-out. Loads are *not*
+/// removed even when dead: a load can fault, and x86 still faults when the
+/// result is unused.
+pub fn eliminate(block: &mut MBlock) {
+    let mut live: HashSet<VReg> = (0..=8).map(VReg).collect();
+    if let Term::Indirect(r) = block.term {
+        live.insert(r);
+    }
+
+    let mut keep = vec![true; block.insns.len()];
+    for (i, insn) in block.insns.iter().enumerate().rev() {
+        let removable = matches!(
+            insn,
+            MInsn::Mov { .. } | MInsn::Bin { .. } | MInsn::EvalCond { .. }
+        );
+        if removable {
+            let dst = insn.def().expect("pure insns have a def");
+            if !live.contains(&dst) {
+                keep[i] = false;
+                continue;
+            }
+            live.remove(&dst);
+        } else if let Some(dst) = insn.def() {
+            live.remove(&dst);
+        }
+        for v in insn.uses() {
+            if let Val::Reg(r) = v {
+                live.insert(r);
+            }
+        }
+        // FlagDef and EvalCond interactions with the packed flags word are
+        // handled by the dedicated flag pass; here VReg::FLAGS stays live
+        // by virtue of being guest state.
+        if matches!(insn, MInsn::EvalCond { .. }) {
+            live.insert(VReg::FLAGS);
+        }
+    }
+
+    let mut idx = 0;
+    block.insns.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::BinOp;
+
+    fn block(insns: Vec<MInsn>, term: Term) -> MBlock {
+        MBlock {
+            guest_addr: 0,
+            guest_len: 0,
+            guest_insns: 0,
+            insns,
+            term,
+            is_call: false,
+            next_temp: 64,
+        }
+    }
+
+    #[test]
+    fn removes_unused_temp() {
+        let mut b = block(
+            vec![
+                MInsn::Bin {
+                    op: BinOp::Add,
+                    dst: VReg(9),
+                    a: Val::Reg(VReg(0)),
+                    b: Val::Const(1),
+                }, // dead
+                MInsn::Mov { dst: VReg(0), src: Val::Const(3) },
+            ],
+            Term::Halt,
+        );
+        eliminate(&mut b);
+        assert_eq!(b.insns.len(), 1);
+    }
+
+    #[test]
+    fn keeps_chain_feeding_guest_state() {
+        let mut b = block(
+            vec![
+                MInsn::Bin {
+                    op: BinOp::Add,
+                    dst: VReg(9),
+                    a: Val::Reg(VReg(0)),
+                    b: Val::Const(1),
+                },
+                MInsn::Mov { dst: VReg(1), src: Val::Reg(VReg(9)) },
+            ],
+            Term::Halt,
+        );
+        eliminate(&mut b);
+        assert_eq!(b.insns.len(), 2);
+    }
+
+    #[test]
+    fn keeps_dead_loads_for_faults() {
+        let mut b = block(
+            vec![MInsn::Load {
+                dst: VReg(9),
+                base: Val::Const(0x1234),
+                off: 0,
+                width: 4,
+            }],
+            Term::Halt,
+        );
+        eliminate(&mut b);
+        assert_eq!(b.insns.len(), 1, "dead loads still fault");
+    }
+
+    #[test]
+    fn indirect_target_is_live() {
+        let mut b = block(
+            vec![MInsn::Bin {
+                op: BinOp::Add,
+                dst: VReg(12),
+                a: Val::Reg(VReg(4)),
+                b: Val::Const(4),
+            }],
+            Term::Indirect(VReg(12)),
+        );
+        eliminate(&mut b);
+        assert_eq!(b.insns.len(), 1);
+    }
+
+    #[test]
+    fn dead_mov_of_overwritten_guest_reg() {
+        let mut b = block(
+            vec![
+                MInsn::Mov { dst: VReg(0), src: Val::Const(1) }, // dead: overwritten
+                MInsn::Mov { dst: VReg(0), src: Val::Const(2) },
+            ],
+            Term::Halt,
+        );
+        eliminate(&mut b);
+        assert_eq!(b.insns.len(), 1);
+        assert_eq!(b.insns[0], MInsn::Mov { dst: VReg(0), src: Val::Const(2) });
+    }
+}

@@ -1,0 +1,478 @@
+//! Dead-flag elimination with interblock liveness.
+//!
+//! Almost every x86 ALU instruction writes all six arithmetic flags, but
+//! almost no instruction reads them — eagerly materializing each flag into
+//! the packed EFLAGS register would multiply the translated code size.
+//! This pass removes [`MInsn::FlagDef`]s whose flag no reachable consumer
+//! can observe.
+//!
+//! Liveness *across* block boundaries is computed by scanning forward in
+//! the **guest** code from each statically-known successor: the translator
+//! decodes ahead (it is about to translate those blocks speculatively
+//! anyway) and observes which flags are read before being overwritten. At
+//! indirect successors all flags are conservatively live.
+
+use std::collections::HashMap;
+
+use vta_x86::decode::{decode, CodeSource};
+use vta_x86::{Op, Rep};
+
+use crate::mir::{Flag, FlagSet, MBlock, MInsn, ShiftKind, StringOp, Term, Val};
+
+/// Maximum guest instructions scanned per successor path.
+pub const SCAN_DEPTH: u32 = 48;
+/// Maximum branch-following recursion while scanning.
+pub const SCAN_FANOUT: u32 = 4;
+
+/// Flags a decoded guest instruction reads.
+fn guest_reads(op: Op, cond: Option<vta_x86::Cond>) -> FlagSet {
+    match op {
+        Op::Jcc | Op::Setcc | Op::Cmovcc => FlagSet::for_cond(cond.expect("cc op")),
+        Op::Adc | Op::Sbb => Flag::Cf.set(),
+        _ => FlagSet::EMPTY,
+    }
+}
+
+/// Flags a decoded guest instruction unconditionally overwrites.
+fn guest_kills(op: Op) -> FlagSet {
+    match op {
+        Op::Add
+        | Op::Or
+        | Op::Adc
+        | Op::Sbb
+        | Op::And
+        | Op::Sub
+        | Op::Xor
+        | Op::Cmp
+        | Op::Test
+        | Op::Neg
+        | Op::Mul
+        | Op::Imul
+        | Op::ImulR => FlagSet::ALL,
+        Op::Inc | Op::Dec => FlagSet::ALL.minus(Flag::Cf.set()),
+        // Shifts/rotates leave flags untouched when the masked count is
+        // zero, so they cannot be counted on to kill anything.
+        Op::Rol | Op::Ror | Op::Shl | Op::Shr | Op::Sar => FlagSet::EMPTY,
+        // `scas` only compares when ECX != 0 under rep.
+        Op::Scas => FlagSet::EMPTY,
+        _ => FlagSet::EMPTY,
+    }
+}
+
+/// Computes which flags are live on entry to guest address `addr`.
+///
+/// Scans forward from `addr`, following direct control flow up to
+/// [`SCAN_DEPTH`] instructions and [`SCAN_FANOUT`] branch levels;
+/// unresolved paths (indirect jumps, returns, decode failures) report all
+/// flags live.
+pub fn live_in_at<S: CodeSource + ?Sized>(
+    src: &S,
+    addr: u32,
+    memo: &mut HashMap<u32, FlagSet>,
+) -> FlagSet {
+    scan(src, addr, SCAN_DEPTH, SCAN_FANOUT, memo)
+}
+
+fn scan<S: CodeSource + ?Sized>(
+    src: &S,
+    addr: u32,
+    depth: u32,
+    fanout: u32,
+    memo: &mut HashMap<u32, FlagSet>,
+) -> FlagSet {
+    if let Some(&cached) = memo.get(&addr) {
+        return cached;
+    }
+    // Guard against scan cycles: assume all live while recursing into
+    // ourselves (sound: over-approximation).
+    memo.insert(addr, FlagSet::ALL);
+    let result = scan_uncached(src, addr, depth, fanout, memo);
+    memo.insert(addr, result);
+    result
+}
+
+fn scan_uncached<S: CodeSource + ?Sized>(
+    src: &S,
+    mut addr: u32,
+    depth: u32,
+    fanout: u32,
+    memo: &mut HashMap<u32, FlagSet>,
+) -> FlagSet {
+    let mut live = FlagSet::EMPTY;
+    let mut undetermined = FlagSet::ALL;
+
+    for _ in 0..depth {
+        let Ok(insn) = decode(src, addr) else {
+            return live.union(undetermined);
+        };
+        live = live.union(guest_reads(insn.op, insn.cond).intersect(undetermined));
+        undetermined = undetermined.minus(guest_kills(insn.op));
+        if undetermined.is_empty() {
+            return live;
+        }
+        match insn.op {
+            Op::Jmp | Op::Call => {
+                // Follow the direct edge (calls are followed into the
+                // callee: the return path is beyond our horizon anyway).
+                match insn.target() {
+                    Some(t) => {
+                        addr = t;
+                        continue;
+                    }
+                    None => return live.union(undetermined),
+                }
+            }
+            Op::Jcc => {
+                if fanout == 0 {
+                    return live.union(undetermined);
+                }
+                let taken = insn.target().expect("jcc target");
+                let a = scan(src, taken, depth / 2, fanout - 1, memo);
+                let b = scan(src, insn.next_addr(), depth / 2, fanout - 1, memo);
+                return live.union(a.union(b).intersect(undetermined));
+            }
+            Op::JmpInd | Op::CallInd | Op::Ret | Op::Int | Op::Hlt => {
+                // Unknown continuation (or syscall/exit): assume live,
+                // except Hlt which ends the machine.
+                if insn.op == Op::Hlt {
+                    return live;
+                }
+                return live.union(undetermined);
+            }
+            _ => addr = insn.next_addr(),
+        }
+    }
+    live.union(undetermined)
+}
+
+/// Removes dead `FlagDef`s from `block` and rewrites flag-dead
+/// [`MInsn::ShiftFx`] instructions into plain value-only shift code,
+/// using the interblock liveness scan for the block's live-out set.
+pub fn eliminate_dead_flags<S: CodeSource + ?Sized>(block: &mut MBlock, src: &S) {
+    let mut memo = HashMap::new();
+    // Live-out of the block.
+    let live = match block.term {
+        Term::Goto(t) => live_in_at(src, t, &mut memo),
+        Term::CondGoto { cond, taken, fall } => FlagSet::for_cond(cond)
+            .union(live_in_at(src, taken, &mut memo))
+            .union(live_in_at(src, fall, &mut memo)),
+        Term::Sys(next) => live_in_at(src, next, &mut memo),
+        Term::Indirect(_) => FlagSet::ALL,
+        Term::Halt => FlagSet::EMPTY,
+    };
+    eliminate_with_liveout(block, live);
+}
+
+/// Intrablock-only variant: assumes every flag is live at the block exit
+/// (plus the terminator's own reads). This is what `OptLevel::None`
+/// uses — looking ahead into successors is itself an optimization.
+pub fn eliminate_dead_flags_conservative(block: &mut MBlock) {
+    let live = match block.term {
+        Term::Halt => FlagSet::EMPTY,
+        Term::CondGoto { cond, .. } => FlagSet::for_cond(cond).union(FlagSet::ALL),
+        _ => FlagSet::ALL,
+    };
+    eliminate_with_liveout(block, live);
+}
+
+fn eliminate_with_liveout(block: &mut MBlock, mut live: FlagSet) {
+
+    // Backward pass over the body.
+    let mut keep = vec![true; block.insns.len()];
+    let mut shift_flags = vec![false; block.insns.len()];
+    for (i, insn) in block.insns.iter().enumerate().rev() {
+        match insn {
+            MInsn::FlagDef { flag, .. } => {
+                if live.contains(*flag) {
+                    live = live.minus(flag.set());
+                } else {
+                    keep[i] = false;
+                }
+            }
+            MInsn::EvalCond { cond, .. } => {
+                live = live.union(FlagSet::for_cond(*cond));
+            }
+            MInsn::ShiftFx { .. } => {
+                // Writes flags only when the count is nonzero: does not
+                // kill, but if any flag is live it must stay flag-exact.
+                shift_flags[i] = !live.is_empty();
+            }
+            MInsn::RepString { op: StringOp::Scas, rep, .. }
+                // A non-rep scas always writes all flags.
+                if *rep == Rep::None => {
+                    live = FlagSet::EMPTY;
+                }
+            _ => {}
+        }
+    }
+
+    // Rewrite flag-dead ShiftFx into pure value computation.
+    let mut out = Vec::with_capacity(block.insns.len());
+    for (i, insn) in block.insns.iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        match *insn {
+            MInsn::ShiftFx { op, size, dst, a, count } if !shift_flags[i] => {
+                lower_value_shift(block.next_temp, &mut out, op, size, dst, a, count)
+                    .map(|n| block.next_temp = n)
+                    .unwrap_or(());
+            }
+            other => out.push(other),
+        }
+    }
+    block.insns = out;
+}
+
+/// Emits value-only shift code; returns the updated temp counter.
+fn lower_value_shift(
+    mut next_temp: u32,
+    out: &mut Vec<MInsn>,
+    op: ShiftKind,
+    size: vta_x86::Size,
+    dst: crate::mir::VReg,
+    a: Val,
+    count: Val,
+) -> Option<u32> {
+    use crate::mir::{BinOp, VReg};
+    let mut temp = || {
+        let r = VReg(next_temp);
+        next_temp += 1;
+        r
+    };
+    let bin = |out: &mut Vec<MInsn>, op, a, b, dst| {
+        out.push(MInsn::Bin { op, dst, a, b });
+        Val::Reg(dst)
+    };
+    let bits = size.bits();
+
+    // Mask the count to 5 bits (x86 semantics).
+    let c = match count {
+        Val::Const(k) => Val::Const(k & 31),
+        Val::Reg(_) => {
+            let t = temp();
+            bin(out, BinOp::And, count, Val::Const(31), t)
+        }
+    };
+
+    match op {
+        ShiftKind::Shl => {
+            // Masked operand shifted within 32 bits then re-masked covers
+            // every count 0..=31 (counts >= width zero the field).
+            let t = temp();
+            let v = bin(out, BinOp::Shl, a, c, t);
+            let v = if size == vta_x86::Size::Dword {
+                v
+            } else {
+                let t2 = temp();
+                bin(out, BinOp::And, v, Val::Const(size.mask()), t2)
+            };
+            out.push(MInsn::Mov { dst, src: v });
+        }
+        ShiftKind::Shr => {
+            // Operand is size-masked, so a 32-bit logical shift is exact.
+            let t = temp();
+            let v = bin(out, BinOp::Shr, a, c, t);
+            out.push(MInsn::Mov { dst, src: v });
+        }
+        ShiftKind::Sar => {
+            // Sign-extend to 32 bits, arithmetic shift, re-mask.
+            let sh = 32 - bits;
+            let mut v = a;
+            if sh > 0 {
+                let t = temp();
+                v = bin(out, BinOp::Shl, v, Val::Const(sh), t);
+                let t = temp();
+                v = bin(out, BinOp::Sar, v, Val::Const(sh), t);
+            }
+            let t = temp();
+            let mut v = bin(out, BinOp::Sar, v, c, t);
+            if sh > 0 {
+                let t = temp();
+                v = bin(out, BinOp::And, v, Val::Const(size.mask()), t);
+            }
+            out.push(MInsn::Mov { dst, src: v });
+        }
+        ShiftKind::Rol | ShiftKind::Ror => {
+            // Rotate within the operand width: count mod width.
+            let cm = if bits == 32 {
+                c
+            } else {
+                let t = temp();
+                bin(out, BinOp::And, c, Val::Const(bits - 1), t)
+            };
+            // other = width - count (mod 32 shifts make width-0 == a>>0|a<<0).
+            let t = temp();
+            let other = bin(out, BinOp::Sub, Val::Const(bits), cm, t);
+            let (lo_op, hi_op) = match op {
+                ShiftKind::Rol => (BinOp::Shl, BinOp::Shr),
+                _ => (BinOp::Shr, BinOp::Shl),
+            };
+            let t1 = temp();
+            let p1 = bin(out, lo_op, a, cm, t1);
+            let t2 = temp();
+            let p2 = bin(out, hi_op, a, other, t2);
+            let t3 = temp();
+            let mut v = bin(out, BinOp::Or, p1, p2, t3);
+            if bits != 32 {
+                let t4 = temp();
+                v = bin(out, BinOp::And, v, Val::Const(size.mask()), t4);
+            }
+            out.push(MInsn::Mov { dst, src: v });
+        }
+    }
+    Some(next_temp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_block;
+    use vta_x86::decode::SliceSource;
+    use vta_x86::{Asm, Cond, Reg::*};
+
+    fn lower_opt(f: impl FnOnce(&mut Asm)) -> MBlock {
+        let mut asm = Asm::new(0x1000);
+        f(&mut asm);
+        let p = asm.finish();
+        let src = SliceSource::new(p.base, &p.code);
+        let mut b = lower_block(&src, p.base, 32).unwrap();
+        eliminate_dead_flags(&mut b, &src);
+        b
+    }
+
+    fn flagdefs(b: &MBlock) -> usize {
+        b.insns
+            .iter()
+            .filter(|i| matches!(i, MInsn::FlagDef { .. }))
+            .count()
+    }
+
+    #[test]
+    fn overwritten_flags_die() {
+        // add sets flags, the following sub overwrites all of them; only
+        // the sub's flags can survive (and they die too — the exit path is
+        // a direct jump to code that clobbers flags).
+        let b = lower_opt(|a| {
+            a.add_rr(EAX, EBX);
+            a.sub_rr(EAX, ECX);
+            let next = a.label();
+            a.jmp(next);
+            a.bind(next);
+            a.and_rr(EAX, EAX); // kills all flags at the successor
+            a.hlt();
+        });
+        assert_eq!(flagdefs(&b), 0, "every flag is dead");
+    }
+
+    #[test]
+    fn branch_keeps_only_consumed_flags() {
+        // cmp; je → the branch consumes ZF; the successor clobbers all, so
+        // exactly one FlagDef (ZF) must survive.
+        let b = lower_opt(|a| {
+            a.cmp_rr(EAX, EBX);
+            let t = a.label();
+            a.jcc(Cond::E, t);
+            a.bind(t);
+            a.and_rr(EAX, EAX);
+            a.hlt();
+        });
+        assert_eq!(flagdefs(&b), 1);
+        assert!(b.insns.iter().any(|i| matches!(
+            i,
+            MInsn::FlagDef { flag: Flag::Zf, .. }
+        )));
+    }
+
+    #[test]
+    fn indirect_successor_keeps_all() {
+        let b = lower_opt(|a| {
+            a.add_rr(EAX, EBX);
+            a.ret();
+        });
+        assert_eq!(flagdefs(&b), 6, "ret has unknown successor");
+    }
+
+    #[test]
+    fn adc_in_successor_keeps_cf() {
+        let b = lower_opt(|a| {
+            a.add_rr(EAX, EBX);
+            let next = a.label();
+            a.jmp(next);
+            a.bind(next);
+            a.adc_rr(EDX, ECX); // reads CF, then kills everything
+            a.hlt();
+        });
+        // The add's CF must survive; its other five flags are killed by
+        // the adc before any read.
+        assert_eq!(flagdefs(&b), 1);
+        assert!(b.insns.iter().any(|i| matches!(
+            i,
+            MInsn::FlagDef { flag: Flag::Cf, .. }
+        )));
+    }
+
+    #[test]
+    fn dead_shift_becomes_value_only() {
+        let b = lower_opt(|a| {
+            a.shl_ri(EAX, 3);
+            let next = a.label();
+            a.jmp(next);
+            a.bind(next);
+            a.and_rr(EAX, EAX);
+            a.hlt();
+        });
+        assert!(
+            !b.insns.iter().any(|i| matches!(i, MInsn::ShiftFx { .. })),
+            "flag-dead shift must be rewritten"
+        );
+        assert!(b
+            .insns
+            .iter()
+            .any(|i| matches!(i, MInsn::Bin { op: crate::mir::BinOp::Shl, .. })));
+    }
+
+    #[test]
+    fn live_shift_stays_flag_exact() {
+        let b = lower_opt(|a| {
+            a.shl_ri(EAX, 1);
+            let t = a.label();
+            a.jcc(Cond::B, t); // consumes the shift's CF
+            a.bind(t);
+            a.and_rr(EAX, EAX);
+            a.hlt();
+        });
+        assert!(b.insns.iter().any(|i| matches!(i, MInsn::ShiftFx { .. })));
+    }
+
+    #[test]
+    fn scan_follows_direct_jumps() {
+        let mut asm = Asm::new(0x2000);
+        let far = asm.label();
+        asm.jmp(far); // entry: jump over a gap
+        for _ in 0..10 {
+            asm.nop();
+        }
+        asm.bind(far);
+        asm.and_rr(EAX, EAX); // kills all flags
+        asm.hlt();
+        let p = asm.finish();
+        let src = SliceSource::new(p.base, &p.code);
+        let mut memo = HashMap::new();
+        assert_eq!(live_in_at(&src, 0x2000, &mut memo), FlagSet::EMPTY);
+    }
+
+    #[test]
+    fn scan_loop_terminates() {
+        let mut asm = Asm::new(0x3000);
+        let top = asm.here();
+        asm.nop();
+        asm.jmp(top); // tight infinite loop, no flag ops
+        let p = asm.finish();
+        let src = SliceSource::new(p.base, &p.code);
+        let mut memo = HashMap::new();
+        // Must not hang; memoization breaks the cycle conservatively.
+        let live = live_in_at(&src, 0x3000, &mut memo);
+        assert_eq!(live, FlagSet::ALL);
+    }
+}

@@ -1,0 +1,243 @@
+//! Constant folding plus copy/constant propagation (one forward pass).
+
+use std::collections::HashMap;
+
+use crate::mir::{BinOp, MInsn, VReg, Val};
+
+/// What we currently know about a virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lattice {
+    Const(u32),
+    CopyOf(VReg),
+}
+
+/// Folds constant expressions and forwards copies/constants through the
+/// block. Sound per-block: helper-style instructions that mutate guest
+/// registers invalidate what they touch.
+pub fn propagate(block: &mut crate::mir::MBlock) {
+    let mut known: HashMap<VReg, Lattice> = HashMap::new();
+
+    // Resolves a value through the lattice.
+    fn resolve(known: &HashMap<VReg, Lattice>, v: Val) -> Val {
+        match v {
+            Val::Const(_) => v,
+            Val::Reg(r) => match known.get(&r) {
+                Some(Lattice::Const(c)) => Val::Const(*c),
+                Some(Lattice::CopyOf(src)) => Val::Reg(*src),
+                None => v,
+            },
+        }
+    }
+
+    // Drops facts about `r` and any copies of it.
+    fn invalidate(known: &mut HashMap<VReg, Lattice>, r: VReg) {
+        known.remove(&r);
+        known.retain(|_, v| *v != Lattice::CopyOf(r));
+    }
+
+    for insn in &mut block.insns {
+        match insn {
+            MInsn::Mov { dst, src } => {
+                *src = resolve(&known, *src);
+                let fact = match *src {
+                    Val::Const(c) => Some(Lattice::Const(c)),
+                    Val::Reg(s) if s != *dst => Some(Lattice::CopyOf(s)),
+                    Val::Reg(_) => None,
+                };
+                let d = *dst;
+                invalidate(&mut known, d);
+                if let Some(f) = fact {
+                    known.insert(d, f);
+                }
+            }
+            MInsn::Bin { op, dst, a, b } => {
+                *a = resolve(&known, *a);
+                *b = resolve(&known, *b);
+                let d = *dst;
+                if let (Val::Const(ca), Val::Const(cb)) = (*a, *b) {
+                    let folded = fold(*op, ca, cb);
+                    let src = Val::Const(folded);
+                    invalidate(&mut known, d);
+                    known.insert(d, Lattice::Const(folded));
+                    *insn = MInsn::Mov { dst: d, src };
+                } else {
+                    invalidate(&mut known, d);
+                }
+            }
+            MInsn::Load { dst, base, .. } => {
+                *base = resolve(&known, *base);
+                let d = *dst;
+                invalidate(&mut known, d);
+            }
+            MInsn::Store { src, base, .. } => {
+                *src = resolve(&known, *src);
+                *base = resolve(&known, *base);
+            }
+            MInsn::FlagDef { a, b, res, cin, .. } => {
+                *a = resolve(&known, *a);
+                *b = resolve(&known, *b);
+                *res = resolve(&known, *res);
+                if let Some(c) = cin {
+                    *c = resolve(&known, *c);
+                }
+            }
+            MInsn::EvalCond { dst, .. } => {
+                let d = *dst;
+                invalidate(&mut known, d);
+            }
+            MInsn::ShiftFx { dst, a, count, .. } => {
+                *a = resolve(&known, *a);
+                *count = resolve(&known, *count);
+                let d = *dst;
+                invalidate(&mut known, d);
+            }
+            MInsn::DivHelper { divisor, .. } => {
+                *divisor = resolve(&known, *divisor);
+                // Mutates EAX/EDX.
+                invalidate(&mut known, VReg(0));
+                invalidate(&mut known, VReg(2));
+            }
+            MInsn::RepString { .. } => {
+                // Mutates EAX/ECX/ESI/EDI depending on the op; be blunt.
+                for r in [0u32, 1, 6, 7] {
+                    invalidate(&mut known, VReg(r));
+                }
+            }
+            MInsn::SetDf(_) => {}
+        }
+    }
+}
+
+/// Evaluates a [`BinOp`] on constants (shift counts taken mod 32).
+pub fn fold(op: BinOp, a: u32, b: u32) -> u32 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::MulhS => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        BinOp::MulhU => (((a as u64) * (b as u64)) >> 32) as u32,
+        BinOp::Shl => a.wrapping_shl(b & 31),
+        BinOp::Shr => a.wrapping_shr(b & 31),
+        BinOp::Sar => ((a as i32).wrapping_shr(b & 31)) as u32,
+        BinOp::SltS => ((a as i32) < b as i32) as u32,
+        BinOp::SltU => (a < b) as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::{MBlock, Term};
+
+    fn block(insns: Vec<MInsn>) -> MBlock {
+        MBlock {
+            guest_addr: 0,
+            guest_len: 0,
+            guest_insns: 0,
+            insns,
+            term: Term::Halt,
+            is_call: false,
+            next_temp: 64,
+        }
+    }
+
+    #[test]
+    fn folds_constants() {
+        let mut b = block(vec![
+            MInsn::Mov { dst: VReg(9), src: Val::Const(6) },
+            MInsn::Bin {
+                op: BinOp::Mul,
+                dst: VReg(10),
+                a: Val::Reg(VReg(9)),
+                b: Val::Const(7),
+            },
+            MInsn::Mov { dst: VReg(0), src: Val::Reg(VReg(10)) },
+        ]);
+        propagate(&mut b);
+        assert_eq!(
+            b.insns[2],
+            MInsn::Mov { dst: VReg(0), src: Val::Const(42) }
+        );
+    }
+
+    #[test]
+    fn copies_forward() {
+        let mut b = block(vec![
+            MInsn::Mov { dst: VReg(9), src: Val::Reg(VReg(1)) },
+            MInsn::Bin {
+                op: BinOp::Add,
+                dst: VReg(10),
+                a: Val::Reg(VReg(9)),
+                b: Val::Reg(VReg(9)),
+            },
+        ]);
+        propagate(&mut b);
+        assert_eq!(
+            b.insns[1],
+            MInsn::Bin {
+                op: BinOp::Add,
+                dst: VReg(10),
+                a: Val::Reg(VReg(1)),
+                b: Val::Reg(VReg(1)),
+            }
+        );
+    }
+
+    #[test]
+    fn redefinition_invalidates_copies() {
+        let mut b = block(vec![
+            MInsn::Mov { dst: VReg(9), src: Val::Reg(VReg(1)) },
+            // Redefine the source.
+            MInsn::Mov { dst: VReg(1), src: Val::Const(0) },
+            MInsn::Bin {
+                op: BinOp::Add,
+                dst: VReg(10),
+                a: Val::Reg(VReg(9)),
+                b: Val::Const(0),
+            },
+        ]);
+        propagate(&mut b);
+        // %t0 must NOT have been replaced by the clobbered %ecx.
+        assert_eq!(
+            b.insns[2],
+            MInsn::Bin {
+                op: BinOp::Add,
+                dst: VReg(10),
+                a: Val::Reg(VReg(9)),
+                b: Val::Const(0),
+            }
+        );
+    }
+
+    #[test]
+    fn div_helper_clobbers_accumulator() {
+        let mut b = block(vec![
+            MInsn::Mov { dst: VReg(0), src: Val::Const(5) }, // EAX = 5
+            MInsn::DivHelper {
+                signed: false,
+                size: vta_x86::Size::Dword,
+                divisor: Val::Const(2),
+            },
+            MInsn::Mov { dst: VReg(9), src: Val::Reg(VReg(0)) },
+        ]);
+        propagate(&mut b);
+        // EAX is no longer the constant 5 after the divide.
+        assert_eq!(
+            b.insns[2],
+            MInsn::Mov { dst: VReg(9), src: Val::Reg(VReg(0)) }
+        );
+    }
+
+    #[test]
+    fn fold_table() {
+        assert_eq!(fold(BinOp::Add, u32::MAX, 1), 0);
+        assert_eq!(fold(BinOp::Sar, 0x8000_0000, 31), u32::MAX);
+        assert_eq!(fold(BinOp::Shr, 0x8000_0000, 31), 1);
+        assert_eq!(fold(BinOp::SltS, u32::MAX, 0), 1);
+        assert_eq!(fold(BinOp::SltU, u32::MAX, 0), 0);
+        assert_eq!(fold(BinOp::MulhU, u32::MAX, 2), 1);
+    }
+}

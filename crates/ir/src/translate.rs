@@ -1,0 +1,204 @@
+//! The translation pipeline driver: decode → lower → optimize → codegen.
+
+use vta_raw::isa::RInsn;
+use vta_x86::decode::{CodeSource, DecodeError};
+
+use crate::codegen::{codegen, CodegenError};
+use crate::lower::{lower_block, MAX_BLOCK_INSNS};
+use crate::mir::Term;
+use crate::opt;
+
+/// Translation effort (Figure 8 compares the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OptLevel {
+    /// Baseline translation only: dead-flag elimination (which the paper
+    /// counts as part of the core translator, §4.5) but no further passes.
+    None,
+    /// The full pass pipeline ("optimization on" in Figure 8).
+    #[default]
+    Full,
+}
+
+impl OptLevel {
+    /// Per-guest-instruction translation occupancy in slave-tile cycles.
+    ///
+    /// Calibrated so a typical block costs a few thousand cycles to
+    /// translate — large against execution but overlappable by
+    /// speculative parallel translation. Optimization roughly doubles
+    /// the translation occupancy (the cost Figure 8 says is worth paying
+    /// off the critical path).
+    pub fn cycles_per_guest_insn(self) -> u64 {
+        match self {
+            OptLevel::None => 260,
+            OptLevel::Full => 540,
+        }
+    }
+}
+
+/// A translated block of host code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TBlock {
+    /// Guest address this block translates.
+    pub guest_addr: u32,
+    /// Bytes of guest code covered.
+    pub guest_len: u32,
+    /// Guest instructions covered.
+    pub guest_insns: u32,
+    /// The host code.
+    pub code: Vec<RInsn>,
+    /// Slave-tile cycles the translation cost.
+    pub translate_cycles: u64,
+    /// The block's terminator (drives speculation on successors).
+    pub term: Term,
+    /// Whether the block ends in a guest `call` (return predictor).
+    pub is_call: bool,
+}
+
+impl TBlock {
+    /// Host code size in bytes (for code-cache accounting).
+    pub fn host_bytes(&self) -> u32 {
+        self.code.len() as u32 * RInsn::SIZE_BYTES
+    }
+}
+
+/// Translation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// Guest instruction decode failed.
+    Decode(DecodeError),
+    /// Code generation failed.
+    Codegen(CodegenError),
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::Decode(e) => write!(f, "decode: {e}"),
+            TranslateError::Codegen(e) => write!(f, "codegen: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<DecodeError> for TranslateError {
+    fn from(e: DecodeError) -> Self {
+        TranslateError::Decode(e)
+    }
+}
+
+impl From<CodegenError> for TranslateError {
+    fn from(e: CodegenError) -> Self {
+        TranslateError::Codegen(e)
+    }
+}
+
+/// Translates the guest basic block at `addr` into host code.
+///
+/// # Errors
+///
+/// Returns [`TranslateError`] on undecodable guest code or pathological
+/// register pressure.
+///
+/// # Examples
+///
+/// ```
+/// use vta_ir::{translate_block, OptLevel};
+/// use vta_x86::decode::SliceSource;
+/// use vta_x86::{Asm, Reg};
+///
+/// let mut asm = Asm::new(0x1000);
+/// asm.add_ri(Reg::EAX, 1);
+/// asm.hlt();
+/// let p = asm.finish();
+/// let b = translate_block(&SliceSource::new(p.base, &p.code), p.base, OptLevel::Full)?;
+/// assert_eq!(b.guest_insns, 2);
+/// # Ok::<(), vta_ir::TranslateError>(())
+/// ```
+pub fn translate_block<S: CodeSource + ?Sized>(
+    src: &S,
+    addr: u32,
+    opt: OptLevel,
+) -> Result<TBlock, TranslateError> {
+    let mut block = lower_block(src, addr, MAX_BLOCK_INSNS)?;
+    match opt {
+        OptLevel::Full => opt::optimize(&mut block, src),
+        OptLevel::None => opt::baseline_only(&mut block, src),
+    }
+    let code = codegen(&block)?;
+    Ok(TBlock {
+        guest_addr: block.guest_addr,
+        guest_len: block.guest_len,
+        guest_insns: block.guest_insns,
+        translate_cycles: block.guest_insns as u64 * opt.cycles_per_guest_insn(),
+        term: block.term,
+        is_call: block.is_call,
+        code,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vta_x86::decode::SliceSource;
+    use vta_x86::{Asm, Reg::*};
+
+    fn translate(opt: OptLevel, f: impl FnOnce(&mut Asm)) -> TBlock {
+        let mut asm = Asm::new(0x1000);
+        f(&mut asm);
+        let p = asm.finish();
+        translate_block(&SliceSource::new(p.base, &p.code), p.base, opt).expect("translates")
+    }
+
+    #[test]
+    fn optimization_shrinks_code() {
+        let body = |a: &mut Asm| {
+            a.mov_ri(EAX, 6);
+            a.mov_ri(ECX, 7);
+            a.imul_rr(EAX, ECX);
+            a.add_ri(EAX, 0x100);
+            let l = a.label();
+            a.jmp(l);
+            a.bind(l);
+            a.and_rr(EAX, EAX);
+            a.hlt();
+        };
+        let full = translate(OptLevel::Full, body);
+        let none = translate(OptLevel::None, body);
+        assert!(
+            full.code.len() < none.code.len(),
+            "optimized {} vs unoptimized {}",
+            full.code.len(),
+            none.code.len()
+        );
+    }
+
+    #[test]
+    fn optimization_costs_more_to_run() {
+        let t = |o: OptLevel| {
+            translate(o, |a| {
+                a.add_rr(EAX, EBX);
+                a.ret();
+            })
+        };
+        assert!(t(OptLevel::Full).translate_cycles > t(OptLevel::None).translate_cycles);
+    }
+
+    #[test]
+    fn covers_guest_bytes() {
+        let b = translate(OptLevel::Full, |a| {
+            a.mov_ri(EAX, 1); // 5 bytes
+            a.ret(); // 1 byte
+        });
+        assert_eq!(b.guest_len, 6);
+        assert_eq!(b.guest_insns, 2);
+        assert!(b.host_bytes() >= 4);
+    }
+
+    #[test]
+    fn decode_error_propagates() {
+        let bytes = [0x0F, 0x31]; // rdtsc: unsupported
+        let r = translate_block(&SliceSource::new(0, &bytes), 0, OptLevel::Full);
+        assert!(matches!(r, Err(TranslateError::Decode(_))));
+    }
+}

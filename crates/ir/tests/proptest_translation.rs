@@ -1,0 +1,231 @@
+//! Property tests: translated host code is semantically equivalent to
+//! the reference interpreter on proptest-generated straight-line guest
+//! programs, at both optimization levels — with shrinking, so a failure
+//! minimizes to the offending instruction mix.
+
+use proptest::prelude::*;
+use vta_ir::{apply_helper, translate_block, OptLevel};
+use vta_raw::exec::{run_block, BlockExit, CoreState, DataPort, Fault};
+use vta_raw::isa::{HelperKind, MemOp, RReg};
+use vta_x86::{Asm, Cond, Cpu, GuestImage, GuestMem, Reg};
+
+const BASE: u32 = 0x0800_0000;
+const DATA: u32 = 0x0900_0000;
+
+#[derive(Debug, Clone)]
+enum GOp {
+    AluRr(u8, Reg, Reg),
+    AluRi(u8, Reg, i32),
+    Unary(u8, Reg),
+    ShiftRi(u8, Reg, u8),
+    ShiftCl(u8, Reg),
+    MulWide(bool, Reg),
+    GuardedDiv(bool),
+    Cmov(Cond, Reg, Reg),
+    Setcc(Cond, u8),
+    StoreLoad(Reg, Reg, u16),
+    PushPop(Reg, Reg),
+    Widen(bool, Reg, Reg),
+}
+
+fn reg() -> impl Strategy<Value = Reg> {
+    // Leave EBP (data base) and ESP (stack) stable.
+    prop_oneof![
+        Just(Reg::EAX),
+        Just(Reg::ECX),
+        Just(Reg::EDX),
+        Just(Reg::EBX),
+        Just(Reg::ESI),
+        Just(Reg::EDI),
+    ]
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    (0u8..16).prop_map(Cond::from_num)
+}
+
+fn gop() -> impl Strategy<Value = GOp> {
+    prop_oneof![
+        ((0u8..8), reg(), reg()).prop_map(|(o, a, b)| GOp::AluRr(o, a, b)),
+        ((0u8..8), reg(), any::<i32>()).prop_map(|(o, a, i)| GOp::AluRi(o, a, i)),
+        ((0u8..4), reg()).prop_map(|(o, a)| GOp::Unary(o, a)),
+        ((0u8..5), reg(), 0u8..34).prop_map(|(o, a, c)| GOp::ShiftRi(o, a, c)),
+        ((0u8..3), reg()).prop_map(|(o, a)| GOp::ShiftCl(o, a)),
+        (any::<bool>(), reg()).prop_map(|(s, r)| GOp::MulWide(s, r)),
+        any::<bool>().prop_map(GOp::GuardedDiv),
+        (cond(), reg(), reg()).prop_map(|(c, a, b)| GOp::Cmov(c, a, b)),
+        (cond(), 0u8..4).prop_map(|(c, r)| GOp::Setcc(c, r)),
+        (reg(), reg(), any::<u16>()).prop_map(|(a, b, o)| GOp::StoreLoad(a, b, o)),
+        (reg(), reg()).prop_map(|(a, b)| GOp::PushPop(a, b)),
+        (any::<bool>(), reg(), reg()).prop_map(|(s, a, b)| GOp::Widen(s, a, b)),
+    ]
+}
+
+fn emit(a: &mut Asm, op: &GOp) {
+    match op.clone() {
+        GOp::AluRr(o, x, y) => match o {
+            0 => a.add_rr(x, y),
+            1 => a.or_rr(x, y),
+            2 => a.adc_rr(x, y),
+            3 => a.sbb_rr(x, y),
+            4 => a.and_rr(x, y),
+            5 => a.sub_rr(x, y),
+            6 => a.xor_rr(x, y),
+            _ => a.cmp_rr(x, y),
+        },
+        GOp::AluRi(o, x, i) => match o {
+            0 => a.add_ri(x, i),
+            1 => a.or_ri(x, i),
+            2 => a.adc_ri(x, i),
+            3 => a.sbb_ri(x, i),
+            4 => a.and_ri(x, i),
+            5 => a.sub_ri(x, i),
+            6 => a.xor_ri(x, i),
+            _ => a.cmp_ri(x, i),
+        },
+        GOp::Unary(o, x) => match o {
+            0 => a.inc_r(x),
+            1 => a.dec_r(x),
+            2 => a.neg_r(x),
+            _ => a.not_r(x),
+        },
+        GOp::ShiftRi(o, x, c) => match o {
+            0 => a.shl_ri(x, c),
+            1 => a.shr_ri(x, c),
+            2 => a.sar_ri(x, c),
+            3 => a.rol_ri(x, c),
+            _ => a.ror_ri(x, c),
+        },
+        GOp::ShiftCl(o, x) => match o {
+            0 => a.shl_rcl(x),
+            1 => a.shr_rcl(x),
+            _ => a.sar_rcl(x),
+        },
+        GOp::MulWide(signed, x) => {
+            if signed {
+                a.imul_r(x);
+            } else {
+                a.mul_r(x);
+            }
+        }
+        GOp::GuardedDiv(signed) => {
+            // Make the divide well-defined: EDX:EAX small, divisor odd.
+            a.mov_ri(Reg::EDX, 0);
+            a.or_ri(Reg::ECX, 1);
+            if signed {
+                a.idiv_r(Reg::ECX);
+            } else {
+                a.div_r(Reg::ECX);
+            }
+        }
+        GOp::Cmov(c, x, y) => a.cmovcc(c, x, y),
+        GOp::Setcc(c, r) => a.setcc(c, r),
+        GOp::StoreLoad(x, y, off) => {
+            let off = (off & 0xFFC) as i32;
+            a.mov_mr(vta_x86::MemRef::base_disp(Reg::EBP, off), x);
+            a.mov_rm(y, vta_x86::MemRef::base_disp(Reg::EBP, off));
+        }
+        GOp::PushPop(x, y) => {
+            a.push_r(x);
+            a.pop_r(y);
+        }
+        GOp::Widen(sext, x, y) => {
+            if sext {
+                a.movsx(x, y, vta_x86::Size::Byte);
+            } else {
+                a.movzx(x, y, vta_x86::Size::Word);
+            }
+        }
+    }
+}
+
+struct Port<'a> {
+    mem: &'a mut GuestMem,
+}
+
+impl DataPort for Port<'_> {
+    fn load(&mut self, addr: u32, op: MemOp) -> Result<(u32, u64), Fault> {
+        self.mem
+            .read_sized(addr, op.bytes())
+            .map(|v| (v, 0))
+            .map_err(|e| Fault::Unmapped { addr: e.addr })
+    }
+    fn store(&mut self, addr: u32, value: u32, op: MemOp) -> Result<u64, Fault> {
+        self.mem
+            .write_sized(addr, value, op.bytes())
+            .map(|_| 0)
+            .map_err(|e| Fault::Unmapped { addr: e.addr })
+    }
+    fn helper(&mut self, kind: HelperKind, state: &mut CoreState) -> Result<(), Fault> {
+        apply_helper(kind, state)
+    }
+}
+
+/// Runs translated blocks functionally until Halt; returns guest regs.
+fn run_translated(image: &GuestImage, opt: OptLevel) -> Option<[u32; 8]> {
+    let mut mem = image.build_mem();
+    let mut state = CoreState::new();
+    state.set(RReg(5), image.initial_esp());
+    let mut pc = image.entry;
+    for _ in 0..10_000 {
+        let block = translate_block(&mem, pc, opt).ok()?;
+        let mut port = Port { mem: &mut mem };
+        let out = run_block(&mut state, &block.code, &mut port, 10_000_000);
+        match out.exit {
+            BlockExit::Goto(t) | BlockExit::Indirect(t) => pc = t,
+            BlockExit::Halt => {
+                let mut regs = [0u32; 8];
+                for (i, r) in regs.iter_mut().enumerate() {
+                    *r = state.get(RReg(i as u8 + 1));
+                }
+                return Some(regs);
+            }
+            BlockExit::Sys | BlockExit::Fault(_) => return None,
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn translated_equals_interpreted(
+        seeds in proptest::collection::vec(any::<u32>(), 6),
+        ops in proptest::collection::vec(gop(), 1..25),
+    ) {
+        let mut asm = Asm::new(BASE);
+        for (r, s) in [Reg::EAX, Reg::ECX, Reg::EDX, Reg::EBX, Reg::ESI, Reg::EDI]
+            .into_iter()
+            .zip(&seeds)
+        {
+            asm.mov_ri(r, *s);
+        }
+        asm.mov_ri(Reg::EBP, DATA);
+        for op in &ops {
+            emit(&mut asm, op);
+        }
+        // Observe every flag through setcc before halting.
+        for (i, c) in [Cond::B, Cond::E, Cond::S, Cond::O, Cond::P].iter().enumerate() {
+            asm.setcc(*c, (i % 4) as u8);
+            asm.push_r(Reg::EAX);
+            asm.pop_r(Reg::EAX);
+        }
+        asm.hlt();
+        let image = GuestImage::from_code(asm.finish()).with_bss(DATA, 0x2000);
+
+        // Reference run.
+        let mut cpu = Cpu::new(&image);
+        let ref_ok = cpu.run(1_000_000).is_ok();
+
+        for opt in [OptLevel::None, OptLevel::Full] {
+            let got = run_translated(&image, opt);
+            if ref_ok {
+                let got = got.unwrap_or_else(|| panic!("translated run failed ({opt:?})"));
+                prop_assert_eq!(got, cpu.regs, "opt level {:?}", opt);
+            } else {
+                prop_assert!(got.is_none(), "both sides must fault together");
+            }
+        }
+    }
+}

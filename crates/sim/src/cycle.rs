@@ -1,0 +1,111 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, measured in host (Raw) clock cycles.
+///
+/// The paper compares architectures clock-for-clock (§4.1), so one [`Cycle`]
+/// is simultaneously one Raw cycle and one Pentium III cycle. The newtype
+/// keeps cycle arithmetic from being confused with instruction counts or
+/// byte addresses.
+///
+/// # Examples
+///
+/// ```
+/// use vta_sim::Cycle;
+///
+/// let start = Cycle(100);
+/// let end = start + 25;
+/// assert_eq!(end - start, 25);
+/// assert!(end > start);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero cycle, i.e. simulation start.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier`, zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl SubAssign<u64> for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: u64) {
+        self.0 -= rhs;
+    }
+}
+
+impl Sum<u64> for Cycle {
+    fn sum<I: Iterator<Item = u64>>(iter: I) -> Cycle {
+        Cycle(iter.sum())
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let c = Cycle(7) + 5;
+        assert_eq!(c, Cycle(12));
+        assert_eq!(c - Cycle(7), 5);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(Cycle(3).saturating_since(Cycle(10)), 0);
+        assert_eq!(Cycle(10).saturating_since(Cycle(3)), 7);
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle::ZERO, Cycle(0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle(42).to_string(), "42 cyc");
+    }
+}

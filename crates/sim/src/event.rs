@@ -1,0 +1,150 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A monotonic queue of future events keyed by completion [`Cycle`].
+///
+/// Components that start a multi-cycle operation (a DRAM access, a cache
+/// flush during morphing) schedule its completion here and pick it up once
+/// the global clock reaches the due cycle. Events scheduled for the same
+/// cycle are delivered in insertion order, which keeps the simulation
+/// deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use vta_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle(4), 'a');
+/// q.schedule(Cycle(4), 'b');
+/// q.schedule(Cycle(2), 'c');
+/// assert_eq!(q.pop_ready(Cycle(4)), Some('c'));
+/// assert_eq!(q.pop_ready(Cycle(4)), Some('a'));
+/// assert_eq!(q.pop_ready(Cycle(4)), Some('b'));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    due: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to become ready at cycle `due`.
+    pub fn schedule(&mut self, due: Cycle, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { due, seq, payload }));
+    }
+
+    /// Pops the earliest event whose due cycle is `<= now`, if any.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if self.heap.peek().is_some_and(|Reverse(e)| e.due <= now) {
+            self.heap.pop().map(|Reverse(e)| e.payload)
+        } else {
+            None
+        }
+    }
+
+    /// The due cycle of the earliest pending event, if any.
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.due)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(9), 9);
+        q.schedule(Cycle(1), 1);
+        q.schedule(Cycle(5), 5);
+        assert_eq!(q.next_due(), Some(Cycle(1)));
+        assert_eq!(q.pop_ready(Cycle(10)), Some(1));
+        assert_eq!(q.pop_ready(Cycle(10)), Some(5));
+        assert_eq!(q.pop_ready(Cycle(10)), Some(9));
+    }
+
+    #[test]
+    fn not_ready_before_due() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), ());
+        assert_eq!(q.pop_ready(Cycle(4)), None);
+        assert_eq!(q.pop_ready(Cycle(5)), Some(()));
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle(3), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop_ready(Cycle(3)), Some(i));
+        }
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Cycle(1), ());
+        q.schedule(Cycle(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop_ready(Cycle(2));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # vta-sim — simulation kernel for the VTA tiled-processor reproduction
+//!
+//! Shared infrastructure used by every simulated component in this
+//! workspace: a [`Cycle`] clock newtype, a deterministic [`Rng`]
+//! (xoshiro256\*\*), an ordered [`EventQueue`] for future completions, and a
+//! [`Stats`] registry of named counters and histograms.
+//!
+//! The simulators built on top of this crate are *cycle-driven*: components
+//! are ticked under a global clock and charge work in whole cycles. The
+//! event queue exists for sparse future events (DRAM completions, morphing
+//! timers) so components do not need to poll.
+//!
+//! # Examples
+//!
+//! ```
+//! use vta_sim::{Cycle, EventQueue};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Cycle(10), "dram refill");
+//! q.schedule(Cycle(3), "tlb fill");
+//! assert_eq!(q.pop_ready(Cycle(5)), Some("tlb fill"));
+//! assert_eq!(q.pop_ready(Cycle(5)), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycle;
+mod event;
+mod rng;
+mod stats;
+
+pub use cycle::Cycle;
+pub use event::EventQueue;
+pub use rng::Rng;
+pub use stats::{Histogram, Stats};

@@ -1,0 +1,269 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A registry of named event counters and histograms for one simulation run.
+///
+/// Every figure in the paper's evaluation is a ratio of two counters
+/// (e.g. Figure 6 is `l2code.accesses / cycles`), so components bump
+/// counters here and the benchmark harness reads them back by name at the
+/// end of a run. Names are dotted paths like `"l2code.miss"`.
+///
+/// # Examples
+///
+/// ```
+/// use vta_sim::Stats;
+///
+/// let mut stats = Stats::new();
+/// stats.add("l2code.access", 3);
+/// stats.bump("l2code.access");
+/// assert_eq!(stats.get("l2code.access"), 4);
+/// assert_eq!(stats.get("never.touched"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Adds `n` to the counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += n;
+        } else {
+            self.counters.insert(name.to_owned(), n);
+        }
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn bump(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Reads a counter; unknown names read as zero.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a counter to an absolute value (for gauges like queue depth).
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_owned(), value);
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// Returns the histogram `name`, if any values were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Ratio of two counters; `None` if the denominator is zero.
+    pub fn ratio(&self, num: &str, den: &str) -> Option<f64> {
+        let d = self.get(den);
+        (d != 0).then(|| self.get(num) as f64 / d as f64)
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another registry into this one, summing counters.
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A fixed-bucket power-of-two histogram of `u64` samples.
+///
+/// Bucket `i` holds samples whose value has bit-length `i` (i.e. values in
+/// `[2^(i-1), 2^i)`), which is plenty for latency distributions.
+///
+/// # Examples
+///
+/// ```
+/// use vta_sim::Histogram;
+///
+/// let mut h = Histogram::default();
+/// h.record(6);
+/// h.record(100);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.sum(), 106);
+/// assert!(h.mean() > 50.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[64 - value.leading_zeros() as usize] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample, or zero if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, or zero if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Accumulates another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.bump("a");
+        s.add("a", 4);
+        assert_eq!(s.get("a"), 5);
+    }
+
+    #[test]
+    fn unknown_counter_is_zero() {
+        assert_eq!(Stats::new().get("nope"), 0);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let mut s = Stats::new();
+        s.add("n", 10);
+        assert_eq!(s.ratio("n", "d"), None);
+        s.add("d", 4);
+        assert_eq!(s.ratio("n", "d"), Some(2.5));
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = Stats::new();
+        a.add("x", 1);
+        let mut b = Stats::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut s = Stats::new();
+        s.add("gauge", 5);
+        s.set("gauge", 2);
+        assert_eq!(s.get("gauge"), 2);
+    }
+
+    #[test]
+    fn histogram_moments() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 10);
+        assert_eq!(h.max(), 4);
+        assert!((h.mean() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::default();
+        a.record(8);
+        let mut b = Histogram::default();
+        b.record(16);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 16);
+    }
+
+    #[test]
+    fn stats_display_lists_counters() {
+        let mut s = Stats::new();
+        s.add("k", 1);
+        assert!(s.to_string().contains("k = 1"));
+    }
+
+    #[test]
+    fn iter_in_name_order() {
+        let mut s = Stats::new();
+        s.add("b", 1);
+        s.add("a", 1);
+        let names: Vec<&str> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -1,0 +1,114 @@
+//! `186.crafty` stand-in: bitboard move generation.
+//!
+//! 64-bit bitboard manipulation on a 32-bit guest: shift/carry pairs,
+//! population-style folds, and attack-table lookups, spread across ~90
+//! distinct generator functions — an instruction working set past the
+//! L1.5 banks, the third member of the paper's congestion trio.
+
+use vta_x86::{Cond, GuestImage, MemRef, Reg::*};
+
+use crate::gen::{prologue, Gen, DATA_BASE};
+use crate::Scale;
+
+/// Distinct move-generator functions.
+const GENERATORS: usize = 120;
+
+/// Emits one 64-bit (EBX:EDX) bitboard operation.
+fn bitboard_op(g: &mut Gen) {
+    let a = &mut g.a;
+    match g.rng.below(5) {
+        0 => {
+            // 64-bit shift left by one: edx:ebx <<= 1.
+            a.mov_rr(ECX, EBX);
+            a.shr_ri(ECX, 31);
+            a.shl_ri(EBX, 1);
+            a.shl_ri(EDX, 1);
+            a.or_rr(EDX, ECX);
+        }
+        1 => {
+            // 64-bit add with carry.
+            a.add_rr(EBX, EAX);
+            a.adc_ri(EDX, 0);
+        }
+        2 => {
+            // Attack-table lookup indexed by a bitboard fragment.
+            a.mov_rr(ECX, EBX);
+            a.shr_ri(ECX, 12);
+            a.and_ri(ECX, 0x1FFC);
+            a.add_rm(EAX, MemRef::base_index(EBP, ECX, 1, 0));
+        }
+        3 => {
+            a.and_rr(EDX, EBX);
+            a.not_r(EDX);
+        }
+        _ => {
+            a.xor_rr(EBX, EDX);
+            a.rol_ri(EBX, 7);
+        }
+    }
+}
+
+/// Builds the benchmark image.
+pub fn build(scale: Scale) -> GuestImage {
+    let mut g = Gen::new(186);
+    let plies = scale.iters(10);
+
+    prologue(&mut g);
+    let mut funcs = Vec::with_capacity(GENERATORS);
+    for _ in 0..GENERATORS {
+        funcs.push(g.a.label());
+    }
+
+    g.a.mov_mi(MemRef::base_disp(EBP, 0x1_0000), plies);
+    let ply_top = g.a.here();
+    for &f in &funcs {
+        g.a.call(f);
+    }
+    g.a.dec_m(MemRef::base_disp(EBP, 0x1_0000));
+    g.a.jcc(Cond::Ne, ply_top);
+    let done = g.a.label();
+    g.a.jmp(done);
+
+    // Generator bodies: ~110 instructions of bitboard work each.
+    for f in funcs {
+        g.a.bind(f);
+        for chunk in 0..4 {
+            for _ in 0..5 {
+                bitboard_op(&mut g);
+                g.alu_filler(2);
+                g.branch_hop();
+            }
+            // Never-taken excursion into cold analysis code.
+            let _ = chunk;
+            g.code_region_cold(1, 0, 0x1000, 1, 8);
+        }
+        g.a.ret();
+    }
+    g.a.bind(done);
+
+    let tables = g.data_blob(0x1_0000);
+    g.finish_with_checksum()
+        .with_data(DATA_BASE, tables)
+        .with_bss(DATA_BASE + 0x1_0000, 0x1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vta_x86::{Cpu, StopReason};
+
+    #[test]
+    fn bitboards_fold_deterministically() {
+        let img = build(Scale::Test);
+        assert!(
+            img.code.len() > 48_000,
+            "crafty exceeds L1 code capacity: {}",
+            img.code.len()
+        );
+        let mut cpu = Cpu::new(&img);
+        assert!(matches!(
+            cpu.run(200_000_000).expect("no fault"),
+            StopReason::Exit(_)
+        ));
+    }
+}

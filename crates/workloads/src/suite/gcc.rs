@@ -1,0 +1,78 @@
+//! `176.gcc` stand-in: compilation passes over hundreds of functions.
+//!
+//! The largest instruction working set in the suite: ~240 distinct
+//! "pass" functions, each called twice per iteration in different orders.
+//! Far beyond both L1 and L1.5 code capacity — the paper's highest
+//! slowdown, dominated by L2 code-cache traffic and re-translation-free
+//! but chaining-free execution.
+
+use vta_x86::{Cond, GuestImage, MemRef, Reg::*};
+
+use crate::gen::{prologue, Gen, DATA_BASE};
+use crate::Scale;
+
+/// Number of distinct functions.
+const FUNCS: usize = 240;
+
+/// Builds the benchmark image.
+pub fn build(scale: Scale) -> GuestImage {
+    let mut g = Gen::new(176);
+    let passes = scale.iters(12);
+
+    prologue(&mut g);
+
+    // Emit the driver first: it calls every function in two orders.
+    let mut func_labels = Vec::with_capacity(FUNCS);
+    for _ in 0..FUNCS {
+        func_labels.push(g.a.label());
+    }
+
+    g.a.mov_mi(MemRef::base_disp(EBP, 0x2_0000), passes);
+    let pass_top = g.a.here();
+    // Forward order, evens first — then odds (defeats simple locality).
+    for start in [0usize, 1] {
+        let mut i = start;
+        while i < FUNCS {
+            g.a.call(func_labels[i]);
+            i += 2;
+        }
+    }
+    g.a.dec_m(MemRef::base_disp(EBP, 0x2_0000));
+    g.a.jcc(Cond::Ne, pass_top);
+    let done = g.a.label();
+    g.a.jmp(done);
+
+    // Emit the function bodies: ~12 blocks each.
+    for label in func_labels {
+        g.a.bind(label);
+        g.code_region_cold(11, 25, 0x2000, 3, 6);
+        g.a.ret();
+    }
+
+    g.a.bind(done);
+    let blob = g.data_blob(0x8000);
+    g.finish_with_checksum()
+        .with_data(DATA_BASE, blob)
+        .with_bss(DATA_BASE + 0x2_0000, 0x1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vta_x86::{Cpu, StopReason};
+
+    #[test]
+    fn huge_code_working_set() {
+        let img = build(Scale::Test);
+        assert!(
+            img.code.len() > 60_000,
+            "gcc must dwarf the code caches: {}",
+            img.code.len()
+        );
+        let mut cpu = Cpu::new(&img);
+        assert!(matches!(
+            cpu.run(200_000_000).expect("no fault"),
+            StopReason::Exit(_)
+        ));
+    }
+}

@@ -1,0 +1,79 @@
+//! `181.mcf` stand-in: network-simplex pointer chasing.
+//!
+//! The smallest hot-loop footprint in the suite chained inside the L1
+//! code cache, but a serial dependent walk over a 224 KiB node arena — every
+//! step is a data-cache miss, so this benchmark lives in the memory
+//! system (it is the one that benefits most from more L2 data tiles).
+
+use vta_x86::{Cond, GuestImage, MemRef, Reg::*};
+
+use crate::gen::{prologue, Gen, DATA_BASE};
+use crate::Scale;
+
+/// Number of 16-byte nodes (224 KiB arena: larger than the emulator's
+/// banked L2 data capacity, inside the Pentium III's 256 KiB L2).
+const NODES: u32 = 14 * 1024;
+
+/// Builds the benchmark image.
+pub fn build(scale: Scale) -> GuestImage {
+    let mut g = Gen::new(181);
+    let steps = scale.iters(30_000);
+
+    // A single random cycle over all nodes (sattolo's algorithm), laid
+    // out as 16-byte nodes: [next_offset, cost, 0, 0].
+    let mut perm: Vec<u32> = (0..NODES).collect();
+    for i in (1..NODES as usize).rev() {
+        let j = g.rng.below(i as u64) as usize;
+        perm.swap(i, j);
+    }
+    let mut arena = vec![0u8; (NODES * 16) as usize];
+    for i in 0..NODES as usize {
+        let next = perm[i] * 16;
+        arena[i * 16..i * 16 + 4].copy_from_slice(&next.to_le_bytes());
+        let cost = g.rng.next_u32() & 0xFFFF;
+        arena[i * 16 + 4..i * 16 + 8].copy_from_slice(&cost.to_le_bytes());
+    }
+
+    prologue(&mut g);
+    // One-shot initialization phase (network construction in real mcf).
+    // It scribbles on a scratch window past the node arena.
+    g.a.mov_ri(EBP, DATA_BASE + NODES * 16 + 0x1000);
+    g.code_region(380, 10, 0x1000);
+    g.a.mov_ri(EBP, DATA_BASE);
+    let a = &mut g.a;
+    a.mov_mi(MemRef::base_disp(EBP, (NODES * 16) as i32), steps);
+    a.mov_ri(ESI, 0); // current node offset
+
+    let top = a.here();
+    // Chase: node = node.next; checksum += node.cost (serial dependence).
+    a.mov_rm(ESI, MemRef::base_index(EBP, ESI, 1, 0));
+    a.add_rm(EAX, MemRef::base_index(EBP, ESI, 1, 4));
+    // A little "arc relaxation" arithmetic per step.
+    a.mov_rr(EBX, ESI);
+    a.shr_ri(EBX, 4);
+    a.xor_rr(EDX, EBX);
+    a.dec_m(MemRef::base_disp(EBP, (NODES * 16) as i32));
+    a.jcc(Cond::Ne, top);
+
+    g.finish_with_checksum()
+        .with_data(DATA_BASE, arena)
+        .with_bss(DATA_BASE + NODES * 16, 0x4000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vta_x86::{Cpu, StopReason};
+
+    #[test]
+    fn chases_the_whole_cycle() {
+        let img = build(Scale::Test);
+        let mut cpu = Cpu::new(&img);
+        assert!(matches!(
+            cpu.run(50_000_000).expect("no fault"),
+            StopReason::Exit(_)
+        ));
+        // The chase loop itself is tiny; the rest is one-shot init code.
+        assert!(img.code.len() < 24 * 1024);
+    }
+}

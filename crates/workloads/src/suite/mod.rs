@@ -1,0 +1,25 @@
+//! The eleven benchmark builders (one module per SpecInt counterpart).
+
+mod bzip2;
+mod crafty;
+mod gap;
+mod gcc;
+mod gzip;
+mod mcf;
+mod parser;
+mod perlbmk;
+mod twolf;
+mod vortex;
+mod vpr;
+
+pub use bzip2::build as bzip2;
+pub use crafty::build as crafty;
+pub use gap::build as gap;
+pub use gcc::build as gcc;
+pub use gzip::build as gzip;
+pub use mcf::build as mcf;
+pub use parser::build as parser;
+pub use perlbmk::build as perlbmk;
+pub use twolf::build as twolf;
+pub use vortex::build as vortex;
+pub use vpr::build as vpr;

@@ -1,0 +1,108 @@
+//! `197.parser` stand-in: tokenizing with hash-dictionary lookups.
+//!
+//! Byte-granular scanning of a 32 KiB text plus probes into a 16 KiB
+//! dictionary with 4-byte key compares. Moderate code (fits L1) and a
+//! mixed, pointerish data access pattern.
+
+use vta_x86::{Cond, GuestImage, MemRef, Reg::*, Size};
+
+use crate::gen::{prologue, Gen, DATA_BASE};
+use crate::Scale;
+
+/// Text bytes.
+const TEXT: u32 = 16 * 1024;
+/// Dictionary offset (1024 entries × 16 B).
+const DICT_OFF: u32 = 0x1_0000;
+
+/// Builds the benchmark image.
+pub fn build(scale: Scale) -> GuestImage {
+    let mut g = Gen::new(197);
+    let passes = scale.iters(4);
+
+    // "Words": 4-byte tokens drawn from a 300-token vocabulary.
+    let vocab: Vec<u32> = (0..300).map(|_| g.rng.next_u32() | 0x0101_0101).collect();
+    let mut text = Vec::with_capacity(TEXT as usize);
+    while text.len() < TEXT as usize {
+        let w = vocab[g.rng.below(300) as usize];
+        text.extend_from_slice(&w.to_le_bytes());
+        text.extend_from_slice(b"    ");
+    }
+    text.truncate(TEXT as usize);
+    // Dictionary: hash-placed vocabulary subset.
+    let mut dict = vec![0u8; 1024 * 16];
+    for &w in vocab.iter().take(200) {
+        let h = (w.wrapping_mul(0x9E37_79B1) >> 22) as usize & 0x3FF;
+        dict[h * 16..h * 16 + 4].copy_from_slice(&w.to_le_bytes());
+        dict[h * 16 + 4..h * 16 + 8].copy_from_slice(&(w ^ 0xFFFF).to_le_bytes());
+    }
+
+    prologue(&mut g);
+    // One-shot initialization phase: a sizeable stretch of code executed
+    // exactly once (option parsing, table construction). Translation-
+    // bound at startup, which is what dynamic reconfiguration exploits.
+    // It scribbles on a dedicated scratch window, not the working data.
+    g.a.mov_ri(EBP, DATA_BASE + 0x2_1000);
+    g.code_region(380, 10, 0x1000);
+    g.a.mov_ri(EBP, DATA_BASE);
+    let a = &mut g.a;
+    a.mov_mi(MemRef::base_disp(EBP, 0x2_0000), passes);
+
+    let pass_top = a.here();
+    a.mov_ri(ESI, 0);
+    let top = a.here();
+    // token = 4 bytes; skip separators cheaply.
+    a.mov_rm(ECX, MemRef::base_index(EBP, ESI, 1, 0));
+    a.cmp_ri(ECX, 0x2020_2020);
+    let next = a.label();
+    a.jcc(Cond::E, next);
+    // h = hash(token); probe the dictionary entry.
+    a.imul_rri(EBX, ECX, 0x9E37_79B1u32 as i32);
+    a.shr_ri(EBX, 22);
+    a.and_ri(EBX, 0x3FF);
+    a.shl_ri(EBX, 4);
+    a.mov_rm(EDX, MemRef::base_index(EBP, EBX, 1, DICT_OFF as i32));
+    a.cmp_rr(EDX, ECX);
+    let miss = a.label();
+    a.jcc(Cond::Ne, miss);
+    // Hit: fold the payload; byte-verify the key (lods-style).
+    a.add_rm(EAX, MemRef::base_index(EBP, EBX, 1, DICT_OFF as i32 + 4));
+    a.push_r(ESI);
+    a.lea(ESI, MemRef::base_index(EBP, EBX, 1, DICT_OFF as i32));
+    a.lods(Size::Byte);
+    a.lods(Size::Byte);
+    a.pop_r(ESI);
+    let done = a.label();
+    a.jmp(done);
+    a.bind(miss);
+    a.rol_ri(EAX, 3);
+    a.xor_rr(EAX, ECX);
+    a.bind(done);
+    a.bind(next);
+    a.add_ri(ESI, 4);
+    a.cmp_ri(ESI, (TEXT - 4) as i32);
+    a.jcc(Cond::B, top);
+
+    a.dec_m(MemRef::base_disp(EBP, 0x2_0000));
+    a.jcc(Cond::Ne, pass_top);
+
+    g.finish_with_checksum()
+        .with_data(DATA_BASE, text)
+        .with_data(DATA_BASE + DICT_OFF, dict)
+        .with_bss(DATA_BASE + 0x2_0000, 0x4000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vta_x86::{Cpu, StopReason};
+
+    #[test]
+    fn tokenizes_and_exits() {
+        let img = build(Scale::Test);
+        let mut cpu = Cpu::new(&img);
+        assert!(matches!(
+            cpu.run(100_000_000).expect("no fault"),
+            StopReason::Exit(_)
+        ));
+    }
+}

@@ -1,0 +1,103 @@
+//! `253.perlbmk` stand-in: a bytecode interpreter.
+//!
+//! The classic translator-hostile shape: a dispatch loop that jumps
+//! through a 48-entry table of opcode handlers on every operation. The
+//! paper's speculative translation cannot see past indirect jumps
+//! ("currently our system does not speculatively translate beyond
+//! unresolvable register indirect jumps", §2.1), so perlbmk stresses
+//! demand translation and the indirect-dispatch path.
+
+use vta_x86::{Cond, GuestImage, MemRef, Reg::*, Size};
+
+use crate::gen::{prologue, Gen, DATA_BASE};
+use crate::Scale;
+
+/// Opcode handler count.
+const OPS: usize = 64;
+/// Bytecode program length.
+const PROGRAM: u32 = 768;
+/// Offset of the handler table (absolute addresses).
+const TABLE_OFF: u32 = 0;
+/// Offset of the bytecode program.
+const CODE_OFF: u32 = 0x1000;
+/// Offset of the interpreter "stack"/heap area.
+const HEAP_OFF: u32 = 0x2000;
+
+/// Builds the benchmark image.
+pub fn build(scale: Scale) -> GuestImage {
+    let mut g = Gen::new(253);
+    let runs = scale.iters(3);
+
+    // Bytecode: random opcode stream.
+    let program: Vec<u8> = (0..PROGRAM).map(|_| g.rng.below(OPS as u64) as u8).collect();
+
+    prologue(&mut g);
+    let mut handlers = Vec::with_capacity(OPS);
+    for _ in 0..OPS {
+        handlers.push(g.a.label());
+    }
+
+    let a = &mut g.a;
+    a.mov_mi(MemRef::base_disp(EBP, 0x6000), runs);
+    let run_top = a.here();
+    a.mov_ri(ESI, 0); // instruction pointer
+    let dispatch = a.here();
+    a.movzx_m(EBX, MemRef::base_index(EBP, ESI, 1, CODE_OFF as i32), Size::Byte);
+    a.mov_rm(ECX, MemRef::base_index(EBP, EBX, 4, TABLE_OFF as i32));
+    a.jmp_r(ECX);
+    // Handlers re-enter here.
+    let next_op = a.label();
+    a.bind(next_op);
+    a.inc_r(ESI);
+    a.cmp_ri(ESI, PROGRAM as i32);
+    a.jcc(Cond::B, dispatch);
+    a.dec_m(MemRef::base_disp(EBP, 0x6000));
+    a.jcc(Cond::Ne, run_top);
+    let done = a.label();
+    a.jmp(done);
+
+    // Handler bodies (~45 instructions each); record their addresses.
+    let mut handler_addrs = Vec::with_capacity(OPS);
+    for (i, h) in handlers.into_iter().enumerate() {
+        g.a.bind(h);
+        handler_addrs.push(g.a.cur_addr());
+        // Each handler does distinctive stack-machine-ish work.
+        let slot = ((i * 24) & 0xFFC) as i32;
+        g.a.mov_rm(EDX, MemRef::base_disp(EBP, HEAP_OFF as i32 + slot));
+        g.alu_filler(24 + (i % 9));
+        g.a.add_rr(EAX, EDX);
+        g.a.mov_mr(MemRef::base_disp(EBP, HEAP_OFF as i32 + slot), EAX);
+        g.branch_hop();
+        g.alu_filler(18);
+        g.a.jmp(next_op);
+    }
+    g.a.bind(done);
+
+    // The dispatch table holds absolute handler addresses.
+    let mut table = Vec::with_capacity(OPS * 4);
+    for addr in handler_addrs {
+        table.extend_from_slice(&addr.to_le_bytes());
+    }
+
+    g.finish_with_checksum()
+        .with_data(DATA_BASE + TABLE_OFF, table)
+        .with_data(DATA_BASE + CODE_OFF, program)
+        .with_bss(DATA_BASE + HEAP_OFF, 0x5000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vta_x86::{Cpu, StopReason};
+
+    #[test]
+    fn interpreter_dispatch_works() {
+        let img = build(Scale::Test);
+        let mut cpu = Cpu::new(&img);
+        assert!(matches!(
+            cpu.run(100_000_000).expect("no fault"),
+            StopReason::Exit(_)
+        ));
+        assert!(img.code.len() > 9_000, "handlers exceed L1 code: {}", img.code.len());
+    }
+}

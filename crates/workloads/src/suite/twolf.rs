@@ -1,0 +1,96 @@
+//! `300.twolf` stand-in: standard-cell placement cost evaluation.
+//!
+//! A move loop that picks cell pairs with an LCG, evaluates wirelength
+//! deltas through one of 45 table-driven evaluators, and conditionally
+//! swaps. Medium-large code (past L1, within L1.5) plus scattered table
+//! loads over a 128 KiB cell array.
+
+use vta_x86::{Cond, GuestImage, MemRef, Reg::*};
+
+use crate::gen::{prologue, Gen, DATA_BASE};
+use crate::Scale;
+
+/// Evaluator variants.
+const EVALUATORS: usize = 60;
+/// Cell array bytes.
+const CELLS: u32 = 128 * 1024;
+
+/// Builds the benchmark image.
+pub fn build(scale: Scale) -> GuestImage {
+    let mut g = Gen::new(300);
+    let moves = scale.iters(40);
+
+    let cells = g.data_blob(CELLS as usize);
+
+    prologue(&mut g);
+    let mut evals = Vec::with_capacity(EVALUATORS);
+    for _ in 0..EVALUATORS {
+        evals.push(g.a.label());
+    }
+
+    g.a.mov_mi(MemRef::base_disp(EBP, CELLS as i32), moves);
+    g.a.mov_ri(EDI, 0x1234_5677); // LCG state
+    let move_top = g.a.here();
+    for &e in &evals {
+        g.a.call(e);
+    }
+    g.a.dec_m(MemRef::base_disp(EBP, CELLS as i32));
+    g.a.jcc(Cond::Ne, move_top);
+    let done = g.a.label();
+    g.a.jmp(done);
+
+    for (i, e) in evals.into_iter().enumerate() {
+        g.a.bind(e);
+        let a = &mut g.a;
+        // Advance the LCG; derive two cell offsets.
+        a.imul_rri(EDI, EDI, 1664525);
+        a.add_ri(EDI, 1013904223);
+        a.mov_rr(EBX, EDI);
+        a.shr_ri(EBX, 10);
+        a.and_ri(EBX, 0x3FC0);
+        a.mov_rr(ECX, EDI);
+        a.shr_ri(ECX, 3);
+        a.and_ri(ECX, 0x3FC0);
+        // Load both cells' "positions", compute a delta.
+        a.mov_rm(EDX, MemRef::base_index(EBP, EBX, 1, 0));
+        a.sub_rm(EDX, MemRef::base_index(EBP, ECX, 1, 0));
+        a.imul_rri(EDX, EDX, (i as i32 * 2 + 3) & 0xFF);
+        // Accept the "move" if the delta is negative: swap the cells.
+        let reject = a.label();
+        a.test_rr(EDX, EDX);
+        a.jcc(Cond::Ns, reject);
+        a.mov_rm(ESI, MemRef::base_index(EBP, EBX, 1, 0));
+        a.push_r(ESI);
+        a.mov_rm(ESI, MemRef::base_index(EBP, ECX, 1, 0));
+        a.mov_mr(MemRef::base_index(EBP, EBX, 1, 0), ESI);
+        a.pop_r(ESI);
+        a.mov_mr(MemRef::base_index(EBP, ECX, 1, 0), ESI);
+        a.add_ri(EAX, 1);
+        a.bind(reject);
+        g.alu_filler(58 + (i % 9));
+        g.branch_hop();
+        g.a.ret();
+    }
+    g.a.bind(done);
+
+    g.finish_with_checksum()
+        .with_data(DATA_BASE, cells)
+        .with_bss(DATA_BASE + CELLS, 0x1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vta_x86::{Cpu, StopReason};
+
+    #[test]
+    fn placement_moves_run() {
+        let img = build(Scale::Test);
+        let mut cpu = Cpu::new(&img);
+        assert!(matches!(
+            cpu.run(100_000_000).expect("no fault"),
+            StopReason::Exit(_)
+        ));
+        assert!(img.code.len() > 9_000, "twolf exceeds L1 code: {}", img.code.len());
+    }
+}

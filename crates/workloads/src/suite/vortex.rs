@@ -1,0 +1,123 @@
+//! `255.vortex` stand-in: an object store with indirect dispatch.
+//!
+//! Records live in a 256 KiB heap; operations (insert, lookup, validate)
+//! are implemented by ~150 small "method" functions invoked through a
+//! function-pointer table — indirect calls that the speculative
+//! translator cannot look through, plus `rep movs` record copies. The
+//! second-largest instruction working set in the suite.
+
+use vta_x86::{Cond, GuestImage, MemRef, Reg::*, Size};
+
+use crate::gen::{prologue, Gen, DATA_BASE};
+use crate::Scale;
+
+/// Method functions.
+const METHODS: usize = 260;
+/// Offset of the method table.
+const TABLE_OFF: u32 = 0x4_0000;
+/// Offset of the record heap (4096 × 64 B).
+const HEAP_OFF: u32 = 0;
+
+/// Builds the benchmark image.
+pub fn build(scale: Scale) -> GuestImage {
+    let mut g = Gen::new(255);
+    let transactions = scale.iters(12);
+
+    let heap = g.data_blob(256 * 1024);
+
+    prologue(&mut g);
+    let mut methods = Vec::with_capacity(METHODS);
+    for _ in 0..METHODS {
+        methods.push(g.a.label());
+    }
+
+    let a = &mut g.a;
+    a.mov_mi(MemRef::base_disp(EBP, 0x4_1000), transactions);
+    let txn_top = a.here();
+    a.mov_ri(ESI, 0); // method index
+    let call_top = a.here();
+    a.mov_rm(ECX, MemRef::base_index(EBP, ESI, 4, TABLE_OFF as i32));
+    a.call_r(ECX);
+    a.inc_r(ESI);
+    a.cmp_ri(ESI, METHODS as i32);
+    a.jcc(Cond::B, call_top);
+    a.dec_m(MemRef::base_disp(EBP, 0x4_1000));
+    a.jcc(Cond::Ne, txn_top);
+    let done = a.label();
+    a.jmp(done);
+
+    // Method bodies; record their addresses for the table.
+    let mut addrs = Vec::with_capacity(METHODS);
+    for (i, m) in methods.into_iter().enumerate() {
+        g.a.bind(m);
+        addrs.push(g.a.cur_addr());
+        let rec = ((i * 1664525 + 1013904223) & 0x7FC0) as i32;
+        match i % 3 {
+            0 => {
+                // Insert: copy a 64-byte record with rep movs.
+                g.a.push_r(ESI);
+                g.a.cld();
+                g.a.lea(ESI, MemRef::base_disp(EBP, rec));
+                g.a.lea(EDI, MemRef::base_disp(EBP, ((rec as u32 + 0x2_0000) & 0x2_7FC0) as i32));
+                g.a.mov_ri(ECX, 16);
+                g.a.rep_movs(Size::Dword);
+                g.a.pop_r(ESI);
+                g.alu_filler(40);
+            }
+            1 => {
+                // Lookup: hash probe and field fetch.
+                g.a.mov_rm(EDX, MemRef::base_disp(EBP, rec));
+                g.a.imul_rri(EBX, EDX, 0x0101_0101);
+                g.a.shr_ri(EBX, 18);
+                g.a.and_ri(EBX, 0x1FC0);
+                g.a.add_rm(EAX, MemRef::base_index(EBP, EBX, 1, 0x20));
+                g.alu_filler(42);
+            }
+            _ => {
+                // Validate: field compares across the record.
+                g.a.mov_rm(EDX, MemRef::base_disp(EBP, rec + 8));
+                g.a.cmp_rm(EDX, MemRef::base_disp(EBP, rec + 12));
+                let skip = g.a.label();
+                g.a.jcc(Cond::A, skip);
+                g.a.add_ri(EAX, 0x33);
+                g.a.bind(skip);
+                g.alu_filler(44);
+            }
+        }
+        g.branch_hop();
+        g.alu_filler(36);
+        g.a.ret();
+    }
+    g.a.bind(done);
+
+    let mut table = Vec::with_capacity(METHODS * 4);
+    for addr in addrs {
+        table.extend_from_slice(&addr.to_le_bytes());
+    }
+
+    g.finish_with_checksum()
+        .with_data(DATA_BASE + HEAP_OFF, heap)
+        .with_data(DATA_BASE + TABLE_OFF, table)
+        .with_bss(DATA_BASE + 0x4_1000, 0x1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vta_x86::{Cpu, StopReason};
+
+    #[test]
+    fn indirect_method_dispatch_runs() {
+        let img = build(Scale::Test);
+        assert!(
+            img.code.len() > 60_000,
+            "vortex code must dwarf the code caches: {}",
+            img.code.len()
+        );
+        let mut cpu = Cpu::new(&img);
+        assert!(matches!(
+            cpu.run(200_000_000).expect("no fault"),
+            StopReason::Exit(_)
+        ));
+    }
+}

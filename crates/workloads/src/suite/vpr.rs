@@ -1,0 +1,58 @@
+//! `175.vpr` stand-in: annealing placement sweep.
+//!
+//! The hot path walks a long sequence of distinct cost-evaluator blocks —
+//! an instruction working set well beyond the L1 code cache and slightly
+//! beyond the two-bank L1.5 — so the translator's L2 code cache sees
+//! sustained traffic. One of the three benchmarks (vpr/gcc/crafty) where
+//! the paper observed speculation *hurting* due to manager congestion.
+
+use vta_x86::{Cond, GuestImage, MemRef, Reg::*};
+
+use crate::gen::{prologue, Gen, DATA_BASE};
+use crate::Scale;
+
+/// Builds the benchmark image.
+pub fn build(scale: Scale) -> GuestImage {
+    let mut g = Gen::new(175);
+    let sweeps = scale.iters(16);
+
+    prologue(&mut g);
+    g.a.mov_mi(MemRef::base_disp(EBP, 0x2_0000), sweeps);
+    let sweep_top = g.a.here();
+
+    // Three placement phases, each a long chain of evaluator blocks.
+    // ~1700 blocks × ~8 guest instructions ≈ 13k hot instructions.
+    for _ in 0..3 {
+        g.code_region_cold(560, 22, 0x2000, 3, 6);
+    }
+
+    let a = &mut g.a;
+    a.dec_m(MemRef::base_disp(EBP, 0x2_0000));
+    a.jcc(Cond::Ne, sweep_top);
+
+    let blob = g.data_blob(0x1_0000);
+    g.finish_with_checksum()
+        .with_data(DATA_BASE, blob)
+        .with_bss(DATA_BASE + 0x2_0000, 0x1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vta_x86::{Cpu, StopReason};
+
+    #[test]
+    fn large_code_working_set() {
+        let img = build(Scale::Test);
+        assert!(
+            img.code.len() > 60_000,
+            "vpr's code must exceed the L1 code cache by a wide margin: {}",
+            img.code.len()
+        );
+        let mut cpu = Cpu::new(&img);
+        assert!(matches!(
+            cpu.run(100_000_000).expect("no fault"),
+            StopReason::Exit(_)
+        ));
+    }
+}

@@ -1,0 +1,516 @@
+//! EFLAGS register model and the flag semantics of every ALU operation.
+//!
+//! These functions are the *single source of truth* for condition-code
+//! behaviour: the reference interpreter calls them directly, and the
+//! translator's generated host code is property-tested against them
+//! (flags the architecture leaves undefined are given one deterministic
+//! definition here so both sides always agree).
+
+use crate::insn::{Cond, Size};
+
+/// Carry flag bit.
+pub const CF: u32 = 1 << 0;
+/// Parity flag bit (even parity of the result's low byte).
+pub const PF: u32 = 1 << 2;
+/// Auxiliary-carry flag bit (carry out of bit 3).
+pub const AF: u32 = 1 << 4;
+/// Zero flag bit.
+pub const ZF: u32 = 1 << 6;
+/// Sign flag bit.
+pub const SF: u32 = 1 << 7;
+/// Direction flag bit (string ops).
+pub const DF: u32 = 1 << 10;
+/// Overflow flag bit.
+pub const OF: u32 = 1 << 11;
+
+/// Mask of the six arithmetic flags (excludes `DF`).
+pub const ARITH_MASK: u32 = CF | PF | AF | ZF | SF | OF;
+
+/// The guest EFLAGS register.
+///
+/// Kept packed in a single word, exactly as the paper's emulator keeps the
+/// x86 flags packed in one Raw register and uses insert/extract operations
+/// to access individual bits (§4.5).
+///
+/// # Examples
+///
+/// ```
+/// use vta_x86::flags::{Flags, self};
+/// use vta_x86::{Cond, Size};
+///
+/// let mut f = Flags::default();
+/// let r = flags::sub(&mut f, Size::Dword, 5, 5);
+/// assert_eq!(r, 0);
+/// assert!(f.zf());
+/// assert!(flags::cond_holds(Cond::E, f));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags(pub u32);
+
+macro_rules! flag_accessors {
+    ($($get:ident / $set:ident => $bit:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Reads `", stringify!($bit), "`.")]
+            #[inline]
+            pub fn $get(self) -> bool {
+                self.0 & $bit != 0
+            }
+
+            #[doc = concat!("Writes `", stringify!($bit), "`.")]
+            #[inline]
+            pub fn $set(&mut self, v: bool) {
+                if v {
+                    self.0 |= $bit;
+                } else {
+                    self.0 &= !$bit;
+                }
+            }
+        )*
+    };
+}
+
+impl Flags {
+    flag_accessors! {
+        cf / set_cf => CF,
+        pf / set_pf => PF,
+        af / set_af => AF,
+        zf / set_zf => ZF,
+        sf / set_sf => SF,
+        df / set_df => DF,
+        of / set_of => OF,
+    }
+
+    /// Raw EFLAGS bits (only the modelled flags are meaningful).
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Replaces the arithmetic flags, preserving `DF`.
+    #[inline]
+    pub fn set_arith(&mut self, bits: u32) {
+        self.0 = (self.0 & !ARITH_MASK) | (bits & ARITH_MASK);
+    }
+}
+
+/// Even parity of the low byte (the x86 `PF` definition).
+#[inline]
+pub fn parity_even(v: u32) -> bool {
+    (v as u8).count_ones().is_multiple_of(2)
+}
+
+#[inline]
+fn set_szp(f: &mut Flags, size: Size, r: u32) {
+    f.set_zf(r == 0);
+    f.set_sf(r & size.sign_bit() != 0);
+    f.set_pf(parity_even(r));
+}
+
+/// `ADD`: returns the masked result and sets all six arithmetic flags.
+pub fn add(f: &mut Flags, size: Size, a: u32, b: u32) -> u32 {
+    let (a, b) = (a & size.mask(), b & size.mask());
+    let wide = a as u64 + b as u64;
+    let r = (wide as u32) & size.mask();
+    f.set_cf(wide > size.mask() as u64);
+    f.set_of((a ^ r) & (b ^ r) & size.sign_bit() != 0);
+    f.set_af((a ^ b ^ r) & 0x10 != 0);
+    set_szp(f, size, r);
+    r
+}
+
+/// `ADC`: add with the incoming carry.
+pub fn adc(f: &mut Flags, size: Size, a: u32, b: u32) -> u32 {
+    let c = f.cf() as u64;
+    let (a, b) = (a & size.mask(), b & size.mask());
+    let wide = a as u64 + b as u64 + c;
+    let r = (wide as u32) & size.mask();
+    f.set_cf(wide > size.mask() as u64);
+    f.set_of((a ^ r) & (b ^ r) & size.sign_bit() != 0);
+    f.set_af((a ^ b ^ r) & 0x10 != 0);
+    set_szp(f, size, r);
+    r
+}
+
+/// `SUB`/`CMP`: returns the masked difference and sets all six flags.
+pub fn sub(f: &mut Flags, size: Size, a: u32, b: u32) -> u32 {
+    let (a, b) = (a & size.mask(), b & size.mask());
+    let r = a.wrapping_sub(b) & size.mask();
+    f.set_cf(a < b);
+    f.set_of((a ^ b) & (a ^ r) & size.sign_bit() != 0);
+    f.set_af((a ^ b ^ r) & 0x10 != 0);
+    set_szp(f, size, r);
+    r
+}
+
+/// `SBB`: subtract with the incoming borrow.
+pub fn sbb(f: &mut Flags, size: Size, a: u32, b: u32) -> u32 {
+    let c = f.cf() as u64;
+    let (a, b) = (a & size.mask(), b & size.mask());
+    let r = a.wrapping_sub(b).wrapping_sub(c as u32) & size.mask();
+    f.set_cf((a as u64) < b as u64 + c);
+    f.set_of((a ^ b) & (a ^ r) & size.sign_bit() != 0);
+    f.set_af((a ^ b ^ r) & 0x10 != 0);
+    set_szp(f, size, r);
+    r
+}
+
+/// `AND`/`OR`/`XOR`/`TEST`: caller supplies the boolean result.
+///
+/// Clears `CF`/`OF`; `AF` (architecturally undefined) is defined as cleared.
+pub fn logic(f: &mut Flags, size: Size, r: u32) -> u32 {
+    let r = r & size.mask();
+    f.set_cf(false);
+    f.set_of(false);
+    f.set_af(false);
+    set_szp(f, size, r);
+    r
+}
+
+/// `INC`: add one, preserving `CF`.
+pub fn inc(f: &mut Flags, size: Size, a: u32) -> u32 {
+    let cf = f.cf();
+    let r = add(f, size, a, 1);
+    f.set_cf(cf);
+    r
+}
+
+/// `DEC`: subtract one, preserving `CF`.
+pub fn dec(f: &mut Flags, size: Size, a: u32) -> u32 {
+    let cf = f.cf();
+    let r = sub(f, size, a, 1);
+    f.set_cf(cf);
+    r
+}
+
+/// `NEG`: two's-complement negate.
+pub fn neg(f: &mut Flags, size: Size, a: u32) -> u32 {
+    let r = sub(f, size, 0, a);
+    f.set_cf(a & size.mask() != 0);
+    r
+}
+
+/// `SHL`: logical shift left. Count is masked to 5 bits; zero count leaves
+/// the flags (and result) unchanged. For counts > 1 the architecturally
+/// undefined `OF` is defined as `msb(result) ^ CF`.
+pub fn shl(f: &mut Flags, size: Size, a: u32, count: u32) -> u32 {
+    let c = count & 31;
+    let a = a & size.mask();
+    if c == 0 {
+        return a;
+    }
+    let r = if c >= size.bits() { 0 } else { (a << c) & size.mask() };
+    let cf = if c <= size.bits() {
+        (a >> (size.bits() - c)) & 1 != 0
+    } else {
+        false
+    };
+    f.set_cf(cf);
+    f.set_of((r & size.sign_bit() != 0) ^ cf);
+    f.set_af(false);
+    set_szp(f, size, r);
+    r
+}
+
+/// `SHR`: logical shift right. `OF` is defined as `msb(original)` for every
+/// nonzero count (architecturally that holds only for count 1).
+pub fn shr(f: &mut Flags, size: Size, a: u32, count: u32) -> u32 {
+    let c = count & 31;
+    let a = a & size.mask();
+    if c == 0 {
+        return a;
+    }
+    let r = if c >= size.bits() { 0 } else { a >> c };
+    let cf = if c <= size.bits() {
+        (a >> (c - 1)) & 1 != 0
+    } else {
+        false
+    };
+    f.set_cf(cf);
+    f.set_of(a & size.sign_bit() != 0);
+    f.set_af(false);
+    set_szp(f, size, r);
+    r
+}
+
+/// `SAR`: arithmetic shift right. `OF` is cleared.
+pub fn sar(f: &mut Flags, size: Size, a: u32, count: u32) -> u32 {
+    let c = count & 31;
+    let a32 = size.sign_extend(a & size.mask()) as i32;
+    if c == 0 {
+        return a & size.mask();
+    }
+    let shift = c.min(size.bits() - 1).min(31);
+    let r = ((a32 >> shift) as u32) & size.mask();
+    let r = if c >= size.bits() {
+        // All bits become copies of the sign bit.
+        (if a32 < 0 { size.mask() } else { 0 }) & size.mask()
+    } else {
+        r
+    };
+    let cf = if c >= size.bits() {
+        a32 < 0
+    } else {
+        (a32 >> (c - 1)) & 1 != 0
+    };
+    f.set_cf(cf);
+    f.set_of(false);
+    f.set_af(false);
+    set_szp(f, size, r);
+    r
+}
+
+/// `ROL`: rotate left within the operand width. Only `CF`/`OF` change.
+pub fn rol(f: &mut Flags, size: Size, a: u32, count: u32) -> u32 {
+    let bits = size.bits();
+    let c = (count & 31) % bits;
+    let a = a & size.mask();
+    if count & 31 == 0 {
+        return a;
+    }
+    let r = if c == 0 {
+        a
+    } else {
+        ((a << c) | (a >> (bits - c))) & size.mask()
+    };
+    let cf = r & 1 != 0;
+    f.set_cf(cf);
+    f.set_of((r & size.sign_bit() != 0) ^ cf);
+    r
+}
+
+/// `ROR`: rotate right within the operand width. Only `CF`/`OF` change.
+pub fn ror(f: &mut Flags, size: Size, a: u32, count: u32) -> u32 {
+    let bits = size.bits();
+    let c = (count & 31) % bits;
+    let a = a & size.mask();
+    if count & 31 == 0 {
+        return a;
+    }
+    let r = if c == 0 {
+        a
+    } else {
+        ((a >> c) | (a << (bits - c))) & size.mask()
+    };
+    let msb = r & size.sign_bit() != 0;
+    let next = r & (size.sign_bit() >> 1) != 0;
+    f.set_cf(msb);
+    f.set_of(msb ^ next);
+    r
+}
+
+/// Unsigned widening multiply: returns `(lo, hi)`; `CF = OF = hi != 0`.
+/// The architecturally undefined `SF`/`ZF`/`PF` are defined from `lo`.
+pub fn mul(f: &mut Flags, size: Size, a: u32, b: u32) -> (u32, u32) {
+    let wide = (a & size.mask()) as u64 * (b & size.mask()) as u64;
+    let lo = (wide as u32) & size.mask();
+    let hi = ((wide >> size.bits()) as u32) & size.mask();
+    let over = hi != 0;
+    f.set_cf(over);
+    f.set_of(over);
+    f.set_af(false);
+    set_szp(f, size, lo);
+    (lo, hi)
+}
+
+/// Signed widening multiply: returns `(lo, hi)`; `CF = OF` set when the
+/// product does not fit the operand width.
+pub fn imul(f: &mut Flags, size: Size, a: u32, b: u32) -> (u32, u32) {
+    let sa = size.sign_extend(a & size.mask()) as i32 as i64;
+    let sb = size.sign_extend(b & size.mask()) as i32 as i64;
+    let wide = sa * sb;
+    let lo = (wide as u32) & size.mask();
+    let hi = ((wide >> size.bits()) as u32) & size.mask();
+    let fits = wide == size.sign_extend(lo) as i32 as i64;
+    f.set_cf(!fits);
+    f.set_of(!fits);
+    f.set_af(false);
+    set_szp(f, size, lo);
+    (lo, hi)
+}
+
+/// Evaluates a branch condition against the flags.
+pub fn cond_holds(c: Cond, f: Flags) -> bool {
+    match c {
+        Cond::O => f.of(),
+        Cond::No => !f.of(),
+        Cond::B => f.cf(),
+        Cond::Ae => !f.cf(),
+        Cond::E => f.zf(),
+        Cond::Ne => !f.zf(),
+        Cond::Be => f.cf() || f.zf(),
+        Cond::A => !f.cf() && !f.zf(),
+        Cond::S => f.sf(),
+        Cond::Ns => !f.sf(),
+        Cond::P => f.pf(),
+        Cond::Np => !f.pf(),
+        Cond::L => f.sf() != f.of(),
+        Cond::Ge => f.sf() == f.of(),
+        Cond::Le => f.zf() || f.sf() != f.of(),
+        Cond::G => !f.zf() && f.sf() == f.of(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_carry_and_overflow() {
+        let mut f = Flags::default();
+        let r = add(&mut f, Size::Dword, 0xFFFF_FFFF, 1);
+        assert_eq!(r, 0);
+        assert!(f.cf() && f.zf() && !f.of());
+
+        let r = add(&mut f, Size::Dword, 0x7FFF_FFFF, 1);
+        assert_eq!(r, 0x8000_0000);
+        assert!(!f.cf() && f.of() && f.sf());
+
+        let r = add(&mut f, Size::Byte, 0x7F, 1);
+        assert_eq!(r, 0x80);
+        assert!(f.of() && f.sf() && !f.cf());
+    }
+
+    #[test]
+    fn sub_borrow_and_signs() {
+        let mut f = Flags::default();
+        let r = sub(&mut f, Size::Dword, 3, 5);
+        assert_eq!(r, 0xFFFF_FFFE);
+        assert!(f.cf() && f.sf() && !f.zf());
+
+        let r = sub(&mut f, Size::Dword, 0x8000_0000, 1);
+        assert_eq!(r, 0x7FFF_FFFF);
+        assert!(f.of());
+    }
+
+    #[test]
+    fn adc_sbb_chain_matches_64bit() {
+        // 64-bit add via adc: 0xFFFFFFFF_00000001 + 0x00000001_FFFFFFFF.
+        let mut f = Flags::default();
+        let lo = add(&mut f, Size::Dword, 0x0000_0001, 0xFFFF_FFFF);
+        let hi = adc(&mut f, Size::Dword, 0xFFFF_FFFF, 0x0000_0001);
+        let got = ((hi as u64) << 32) | lo as u64;
+        assert_eq!(got, 0xFFFF_FFFF_0000_0001u64.wrapping_add(0x0000_0001_FFFF_FFFF));
+
+        let mut f = Flags::default();
+        let lo = sub(&mut f, Size::Dword, 0, 1);
+        let hi = sbb(&mut f, Size::Dword, 0, 0);
+        assert_eq!(((hi as u64) << 32) | lo as u64, u64::MAX);
+    }
+
+    #[test]
+    fn inc_dec_preserve_cf() {
+        let mut f = Flags::default();
+        f.set_cf(true);
+        let r = inc(&mut f, Size::Dword, 0xFFFF_FFFF);
+        assert_eq!(r, 0);
+        assert!(f.cf() && f.zf());
+        f.set_cf(false);
+        let r = dec(&mut f, Size::Dword, 0);
+        assert_eq!(r, 0xFFFF_FFFF);
+        assert!(!f.cf());
+    }
+
+    #[test]
+    fn neg_flags() {
+        let mut f = Flags::default();
+        let r = neg(&mut f, Size::Dword, 0);
+        assert_eq!(r, 0);
+        assert!(!f.cf() && f.zf());
+        let r = neg(&mut f, Size::Dword, 5);
+        assert_eq!(r, (-5i32) as u32);
+        assert!(f.cf());
+        neg(&mut f, Size::Dword, 0x8000_0000);
+        assert!(f.of());
+    }
+
+    #[test]
+    fn logic_clears_cf_of() {
+        let mut f = Flags::default();
+        f.set_cf(true);
+        f.set_of(true);
+        let r = logic(&mut f, Size::Dword, 0xF0 & 0x0F);
+        assert_eq!(r, 0);
+        assert!(!f.cf() && !f.of() && f.zf() && f.pf());
+    }
+
+    #[test]
+    fn parity_matches_low_byte() {
+        assert!(parity_even(0x00));
+        assert!(parity_even(0x03));
+        assert!(!parity_even(0x01));
+        // Only the low byte counts.
+        assert!(parity_even(0xFF00));
+    }
+
+    #[test]
+    fn shl_shift_out_bit() {
+        let mut f = Flags::default();
+        let r = shl(&mut f, Size::Dword, 0x8000_0001, 1);
+        assert_eq!(r, 2);
+        assert!(f.cf());
+        // Zero count leaves flags untouched.
+        f.set_cf(false);
+        shl(&mut f, Size::Dword, 0xFFFF_FFFF, 0);
+        assert!(!f.cf());
+    }
+
+    #[test]
+    fn shr_sar_semantics() {
+        let mut f = Flags::default();
+        let r = shr(&mut f, Size::Dword, 0x8000_0000, 31);
+        assert_eq!(r, 1);
+        let r = sar(&mut f, Size::Dword, 0x8000_0000, 31);
+        assert_eq!(r, 0xFFFF_FFFF);
+        assert!(f.sf());
+        let r = sar(&mut f, Size::Byte, 0x80, 2);
+        assert_eq!(r, 0xE0);
+    }
+
+    #[test]
+    fn rotates_wrap() {
+        let mut f = Flags::default();
+        let r = rol(&mut f, Size::Byte, 0x81, 1);
+        assert_eq!(r, 0x03);
+        assert!(f.cf());
+        let r = ror(&mut f, Size::Byte, 0x01, 1);
+        assert_eq!(r, 0x80);
+        assert!(f.cf());
+    }
+
+    #[test]
+    fn widening_multiplies() {
+        let mut f = Flags::default();
+        let (lo, hi) = mul(&mut f, Size::Dword, 0xFFFF_FFFF, 2);
+        assert_eq!((lo, hi), (0xFFFF_FFFE, 1));
+        assert!(f.cf() && f.of());
+
+        let (lo, hi) = imul(&mut f, Size::Dword, (-3i32) as u32, 4);
+        assert_eq!(lo, (-12i32) as u32);
+        assert_eq!(hi, 0xFFFF_FFFF);
+        assert!(!f.cf(), "-12 fits in 32 bits");
+
+        let (_, _) = imul(&mut f, Size::Dword, 0x4000_0000, 4);
+        assert!(f.of());
+    }
+
+    #[test]
+    fn cond_table() {
+        let mut f = Flags::default();
+        sub(&mut f, Size::Dword, 1, 2); // 1 < 2: CF, SF set.
+        assert!(cond_holds(Cond::B, f));
+        assert!(cond_holds(Cond::L, f));
+        assert!(cond_holds(Cond::Ne, f));
+        assert!(cond_holds(Cond::Le, f));
+        assert!(!cond_holds(Cond::G, f));
+        sub(&mut f, Size::Dword, 2, 2);
+        assert!(cond_holds(Cond::E, f) && cond_holds(Cond::Be, f) && cond_holds(Cond::Ge, f));
+    }
+
+    #[test]
+    fn set_arith_preserves_df() {
+        let mut f = Flags::default();
+        f.set_df(true);
+        f.set_arith(CF | ZF);
+        assert!(f.df() && f.cf() && f.zf());
+    }
+}

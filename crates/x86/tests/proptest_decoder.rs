@@ -1,0 +1,218 @@
+//! Property tests: assembler/decoder round trips and decoder robustness.
+
+use proptest::prelude::*;
+use vta_x86::decode::{decode, DecodeError, SliceSource};
+use vta_x86::{Asm, Cond, MemRef, Op, Operand, Reg, Size};
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..8).prop_map(Reg::from_num)
+}
+
+fn memref_strategy() -> impl Strategy<Value = MemRef> {
+    (
+        proptest::option::of(reg_strategy()),
+        proptest::option::of((reg_strategy(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)])),
+        any::<i32>(),
+    )
+        .prop_map(|(base, index, disp)| {
+            // ESP cannot be an index register.
+            let index = index.filter(|(r, _)| *r != Reg::ESP);
+            MemRef { base, index, disp }
+        })
+}
+
+/// One emittable instruction paired with checks of the decoded form.
+#[derive(Debug, Clone)]
+enum EmitCase {
+    MovRi(Reg, u32),
+    AluRr(u8, Reg, Reg),
+    AluRi(u8, Reg, i32),
+    AluRm(u8, Reg, MemRef),
+    AluMr(u8, MemRef, Reg),
+    ShiftRi(u8, Reg, u8),
+    Jcc(Cond),
+    PushPop(Reg),
+    Lea(Reg, MemRef),
+    Setcc(Cond, u8),
+}
+
+fn case_strategy() -> impl Strategy<Value = EmitCase> {
+    prop_oneof![
+        (reg_strategy(), any::<u32>()).prop_map(|(r, i)| EmitCase::MovRi(r, i)),
+        ((0u8..8), reg_strategy(), reg_strategy()).prop_map(|(o, a, b)| EmitCase::AluRr(o, a, b)),
+        ((0u8..8), reg_strategy(), any::<i32>()).prop_map(|(o, a, i)| EmitCase::AluRi(o, a, i)),
+        ((0u8..8), reg_strategy(), memref_strategy()).prop_map(|(o, a, m)| EmitCase::AluRm(o, a, m)),
+        ((0u8..8), memref_strategy(), reg_strategy()).prop_map(|(o, m, a)| EmitCase::AluMr(o, m, a)),
+        ((0u8..5), reg_strategy(), 0u8..32).prop_map(|(k, r, c)| EmitCase::ShiftRi(k, r, c)),
+        (0u8..16).prop_map(|c| EmitCase::Jcc(Cond::from_num(c))),
+        reg_strategy().prop_map(EmitCase::PushPop),
+        (reg_strategy(), memref_strategy()).prop_map(|(r, m)| EmitCase::Lea(r, m)),
+        ((0u8..16), (0u8..4)).prop_map(|(c, r)| EmitCase::Setcc(Cond::from_num(c), r)),
+    ]
+}
+
+const ALU_OPS: [Op; 8] = [
+    Op::Add,
+    Op::Or,
+    Op::Adc,
+    Op::Sbb,
+    Op::And,
+    Op::Sub,
+    Op::Xor,
+    Op::Cmp,
+];
+
+fn emit(asm: &mut Asm, case: &EmitCase) {
+    match case.clone() {
+        EmitCase::MovRi(r, i) => asm.mov_ri(r, i),
+        EmitCase::AluRr(o, a, b) => match o {
+            0 => asm.add_rr(a, b),
+            1 => asm.or_rr(a, b),
+            2 => asm.adc_rr(a, b),
+            3 => asm.sbb_rr(a, b),
+            4 => asm.and_rr(a, b),
+            5 => asm.sub_rr(a, b),
+            6 => asm.xor_rr(a, b),
+            _ => asm.cmp_rr(a, b),
+        },
+        EmitCase::AluRi(o, a, i) => match o {
+            0 => asm.add_ri(a, i),
+            1 => asm.or_ri(a, i),
+            2 => asm.adc_ri(a, i),
+            3 => asm.sbb_ri(a, i),
+            4 => asm.and_ri(a, i),
+            5 => asm.sub_ri(a, i),
+            6 => asm.xor_ri(a, i),
+            _ => asm.cmp_ri(a, i),
+        },
+        EmitCase::AluRm(o, a, m) => match o {
+            0 => asm.add_rm(a, m),
+            1 => asm.or_rm(a, m),
+            2 => asm.adc_rm(a, m),
+            3 => asm.sbb_rm(a, m),
+            4 => asm.and_rm(a, m),
+            5 => asm.sub_rm(a, m),
+            6 => asm.xor_rm(a, m),
+            _ => asm.cmp_rm(a, m),
+        },
+        EmitCase::AluMr(o, m, a) => match o {
+            0 => asm.add_mr(m, a),
+            1 => asm.or_mr(m, a),
+            2 => asm.adc_mr(m, a),
+            3 => asm.sbb_mr(m, a),
+            4 => asm.and_mr(m, a),
+            5 => asm.sub_mr(m, a),
+            6 => asm.xor_mr(m, a),
+            _ => asm.cmp_mr(m, a),
+        },
+        EmitCase::ShiftRi(k, r, c) => match k {
+            0 => asm.shl_ri(r, c),
+            1 => asm.shr_ri(r, c),
+            2 => asm.sar_ri(r, c),
+            3 => asm.rol_ri(r, c),
+            _ => asm.ror_ri(r, c),
+        },
+        EmitCase::Jcc(c) => {
+            let l = asm.here();
+            asm.jcc(c, l);
+        }
+        EmitCase::PushPop(r) => {
+            asm.push_r(r);
+            asm.pop_r(r);
+        }
+        EmitCase::Lea(r, m) => asm.lea(r, m),
+        EmitCase::Setcc(c, r) => asm.setcc(c, r),
+    }
+}
+
+/// Checks that the decoded instruction stream is self-consistent: every
+/// instruction decodes, lengths add up, and key operands survive.
+fn decode_all(base: u32, bytes: &[u8]) -> Vec<vta_x86::Insn> {
+    let src = SliceSource::new(base, bytes);
+    let mut pc = base;
+    let end = base + bytes.len() as u32;
+    let mut out = Vec::new();
+    while pc < end {
+        let insn = decode(&src, pc).expect("self-emitted code must decode");
+        assert!(insn.len > 0);
+        pc = insn.next_addr();
+        out.push(insn);
+    }
+    assert_eq!(pc, end, "decoded lengths must exactly tile the stream");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip_random_sequences(cases in proptest::collection::vec(case_strategy(), 1..40)) {
+        let mut asm = Asm::new(0x1000);
+        for c in &cases {
+            emit(&mut asm, c);
+        }
+        let prog = asm.finish();
+        let insns = decode_all(prog.base, &prog.code);
+        prop_assert!(insns.len() >= cases.len());
+
+        // Spot-check specific operand reconstruction.
+        let mut idx = 0;
+        for c in &cases {
+            match c {
+                EmitCase::MovRi(r, i) => {
+                    prop_assert_eq!(insns[idx].op, Op::Mov);
+                    prop_assert_eq!(insns[idx].dst, Some(Operand::Reg(*r)));
+                    prop_assert_eq!(insns[idx].src, Some(Operand::Imm(*i as i64)));
+                    idx += 1;
+                }
+                EmitCase::AluRr(o, a, b) => {
+                    prop_assert_eq!(insns[idx].op, ALU_OPS[*o as usize]);
+                    prop_assert_eq!(insns[idx].dst, Some(Operand::Reg(*a)));
+                    prop_assert_eq!(insns[idx].src, Some(Operand::Reg(*b)));
+                    idx += 1;
+                }
+                EmitCase::AluRm(o, a, m) => {
+                    prop_assert_eq!(insns[idx].op, ALU_OPS[*o as usize]);
+                    prop_assert_eq!(insns[idx].dst, Some(Operand::Reg(*a)));
+                    prop_assert_eq!(insns[idx].src, Some(Operand::Mem(*m)));
+                    idx += 1;
+                }
+                EmitCase::AluMr(o, m, a) => {
+                    prop_assert_eq!(insns[idx].op, ALU_OPS[*o as usize]);
+                    prop_assert_eq!(insns[idx].dst, Some(Operand::Mem(*m)));
+                    prop_assert_eq!(insns[idx].src, Some(Operand::Reg(*a)));
+                    idx += 1;
+                }
+                EmitCase::Jcc(c) => {
+                    prop_assert_eq!(insns[idx].op, Op::Jcc);
+                    prop_assert_eq!(insns[idx].cond, Some(*c));
+                    // Self-loop target.
+                    prop_assert_eq!(insns[idx].target(), Some(insns[idx].addr));
+                    idx += 1;
+                }
+                EmitCase::PushPop(_) => idx += 2,
+                EmitCase::Setcc(c, _) => {
+                    prop_assert_eq!(insns[idx].op, Op::Setcc);
+                    prop_assert_eq!(insns[idx].cond, Some(*c));
+                    prop_assert_eq!(insns[idx].size, Size::Byte);
+                    idx += 1;
+                }
+                _ => idx += 1,
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_fuzz(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let src = SliceSource::new(0x2000, &bytes);
+        // Decoding arbitrary bytes must return Ok or a structured error,
+        // never panic, and never claim a length beyond the ISA maximum.
+        match decode(&src, 0x2000) {
+            Ok(insn) => prop_assert!(insn.len as u32 <= vta_x86::decode::MAX_INSN_LEN),
+            Err(DecodeError::Unmapped { .. })
+            | Err(DecodeError::Unsupported { .. })
+            | Err(DecodeError::UnsupportedGroup { .. })
+            | Err(DecodeError::TooLong { .. }) => {}
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests: EFLAGS semantics against independent oracles.
+
+use proptest::prelude::*;
+use vta_x86::flags::{self, Flags};
+use vta_x86::{Cond, Size};
+
+fn sizes() -> impl Strategy<Value = Size> {
+    prop_oneof![Just(Size::Byte), Just(Size::Word), Just(Size::Dword)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    /// CF after `add` equals the wide-arithmetic carry.
+    #[test]
+    fn add_carry_matches_wide_arithmetic(a in any::<u32>(), b in any::<u32>(), size in sizes()) {
+        let (a, b) = (a & size.mask(), b & size.mask());
+        let mut f = Flags::default();
+        let r = flags::add(&mut f, size, a, b);
+        prop_assert_eq!(r, a.wrapping_add(b) & size.mask());
+        prop_assert_eq!(f.cf(), (a as u64 + b as u64) > size.mask() as u64);
+        prop_assert_eq!(f.zf(), r == 0);
+        prop_assert_eq!(f.sf(), r & size.sign_bit() != 0);
+        // Signed overflow oracle via widened arithmetic.
+        let sa = size.sign_extend(a) as i32 as i64;
+        let sb = size.sign_extend(b) as i32 as i64;
+        let sr = size.sign_extend(r) as i32 as i64;
+        prop_assert_eq!(f.of(), sa + sb != sr);
+    }
+
+    /// `sub` borrow and signed overflow match widened arithmetic.
+    #[test]
+    fn sub_flags_match_wide_arithmetic(a in any::<u32>(), b in any::<u32>(), size in sizes()) {
+        let (a, b) = (a & size.mask(), b & size.mask());
+        let mut f = Flags::default();
+        let r = flags::sub(&mut f, size, a, b);
+        prop_assert_eq!(r, a.wrapping_sub(b) & size.mask());
+        prop_assert_eq!(f.cf(), a < b);
+        let sa = size.sign_extend(a) as i32 as i64;
+        let sb = size.sign_extend(b) as i32 as i64;
+        let sr = size.sign_extend(r) as i32 as i64;
+        prop_assert_eq!(f.of(), sa - sb != sr);
+    }
+
+    /// `adc`/`sbb` compose into correct multi-word arithmetic.
+    #[test]
+    fn adc_sbb_compose_64bit(a in any::<u64>(), b in any::<u64>()) {
+        let mut f = Flags::default();
+        let lo = flags::add(&mut f, Size::Dword, a as u32, b as u32);
+        let hi = flags::adc(&mut f, Size::Dword, (a >> 32) as u32, (b >> 32) as u32);
+        prop_assert_eq!(((hi as u64) << 32) | lo as u64, a.wrapping_add(b));
+
+        let mut f = Flags::default();
+        let lo = flags::sub(&mut f, Size::Dword, a as u32, b as u32);
+        let hi = flags::sbb(&mut f, Size::Dword, (a >> 32) as u32, (b >> 32) as u32);
+        prop_assert_eq!(((hi as u64) << 32) | lo as u64, a.wrapping_sub(b));
+    }
+
+    /// Parity flag equals the popcount parity of the low byte.
+    #[test]
+    fn parity_is_low_byte_popcount(r in any::<u32>(), size in sizes()) {
+        let mut f = Flags::default();
+        let v = flags::logic(&mut f, size, r);
+        prop_assert_eq!(f.pf(), (v as u8).count_ones().is_multiple_of(2));
+        prop_assert!(!f.cf() && !f.of());
+    }
+
+    /// Every condition is the exact negation of its pair.
+    #[test]
+    fn cond_negation_table(bits in 0u32..(1 << 12), c in 0u8..16) {
+        let f = Flags(bits);
+        let cond = Cond::from_num(c);
+        prop_assert_eq!(
+            flags::cond_holds(cond, f),
+            !flags::cond_holds(cond.negate(), f)
+        );
+    }
+
+    /// Signed comparisons through SF/OF match native signed compare after
+    /// a `sub`-based `cmp`.
+    #[test]
+    fn signed_compare_via_flags(a in any::<u32>(), b in any::<u32>()) {
+        let mut f = Flags::default();
+        flags::sub(&mut f, Size::Dword, a, b);
+        let (sa, sb) = (a as i32, b as i32);
+        prop_assert_eq!(flags::cond_holds(Cond::L, f), sa < sb);
+        prop_assert_eq!(flags::cond_holds(Cond::Le, f), sa <= sb);
+        prop_assert_eq!(flags::cond_holds(Cond::G, f), sa > sb);
+        prop_assert_eq!(flags::cond_holds(Cond::Ge, f), sa >= sb);
+        prop_assert_eq!(flags::cond_holds(Cond::B, f), a < b);
+        prop_assert_eq!(flags::cond_holds(Cond::A, f), a > b);
+        prop_assert_eq!(flags::cond_holds(Cond::E, f), a == b);
+    }
+
+    /// Rotates preserve the multiset of bits and invert each other.
+    #[test]
+    fn rotates_are_bijective(a in any::<u32>(), count in 0u32..32, size in sizes()) {
+        let a = a & size.mask();
+        let mut f = Flags::default();
+        let r = flags::rol(&mut f, size, a, count);
+        prop_assert_eq!(r.count_ones(), a.count_ones());
+        let back = flags::ror(&mut f, size, r, count);
+        prop_assert_eq!(back, a);
+    }
+
+    /// Shifting by zero leaves the flags bit-identical.
+    #[test]
+    fn zero_shift_preserves_flags(a in any::<u32>(), bits in 0u32..(1 << 12), size in sizes()) {
+        for op in 0..5 {
+            let mut f = Flags(bits);
+            let r = match op {
+                0 => flags::shl(&mut f, size, a & size.mask(), 0),
+                1 => flags::shr(&mut f, size, a & size.mask(), 0),
+                2 => flags::sar(&mut f, size, a & size.mask(), 0),
+                3 => flags::rol(&mut f, size, a & size.mask(), 0),
+                _ => flags::ror(&mut f, size, a & size.mask(), 0),
+            };
+            prop_assert_eq!(f.0, bits);
+            prop_assert_eq!(r, a & size.mask());
+        }
+    }
+
+    /// Widening multiplies agree with u64/i64 arithmetic.
+    #[test]
+    fn widening_multiply_oracle(a in any::<u32>(), b in any::<u32>(), size in sizes()) {
+        let (a, b) = (a & size.mask(), b & size.mask());
+        let mut f = Flags::default();
+        let (lo, hi) = flags::mul(&mut f, size, a, b);
+        let wide = a as u64 * b as u64;
+        prop_assert_eq!(lo, (wide as u32) & size.mask());
+        prop_assert_eq!(hi, ((wide >> size.bits()) as u32) & size.mask());
+        prop_assert_eq!(f.cf(), hi != 0);
+
+        let mut f = Flags::default();
+        let (lo, hi) = flags::imul(&mut f, size, a, b);
+        let wide = (size.sign_extend(a) as i32 as i64) * (size.sign_extend(b) as i32 as i64);
+        prop_assert_eq!(lo, (wide as u32) & size.mask());
+        prop_assert_eq!(hi, ((wide >> size.bits()) as u32) & size.mask());
+        let fits = wide == size.sign_extend(lo) as i32 as i64;
+        prop_assert_eq!(f.of(), !fits);
+    }
+}

@@ -1,0 +1,94 @@
+//! Running a hand-written guest program with syscalls, string ops and a
+//! jump table — and checking the virtual machine against the reference
+//! interpreter.
+//!
+//! ```text
+//! cargo run --release --example custom_guest
+//! ```
+
+use vta::dbt::{System, VirtualArchConfig};
+use vta::x86::{Asm, Cond, Cpu, GuestImage, MemRef, Reg::*, Size, StopReason};
+
+const DATA: u32 = 0x0900_0000;
+
+fn build() -> GuestImage {
+    let mut asm = Asm::new(0x0800_0000);
+
+    // Fill a buffer with a pattern via `rep stosd`.
+    asm.cld();
+    asm.mov_ri(EDI, DATA);
+    asm.mov_ri(EAX, u32::from_le_bytes(*b"ping"));
+    asm.mov_ri(ECX, 4);
+    asm.rep_stos(Size::Dword);
+
+    // Dispatch through a two-entry jump table on a computed index.
+    let table = DATA + 0x100;
+    asm.mov_ri(ECX, 1);
+    asm.mov_rm(EDX, MemRef {
+        base: None,
+        index: Some((ECX, 4)),
+        disp: table as i32,
+    });
+    asm.jmp_r(EDX);
+    let case0 = asm.cur_addr();
+    asm.mov_mi(MemRef::abs(DATA), u32::from_le_bytes(*b"zero"));
+    let join = asm.label();
+    asm.jmp(join);
+    let case1 = asm.cur_addr();
+    asm.mov_mi(MemRef::abs(DATA), u32::from_le_bytes(*b"pong"));
+    asm.bind(join);
+
+    // write(1, DATA, 16): the proxied syscall path.
+    asm.mov_ri(EAX, 4);
+    asm.mov_ri(EBX, 1);
+    asm.mov_ri(ECX, DATA);
+    asm.mov_ri(EDX, 16);
+    asm.int_(0x80);
+
+    // exit(number of 'p' bytes written, counted with a byte loop).
+    asm.mov_ri(ESI, DATA);
+    asm.mov_ri(ECX, 16);
+    asm.mov_ri(EBX, 0);
+    let top = asm.here();
+    asm.movzx_m(EDX, MemRef::base_disp(ESI, 0), Size::Byte);
+    asm.cmp_ri(EDX, b'p' as i32);
+    let skip = asm.label();
+    asm.jcc(Cond::Ne, skip);
+    asm.inc_r(EBX);
+    asm.bind(skip);
+    asm.inc_r(ESI);
+    asm.dec_r(ECX);
+    asm.jcc(Cond::Ne, top);
+    asm.mov_rr(EAX, EBX);
+    asm.exit_with_eax();
+
+    let mut tbl = Vec::new();
+    tbl.extend_from_slice(&case0.to_le_bytes());
+    tbl.extend_from_slice(&case1.to_le_bytes());
+    GuestImage::from_code(asm.finish())
+        .with_bss(DATA, 0x100)
+        .with_data(DATA + 0x100, tbl)
+}
+
+fn main() {
+    let image = build();
+
+    // Reference interpreter first — the correctness oracle.
+    let mut cpu = Cpu::new(&image);
+    let ref_stop = cpu.run(1_000_000).expect("interpreter ran");
+    println!("reference : stop={ref_stop:?}, wrote {:?}", String::from_utf8_lossy(&cpu.sys.output));
+
+    // Now the full parallel-DBT virtual machine.
+    let mut system = System::new(VirtualArchConfig::paper_default(), &image);
+    let report = system.run(1_000_000).expect("vm ran");
+    println!(
+        "virtual vm: exit={:?}, wrote {:?}, {} cycles",
+        report.exit_code,
+        String::from_utf8_lossy(&report.output),
+        report.cycles
+    );
+
+    assert_eq!(StopReason::Exit(report.exit_code.unwrap()), ref_stop);
+    assert_eq!(report.output, cpu.sys.output);
+    println!("\narchitectural state matches the reference interpreter.");
+}

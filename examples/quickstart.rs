@@ -1,0 +1,59 @@
+//! Quickstart: assemble a guest program, run it on the virtual
+//! architecture, and read the paper's headline metric.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vta::dbt::{System, VirtualArchConfig};
+use vta::pentium::PentiumModel;
+use vta::x86::{Asm, Cond, GuestImage, MemRef, Reg::*};
+
+fn main() {
+    // A little guest program: sum an array, then exit with the sum.
+    const DATA: u32 = 0x0900_0000;
+    let mut asm = Asm::new(0x0800_0000);
+    asm.mov_ri(EBP, DATA);
+    asm.mov_ri(ECX, 256); // element count
+    asm.mov_ri(EAX, 0);
+    let top = asm.here();
+    asm.add_rm(EAX, MemRef::base_index(EBP, ECX, 4, -4));
+    asm.dec_r(ECX);
+    asm.jcc(Cond::Ne, top);
+    asm.exit_with_eax();
+
+    let mut data = Vec::new();
+    for i in 0..256u32 {
+        data.extend_from_slice(&i.to_le_bytes());
+    }
+    let image = GuestImage::from_code(asm.finish()).with_data(DATA, data);
+
+    // Run on the paper's default virtual architecture: 16 tiles as
+    // execution + MMU + manager + syscall + 2 L1.5 + 4 L2 data banks +
+    // 6 speculative translators.
+    let mut system = System::new(VirtualArchConfig::paper_default(), &image);
+    let report = system.run(10_000_000).expect("guest ran");
+
+    // And on the Pentium III baseline for the clock-for-clock comparison.
+    let piii = PentiumModel::new()
+        .run(&image, 10_000_000)
+        .expect("baseline ran");
+
+    println!("exit code        : {:?} (expected {})", report.exit_code, (0..256).sum::<u32>());
+    println!("guest insns      : {}", report.guest_insns);
+    println!("virtual machine  : {} cycles", report.cycles);
+    println!("pentium iii      : {} cycles", piii.cycles);
+    println!("slowdown         : {:.1}x", vta::slowdown(report.cycles, piii.cycles));
+    println!();
+    println!("selected counters:");
+    for key in [
+        "chain.taken",
+        "l1code.miss",
+        "l2code.access",
+        "translate.committed",
+        "mem.l1_hit",
+        "mem.dram",
+    ] {
+        println!("  {key:20} = {}", report.stats.get(key));
+    }
+}

@@ -1,0 +1,62 @@
+//! A look inside the translation pipeline: guest x86 in, host RawIsa out.
+//!
+//! Decodes one guest basic block, shows the paper's translation stages
+//! (dead-flag elimination included), and prints the generated host code
+//! at both optimization levels.
+//!
+//! ```text
+//! cargo run --release --example translator_view
+//! ```
+
+use vta::ir::{translate_block, OptLevel};
+use vta::x86::decode::{decode, SliceSource};
+use vta::x86::{Asm, Cond, MemRef, Reg::*};
+
+fn main() {
+    // A typical guest block: load, arithmetic, compare + branch.
+    let mut asm = Asm::new(0x0800_0000);
+    asm.mov_rm(EAX, MemRef::base_disp(EBP, 8));
+    asm.add_ri(EAX, 100);
+    asm.imul_rri(EDX, EAX, 3);
+    asm.mov_mr(MemRef::base_disp(EBP, 12), EDX);
+    asm.cmp_rr(EAX, EBX);
+    let target = asm.label();
+    asm.jcc(Cond::L, target);
+    asm.bind(target);
+    asm.and_rr(ECX, ECX); // successor clobbers flags → most flags die
+    asm.hlt();
+    let prog = asm.finish();
+    let src = SliceSource::new(prog.base, &prog.code);
+
+    println!("guest block at {:#010x}:", prog.base);
+    let mut pc = prog.base;
+    loop {
+        let insn = decode(&src, pc).expect("decodes");
+        println!("  {insn}");
+        pc = insn.next_addr();
+        if insn.op.is_block_end() {
+            break;
+        }
+    }
+
+    for opt in [OptLevel::None, OptLevel::Full] {
+        let block = translate_block(&src, prog.base, opt).expect("translates");
+        println!(
+            "\nhost code ({opt:?}): {} instructions, {} bytes, \
+             translation occupancy {} slave cycles",
+            block.code.len(),
+            block.host_bytes(),
+            block.translate_cycles
+        );
+        for (i, insn) in block.code.iter().enumerate() {
+            println!("  {i:3}: {insn:?}");
+        }
+    }
+
+    println!(
+        "\nThe optimized version is shorter because interblock dead-flag \
+         elimination\nscans the guest successors (the `and` kills every \
+         flag except the branch's)\nand constant propagation folds the \
+         immediates."
+    );
+}

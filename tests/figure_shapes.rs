@@ -1,0 +1,96 @@
+//! Fast qualitative checks of the paper's evaluation claims.
+//!
+//! These run at `Scale::Test` in debug builds, so they assert the
+//! *direction* of each effect, not magnitudes (EXPERIMENTS.md records the
+//! full-scale numbers).
+
+use vta::dbt::{System, VirtualArchConfig};
+use vta::workloads::{by_name, Scale};
+
+fn cycles(name: &str, cfg: VirtualArchConfig) -> u64 {
+    let w = by_name(name, Scale::Test).expect("benchmark exists");
+    System::new(cfg, &w.image)
+        .run(2_000_000_000)
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .cycles
+}
+
+#[test]
+fn fig4_l15_banks_help_large_code() {
+    // twolf's instruction working set exceeds the L1 code cache; the
+    // L1.5 banks must absorb the refill traffic.
+    let without = cycles("twolf", VirtualArchConfig::with_l15_banks(0));
+    let with = cycles("twolf", VirtualArchConfig::with_l15_banks(2));
+    assert!(
+        with < without,
+        "L1.5 banks must help twolf: {with} !< {without}"
+    );
+}
+
+#[test]
+fn fig5_speculation_beats_conservative_on_small_code() {
+    let cons = cycles("bzip2", VirtualArchConfig::with_translators(1, false));
+    let spec = cycles("bzip2", VirtualArchConfig::with_translators(6, true));
+    assert!(
+        spec < cons,
+        "six speculative translators must beat one conservative: {spec} !< {cons}"
+    );
+}
+
+#[test]
+fn fig5_and_9_memory_tiles_help_mcf() {
+    // The 9-translator configuration trades three L2 data bank tiles
+    // away; mcf is the most memory-bound benchmark. This effect needs
+    // the full-size pointer arena, so it runs at Scale::Small.
+    let w = by_name("mcf", Scale::Small).expect("mcf exists");
+    let run = |cfg: VirtualArchConfig| {
+        System::new(cfg, &w.image)
+            .run(2_000_000_000)
+            .expect("mcf runs")
+            .cycles
+    };
+    let four_mem = run(VirtualArchConfig::mem_trans(4, 6));
+    let one_mem = run(VirtualArchConfig::mem_trans(1, 9));
+    assert!(
+        four_mem < one_mem,
+        "losing L2 data tiles must hurt mcf: {four_mem} !< {one_mem}"
+    );
+}
+
+#[test]
+fn fig8_optimization_pays_for_itself() {
+    let mut no_opt = VirtualArchConfig::paper_default();
+    no_opt.opt = vta::ir::OptLevel::None;
+    let unopt = cycles("parser", no_opt);
+    let opt = cycles("parser", VirtualArchConfig::paper_default());
+    assert!(
+        opt < unopt,
+        "optimized translation must win on parser: {opt} !< {unopt}"
+    );
+}
+
+
+
+#[test]
+fn fig9_morphing_tracks_the_best_static() {
+    // Morphing must land within 15% of the better static configuration
+    // (at full scale it matches within a few percent and beats it on
+    // gzip/mcf; Test scale is noisier).
+    let statics = [
+        cycles("mcf", VirtualArchConfig::mem_trans(1, 9)),
+        cycles("mcf", VirtualArchConfig::mem_trans(4, 6)),
+    ];
+    let best = *statics.iter().min().expect("two configs");
+    let morph = cycles("mcf", VirtualArchConfig::morphing(0));
+    assert!(
+        morph as f64 <= best as f64 * 1.15,
+        "morphing must track the best static: {morph} vs best {best}"
+    );
+}
+
+#[test]
+fn analysis_floor_matches_paper() {
+    use vta::pentium::analysis::{CpiInputs, LossBreakdown};
+    let b = LossBreakdown::paper(CpiInputs::default());
+    assert!((b.expected_slowdown() - 5.5).abs() < 0.5);
+}

@@ -1,0 +1,106 @@
+//! End-to-end differential test: every synthetic benchmark must produce
+//! the same architectural result on the full DBT-on-tiles system as on
+//! the reference interpreter — across several virtual architecture
+//! configurations.
+
+use vta::dbt::{StopCause, System, VirtualArchConfig};
+use vta::workloads::{all, Scale};
+use vta::x86::{Cpu, StopReason};
+
+fn reference_exit(image: &vta::x86::GuestImage) -> (u32, u64, Vec<u8>) {
+    let mut cpu = Cpu::new(image);
+    match cpu.run(500_000_000).expect("reference faulted") {
+        StopReason::Exit(c) => (c, cpu.insn_count, cpu.sys.output),
+        other => panic!("reference stopped with {other:?}"),
+    }
+}
+
+#[test]
+fn all_benchmarks_match_reference_on_default_config() {
+    for w in all(Scale::Test) {
+        let (want_code, want_insns, want_out) = reference_exit(&w.image);
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &w.image);
+        let report = sys
+            .run(600_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(report.stop, StopCause::Exit, "{}", w.name);
+        assert_eq!(report.exit_code, Some(want_code), "{}: exit code", w.name);
+        assert_eq!(report.guest_insns, want_insns, "{}: retired count", w.name);
+        assert_eq!(report.output, want_out, "{}: syscall output", w.name);
+    }
+}
+
+#[test]
+fn conservative_single_translator_matches() {
+    for w in all(Scale::Test).into_iter().take(4) {
+        let (want_code, _, _) = reference_exit(&w.image);
+        let mut sys = System::new(VirtualArchConfig::with_translators(1, false), &w.image);
+        let report = sys.run(600_000_000).expect(w.name);
+        assert_eq!(report.exit_code, Some(want_code), "{}", w.name);
+    }
+}
+
+#[test]
+fn no_l15_banks_matches() {
+    for w in all(Scale::Test).into_iter().take(3) {
+        let (want_code, _, _) = reference_exit(&w.image);
+        let mut sys = System::new(VirtualArchConfig::with_l15_banks(0), &w.image);
+        let report = sys.run(600_000_000).expect(w.name);
+        assert_eq!(report.exit_code, Some(want_code), "{}", w.name);
+    }
+}
+
+#[test]
+fn morphing_config_matches() {
+    for name in ["gzip", "gcc", "mcf"] {
+        let w = vta::workloads::by_name(name, Scale::Test).unwrap();
+        let (want_code, _, _) = reference_exit(&w.image);
+        let mut sys = System::new(VirtualArchConfig::morphing(0), &w.image);
+        let report = sys.run(600_000_000).expect(w.name);
+        assert_eq!(report.exit_code, Some(want_code), "{}", w.name);
+    }
+}
+
+#[test]
+fn unoptimized_translation_matches() {
+    let mut cfg = VirtualArchConfig::paper_default();
+    cfg.opt = vta::ir::OptLevel::None;
+    for name in ["gzip", "gap", "perlbmk"] {
+        let w = vta::workloads::by_name(name, Scale::Test).unwrap();
+        let (want_code, _, _) = reference_exit(&w.image);
+        let mut sys = System::new(cfg.clone(), &w.image);
+        let report = sys.run(600_000_000).expect(w.name);
+        assert_eq!(report.exit_code, Some(want_code), "{}", w.name);
+    }
+}
+
+#[test]
+fn cycle_counts_are_deterministic_per_config() {
+    let w = vta::workloads::by_name("parser", Scale::Test).unwrap();
+    let run = || {
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &w.image);
+        sys.run(600_000_000).expect("runs").cycles
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn elf_binary_runs_on_the_virtual_machine() {
+    // The paper's pitch: unmodified statically-linked binaries. Wrap a
+    // program in a real ELF container, load it, and run it end to end.
+    let mut asm = vta::x86::Asm::new(0x0804_8000);
+    asm.mov_ri(vta::x86::Reg::ECX, 10);
+    asm.mov_ri(vta::x86::Reg::EAX, 0);
+    let top = asm.here();
+    asm.add_rr(vta::x86::Reg::EAX, vta::x86::Reg::ECX);
+    asm.dec_r(vta::x86::Reg::ECX);
+    asm.jcc(vta::x86::Cond::Ne, top);
+    asm.exit_with_eax();
+    let prog = asm.finish();
+    let bytes = vta::x86::elf::write_minimal_exec(prog.base, &prog.code, prog.base);
+
+    let image = vta::x86::elf::load(&bytes).expect("valid ELF");
+    let mut sys = System::new(VirtualArchConfig::paper_default(), &image);
+    let report = sys.run(1_000_000).expect("runs");
+    assert_eq!(report.exit_code, Some(55));
+}
