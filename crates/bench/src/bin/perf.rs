@@ -1,0 +1,52 @@
+//! Measures host simulator throughput on the Figure 5 sweep at
+//! `Scale::Test` and maintains the `BENCH_dispatch.json` trajectory
+//! artifact.
+//!
+//! ```text
+//! cargo run --release -p vta-bench --bin perf             # print only
+//! cargo run --release -p vta-bench --bin perf -- --write  # refresh JSON
+//! ```
+//!
+//! With `--write`, the "before" section is the frozen pre-optimization
+//! baseline measured on the tree this PR started from (dependency fixes
+//! only, no hot-path work); the "after" section is the current tree.
+
+use vta_bench::perf::{cycle_fingerprint, render_json, run_fig5_probe, SweepPerf};
+
+/// The Figure 5 `Scale::Test` sweep measured on the pre-optimization
+/// tree (string-keyed stats, HashMap block dispatch, no D$ fast path).
+/// Frozen here so the speedup denominator survives the tree it measured;
+/// best-of-three on the PR-1 development host, so the claimed speedup is
+/// conservative.
+fn pre_opt_baseline() -> SweepPerf {
+    SweepPerf {
+        label: "before: string-keyed stats + HashMap dispatch".to_string(),
+        wall_seconds: 1.897,
+        cpu_seconds: 1.562,
+        guest_insns: 2_553_792,
+        sim_cycles: 321_345_742,
+    }
+}
+
+fn main() {
+    let write = std::env::args().any(|a| a == "--write");
+    let (after, _) = run_fig5_probe(
+        "after: interned stats + arena dispatch + D$ fast path + shared translations",
+    );
+    println!(
+        "fig5 sweep @ Scale::Test: wall {:.3}s, serial {:.3}s, {:.1}M guest insns/s, {:.1}M sim cycles/s",
+        after.wall_seconds,
+        after.cpu_seconds,
+        after.guest_insns_per_sec() / 1e6,
+        after.sim_cycles_per_sec() / 1e6
+    );
+    let fp = cycle_fingerprint();
+    for (name, cycles) in &fp {
+        println!("paper_default cycles {name}: {cycles}");
+    }
+    if write {
+        let json = render_json(&pre_opt_baseline(), &after, &fp);
+        std::fs::write("BENCH_dispatch.json", &json).expect("write BENCH_dispatch.json");
+        println!("wrote BENCH_dispatch.json");
+    }
+}

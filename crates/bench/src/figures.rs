@@ -15,8 +15,14 @@ fn labels(cfgs: &[(String, VirtualArchConfig)]) -> Vec<String> {
 pub fn fig4(scale: Scale) -> Table {
     let configs = vec![
         ("no-L1.5".to_string(), VirtualArchConfig::with_l15_banks(0)),
-        ("64K-1bank".to_string(), VirtualArchConfig::with_l15_banks(1)),
-        ("128K-2bank".to_string(), VirtualArchConfig::with_l15_banks(2)),
+        (
+            "64K-1bank".to_string(),
+            VirtualArchConfig::with_l15_banks(1),
+        ),
+        (
+            "128K-2bank".to_string(),
+            VirtualArchConfig::with_l15_banks(2),
+        ),
     ];
     let ms = sweep(scale, &configs);
     Table::from_measurements(
@@ -109,8 +115,14 @@ pub fn fig8(scale: Scale) -> Table {
 /// The Figure 9 configuration set.
 pub fn fig9_configs() -> Vec<(String, VirtualArchConfig)> {
     vec![
-        ("1mem/9trans".to_string(), VirtualArchConfig::mem_trans(1, 9)),
-        ("4mem/6trans".to_string(), VirtualArchConfig::mem_trans(4, 6)),
+        (
+            "1mem/9trans".to_string(),
+            VirtualArchConfig::mem_trans(1, 9),
+        ),
+        (
+            "4mem/6trans".to_string(),
+            VirtualArchConfig::mem_trans(4, 6),
+        ),
         ("morph-t15".to_string(), VirtualArchConfig::morphing(15)),
         ("morph-t0".to_string(), VirtualArchConfig::morphing(0)),
         ("morph-t5".to_string(), VirtualArchConfig::morphing(5)),
@@ -139,8 +151,7 @@ pub fn fig9(ms: &[Measurement]) -> Table {
 pub fn fig10(ms: &[Measurement]) -> Table {
     let base = fig9(ms);
     let mut t = Table {
-        title: "Figure 10: Relative Performance vs 1mem/9trans (higher is better)"
-            .to_string(),
+        title: "Figure 10: Relative Performance vs 1mem/9trans (higher is better)".to_string(),
         metric: "percent faster than the 1mem/9trans static configuration".to_string(),
         columns: base.columns[1..].to_vec(),
         rows: Vec::new(),

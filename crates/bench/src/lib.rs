@@ -7,15 +7,21 @@
 //!
 //! Runs are embarrassingly parallel (each `(benchmark, config)` pair is
 //! an independent simulation), so sweeps fan out across host threads with
-//! crossbeam's scoped threads.
+//! `std::thread::scope`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod perf;
 pub mod table;
 
-use vta_dbt::{RunReport, StopCause, System, VirtualArchConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use vta_dbt::{RunReport, SharedTranslations, StopCause, System, VirtualArchConfig};
+use vta_ir::OptLevel;
 use vta_pentium::PentiumModel;
 use vta_workloads::{Scale, Workload};
 use vta_x86::GuestImage;
@@ -37,6 +43,8 @@ pub struct Measurement {
     pub report: RunReport,
     /// Modelled Pentium III cycles for the same program.
     pub piii_cycles: u64,
+    /// Host wall-clock seconds spent inside `System::run` for this cell.
+    pub wall_seconds: f64,
 }
 
 impl Measurement {
@@ -59,6 +67,24 @@ impl Measurement {
             self.report.stats.get("l2code.miss") as f64 / acc as f64
         }
     }
+
+    /// Host simulation throughput in guest instructions per wall second.
+    pub fn guest_insns_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.report.guest_insns as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Host simulation throughput in simulated cycles per wall second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.report.cycles as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Runs one benchmark image under `cfg` and under the PIII model.
@@ -67,32 +93,80 @@ impl Measurement {
 ///
 /// Panics if either machine faults — the differential tests guarantee
 /// they do not.
-pub fn measure(bench: &str, image: &GuestImage, config_label: &str, cfg: VirtualArchConfig) -> Measurement {
-    let report = System::new(cfg, image)
+pub fn measure(
+    bench: &str,
+    image: &GuestImage,
+    config_label: &str,
+    cfg: VirtualArchConfig,
+) -> Measurement {
+    measure_cell(bench, image, config_label, cfg, None, None)
+}
+
+/// Like [`measure`], with the cross-cell accelerators a sweep can supply:
+/// a [`SharedTranslations`] memo (cells of one benchmark retranslate the
+/// same blocks) and a precomputed PIII cycle count (identical for every
+/// configuration of one benchmark). Neither changes any simulated number.
+pub fn measure_cell(
+    bench: &str,
+    image: &GuestImage,
+    config_label: &str,
+    cfg: VirtualArchConfig,
+    shared: Option<&Arc<SharedTranslations>>,
+    piii_cycles: Option<u64>,
+) -> Measurement {
+    let started = Instant::now();
+    let mut system = System::new(cfg, image);
+    if let Some(sh) = shared {
+        system.attach_shared(Arc::clone(sh));
+    }
+    let report = system
         .run(RUN_BUDGET)
         .unwrap_or_else(|e| panic!("{bench}/{config_label}: {e}"));
+    let wall_seconds = started.elapsed().as_secs_f64();
     assert_eq!(
         report.stop,
         StopCause::Exit,
         "{bench}/{config_label} must run to completion"
     );
-    let piii = PentiumModel::new()
-        .run(image, RUN_BUDGET)
-        .unwrap_or_else(|e| panic!("{bench}: pentium model: {e}"));
+    let piii_cycles = piii_cycles.unwrap_or_else(|| piii_cycles_for(bench, image));
     Measurement {
         bench: bench.to_string(),
         config: config_label.to_string(),
         report,
-        piii_cycles: piii.cycles,
+        piii_cycles,
+        wall_seconds,
     }
+}
+
+/// Models the PIII baseline once for `image`.
+///
+/// # Panics
+///
+/// Panics if the model faults (the differential tests guarantee it
+/// does not).
+pub fn piii_cycles_for(bench: &str, image: &GuestImage) -> u64 {
+    PentiumModel::new()
+        .run(image, RUN_BUDGET)
+        .unwrap_or_else(|e| panic!("{bench}: pentium model: {e}"))
+        .cycles
+}
+
+/// One [`SharedTranslations`] memo per distinct opt level in `configs`.
+fn shared_per_opt(
+    configs: &[(String, VirtualArchConfig)],
+) -> HashMap<OptLevel, Arc<SharedTranslations>> {
+    let mut memos = HashMap::new();
+    for (_, cfg) in configs {
+        memos
+            .entry(cfg.opt)
+            .or_insert_with(|| SharedTranslations::new(cfg.opt));
+    }
+    memos
 }
 
 /// Fans a set of `(config_label, config)` pairs across every benchmark,
 /// running all simulations in parallel host threads.
-pub fn sweep(
-    scale: Scale,
-    configs: &[(String, VirtualArchConfig)],
-) -> Vec<Measurement> {
+pub fn sweep(scale: Scale, configs: &[(String, VirtualArchConfig)]) -> Vec<Measurement> {
     let suite: Vec<Workload> = vta_workloads::all(scale);
     let mut jobs: Vec<(usize, usize)> = Vec::new();
     for b in 0..suite.len() {
@@ -101,18 +175,46 @@ pub fn sweep(
         }
     }
 
-    let results: Vec<Measurement> = crossbeam::thread::scope(|s| {
+    // Per-benchmark accelerators shared by that benchmark's cells: the
+    // translation memo (per opt level) and the PIII baseline cycles.
+    let memos: Vec<HashMap<OptLevel, Arc<SharedTranslations>>> =
+        suite.iter().map(|_| shared_per_opt(configs)).collect();
+    let piii: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = suite
+            .iter()
+            .map(|w| s.spawn(move || piii_cycles_for(w.name, &w.image)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("piii run panicked"))
+            .collect()
+    });
+
+    let results: Vec<Measurement> = std::thread::scope(|s| {
         let handles: Vec<_> = jobs
             .iter()
             .map(|&(b, c)| {
                 let w = &suite[b];
                 let (label, cfg) = &configs[c];
-                s.spawn(move |_| measure(w.name, &w.image, label, cfg.clone()))
+                let shared = memos[b].get(&cfg.opt);
+                let piii_cycles = piii[b];
+                s.spawn(move || {
+                    measure_cell(
+                        w.name,
+                        &w.image,
+                        label,
+                        cfg.clone(),
+                        shared,
+                        Some(piii_cycles),
+                    )
+                })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
-    })
-    .expect("scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run panicked"))
+            .collect()
+    });
     results
 }
 
@@ -137,7 +239,10 @@ mod tests {
     fn sweep_covers_all_pairs() {
         let configs = vec![
             ("a".to_string(), VirtualArchConfig::paper_default()),
-            ("b".to_string(), VirtualArchConfig::with_translators(2, true)),
+            (
+                "b".to_string(),
+                VirtualArchConfig::with_translators(2, true),
+            ),
         ];
         let ms = sweep(Scale::Test, &configs);
         assert_eq!(ms.len(), 11 * 2);

@@ -1,0 +1,65 @@
+//! Determinism regression: the simulator is a pure function of
+//! `(guest image, configuration)`. Two runs must agree bit-for-bit on
+//! every simulated number — cycles, instruction counts, and the entire
+//! statistics set — and host-side accelerators (the cross-system
+//! translation memo) must not perturb any of it.
+
+use std::sync::Arc;
+
+use vta_bench::RUN_BUDGET;
+use vta_dbt::{SharedTranslations, System, VirtualArchConfig};
+use vta_workloads::Scale;
+
+#[test]
+fn gzip_runs_are_bit_identical() {
+    let w = vta_workloads::by_name("gzip", Scale::Test).expect("gzip exists");
+    let run = || {
+        System::new(VirtualArchConfig::paper_default(), &w.image)
+            .run(RUN_BUDGET)
+            .expect("gzip runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.guest_insns, b.guest_insns);
+    assert_eq!(a.exit_code, b.exit_code);
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.stats, b.stats, "every counter and histogram identical");
+}
+
+#[test]
+fn shared_translations_preserve_sweep_cell_results() {
+    let w = vta_workloads::by_name("gzip", Scale::Test).expect("gzip exists");
+    let cfg = VirtualArchConfig::with_translators(4, true);
+    let base = System::new(cfg.clone(), &w.image)
+        .run(RUN_BUDGET)
+        .expect("gzip runs");
+    let sh = SharedTranslations::new(cfg.opt);
+    // Pass 0 fills the memo; pass 1 runs almost entirely from it.
+    for pass in 0..2 {
+        let mut sys = System::new(cfg.clone(), &w.image);
+        sys.attach_shared(Arc::clone(&sh));
+        let r = sys.run(RUN_BUDGET).expect("gzip runs");
+        assert_eq!(r.cycles, base.cycles, "pass {pass}");
+        assert_eq!(r.guest_insns, base.guest_insns, "pass {pass}");
+        assert_eq!(r.stats, base.stats, "pass {pass}");
+    }
+    assert!(!sh.is_empty(), "memo was populated");
+}
+
+#[test]
+fn opt_level_mismatch_refuses_shared_memo() {
+    let w = vta_workloads::by_name("gzip", Scale::Test).expect("gzip exists");
+    let cfg = VirtualArchConfig::paper_default();
+    let base = System::new(cfg.clone(), &w.image)
+        .run(RUN_BUDGET)
+        .expect("gzip runs");
+    // A memo at the wrong opt level is silently ignored at attach.
+    let sh = SharedTranslations::new(vta_ir::OptLevel::None);
+    assert_ne!(cfg.opt, vta_ir::OptLevel::None, "test needs a mismatch");
+    let mut sys = System::new(cfg, &w.image);
+    sys.attach_shared(Arc::clone(&sh));
+    let r = sys.run(RUN_BUDGET).expect("gzip runs");
+    assert_eq!(r.cycles, base.cycles);
+    assert!(sh.is_empty(), "refused memo must stay untouched");
+}

@@ -5,7 +5,11 @@
 //!   the next block does not fit, the whole cache is flushed (the paper's
 //!   "tight packing and flushing algorithm", §4.2). Chaining is only
 //!   possible here, because only at copy-in time is a block's absolute
-//!   position known.
+//!   position known. Host-side, resident blocks live in a slot arena
+//!   addressed by generational [`BlockHandle`]s: the dispatch loop caches
+//!   a block's chain successors as handles, so the hot
+//!   block→chained-block edge never touches the address table, and a
+//!   guest-address lookup is one probe of an open-addressed table.
 //! - **L1.5**: one or two dedicated tiles holding recently used translated
 //!   blocks close to the execution tile; no chaining through it.
 //! - **L2**: the manager tile's map of every translation, stored in
@@ -17,14 +21,60 @@ use std::sync::Arc;
 
 use vta_ir::TBlock;
 
+/// A generational handle into the L1 arena.
+///
+/// A handle stays valid until its slot is cleared — by a whole-cache
+/// flush, an SMC invalidation, or an overwriting insert — each of which
+/// bumps the slot's generation. A stale handle simply fails the
+/// generation check; it can never reach a block other than the one it
+/// was created for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockHandle {
+    slot: u32,
+    gen: u32,
+}
+
+/// One arena slot: the resident block plus the slot's generation and a
+/// small direct-chain successor cache (a block terminator names at most
+/// two static targets, so two entries never thrash).
+#[derive(Debug, Clone)]
+struct Slot {
+    block: Option<Arc<TBlock>>,
+    gen: u32,
+    succ: [Option<(u32, BlockHandle)>; 2],
+}
+
+const EMPTY: u32 = u32::MAX;
+const TOMB: u32 = u32::MAX - 1;
+
 /// The execution tile's L1 code cache (instruction memory).
+///
+/// Host-side, blocks live in a slot arena indexed by an open-addressed
+/// `guest_addr → slot` table (linear probing). The dispatch loop holds
+/// [`BlockHandle`]s and caches chain successors per slot, so the hot
+/// chained-dispatch edge is two generation checks and an array index —
+/// no hashing.
 #[derive(Debug, Clone)]
 pub struct L1Code {
     capacity: u32,
     used: u32,
-    blocks: HashMap<u32, Arc<TBlock>>,
+    slots: Vec<Slot>,
+    free_slots: Vec<u32>,
+    /// `(guest_addr, slot)` entries; `EMPTY`/`TOMB` keys are vacant.
+    /// Length is a power of two.
+    table: Vec<(u32, u32)>,
+    /// Live entries plus tombstones (bounds the probe length).
+    occupied: usize,
+    len: usize,
     flushes: u64,
     inserts: u64,
+}
+
+#[inline]
+fn hash_addr(addr: u32) -> usize {
+    // Fibonacci hashing; guest code addresses are word-aligned so the
+    // low bits alone would collide.
+    (addr.wrapping_mul(0x9E37_79B1) >> 7) as usize
 }
 
 impl L1Code {
@@ -33,20 +83,99 @@ impl L1Code {
         L1Code {
             capacity,
             used: 0,
-            blocks: HashMap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            table: vec![(EMPTY, 0); 64],
+            occupied: 0,
+            len: 0,
             flushes: 0,
             inserts: 0,
         }
     }
 
+    /// Looks up a resident translation's handle.
+    #[inline]
+    pub fn lookup(&self, guest_addr: u32) -> Option<BlockHandle> {
+        let mask = self.table.len() - 1;
+        let mut i = hash_addr(guest_addr) & mask;
+        loop {
+            let (key, slot) = self.table[i];
+            if key == guest_addr {
+                return Some(BlockHandle {
+                    slot,
+                    gen: self.slots[slot as usize].gen,
+                });
+            }
+            if key == EMPTY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Resolves a handle to its block; `None` if the slot has been
+    /// cleared (flush / invalidation) since the handle was created.
+    #[inline]
+    pub fn handle_block(&self, h: BlockHandle) -> Option<&Arc<TBlock>> {
+        let slot = &self.slots[h.slot as usize];
+        if slot.gen == h.gen {
+            slot.block.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// The cached chain successor of `h`'s block for branch target
+    /// `target`, if still valid.
+    #[inline]
+    pub fn cached_succ(&self, h: BlockHandle, target: u32) -> Option<BlockHandle> {
+        let slot = &self.slots[h.slot as usize];
+        if slot.gen != h.gen {
+            return None;
+        }
+        for entry in slot.succ.iter().flatten() {
+            if entry.0 == target {
+                let s = entry.1;
+                if self.slots[s.slot as usize].gen == s.gen {
+                    return Some(s);
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Records `succ` as the chain successor of `h`'s block for branch
+    /// target `target`.
+    pub fn cache_succ(&mut self, h: BlockHandle, target: u32, succ: BlockHandle) {
+        let slot = &mut self.slots[h.slot as usize];
+        if slot.gen != h.gen {
+            return;
+        }
+        // Reuse a matching or empty entry, else evict the second (a
+        // terminator has at most two static targets).
+        let idx = slot
+            .succ
+            .iter()
+            .position(|e| e.is_none() || e.is_some_and(|(t, _)| t == target))
+            .unwrap_or(1);
+        slot.succ[idx] = Some((target, succ));
+    }
+
     /// Looks up a resident translation.
     pub fn get(&self, guest_addr: u32) -> Option<&Arc<TBlock>> {
-        self.blocks.get(&guest_addr)
+        self.lookup(guest_addr).map(|h| {
+            self.slots[h.slot as usize]
+                .block
+                .as_ref()
+                .expect("live slot")
+        })
     }
 
     /// Whether a translation for `guest_addr` is resident (chainable).
+    #[inline]
     pub fn contains(&self, guest_addr: u32) -> bool {
-        self.blocks.contains_key(&guest_addr)
+        self.lookup(guest_addr).is_some()
     }
 
     /// Inserts a block, tight-packing; returns `true` if the cache had to
@@ -59,21 +188,35 @@ impl L1Code {
         }
         let mut flushed = false;
         if self.used + bytes > self.capacity {
-            self.blocks.clear();
-            self.used = 0;
-            self.flushes += 1;
+            self.flush_all();
             flushed = true;
         }
         self.used += bytes;
         self.inserts += 1;
-        self.blocks.insert(block.guest_addr, block);
+        let addr = block.guest_addr;
+        // Overwrite an existing mapping by retiring its slot; stale
+        // handles to the old block fail their generation check.
+        if let Some(h) = self.lookup(addr) {
+            self.clear_slot(h.slot);
+            self.table_remove(addr);
+        }
+        let slot = self.alloc_slot(block);
+        self.table_insert(addr, slot);
         flushed
     }
 
-    /// Drops one translation (self-modifying-code invalidation).
+    /// Drops one translation (self-modifying-code invalidation). Any
+    /// outstanding handle or cached chain edge to it goes stale.
     pub fn invalidate(&mut self, guest_addr: u32) {
-        if let Some(b) = self.blocks.remove(&guest_addr) {
-            self.used = self.used.saturating_sub(b.host_bytes());
+        if let Some(h) = self.lookup(guest_addr) {
+            let bytes = self.slots[h.slot as usize]
+                .block
+                .as_ref()
+                .expect("live slot")
+                .host_bytes();
+            self.used = self.used.saturating_sub(bytes);
+            self.clear_slot(h.slot);
+            self.table_remove(guest_addr);
         }
     }
 
@@ -85,6 +228,94 @@ impl L1Code {
     /// Bytes currently packed.
     pub fn used_bytes(&self) -> u32 {
         self.used
+    }
+
+    /// Flush-all: clear every slot (bumping its generation) and reset
+    /// the address table.
+    fn flush_all(&mut self) {
+        for i in 0..self.slots.len() {
+            if self.slots[i].block.is_some() {
+                self.clear_slot(i as u32);
+            }
+        }
+        self.table.fill((EMPTY, 0));
+        self.occupied = 0;
+        self.len = 0;
+        self.used = 0;
+        self.flushes += 1;
+    }
+
+    fn alloc_slot(&mut self, block: Arc<TBlock>) -> u32 {
+        if let Some(i) = self.free_slots.pop() {
+            let s = &mut self.slots[i as usize];
+            s.block = Some(block);
+            s.succ = [None; 2];
+            i
+        } else {
+            self.slots.push(Slot {
+                block: Some(block),
+                gen: 0,
+                succ: [None; 2],
+            });
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn clear_slot(&mut self, i: u32) {
+        let s = &mut self.slots[i as usize];
+        s.block = None;
+        s.gen = s.gen.wrapping_add(1);
+        s.succ = [None; 2];
+        self.free_slots.push(i);
+    }
+
+    fn table_insert(&mut self, addr: u32, slot: u32) {
+        if (self.occupied + 1) * 4 > self.table.len() * 3 {
+            self.rehash(self.table.len() * 2);
+        }
+        let mask = self.table.len() - 1;
+        let mut i = hash_addr(addr) & mask;
+        loop {
+            let (key, _) = self.table[i];
+            if key == EMPTY || key == TOMB {
+                if key == EMPTY {
+                    self.occupied += 1;
+                }
+                self.table[i] = (addr, slot);
+                self.len += 1;
+                return;
+            }
+            debug_assert_ne!(key, addr, "caller removes the old mapping first");
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn table_remove(&mut self, addr: u32) {
+        let mask = self.table.len() - 1;
+        let mut i = hash_addr(addr) & mask;
+        loop {
+            let (key, _) = self.table[i];
+            if key == addr {
+                self.table[i] = (TOMB, 0);
+                self.len -= 1;
+                return;
+            }
+            if key == EMPTY {
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn rehash(&mut self, new_len: usize) {
+        let old = std::mem::replace(&mut self.table, vec![(EMPTY, 0); new_len]);
+        self.occupied = 0;
+        self.len = 0;
+        for (key, slot) in old {
+            if key != EMPTY && key != TOMB {
+                self.table_insert(key, slot);
+            }
+        }
     }
 }
 
@@ -272,6 +503,84 @@ mod tests {
         l1.invalidate(0x1000);
         assert!(!l1.contains(0x1000));
         assert_eq!(l1.used_bytes(), 0);
+    }
+
+    #[test]
+    fn l1_handle_goes_stale_on_invalidate() {
+        let mut l1 = L1Code::new(1000);
+        l1.insert(block(0x1000, 10));
+        let h = l1.lookup(0x1000).expect("resident");
+        assert!(l1.handle_block(h).is_some());
+        l1.invalidate(0x1000);
+        assert!(l1.handle_block(h).is_none(), "stale generation");
+        // Reinsert: old handle must stay stale even if the slot is reused.
+        l1.insert(block(0x1000, 10));
+        assert!(l1.handle_block(h).is_none());
+        assert!(l1.lookup(0x1000).is_some());
+    }
+
+    #[test]
+    fn l1_handle_goes_stale_on_flush() {
+        let mut l1 = L1Code::new(100);
+        l1.insert(block(0x1000, 10));
+        let h = l1.lookup(0x1000).expect("resident");
+        assert!(l1.insert(block(0x2000, 10)) || l1.insert(block(0x3000, 10)));
+        assert!(l1.handle_block(h).is_none(), "flush revokes handles");
+    }
+
+    #[test]
+    fn l1_chain_succ_cache() {
+        let mut l1 = L1Code::new(1000);
+        l1.insert(block(0x1000, 5));
+        l1.insert(block(0x2000, 5));
+        let a = l1.lookup(0x1000).unwrap();
+        let b = l1.lookup(0x2000).unwrap();
+        assert_eq!(l1.cached_succ(a, 0x2000), None, "cold");
+        l1.cache_succ(a, 0x2000, b);
+        assert_eq!(l1.cached_succ(a, 0x2000), Some(b));
+        assert_eq!(l1.cached_succ(a, 0x3000), None, "different target");
+        // Invalidating the successor makes the edge stale.
+        l1.invalidate(0x2000);
+        assert_eq!(l1.cached_succ(a, 0x2000), None);
+        // Two distinct targets fit (cond-branch fanout).
+        l1.insert(block(0x2000, 5));
+        l1.insert(block(0x4000, 5));
+        let b2 = l1.lookup(0x2000).unwrap();
+        let c = l1.lookup(0x4000).unwrap();
+        l1.cache_succ(a, 0x2000, b2);
+        l1.cache_succ(a, 0x4000, c);
+        assert_eq!(l1.cached_succ(a, 0x2000), Some(b2));
+        assert_eq!(l1.cached_succ(a, 0x4000), Some(c));
+    }
+
+    #[test]
+    fn l1_table_grows_past_initial_capacity() {
+        // More than 64 resident blocks forces open-addressed rehashing.
+        let mut l1 = L1Code::new(1 << 20);
+        for i in 0..500u32 {
+            assert!(!l1.insert(block(0x1000 + i * 16, 1)));
+        }
+        for i in 0..500u32 {
+            assert!(l1.contains(0x1000 + i * 16), "addr {i} resident");
+        }
+        assert!(!l1.contains(0x0));
+    }
+
+    #[test]
+    fn l1_tombstone_reuse_keeps_probes_bounded() {
+        // Insert/invalidate churn at the same load factor must not wedge
+        // the probe sequence (tombstones are reusable).
+        let mut l1 = L1Code::new(1 << 20);
+        for round in 0..50u32 {
+            for i in 0..40u32 {
+                l1.insert(block(0x1000 + i * 4, 1));
+            }
+            for i in 0..40u32 {
+                l1.invalidate(0x1000 + i * 4);
+            }
+            assert_eq!(l1.used_bytes(), 0, "round {round}");
+        }
+        assert!(!l1.contains(0x1000));
     }
 
     #[test]

@@ -94,7 +94,11 @@ impl Placement {
             .filter(|t| !l2.contains(t))
             .take(slaves)
             .collect();
-        assert_eq!(slaves_v.len(), slaves, "not enough tiles for {slaves} slaves");
+        assert_eq!(
+            slaves_v.len(),
+            slaves,
+            "not enough tiles for {slaves} slaves"
+        );
 
         Placement {
             exec,

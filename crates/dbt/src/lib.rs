@@ -46,11 +46,13 @@ pub mod codecache;
 pub mod config;
 pub mod memsys;
 pub mod morph;
+pub mod shared;
 pub mod slave;
 pub mod specq;
 pub mod system;
 pub mod timing;
 
 pub use config::{MorphConfig, Placement, VirtualArchConfig};
+pub use shared::SharedTranslations;
 pub use system::{RunReport, StopCause, System, SystemError};
 pub use timing::Timing;

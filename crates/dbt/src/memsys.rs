@@ -103,6 +103,11 @@ impl MemSys {
     ///
     /// `exec`/`mmu` are grid positions; `now` is the execution-tile time
     /// at issue.
+    ///
+    /// The L1 D$ hit path — the overwhelmingly common case — is inlined
+    /// into the execution loop; everything past the L1 probe lives in
+    /// the out-of-line [`MemSys::miss_path`].
+    #[inline]
     #[allow(clippy::too_many_arguments)] // one arg per pipeline stage
     pub fn access(
         &mut self,
@@ -119,8 +124,24 @@ impl MemSys {
             self.counts[0] += 1;
             return (t.l1d_hit, MemLevel::L1);
         }
+        self.miss_path(now, addr, write, exec, mmu, dram, t)
+    }
 
-        // Miss: request travels to the MMU tile.
+    /// The pipelined path past an L1 D$ miss: MMU/TLB, bank, DRAM.
+    #[cold]
+    #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
+    fn miss_path(
+        &mut self,
+        now: Cycle,
+        addr: u32,
+        write: bool,
+        exec: TileId,
+        mmu: TileId,
+        dram: &mut Dram,
+        t: &Timing,
+    ) -> (u64, MemLevel) {
+        // Request travels to the MMU tile.
         let mut when = now + t.l1d_hit;
         when += net_latency(exec, mmu, 1);
         when = when.max(self.mmu_next_free);

@@ -54,7 +54,12 @@ impl MorphManager {
     /// Sampling only happens every `check_interval` cycles, so the
     /// monitoring cost is negligible (§2.3); hysteresis enforces a
     /// minimum gap between reconfigurations.
-    pub fn decide(&mut self, now: Cycle, queue_len: usize, cur_banks: usize) -> Option<MorphAction> {
+    pub fn decide(
+        &mut self,
+        now: Cycle,
+        queue_len: usize,
+        cur_banks: usize,
+    ) -> Option<MorphAction> {
         if now < self.next_check {
             return None;
         }

@@ -1,0 +1,89 @@
+//! Cross-system translation sharing for sweeps.
+//!
+//! A parameter sweep (Figure 5) runs the same guest binary under dozens
+//! of virtual-architecture configurations. The translator is a pure
+//! function of `(code bytes, address, opt level)`, so every cell
+//! re-deriving the same ~thousands of translations is wasted host work —
+//! it dominated sweep wall-clock. [`SharedTranslations`] is an opt-in,
+//! thread-safe memo attached to each [`System`](crate::System) in a
+//! sweep: the first system to translate an address publishes the block,
+//! later systems reuse it.
+//!
+//! **Soundness.** Reuse must not change any simulated outcome:
+//!
+//! - An entry records the exact guest bytes it was translated from; a
+//!   consult re-reads the live bytes and rejects on any mismatch. A
+//!   system whose guest has since written over that code (SMC) simply
+//!   retranslates, so sharing is transparent even for self-modifying
+//!   guests.
+//! - The cache is fixed to one [`OptLevel`]; attaching it to a system
+//!   with a different opt level is refused at the API boundary.
+//! - Simulated translation cost travels with the block
+//!   (`TBlock::translate_cycles`), so a memo hit charges the identical
+//!   guest-visible latency as a fresh translation. Cycle counts are
+//!   bit-identical with and without sharing.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use vta_ir::{OptLevel, TBlock};
+use vta_x86::GuestMem;
+
+struct Entry {
+    /// The guest code bytes the translation was derived from.
+    bytes: Vec<u8>,
+    block: Arc<TBlock>,
+}
+
+/// A translation memo shared by every sweep cell running one binary.
+pub struct SharedTranslations {
+    opt: OptLevel,
+    inner: Mutex<HashMap<u32, Entry>>,
+}
+
+impl SharedTranslations {
+    /// Creates an empty memo for translations at `opt`.
+    pub fn new(opt: OptLevel) -> Arc<SharedTranslations> {
+        Arc::new(SharedTranslations {
+            opt,
+            inner: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The opt level this memo holds translations for.
+    pub fn opt(&self) -> OptLevel {
+        self.opt
+    }
+
+    /// Returns the memoized translation at `addr` if the caller's guest
+    /// memory still holds the exact bytes it was derived from.
+    pub(crate) fn consult(&self, mem: &GuestMem, addr: u32) -> Option<Arc<TBlock>> {
+        let inner = self.inner.lock().ok()?;
+        let e = inner.get(&addr)?;
+        let live = mem.read_bytes(addr, e.bytes.len() as u32).ok()?;
+        (live == e.bytes).then(|| Arc::clone(&e.block))
+    }
+
+    /// Publishes a freshly translated block (first writer wins).
+    pub(crate) fn publish(&self, mem: &GuestMem, block: &Arc<TBlock>) {
+        let Ok(bytes) = mem.read_bytes(block.guest_addr, block.guest_len) else {
+            return;
+        };
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.entry(block.guest_addr).or_insert_with(|| Entry {
+                bytes,
+                block: Arc::clone(block),
+            });
+        }
+    }
+
+    /// Number of memoized translations.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

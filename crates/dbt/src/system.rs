@@ -15,13 +15,14 @@ use vta_ir::{apply_helper, translate_block, TBlock, TranslateError};
 use vta_raw::exec::{run_block, BlockExit, CoreState, DataPort, Fault};
 use vta_raw::isa::{HelperKind, MemOp, RReg};
 use vta_raw::{Dram, TileId};
-use vta_sim::{Cycle, Stats};
+use vta_sim::{Ctr, Cycle, Stats};
 use vta_x86::{GuestImage, GuestMem, SysState, SyscallResult};
 
-use crate::codecache::{L15Bank, L1Code, L2Code};
+use crate::codecache::{BlockHandle, L15Bank, L1Code, L2Code};
 use crate::config::VirtualArchConfig;
 use crate::memsys::MemSys;
 use crate::morph::{MorphAction, MorphManager};
+use crate::shared::SharedTranslations;
 use crate::slave::{InFlight, SlavePool};
 use crate::specq::{SpecQueues, RETURN_DEPTH};
 use crate::timing::Timing;
@@ -105,6 +106,9 @@ pub struct System {
     state: CoreState,
     pc: u32,
     l1: L1Code,
+    /// Arena handle for the block at `pc`, when the previous block
+    /// chained straight to it (no L1 lookup needed on the fast path).
+    cur_handle: Option<BlockHandle>,
     l15: Vec<L15Bank>,
     l15_next_free: Vec<Cycle>,
     l2code: L2Code,
@@ -122,6 +126,8 @@ pub struct System {
     page_blocks: HashMap<u32, Vec<u32>>,
     /// Addresses whose translation failed (speculation into data).
     failed: HashSet<u32>,
+    /// Optional cross-system translation memo (sweeps).
+    shared: Option<Arc<SharedTranslations>>,
 }
 
 impl System {
@@ -152,6 +158,7 @@ impl System {
             state,
             pc: image.entry,
             l1: L1Code::new(cfg.l1_code_bytes),
+            cur_handle: None,
             l15_next_free: vec![Cycle::ZERO; l15.len()],
             l15,
             l2code: L2Code::new(cfg.l2_code_bytes),
@@ -168,9 +175,37 @@ impl System {
             code_pages: HashSet::new(),
             page_blocks: HashMap::new(),
             failed: HashSet::new(),
+            shared: None,
             timing,
             cfg,
         }
+    }
+
+    /// Attaches a cross-system translation memo (see
+    /// [`SharedTranslations`]); refused if its opt level differs from
+    /// this system's. Purely a host-side accelerator: simulated cycle
+    /// counts are identical with or without it.
+    pub fn attach_shared(&mut self, shared: Arc<SharedTranslations>) {
+        if shared.opt() == self.cfg.opt {
+            self.shared = Some(shared);
+        }
+    }
+
+    /// Translates `pc` at the configured opt level, consulting and
+    /// feeding the shared memo when one is attached. The memo validates
+    /// the live guest bytes, so a hit is byte-for-byte what a fresh
+    /// translation would produce.
+    fn translate_at(&self, pc: u32) -> Result<Arc<TBlock>, TranslateError> {
+        if let Some(sh) = &self.shared {
+            if let Some(b) = sh.consult(&self.mem, pc) {
+                return Ok(b);
+            }
+        }
+        let b = Arc::new(translate_block(&self.mem, pc, self.cfg.opt)?);
+        if let Some(sh) = &self.shared {
+            sh.publish(&self.mem, &b);
+        }
+        Ok(b)
     }
 
     /// Runs the guest until exit/halt/fault or `max_guest_insns`.
@@ -188,7 +223,20 @@ impl System {
             self.maybe_morph();
 
             let pc = self.pc;
-            let block = self.fetch_block(pc)?;
+            // Fast path: the previous block chained here and handed us
+            // the arena handle — no address-table probe. A stale handle
+            // (flush/SMC since) fails its generation check and falls
+            // back to the full fetch path.
+            let (block, handle) = match self.cur_handle.take() {
+                Some(h) => match self.l1.handle_block(h) {
+                    Some(b) => {
+                        self.stats.bump_ctr(Ctr::L1CodeHit);
+                        (Arc::clone(b), Some(h))
+                    }
+                    None => self.fetch_block(pc)?,
+                },
+                None => self.fetch_block(pc)?,
+            };
 
             // Execute the block on the execution tile.
             let mut smc = Vec::new();
@@ -208,8 +256,8 @@ impl System {
             };
             self.now += outcome.cycles;
             self.guest_insns += block.guest_insns as u64;
-            self.stats.add("host_insns", outcome.insns);
-            self.stats.add("exec.blocks", 1);
+            self.stats.add_ctr(Ctr::HostInsns, outcome.insns);
+            self.stats.bump_ctr(Ctr::ExecBlocks);
 
             // Self-modifying-code invalidation.
             for page in smc {
@@ -218,23 +266,31 @@ impl System {
 
             match outcome.exit {
                 BlockExit::Goto(t) => {
-                    if self.l1.contains(t) {
+                    let succ = handle.and_then(|h| self.l1.cached_succ(h, t)).or_else(|| {
+                        let nh = self.l1.lookup(t);
+                        if let (Some(h), Some(nh)) = (handle, nh) {
+                            self.l1.cache_succ(h, t, nh);
+                        }
+                        nh
+                    });
+                    if let Some(nh) = succ {
                         // Chained: patched direct branch inside L1 I-mem.
                         self.now += self.timing.chain;
-                        self.stats.bump("chain.taken");
+                        self.stats.bump_ctr(Ctr::ChainTaken);
+                        self.cur_handle = Some(nh);
                     } else {
                         self.now += self.timing.dispatch_miss;
-                        self.stats.bump("dispatch.direct_miss");
+                        self.stats.bump_ctr(Ctr::DispatchDirectMiss);
                     }
                     self.pc = t;
                 }
                 BlockExit::Indirect(t) => {
                     self.now += self.timing.dispatch_indirect;
-                    self.stats.bump("dispatch.indirect");
+                    self.stats.bump_ctr(Ctr::DispatchIndirect);
                     self.pc = t;
                 }
                 BlockExit::Sys => {
-                    self.stats.bump("syscalls");
+                    self.stats.bump_ctr(Ctr::Syscalls);
                     if let Some(code) = self.do_syscall() {
                         break (StopCause::Exit, Some(code));
                     }
@@ -248,19 +304,21 @@ impl System {
             self.catch_up(self.now);
         };
 
-        self.stats.set("cycles", self.now.as_u64());
-        self.stats.set("guest_insns", self.guest_insns);
+        self.stats.set_ctr(Ctr::Cycles, self.now.as_u64());
+        self.stats.set_ctr(Ctr::GuestInsns, self.guest_insns);
         let mem = self.memsys.stats();
-        self.stats.set("mem.l1_hit", mem[0]);
-        self.stats.set("mem.l2_hit", mem[1]);
-        self.stats.set("mem.dram", mem[2]);
-        self.stats.set("mem.tlb_miss", mem[3]);
-        self.stats.set("l1code.flushes", self.l1.flushes());
-        self.stats.set("translate.blocks", self.pool.total_completed());
-        self.stats.set("translate.busy_cycles", self.pool.total_busy());
-        self.stats.set("spec.pushes", self.queues.pushes());
+        self.stats.set_ctr(Ctr::MemL1Hit, mem[0]);
+        self.stats.set_ctr(Ctr::MemL2Hit, mem[1]);
+        self.stats.set_ctr(Ctr::MemDram, mem[2]);
+        self.stats.set_ctr(Ctr::MemTlbMiss, mem[3]);
+        self.stats.set_ctr(Ctr::L1CodeFlushes, self.l1.flushes());
+        self.stats
+            .set_ctr(Ctr::TranslateBlocks, self.pool.total_completed());
+        self.stats
+            .set_ctr(Ctr::TranslateBusyCycles, self.pool.total_busy());
+        self.stats.set_ctr(Ctr::SpecPushes, self.queues.pushes());
         if let Some(m) = &self.morph {
-            self.stats.set("morph.reconfigs", m.reconfigs);
+            self.stats.set_ctr(Ctr::MorphReconfigs, m.reconfigs);
         }
 
         Ok(RunReport {
@@ -282,12 +340,13 @@ impl System {
 
     /// Obtains the translated block for `pc`, charging the lookup costs of
     /// whichever code-cache level supplies it.
-    fn fetch_block(&mut self, pc: u32) -> Result<Arc<TBlock>, SystemError> {
-        if let Some(b) = self.l1.get(pc) {
-            self.stats.bump("l1code.hit");
-            return Ok(Arc::clone(b));
+    fn fetch_block(&mut self, pc: u32) -> Result<(Arc<TBlock>, Option<BlockHandle>), SystemError> {
+        if let Some(h) = self.l1.lookup(pc) {
+            self.stats.bump_ctr(Ctr::L1CodeHit);
+            let b = Arc::clone(self.l1.handle_block(h).expect("fresh handle"));
+            return Ok((b, Some(h)));
         }
-        self.stats.bump("l1code.miss");
+        self.stats.bump_ctr(Ctr::L1CodeMiss);
 
         // L1.5 banks.
         if !self.l15.is_empty() {
@@ -298,12 +357,13 @@ impl System {
             self.now += self.timing.l15_service;
             self.l15_next_free[idx] = self.now;
             if let Some(b) = self.l15[idx].get(pc) {
-                self.stats.bump("l15.hit");
+                self.stats.bump_ctr(Ctr::L15Hit);
                 self.now += self.net(bank_tile, self.cfg.placement.exec, b.code.len() as u32);
                 self.install_l1(&b);
-                return Ok(b);
+                let h = self.l1.lookup(pc);
+                return Ok((b, h));
             }
-            self.stats.bump("l15.miss");
+            self.stats.bump_ctr(Ctr::L15Miss);
         }
 
         // L2 manager.
@@ -315,12 +375,12 @@ impl System {
         // The manager looks its metadata up in DRAM-resident structures.
         self.now = self.dram.access(self.now, 2).max(self.now);
         self.manager_next_free = self.now;
-        self.stats.bump("l2code.access");
+        self.stats.bump_ctr(Ctr::L2CodeAccess);
 
         let block = if let Some(b) = self.l2code.get(pc) {
             Arc::clone(b)
         } else {
-            self.stats.bump("l2code.miss");
+            self.stats.bump_ctr(Ctr::L2CodeMiss);
             let waited_from = self.now;
             let ready_at = self.demand_translate(pc)?;
             self.now = self.now.max(ready_at);
@@ -343,7 +403,8 @@ impl System {
             self.l15[idx].insert(Arc::clone(&block));
         }
         self.install_l1(&block);
-        Ok(block)
+        let h = self.l1.lookup(pc);
+        Ok((block, h))
     }
 
     fn install_l1(&mut self, block: &Arc<TBlock>) {
@@ -369,9 +430,12 @@ impl System {
             }
             if self.failed.contains(&pc) {
                 // Re-translate on the spot to surface the error.
-                let err = translate_block(&self.mem, pc, self.cfg.opt)
-                    .expect_err("known-failed address");
-                return Err(SystemError::Translate { addr: pc, error: err });
+                let err =
+                    translate_block(&self.mem, pc, self.cfg.opt).expect_err("known-failed address");
+                return Err(SystemError::Translate {
+                    addr: pc,
+                    error: err,
+                });
             }
             match self.pool.earliest_done() {
                 Some((_, done)) => {
@@ -381,17 +445,14 @@ impl System {
                 None => {
                     // Nothing in flight and nothing committed: the pool is
                     // empty or the queue lost the entry; translate inline.
-                    match translate_block(&self.mem, pc, self.cfg.opt) {
+                    match self.translate_at(pc) {
                         Ok(b) => {
-                            let b = Arc::new(b);
                             t += b.translate_cycles;
                             self.record_block(&b);
                             self.l2code.commit(b);
                             return Ok(t);
                         }
-                        Err(error) => {
-                            return Err(SystemError::Translate { addr: pc, error })
-                        }
+                        Err(error) => return Err(SystemError::Translate { addr: pc, error }),
                     }
                 }
             }
@@ -455,9 +516,12 @@ impl System {
         let last = (block.guest_addr + block.guest_len.max(1) - 1) / 4096;
         for page in first..=last {
             self.code_pages.insert(page);
-            self.page_blocks.entry(page).or_default().push(block.guest_addr);
+            self.page_blocks
+                .entry(page)
+                .or_default()
+                .push(block.guest_addr);
         }
-        self.stats.bump("translate.committed");
+        self.stats.bump_ctr(Ctr::TranslateCommitted);
     }
 
     /// Pushes a finished block's likely successors (§2.1's speculative
@@ -534,7 +598,9 @@ impl System {
     fn assign_one(&mut self, slave_idx: usize, at: Cycle) {
         // Respect the demand reservation: slave 0 only takes depth 0.
         loop {
-            let Some((addr, depth)) = self.queues.pop() else { return };
+            let Some((addr, depth)) = self.queues.pop() else {
+                return;
+            };
             if self.l2code.known(addr) || self.failed.contains(&addr) {
                 continue;
             }
@@ -553,7 +619,7 @@ impl System {
         self.manager_next_free = self.manager_next_free.max(at) + 30;
         let tile = self.pool.slave(slave_idx).tile;
         let manager = self.cfg.placement.manager;
-        let result = translate_block(&self.mem, addr, self.cfg.opt).ok().map(Arc::new);
+        let result = self.translate_at(addr).ok();
         let (cycles, words) = match &result {
             Some(b) => (b.translate_cycles, b.code.len() as u32),
             // Failed translations still burn decode time.
@@ -612,8 +678,7 @@ impl System {
                 if let Some((tile, dirty)) = self.memsys.remove_bank() {
                     // Write back the dirty lines (DRAM occupancy) and
                     // reload the tile's software role.
-                    self.dram
-                        .access(self.now, dirty * self.timing.line_words);
+                    self.dram.access(self.now, dirty * self.timing.line_words);
                     self.now += self.timing.reconfig_per_dirty_line * dirty as u64 / 8 + 50;
                     self.pool.grow(tile);
                     let ready = self.now + self.timing.reconfig;
@@ -624,7 +689,7 @@ impl System {
                         done_at: ready,
                         block: None,
                     });
-                    self.stats.bump("morph.to_translator");
+                    self.stats.bump_ctr(Ctr::MorphToTranslator);
                 }
             }
             Some(MorphAction::TranslatorToCache) => {
@@ -633,7 +698,7 @@ impl System {
                     let bank = self.memsys.banks.last_mut().expect("just added");
                     bank.next_free = free_at + self.timing.reconfig;
                     self.now += 50;
-                    self.stats.bump("morph.to_cache");
+                    self.stats.bump_ctr(Ctr::MorphToCache);
                 }
             }
             None => {}
@@ -641,8 +706,10 @@ impl System {
     }
 
     fn invalidate_page(&mut self, page: u32) {
-        let Some(addrs) = self.page_blocks.remove(&page) else { return };
-        self.stats.bump("smc.invalidations");
+        let Some(addrs) = self.page_blocks.remove(&page) else {
+            return;
+        };
+        self.stats.bump_ctr(Ctr::SmcInvalidations);
         for addr in addrs {
             self.l1.invalidate(addr);
             for bank in &mut self.l15 {
@@ -689,7 +756,13 @@ impl DataPort for ExecPort<'_> {
             .read_sized(addr, op.bytes())
             .map_err(|e| Fault::Unmapped { addr: e.addr })?;
         let (stall, _level) = self.memsys.access(
-            self.now, addr, false, self.exec, self.mmu, self.dram, self.timing,
+            self.now,
+            addr,
+            false,
+            self.exec,
+            self.mmu,
+            self.dram,
+            self.timing,
         );
         self.now += stall + 1;
         Ok((value, stall))
@@ -704,7 +777,13 @@ impl DataPort for ExecPort<'_> {
             self.smc.push(page);
         }
         let (stall, _level) = self.memsys.access(
-            self.now, addr, true, self.exec, self.mmu, self.dram, self.timing,
+            self.now,
+            addr,
+            true,
+            self.exec,
+            self.mmu,
+            self.dram,
+            self.timing,
         );
         self.now += stall + 1;
         Ok(stall)
@@ -808,7 +887,10 @@ mod tests {
             a.mov_ri(Reg::EAX, 4);
             a.mov_ri(Reg::EBX, 1);
             a.mov_ri(Reg::ECX, 0x0900_0000);
-            a.mov_mi(vta_x86::MemRef::abs(0x0900_0000), u32::from_le_bytes(*b"abcd"));
+            a.mov_mi(
+                vta_x86::MemRef::abs(0x0900_0000),
+                u32::from_le_bytes(*b"abcd"),
+            );
             a.mov_ri(Reg::EDX, 4);
             a.int_(0x80);
             a.exit(9);
@@ -830,7 +912,10 @@ mod tests {
         });
         let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
         match sys.run(1_000) {
-            Err(SystemError::GuestFault { fault: Fault::Unmapped { addr }, .. }) => {
+            Err(SystemError::GuestFault {
+                fault: Fault::Unmapped { addr },
+                ..
+            }) => {
                 assert_eq!(addr, 0x4000_0000);
             }
             other => panic!("expected unmapped fault, got {other:?}"),
@@ -881,6 +966,80 @@ mod tests {
         let report = sys.run(1_000_000).expect("runs");
         assert_eq!(report.exit_code, Some(want));
         assert!(report.stats.get("smc.invalidations") > 0);
+    }
+
+    #[test]
+    fn smc_revokes_chained_dispatch_handles() {
+        // Phase 1 runs a hot loop long enough for the dispatch loop to
+        // cache arena handles and chain-successor edges for the body;
+        // then the guest patches the body's immediate and re-runs it.
+        // A stale handle surviving the invalidation would keep executing
+        // the old translation and add the old immediate.
+        let mut site = 0u32;
+        let img = image(|a| {
+            a.mov_ri(Reg::ESI, 2);
+            a.mov_ri(Reg::EAX, 0);
+            let outer = a.here();
+            a.mov_ri(Reg::ECX, 1000);
+            let top = a.here();
+            site = a.cur_addr();
+            a.mov_ri(Reg::EBX, 11); // imm low byte patched to 99
+            a.add_rr(Reg::EAX, Reg::EBX);
+            a.dec_r(Reg::ECX);
+            a.jcc(Cond::Ne, top);
+            a.mov_mi8(vta_x86::MemRef::abs(site + 1), 99);
+            a.dec_r(Reg::ESI);
+            a.jcc(Cond::Ne, outer);
+            a.exit_with_eax();
+        });
+        let mut cpu = vta_x86::Cpu::new(&img);
+        let want = match cpu.run(10_000_000).unwrap() {
+            vta_x86::StopReason::Exit(c) => c,
+            other => panic!("reference stopped with {other:?}"),
+        };
+        assert_eq!(want, 1000 * 11 + 1000 * 99);
+
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        let report = sys.run(10_000_000).expect("runs");
+        assert_eq!(report.exit_code, Some(want), "stale handle executed");
+        assert!(report.stats.get("smc.invalidations") >= 1);
+        assert!(
+            report.stats.get("chain.taken") > 1500,
+            "both passes must run chained: {}",
+            report.stats.get("chain.taken")
+        );
+
+        // Same guest with a translation memo populated by the first run:
+        // the memo's pre-patch entry must be rejected by its byte check
+        // once the guest has patched the site.
+        let sh = SharedTranslations::new(VirtualArchConfig::paper_default().opt);
+        for pass in 0..2 {
+            let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+            sys.attach_shared(Arc::clone(&sh));
+            let r = sys.run(10_000_000).expect("runs");
+            assert_eq!(r.exit_code, Some(want), "pass {pass}");
+            assert_eq!(r.cycles, report.cycles, "pass {pass}");
+        }
+        assert!(!sh.is_empty());
+    }
+
+    #[test]
+    fn shared_translations_do_not_change_results() {
+        let img = loop_program(500);
+        let base = {
+            let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+            sys.run(10_000_000).expect("runs")
+        };
+        let sh = SharedTranslations::new(VirtualArchConfig::paper_default().opt);
+        // Second iteration actually consumes the memo the first filled.
+        for pass in 0..2 {
+            let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+            sys.attach_shared(Arc::clone(&sh));
+            let r = sys.run(10_000_000).expect("runs");
+            assert_eq!(r.cycles, base.cycles, "pass {pass}");
+            assert_eq!(r.stats, base.stats, "pass {pass}");
+        }
+        assert!(!sh.is_empty());
     }
 
     #[test]

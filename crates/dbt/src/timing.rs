@@ -95,9 +95,13 @@ mod tests {
         // L1 hit occupancy: 4 (Figure 11).
         assert_eq!(t.l1d_hit, 4);
         // Rough L2-hit path: detect + nets + MMU + bank + line back.
-        let l2_hit = t.l1d_hit + 4 + t.mmu_service + 4 + t.bank_service + (t.line_words as u64 + 3) + 8;
+        let l2_hit =
+            t.l1d_hit + 4 + t.mmu_service + 4 + t.bank_service + (t.line_words as u64 + 3) + 8;
         assert!((70..=100).contains(&l2_hit), "l2 hit ≈ 87, got {l2_hit}");
         let l2_miss = l2_hit + t.dram_latency;
-        assert!((135..=170).contains(&l2_miss), "l2 miss ≈ 151, got {l2_miss}");
+        assert!(
+            (135..=170).contains(&l2_miss),
+            "l2 miss ≈ 151, got {l2_miss}"
+        );
     }
 }

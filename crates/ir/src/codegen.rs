@@ -7,9 +7,7 @@
 //! the paper describes (§4.5) — and conditional branches expand to an
 //! extract plus a branch.
 
-use vta_raw::isa::{
-    AluIOp, AluOp, BrCond, BranchTarget, HelperKind, MemOp, RInsn, RReg, ShiftOp,
-};
+use vta_raw::isa::{AluIOp, AluOp, BrCond, BranchTarget, HelperKind, MemOp, RInsn, RReg, ShiftOp};
 use vta_x86::flags::Flags;
 use vta_x86::{Cond, Rep, Size};
 
@@ -175,41 +173,60 @@ impl Scratch {
     }
 }
 
+/// Chain terminator / unset marker for the expiry lists.
+const NONE: u32 = u32::MAX;
+
 struct Alloc {
     /// `map[v]` = host register of temp `v` (indexed by VReg number).
-    map: std::collections::HashMap<u32, RReg>,
+    map: Vec<Option<RReg>>,
     free: Vec<RReg>,
-    last_use: std::collections::HashMap<u32, usize>,
+    /// Head of the singly linked list of temps whose last use is at
+    /// instruction index `i` (so expiry after instruction `i` walks one
+    /// short chain instead of scanning every live temp).
+    expiry_head: Vec<u32>,
+    /// `expiry_next[v]` = next temp in `v`'s expiry chain.
+    expiry_next: Vec<u32>,
     guest_addr: u32,
 }
 
 impl Alloc {
     fn new(block: &MBlock) -> Alloc {
-        let mut last_use = std::collections::HashMap::new();
+        let regs = block.next_temp.max(VReg::FIRST_TEMP) as usize;
+        let mut last_use = vec![NONE; regs];
         for (i, insn) in block.insns.iter().enumerate() {
-            for v in insn.uses() {
+            insn.for_each_use(|v| {
                 if let Val::Reg(r) = v {
                     if !r.is_guest_state() {
-                        last_use.insert(r.0, i);
+                        last_use[r.0 as usize] = i as u32;
                     }
                 }
-            }
+            });
             // A def with a later use extends; def alone keeps at def point.
             if let Some(d) = insn.def() {
-                if !d.is_guest_state() {
-                    last_use.entry(d.0).or_insert(i);
+                if !d.is_guest_state() && last_use[d.0 as usize] == NONE {
+                    last_use[d.0 as usize] = i as u32;
                 }
             }
         }
         if let Term::Indirect(r) = block.term {
             if !r.is_guest_state() {
-                last_use.insert(r.0, block.insns.len());
+                last_use[r.0 as usize] = block.insns.len() as u32;
+            }
+        }
+        // Bucket the temps by their expiry index.
+        let mut expiry_head = vec![NONE; block.insns.len() + 1];
+        let mut expiry_next = vec![NONE; regs];
+        for (v, &at) in last_use.iter().enumerate() {
+            if at != NONE {
+                expiry_next[v] = expiry_head[at as usize];
+                expiry_head[at as usize] = v as u32;
             }
         }
         Alloc {
-            map: std::collections::HashMap::new(),
+            map: vec![None; regs],
             free: TEMP_POOL.iter().rev().copied().collect(),
-            last_use,
+            expiry_head,
+            expiry_next,
             guest_addr: block.guest_addr,
         }
     }
@@ -221,10 +238,7 @@ impl Alloc {
         } else if v == VReg::FLAGS {
             FLAGS_REG
         } else {
-            *self
-                .map
-                .get(&v.0)
-                .unwrap_or_else(|| panic!("use of unallocated temp {v}"))
+            self.map[v.0 as usize].unwrap_or_else(|| panic!("use of unallocated temp {v}"))
         }
     }
 
@@ -236,30 +250,24 @@ impl Alloc {
         if v == VReg::FLAGS {
             return Ok(FLAGS_REG);
         }
-        if let Some(&r) = self.map.get(&v.0) {
+        if let Some(r) = self.map[v.0 as usize] {
             return Ok(r);
         }
-        let r = self
-            .free
-            .pop()
-            .ok_or(CodegenError::RegisterPressure {
-                guest_addr: self.guest_addr,
-            })?;
-        self.map.insert(v.0, r);
+        let r = self.free.pop().ok_or(CodegenError::RegisterPressure {
+            guest_addr: self.guest_addr,
+        })?;
+        self.map[v.0 as usize] = Some(r);
         Ok(r)
     }
 
     /// Releases temps whose last use is at instruction index `i`.
     fn expire(&mut self, i: usize) {
-        let dead: Vec<u32> = self
-            .map
-            .keys()
-            .copied()
-            .filter(|v| self.last_use.get(v).copied().unwrap_or(0) <= i)
-            .collect();
-        for v in dead {
-            let r = self.map.remove(&v).expect("just found it");
-            self.free.push(r);
+        let mut v = self.expiry_head[i];
+        while v != NONE {
+            if let Some(r) = self.map[v as usize].take() {
+                self.free.push(r);
+            }
+            v = self.expiry_next[v as usize];
         }
     }
 
@@ -292,7 +300,10 @@ impl Alloc {
 /// Returns [`CodegenError::RegisterPressure`] if the block needs more
 /// simultaneously-live temporaries than the tile register file provides.
 pub fn codegen(block: &MBlock) -> Result<Vec<RInsn>, CodegenError> {
-    let mut em = Emitter { code: Vec::new() };
+    // Typical expansion is a handful of host instructions per MIR insn.
+    let mut em = Emitter {
+        code: Vec::with_capacity(block.insns.len() * 4 + 8),
+    };
     let mut alloc = Alloc::new(block);
 
     for (i, insn) in block.insns.iter().enumerate() {
@@ -336,7 +347,12 @@ fn emit_insn(em: &mut Emitter, alloc: &mut Alloc, insn: &MInsn) -> Result<(), Co
             let d = alloc.def(dst)?;
             emit_bin(em, op, d, av, bv);
         }
-        MInsn::Load { dst, base, off, width } => {
+        MInsn::Load {
+            dst,
+            base,
+            off,
+            width,
+        } => {
             let (base_r, off) = resolve_addr(em, alloc, base, off);
             let d = alloc.def(dst)?;
             em.emit(RInsn::Load {
@@ -346,7 +362,12 @@ fn emit_insn(em: &mut Emitter, alloc: &mut Alloc, insn: &MInsn) -> Result<(), Co
                 off,
             });
         }
-        MInsn::Store { src, base, off, width } => {
+        MInsn::Store {
+            src,
+            base,
+            off,
+            width,
+        } => {
             let mut sc = Scratch::new();
             let sv = alloc.val(src);
             let s = sc.reg(em, sv);
@@ -358,14 +379,28 @@ fn emit_insn(em: &mut Emitter, alloc: &mut Alloc, insn: &MInsn) -> Result<(), Co
                 off,
             });
         }
-        MInsn::FlagDef { flag, kind, size, a, b, res, cin } => {
+        MInsn::FlagDef {
+            flag,
+            kind,
+            size,
+            a,
+            b,
+            res,
+            cin,
+        } => {
             emit_flagdef(em, alloc, flag, kind, size, a, b, res, cin);
         }
         MInsn::EvalCond { dst, cond } => {
             let d = alloc.def(dst)?;
             emit_eval_cond(em, d, cond);
         }
-        MInsn::ShiftFx { op, size, dst, a, count } => {
+        MInsn::ShiftFx {
+            op,
+            size,
+            dst,
+            a,
+            count,
+        } => {
             // ABI: value in r24, count in r25; result replaces r24, flags r9.
             match alloc.val(a) {
                 HostVal::Reg(r) => em.mov(OUT0, r),
@@ -384,7 +419,11 @@ fn emit_insn(em: &mut Emitter, alloc: &mut Alloc, insn: &MInsn) -> Result<(), Co
             let d = alloc.def(dst)?;
             em.mov(d, OUT0);
         }
-        MInsn::DivHelper { signed, size, divisor } => {
+        MInsn::DivHelper {
+            signed,
+            size,
+            divisor,
+        } => {
             match alloc.val(divisor) {
                 HostVal::Reg(r) => em.mov(OUT0, r),
                 HostVal::Const(c) => em.load_const(OUT0, c),
@@ -449,27 +488,52 @@ fn emit_bin(em: &mut Emitter, op: BinOp, d: RReg, a: HostVal, b: HostVal) {
         match op {
             BinOp::Add if (-32768..=32767).contains(&sc32) => {
                 let ar = sc.reg(em, a);
-                em.emit(RInsn::AluI { op: AluIOp::Addi, rd: d, rs: ar, imm: sc32 });
+                em.emit(RInsn::AluI {
+                    op: AluIOp::Addi,
+                    rd: d,
+                    rs: ar,
+                    imm: sc32,
+                });
                 return;
             }
             BinOp::Sub if (-32767..=32768).contains(&sc32) => {
                 let ar = sc.reg(em, a);
-                em.emit(RInsn::AluI { op: AluIOp::Addi, rd: d, rs: ar, imm: -sc32 });
+                em.emit(RInsn::AluI {
+                    op: AluIOp::Addi,
+                    rd: d,
+                    rs: ar,
+                    imm: -sc32,
+                });
                 return;
             }
             BinOp::And if c <= 0xFFFF => {
                 let ar = sc.reg(em, a);
-                em.emit(RInsn::AluI { op: AluIOp::Andi, rd: d, rs: ar, imm: c as i32 });
+                em.emit(RInsn::AluI {
+                    op: AluIOp::Andi,
+                    rd: d,
+                    rs: ar,
+                    imm: c as i32,
+                });
                 return;
             }
             BinOp::Or if c <= 0xFFFF => {
                 let ar = sc.reg(em, a);
-                em.emit(RInsn::AluI { op: AluIOp::Ori, rd: d, rs: ar, imm: c as i32 });
+                em.emit(RInsn::AluI {
+                    op: AluIOp::Ori,
+                    rd: d,
+                    rs: ar,
+                    imm: c as i32,
+                });
                 return;
             }
             BinOp::Xor if c <= 0xFFFF => {
                 let ar = sc.reg(em, a);
-                em.emit(RInsn::AluI { op: AluIOp::Xori, rd: d, rs: ar, imm: c as i32 });
+                em.emit(RInsn::AluI {
+                    op: AluIOp::Xori,
+                    rd: d,
+                    rs: ar,
+                    imm: c as i32,
+                });
                 return;
             }
             BinOp::Shl | BinOp::Shr | BinOp::Sar => {
@@ -479,17 +543,32 @@ fn emit_bin(em: &mut Emitter, op: BinOp, d: RReg, a: HostVal, b: HostVal) {
                     BinOp::Shr => AluIOp::Srl,
                     _ => AluIOp::Sra,
                 };
-                em.emit(RInsn::AluI { op: iop, rd: d, rs: ar, imm: (c & 31) as i32 });
+                em.emit(RInsn::AluI {
+                    op: iop,
+                    rd: d,
+                    rs: ar,
+                    imm: (c & 31) as i32,
+                });
                 return;
             }
             BinOp::SltS if (-32768..=32767).contains(&sc32) => {
                 let ar = sc.reg(em, a);
-                em.emit(RInsn::AluI { op: AluIOp::Slti, rd: d, rs: ar, imm: sc32 });
+                em.emit(RInsn::AluI {
+                    op: AluIOp::Slti,
+                    rd: d,
+                    rs: ar,
+                    imm: sc32,
+                });
                 return;
             }
             BinOp::SltU if c <= 0xFFFF => {
                 let ar = sc.reg(em, a);
-                em.emit(RInsn::AluI { op: AluIOp::Sltiu, rd: d, rs: ar, imm: c as i32 });
+                em.emit(RInsn::AluI {
+                    op: AluIOp::Sltiu,
+                    rd: d,
+                    rs: ar,
+                    imm: c as i32,
+                });
                 return;
             }
             _ => {}
@@ -497,7 +576,12 @@ fn emit_bin(em: &mut Emitter, op: BinOp, d: RReg, a: HostVal, b: HostVal) {
     }
     let ar = sc.reg(em, a);
     let br = sc.reg(em, b);
-    em.emit(RInsn::Alu { op: bin_alu(op), rd: d, rs: ar, rt: br });
+    em.emit(RInsn::Alu {
+        op: bin_alu(op),
+        rd: d,
+        rs: ar,
+        rt: br,
+    });
 }
 
 fn resolve_addr(_em: &mut Emitter, alloc: &Alloc, base: Val, off: i32) -> (RReg, i32) {
@@ -543,9 +627,19 @@ fn emit_flagdef(
         let bit = const_flag_bit(flag, kind, size, ca, cb, cr, cc);
         if bit {
             em.load_const(OUT0, 1);
-            em.emit(RInsn::Ins { rd: FLAGS_REG, rs: OUT0, pos: flag.bit(), len: 1 });
+            em.emit(RInsn::Ins {
+                rd: FLAGS_REG,
+                rs: OUT0,
+                pos: flag.bit(),
+                len: 1,
+            });
         } else {
-            em.emit(RInsn::Ins { rd: FLAGS_REG, rs: RReg(0), pos: flag.bit(), len: 1 });
+            em.emit(RInsn::Ins {
+                rd: FLAGS_REG,
+                rs: RReg(0),
+                pos: flag.bit(),
+                len: 1,
+            });
         }
         return;
     }
@@ -594,7 +688,11 @@ fn const_flag_bit(
             f.set_pf(xf::parity_even(res));
         }
         FlagKind::MulS => {
-            let expected = if res & size.sign_bit() != 0 { size.mask() } else { 0 };
+            let expected = if res & size.sign_bit() != 0 {
+                size.mask()
+            } else {
+                0
+            };
             let over = b & size.mask() != expected;
             f.set_cf(over);
             f.set_of(over);
@@ -634,7 +732,12 @@ fn emit_flag_dynamic(
         (Flag::Cf, FlagKind::Add) => {
             // carry ⟺ res < a (operands size-masked).
             let (rr, ar) = (sc.reg(em, res), sc.reg(em, a));
-            em.emit(RInsn::Alu { op: AluOp::Sltu, rd: s, rs: rr, rt: ar });
+            em.emit(RInsn::Alu {
+                op: AluOp::Sltu,
+                rd: s,
+                rs: rr,
+                rt: ar,
+            });
         }
         (Flag::Cf, FlagKind::Adc) => {
             // carry ⟺ res < a ∨ (res == a ∧ cin).
@@ -647,16 +750,46 @@ fn emit_flag_dynamic(
                     t
                 }
             };
-            em.emit(RInsn::Alu { op: AluOp::Sltu, rd: s, rs: rr, rt: ar });
+            em.emit(RInsn::Alu {
+                op: AluOp::Sltu,
+                rd: s,
+                rs: rr,
+                rt: ar,
+            });
             let s2 = OUT1;
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s2, rs: rr, rt: ar });
-            em.emit(RInsn::AluI { op: AluIOp::Sltiu, rd: s2, rs: s2, imm: 1 });
-            em.emit(RInsn::Alu { op: AluOp::And, rd: s2, rs: s2, rt: cr });
-            em.emit(RInsn::Alu { op: AluOp::Or, rd: s, rs: s, rt: s2 });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: s2,
+                rs: rr,
+                rt: ar,
+            });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Sltiu,
+                rd: s2,
+                rs: s2,
+                imm: 1,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::And,
+                rd: s2,
+                rs: s2,
+                rt: cr,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Or,
+                rd: s,
+                rs: s,
+                rt: s2,
+            });
         }
         (Flag::Cf, FlagKind::Sub | FlagKind::Neg) => {
             let (ar, br) = (sc.reg(em, a), sc.reg(em, b));
-            em.emit(RInsn::Alu { op: AluOp::Sltu, rd: s, rs: ar, rt: br });
+            em.emit(RInsn::Alu {
+                op: AluOp::Sltu,
+                rd: s,
+                rs: ar,
+                rt: br,
+            });
         }
         (Flag::Cf, FlagKind::Sbb) => {
             // borrow ⟺ a < b ∨ (a == b ∧ cin).
@@ -669,21 +802,56 @@ fn emit_flag_dynamic(
                     t
                 }
             };
-            em.emit(RInsn::Alu { op: AluOp::Sltu, rd: s, rs: ar, rt: br });
+            em.emit(RInsn::Alu {
+                op: AluOp::Sltu,
+                rd: s,
+                rs: ar,
+                rt: br,
+            });
             let s2 = OUT1;
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s2, rs: ar, rt: br });
-            em.emit(RInsn::AluI { op: AluIOp::Sltiu, rd: s2, rs: s2, imm: 1 });
-            em.emit(RInsn::Alu { op: AluOp::And, rd: s2, rs: s2, rt: cr });
-            em.emit(RInsn::Alu { op: AluOp::Or, rd: s, rs: s, rt: s2 });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: s2,
+                rs: ar,
+                rt: br,
+            });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Sltiu,
+                rd: s2,
+                rs: s2,
+                imm: 1,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::And,
+                rd: s2,
+                rs: s2,
+                rt: cr,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Or,
+                rd: s,
+                rs: s,
+                rt: s2,
+            });
         }
         (Flag::Cf | Flag::Of, FlagKind::Logic) => {
-            em.emit(RInsn::Ins { rd: FLAGS_REG, rs: RReg(0), pos: flag.bit(), len: 1 });
+            em.emit(RInsn::Ins {
+                rd: FLAGS_REG,
+                rs: RReg(0),
+                pos: flag.bit(),
+                len: 1,
+            });
             return;
         }
         (Flag::Cf | Flag::Of, FlagKind::MulU) => {
             // b holds `hi`; overflow ⟺ hi != 0.
             let br = sc.reg(em, b);
-            em.emit(RInsn::Alu { op: AluOp::Sltu, rd: s, rs: RReg(0), rt: br });
+            em.emit(RInsn::Alu {
+                op: AluOp::Sltu,
+                rd: s,
+                rs: RReg(0),
+                rt: br,
+            });
         }
         (Flag::Cf | Flag::Of, FlagKind::MulS) => {
             // overflow ⟺ hi != sign-fill(lo). a = lo, b = hi.
@@ -691,72 +859,242 @@ fn emit_flag_dynamic(
             let s2 = OUT1;
             let sh = 32 - size.bits();
             if sh > 0 {
-                em.emit(RInsn::AluI { op: AluIOp::Sll, rd: s2, rs: ar, imm: sh as i32 });
-                em.emit(RInsn::AluI { op: AluIOp::Sra, rd: s2, rs: s2, imm: sh as i32 });
-                em.emit(RInsn::AluI { op: AluIOp::Sra, rd: s2, rs: s2, imm: 31 });
-                em.emit(RInsn::AluI { op: AluIOp::Andi, rd: s2, rs: s2, imm: size.mask() as i32 });
+                em.emit(RInsn::AluI {
+                    op: AluIOp::Sll,
+                    rd: s2,
+                    rs: ar,
+                    imm: sh as i32,
+                });
+                em.emit(RInsn::AluI {
+                    op: AluIOp::Sra,
+                    rd: s2,
+                    rs: s2,
+                    imm: sh as i32,
+                });
+                em.emit(RInsn::AluI {
+                    op: AluIOp::Sra,
+                    rd: s2,
+                    rs: s2,
+                    imm: 31,
+                });
+                em.emit(RInsn::AluI {
+                    op: AluIOp::Andi,
+                    rd: s2,
+                    rs: s2,
+                    imm: size.mask() as i32,
+                });
             } else {
-                em.emit(RInsn::AluI { op: AluIOp::Sra, rd: s2, rs: ar, imm: 31 });
+                em.emit(RInsn::AluI {
+                    op: AluIOp::Sra,
+                    rd: s2,
+                    rs: ar,
+                    imm: 31,
+                });
             }
             let br = sc.reg(em, b);
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s2, rs: s2, rt: br });
-            em.emit(RInsn::Alu { op: AluOp::Sltu, rd: s, rs: RReg(0), rt: s2 });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: s2,
+                rs: s2,
+                rt: br,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Sltu,
+                rd: s,
+                rs: RReg(0),
+                rt: s2,
+            });
         }
         // ---- OF (add/sub families) -------------------------------------
         (Flag::Of, FlagKind::Add | FlagKind::Adc) => {
             let (ar, br, rr) = (sc.reg(em, a), sc.reg(em, b), sc.reg(em, res));
             let s2 = OUT1;
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: ar, rt: rr });
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s2, rs: br, rt: rr });
-            em.emit(RInsn::Alu { op: AluOp::And, rd: s, rs: s, rt: s2 });
-            em.emit(RInsn::AluI { op: AluIOp::Srl, rd: s, rs: s, imm: sign_shift });
-            em.emit(RInsn::AluI { op: AluIOp::Andi, rd: s, rs: s, imm: 1 });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: s,
+                rs: ar,
+                rt: rr,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: s2,
+                rs: br,
+                rt: rr,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::And,
+                rd: s,
+                rs: s,
+                rt: s2,
+            });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Srl,
+                rd: s,
+                rs: s,
+                imm: sign_shift,
+            });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Andi,
+                rd: s,
+                rs: s,
+                imm: 1,
+            });
         }
         (Flag::Of, FlagKind::Sub | FlagKind::Sbb | FlagKind::Neg) => {
             let (ar, br, rr) = (sc.reg(em, a), sc.reg(em, b), sc.reg(em, res));
             let s2 = OUT1;
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: ar, rt: br });
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s2, rs: ar, rt: rr });
-            em.emit(RInsn::Alu { op: AluOp::And, rd: s, rs: s, rt: s2 });
-            em.emit(RInsn::AluI { op: AluIOp::Srl, rd: s, rs: s, imm: sign_shift });
-            em.emit(RInsn::AluI { op: AluIOp::Andi, rd: s, rs: s, imm: 1 });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: s,
+                rs: ar,
+                rt: br,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: s2,
+                rs: ar,
+                rt: rr,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::And,
+                rd: s,
+                rs: s,
+                rt: s2,
+            });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Srl,
+                rd: s,
+                rs: s,
+                imm: sign_shift,
+            });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Andi,
+                rd: s,
+                rs: s,
+                imm: 1,
+            });
         }
         // ---- AF ---------------------------------------------------------
         (Flag::Af, FlagKind::Logic | FlagKind::MulU | FlagKind::MulS) => {
-            em.emit(RInsn::Ins { rd: FLAGS_REG, rs: RReg(0), pos: flag.bit(), len: 1 });
+            em.emit(RInsn::Ins {
+                rd: FLAGS_REG,
+                rs: RReg(0),
+                pos: flag.bit(),
+                len: 1,
+            });
             return;
         }
         (Flag::Af, _) => {
             let (ar, br, rr) = (sc.reg(em, a), sc.reg(em, b), sc.reg(em, res));
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: ar, rt: br });
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: s, rt: rr });
-            em.emit(RInsn::Ext { rd: s, rs: s, pos: 4, len: 1 });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: s,
+                rs: ar,
+                rt: br,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: s,
+                rs: s,
+                rt: rr,
+            });
+            em.emit(RInsn::Ext {
+                rd: s,
+                rs: s,
+                pos: 4,
+                len: 1,
+            });
         }
         // ---- ZF / SF / PF (from the result, any kind) --------------------
         (Flag::Zf, _) => {
             let rr = sc.reg(em, res);
-            em.emit(RInsn::AluI { op: AluIOp::Sltiu, rd: s, rs: rr, imm: 1 });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Sltiu,
+                rd: s,
+                rs: rr,
+                imm: 1,
+            });
         }
         (Flag::Sf, _) => {
             let rr = sc.reg(em, res);
-            em.emit(RInsn::AluI { op: AluIOp::Srl, rd: s, rs: rr, imm: sign_shift });
-            em.emit(RInsn::AluI { op: AluIOp::Andi, rd: s, rs: s, imm: 1 });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Srl,
+                rd: s,
+                rs: rr,
+                imm: sign_shift,
+            });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Andi,
+                rd: s,
+                rs: s,
+                imm: 1,
+            });
         }
         (Flag::Pf, _) => {
             let rr = sc.reg(em, res);
             let s2 = OUT1;
-            em.emit(RInsn::Ext { rd: s, rs: rr, pos: 0, len: 8 });
-            em.emit(RInsn::AluI { op: AluIOp::Srl, rd: s2, rs: s, imm: 4 });
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: s, rt: s2 });
-            em.emit(RInsn::AluI { op: AluIOp::Srl, rd: s2, rs: s, imm: 2 });
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: s, rt: s2 });
-            em.emit(RInsn::AluI { op: AluIOp::Srl, rd: s2, rs: s, imm: 1 });
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: s, rt: s2 });
-            em.emit(RInsn::AluI { op: AluIOp::Xori, rd: s, rs: s, imm: 1 });
-            em.emit(RInsn::AluI { op: AluIOp::Andi, rd: s, rs: s, imm: 1 });
+            em.emit(RInsn::Ext {
+                rd: s,
+                rs: rr,
+                pos: 0,
+                len: 8,
+            });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Srl,
+                rd: s2,
+                rs: s,
+                imm: 4,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: s,
+                rs: s,
+                rt: s2,
+            });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Srl,
+                rd: s2,
+                rs: s,
+                imm: 2,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: s,
+                rs: s,
+                rt: s2,
+            });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Srl,
+                rd: s2,
+                rs: s,
+                imm: 1,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: s,
+                rs: s,
+                rt: s2,
+            });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Xori,
+                rd: s,
+                rs: s,
+                imm: 1,
+            });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Andi,
+                rd: s,
+                rs: s,
+                imm: 1,
+            });
         }
     }
-    em.emit(RInsn::Ins { rd: FLAGS_REG, rs: s, pos: flag.bit(), len: 1 });
+    em.emit(RInsn::Ins {
+        rd: FLAGS_REG,
+        rs: s,
+        pos: flag.bit(),
+        len: 1,
+    });
 }
 
 /// Emits `d = cond(r9) ? 1 : 0`.
@@ -765,35 +1103,120 @@ fn emit_eval_cond(em: &mut Emitter, d: RReg, cond: Cond) {
     let neg = cond.num() & 1 == 1;
     let base = Cond::from_num(cond.num() & !1);
     match base {
-        Cond::O => em.emit(RInsn::Ext { rd: d, rs: f, pos: 11, len: 1 }),
-        Cond::B => em.emit(RInsn::Ext { rd: d, rs: f, pos: 0, len: 1 }),
-        Cond::E => em.emit(RInsn::Ext { rd: d, rs: f, pos: 6, len: 1 }),
-        Cond::S => em.emit(RInsn::Ext { rd: d, rs: f, pos: 7, len: 1 }),
-        Cond::P => em.emit(RInsn::Ext { rd: d, rs: f, pos: 2, len: 1 }),
+        Cond::O => em.emit(RInsn::Ext {
+            rd: d,
+            rs: f,
+            pos: 11,
+            len: 1,
+        }),
+        Cond::B => em.emit(RInsn::Ext {
+            rd: d,
+            rs: f,
+            pos: 0,
+            len: 1,
+        }),
+        Cond::E => em.emit(RInsn::Ext {
+            rd: d,
+            rs: f,
+            pos: 6,
+            len: 1,
+        }),
+        Cond::S => em.emit(RInsn::Ext {
+            rd: d,
+            rs: f,
+            pos: 7,
+            len: 1,
+        }),
+        Cond::P => em.emit(RInsn::Ext {
+            rd: d,
+            rs: f,
+            pos: 2,
+            len: 1,
+        }),
         Cond::Be => {
             let s = OUT1;
-            em.emit(RInsn::Ext { rd: d, rs: f, pos: 0, len: 1 });
-            em.emit(RInsn::Ext { rd: s, rs: f, pos: 6, len: 1 });
-            em.emit(RInsn::Alu { op: AluOp::Or, rd: d, rs: d, rt: s });
+            em.emit(RInsn::Ext {
+                rd: d,
+                rs: f,
+                pos: 0,
+                len: 1,
+            });
+            em.emit(RInsn::Ext {
+                rd: s,
+                rs: f,
+                pos: 6,
+                len: 1,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Or,
+                rd: d,
+                rs: d,
+                rt: s,
+            });
         }
         Cond::L => {
             let s = OUT1;
-            em.emit(RInsn::Ext { rd: d, rs: f, pos: 7, len: 1 });
-            em.emit(RInsn::Ext { rd: s, rs: f, pos: 11, len: 1 });
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: d, rs: d, rt: s });
+            em.emit(RInsn::Ext {
+                rd: d,
+                rs: f,
+                pos: 7,
+                len: 1,
+            });
+            em.emit(RInsn::Ext {
+                rd: s,
+                rs: f,
+                pos: 11,
+                len: 1,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: d,
+                rs: d,
+                rt: s,
+            });
         }
         Cond::Le => {
             let s = OUT1;
-            em.emit(RInsn::Ext { rd: d, rs: f, pos: 7, len: 1 });
-            em.emit(RInsn::Ext { rd: s, rs: f, pos: 11, len: 1 });
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: d, rs: d, rt: s });
-            em.emit(RInsn::Ext { rd: s, rs: f, pos: 6, len: 1 });
-            em.emit(RInsn::Alu { op: AluOp::Or, rd: d, rs: d, rt: s });
+            em.emit(RInsn::Ext {
+                rd: d,
+                rs: f,
+                pos: 7,
+                len: 1,
+            });
+            em.emit(RInsn::Ext {
+                rd: s,
+                rs: f,
+                pos: 11,
+                len: 1,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: d,
+                rs: d,
+                rt: s,
+            });
+            em.emit(RInsn::Ext {
+                rd: s,
+                rs: f,
+                pos: 6,
+                len: 1,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Or,
+                rd: d,
+                rs: d,
+                rt: s,
+            });
         }
         other => unreachable!("base cond {other:?}"),
     }
     if neg {
-        em.emit(RInsn::AluI { op: AluIOp::Xori, rd: d, rs: d, imm: 1 });
+        em.emit(RInsn::AluI {
+            op: AluIOp::Xori,
+            rd: d,
+            rs: d,
+            imm: 1,
+        });
     }
 }
 
@@ -823,7 +1246,12 @@ fn emit_string(
 
     // step = DF ? -w : w.
     em.load_const(step, w as u32);
-    em.emit(RInsn::Ext { rd: OUT0, rs: FLAGS_REG, pos: 10, len: 1 });
+    em.emit(RInsn::Ext {
+        rd: OUT0,
+        rs: FLAGS_REG,
+        pos: 10,
+        len: 1,
+    });
     let skip_neg = em.here();
     em.emit(RInsn::Branch {
         cond: BrCond::Eq,
@@ -831,7 +1259,12 @@ fn emit_string(
         rt: RReg(0),
         target: BranchTarget::Local(0), // patched
     });
-    em.emit(RInsn::Alu { op: AluOp::Sub, rd: step, rs: RReg(0), rt: step });
+    em.emit(RInsn::Alu {
+        op: AluOp::Sub,
+        rd: step,
+        rs: RReg(0),
+        rt: step,
+    });
     let after_neg = em.here();
     em.patch(skip_neg, after_neg);
 
@@ -854,7 +1287,12 @@ fn emit_string(
             // Default "no compare ran": bval = am so post-loop flags would
             // be equal-compare; tz tracks whether any compare ran.
             em.mov(bval, am);
-            em.emit(RInsn::AluI { op: AluIOp::Addi, rd: tz, rs: RReg(0), imm: 0 });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Addi,
+                rd: tz,
+                rs: RReg(0),
+                imm: 0,
+            });
             (Some(bval), Some(am), Some(tz))
         }
         StringOp::Movs | StringOp::Lods => {
@@ -880,18 +1318,53 @@ fn emit_string(
     match op {
         StringOp::Movs => {
             let t = bval.expect("movs temp");
-            em.emit(RInsn::Load { op: mop, rd: t, base: esi, off: 0 });
-            em.emit(RInsn::Store { op: mop, src: t, base: edi, off: 0 });
-            em.emit(RInsn::Alu { op: AluOp::Add, rd: esi, rs: esi, rt: step });
-            em.emit(RInsn::Alu { op: AluOp::Add, rd: edi, rs: edi, rt: step });
+            em.emit(RInsn::Load {
+                op: mop,
+                rd: t,
+                base: esi,
+                off: 0,
+            });
+            em.emit(RInsn::Store {
+                op: mop,
+                src: t,
+                base: edi,
+                off: 0,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Add,
+                rd: esi,
+                rs: esi,
+                rt: step,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Add,
+                rd: edi,
+                rs: edi,
+                rt: step,
+            });
         }
         StringOp::Stos => {
-            em.emit(RInsn::Store { op: mop, src: eax, base: edi, off: 0 });
-            em.emit(RInsn::Alu { op: AluOp::Add, rd: edi, rs: edi, rt: step });
+            em.emit(RInsn::Store {
+                op: mop,
+                src: eax,
+                base: edi,
+                off: 0,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Add,
+                rd: edi,
+                rs: edi,
+                rt: step,
+            });
         }
         StringOp::Lods => {
             let t = bval.expect("lods temp");
-            em.emit(RInsn::Load { op: mop, rd: t, base: esi, off: 0 });
+            em.emit(RInsn::Load {
+                op: mop,
+                rd: t,
+                base: esi,
+                off: 0,
+            });
             if size == Size::Dword {
                 em.mov(eax, t);
             } else {
@@ -903,26 +1376,56 @@ fn emit_string(
                     len: size.bits() as u8,
                 });
             }
-            em.emit(RInsn::Alu { op: AluOp::Add, rd: esi, rs: esi, rt: step });
+            em.emit(RInsn::Alu {
+                op: AluOp::Add,
+                rd: esi,
+                rs: esi,
+                rt: step,
+            });
         }
         StringOp::Scas => {
             let b = bval.expect("scas bval");
             let z = tz.expect("scas tz");
-            em.emit(RInsn::Load { op: mop, rd: b, base: edi, off: 0 });
-            em.emit(RInsn::Alu { op: AluOp::Add, rd: edi, rs: edi, rt: step });
-            em.emit(RInsn::AluI { op: AluIOp::Addi, rd: z, rs: RReg(0), imm: 1 });
+            em.emit(RInsn::Load {
+                op: mop,
+                rd: b,
+                base: edi,
+                off: 0,
+            });
+            em.emit(RInsn::Alu {
+                op: AluOp::Add,
+                rd: edi,
+                rs: edi,
+                rt: step,
+            });
+            em.emit(RInsn::AluI {
+                op: AluIOp::Addi,
+                rd: z,
+                rs: RReg(0),
+                imm: 1,
+            });
         }
     }
 
     if rep != Rep::None {
-        em.emit(RInsn::AluI { op: AluIOp::Addi, rd: ecx, rs: ecx, imm: -1 });
+        em.emit(RInsn::AluI {
+            op: AluIOp::Addi,
+            rd: ecx,
+            rs: ecx,
+            imm: -1,
+        });
         if op == StringOp::Scas {
             // Termination on ZF: repe stops when ZF clears (values differ),
             // repne stops when ZF sets (values equal).
             let s = OUT0;
             let a = am.expect("scas am");
             let b = bval.expect("scas bval");
-            em.emit(RInsn::Alu { op: AluOp::Xor, rd: s, rs: a, rt: b });
+            em.emit(RInsn::Alu {
+                op: AluOp::Xor,
+                rd: s,
+                rs: a,
+                rt: b,
+            });
             let cond = match rep {
                 Rep::Rep => BrCond::Ne,   // repe: exit when a != b
                 Rep::Repne => BrCond::Eq, // repne: exit when a == b
@@ -936,7 +1439,9 @@ fn emit_string(
                 target: BranchTarget::Local(0),
             });
         }
-        em.emit(RInsn::Jump { target: BranchTarget::Local(loop_top) });
+        em.emit(RInsn::Jump {
+            target: BranchTarget::Local(loop_top),
+        });
     }
 
     let end = em.here();
@@ -958,7 +1463,12 @@ fn emit_string(
         });
         // res = (a - b) masked, in scratch[2].
         let resr = SCRATCH[2];
-        em.emit(RInsn::Alu { op: AluOp::Sub, rd: resr, rs: a, rt: b });
+        em.emit(RInsn::Alu {
+            op: AluOp::Sub,
+            rd: resr,
+            rs: a,
+            rt: b,
+        });
         if size != Size::Dword {
             em.emit(RInsn::AluI {
                 op: AluIOp::Andi,
@@ -1060,7 +1570,9 @@ mod tests {
         });
         assert!(matches!(
             code.last(),
-            Some(RInsn::Jump { target: BranchTarget::Guest(_) })
+            Some(RInsn::Jump {
+                target: BranchTarget::Guest(_)
+            })
         ));
     }
 
@@ -1081,11 +1593,16 @@ mod tests {
         assert!(matches!(code[n - 3], RInsn::Ext { .. }), "{:?}", code);
         assert!(matches!(
             code[n - 2],
-            RInsn::Branch { target: BranchTarget::Guest(_), .. }
+            RInsn::Branch {
+                target: BranchTarget::Guest(_),
+                ..
+            }
         ));
         assert!(matches!(
             code[n - 1],
-            RInsn::Jump { target: BranchTarget::Guest(_) }
+            RInsn::Jump {
+                target: BranchTarget::Guest(_)
+            }
         ));
     }
 
@@ -1148,7 +1665,9 @@ mod tests {
         // Needs at least one local backward jump.
         assert!(code.iter().any(|i| matches!(
             i,
-            RInsn::Jump { target: BranchTarget::Local(_) }
+            RInsn::Jump {
+                target: BranchTarget::Local(_)
+            }
         )));
         assert!(code.iter().any(|i| matches!(i, RInsn::Load { .. })));
         assert!(code.iter().any(|i| matches!(i, RInsn::Store { .. })));
@@ -1162,7 +1681,14 @@ mod tests {
         });
         let helper_pos = code
             .iter()
-            .position(|i| matches!(i, RInsn::Helper { kind: HelperKind::Div { .. } }))
+            .position(|i| {
+                matches!(
+                    i,
+                    RInsn::Helper {
+                        kind: HelperKind::Div { .. }
+                    }
+                )
+            })
             .expect("has helper");
         assert!(helper_pos > 0);
     }

@@ -117,8 +117,7 @@ pub fn apply_helper(kind: HelperKind, state: &mut CoreState) -> Result<(), Fault
                     if divisor == 0 {
                         return Err(Fault::DivZero);
                     }
-                    let num =
-                        ((state.get(R_EDX) & 0xFFFF) << 16) | (state.get(R_EAX) & 0xFFFF);
+                    let num = ((state.get(R_EDX) & 0xFFFF) << 16) | (state.get(R_EAX) & 0xFFFF);
                     if signed {
                         let num = num as i32;
                         let den = divisor as u16 as i16 as i32;
@@ -184,7 +183,14 @@ mod tests {
         s.set(R_EAX, 1000);
         s.set(R_EDX, 0);
         s.set(R_SCRATCH0, 7);
-        apply_helper(HelperKind::Div { signed: false, width: 4 }, &mut s).unwrap();
+        apply_helper(
+            HelperKind::Div {
+                signed: false,
+                width: 4,
+            },
+            &mut s,
+        )
+        .unwrap();
         assert_eq!(s.get(R_EAX), 142);
         assert_eq!(s.get(R_EDX), 6);
     }
@@ -196,7 +202,14 @@ mod tests {
         s.set(R_EAX, 0);
         s.set(R_EDX, 2);
         s.set(R_SCRATCH0, 0x1_0000);
-        apply_helper(HelperKind::Div { signed: false, width: 4 }, &mut s).unwrap();
+        apply_helper(
+            HelperKind::Div {
+                signed: false,
+                width: 4,
+            },
+            &mut s,
+        )
+        .unwrap();
         assert_eq!(s.get(R_EAX), 0x2_0000);
         assert_eq!(s.get(R_EDX), 0);
     }
@@ -207,7 +220,14 @@ mod tests {
         s.set(R_EAX, (-1000i32) as u32);
         s.set(R_EDX, 0xFFFF_FFFF); // sign extension
         s.set(R_SCRATCH0, 7);
-        apply_helper(HelperKind::Div { signed: true, width: 4 }, &mut s).unwrap();
+        apply_helper(
+            HelperKind::Div {
+                signed: true,
+                width: 4,
+            },
+            &mut s,
+        )
+        .unwrap();
         assert_eq!(s.get(R_EAX) as i32, -142);
         assert_eq!(s.get(R_EDX) as i32, -6);
     }
@@ -218,7 +238,13 @@ mod tests {
         s.set(R_EAX, 5);
         s.set(R_SCRATCH0, 0);
         assert_eq!(
-            apply_helper(HelperKind::Div { signed: false, width: 4 }, &mut s),
+            apply_helper(
+                HelperKind::Div {
+                    signed: false,
+                    width: 4
+                },
+                &mut s
+            ),
             Err(Fault::DivZero)
         );
         // Quotient overflow: EDX:EAX = 2^32 / 1.
@@ -226,7 +252,13 @@ mod tests {
         s.set(R_EDX, 1);
         s.set(R_SCRATCH0, 1);
         assert_eq!(
-            apply_helper(HelperKind::Div { signed: false, width: 4 }, &mut s),
+            apply_helper(
+                HelperKind::Div {
+                    signed: false,
+                    width: 4
+                },
+                &mut s
+            ),
             Err(Fault::DivZero)
         );
     }
@@ -236,7 +268,14 @@ mod tests {
         let mut s = CoreState::new();
         s.set(R_EAX, 100); // AX = 100
         s.set(R_SCRATCH0, 7);
-        apply_helper(HelperKind::Div { signed: false, width: 1 }, &mut s).unwrap();
+        apply_helper(
+            HelperKind::Div {
+                signed: false,
+                width: 1,
+            },
+            &mut s,
+        )
+        .unwrap();
         // AL = 14, AH = 2.
         assert_eq!(s.get(R_EAX) & 0xFFFF, (2 << 8) | 14);
     }
@@ -245,7 +284,13 @@ mod tests {
     fn shift_matches_reference_flags() {
         use vta_sim::Rng;
         let mut rng = Rng::seeded(99);
-        for op in [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar, ShiftOp::Rol, ShiftOp::Ror] {
+        for op in [
+            ShiftOp::Shl,
+            ShiftOp::Shr,
+            ShiftOp::Sar,
+            ShiftOp::Rol,
+            ShiftOp::Ror,
+        ] {
             for width in [1u8, 2, 4] {
                 for _ in 0..200 {
                     let a = rng.next_u32();
@@ -267,7 +312,11 @@ mod tests {
                     s.set(R_SCRATCH1, count);
                     s.set(R_FLAGS, start_flags);
                     apply_helper(HelperKind::Shift { op, width }, &mut s).unwrap();
-                    assert_eq!(s.get(R_SCRATCH0), want, "{op:?} w{width} a={a:#x} c={count}");
+                    assert_eq!(
+                        s.get(R_SCRATCH0),
+                        want,
+                        "{op:?} w{width} a={a:#x} c={count}"
+                    );
                     assert_eq!(s.get(R_FLAGS), f.0, "{op:?} flags");
                 }
             }
@@ -280,7 +329,14 @@ mod tests {
         s.set(R_SCRATCH0, 0xFF);
         s.set(R_SCRATCH1, 0);
         s.set(R_FLAGS, 0xAB1);
-        apply_helper(HelperKind::Shift { op: ShiftOp::Shl, width: 4 }, &mut s).unwrap();
+        apply_helper(
+            HelperKind::Shift {
+                op: ShiftOp::Shl,
+                width: 4,
+            },
+            &mut s,
+        )
+        .unwrap();
         assert_eq!(s.get(R_FLAGS), 0xAB1);
         assert_eq!(s.get(R_SCRATCH0), 0xFF);
     }

@@ -133,18 +133,12 @@ impl Ctx {
                 let scaled = if scale == 1 {
                     idx_v
                 } else {
-                    Val::Reg(self.bin(
-                        BinOp::Shl,
-                        idx_v,
-                        Val::Const(scale.trailing_zeros()),
-                    ))
+                    Val::Reg(self.bin(BinOp::Shl, idx_v, Val::Const(scale.trailing_zeros())))
                 };
                 let sum = match base {
-                    Some(b) => Val::Reg(self.bin(
-                        BinOp::Add,
-                        Val::Reg(VReg(b.num() as u32)),
-                        scaled,
-                    )),
+                    Some(b) => {
+                        Val::Reg(self.bin(BinOp::Add, Val::Reg(VReg(b.num() as u32)), scaled))
+                    }
                     None => scaled,
                 };
                 (sum, m.disp)
@@ -234,7 +228,15 @@ impl Ctx {
     }
 
     /// Emits `FlagDef`s for all six flags.
-    fn flags_all(&mut self, kind: FlagKind, size: Size, a: Val, b: Val, res: Val, cin: Option<Val>) {
+    fn flags_all(
+        &mut self,
+        kind: FlagKind,
+        size: Size,
+        a: Val,
+        b: Val,
+        res: Val,
+        cin: Option<Val>,
+    ) {
         for flag in Flag::ALL {
             self.emit(MInsn::FlagDef {
                 flag,
@@ -268,7 +270,10 @@ impl Ctx {
     /// Reads the current CF as a 0/1 value.
     fn carry_in(&mut self) -> Val {
         let t = self.temp();
-        self.emit(MInsn::EvalCond { dst: t, cond: Cond::B });
+        self.emit(MInsn::EvalCond {
+            dst: t,
+            cond: Cond::B,
+        });
         Val::Reg(t)
     }
 }
@@ -374,7 +379,11 @@ fn lower_insn(ctx: &mut Ctx, insn: &Insn) -> Option<Term> {
                 _ => Val::Reg(ctx.bin(BinOp::Sub, a, b)),
             };
             if let Some(c) = cin {
-                let op = if insn.op == Op::Adc { BinOp::Add } else { BinOp::Sub };
+                let op = if insn.op == Op::Adc {
+                    BinOp::Add
+                } else {
+                    BinOp::Sub
+                };
                 res = Val::Reg(ctx.bin(op, res, c));
             }
             let res = ctx.mask_to(res, size);
@@ -444,7 +453,11 @@ fn lower_insn(ctx: &mut Ctx, insn: &Insn) -> Option<Term> {
                     ctx.write_reg(Reg::EDX, size, hi);
                 }
             }
-            let kind = if signed { FlagKind::MulS } else { FlagKind::MulU };
+            let kind = if signed {
+                FlagKind::MulS
+            } else {
+                FlagKind::MulU
+            };
             ctx.flags_all(kind, size, lo, hi, lo, None);
         }
         Op::ImulR => {
@@ -502,11 +515,7 @@ fn lower_insn(ctx: &mut Ctx, insn: &Insn) -> Option<Term> {
             ctx.write_reg(Reg::EAX, Size::Dword, s);
         }
         Op::Cdq => {
-            let s = ctx.bin(
-                BinOp::Sar,
-                Val::Reg(VReg::guest(Reg::EAX)),
-                Val::Const(31),
-            );
+            let s = ctx.bin(BinOp::Sar, Val::Reg(VReg::guest(Reg::EAX)), Val::Const(31));
             ctx.write_reg(Reg::EDX, Size::Dword, Val::Reg(s));
         }
         Op::Setcc => {
@@ -651,8 +660,7 @@ mod tests {
         let mut asm = Asm::new(0x1000);
         f(&mut asm);
         let p = asm.finish();
-        lower_block(&SliceSource::new(p.base, &p.code), p.base, MAX_BLOCK_INSNS)
-            .expect("lowering")
+        lower_block(&SliceSource::new(p.base, &p.code), p.base, MAX_BLOCK_INSNS).expect("lowering")
     }
 
     #[test]
@@ -677,9 +685,10 @@ mod tests {
             a.inc_r(ECX);
             a.ret();
         });
-        assert!(!b.insns.iter().any(
-            |i| matches!(i, MInsn::FlagDef { flag: Flag::Cf, .. })
-        ));
+        assert!(!b
+            .insns
+            .iter()
+            .any(|i| matches!(i, MInsn::FlagDef { flag: Flag::Cf, .. })));
         assert_eq!(
             b.insns
                 .iter()
@@ -751,10 +760,13 @@ mod tests {
             a.shl_ri(EAX, 3);
             a.ret();
         });
-        assert!(b
-            .insns
-            .iter()
-            .any(|i| matches!(i, MInsn::ShiftFx { op: ShiftKind::Shl, .. })));
+        assert!(b.insns.iter().any(|i| matches!(
+            i,
+            MInsn::ShiftFx {
+                op: ShiftKind::Shl,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -776,10 +788,13 @@ mod tests {
             a.mov_ri(EAX, 1);
             a.ret();
         });
-        assert!(b
-            .insns
-            .iter()
-            .any(|i| matches!(i, MInsn::RepString { op: StringOp::Movs, .. })));
+        assert!(b.insns.iter().any(|i| matches!(
+            i,
+            MInsn::RepString {
+                op: StringOp::Movs,
+                ..
+            }
+        )));
         assert_eq!(b.guest_insns, 3);
     }
 
@@ -789,10 +804,10 @@ mod tests {
             a.adc_rr(EAX, EBX);
             a.ret();
         });
-        assert!(b.insns.iter().any(|i| matches!(
-            i,
-            MInsn::EvalCond { cond: Cond::B, .. }
-        )));
+        assert!(b
+            .insns
+            .iter()
+            .any(|i| matches!(i, MInsn::EvalCond { cond: Cond::B, .. })));
     }
 
     #[test]

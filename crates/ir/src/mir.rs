@@ -379,40 +379,60 @@ impl MInsn {
         }
     }
 
-    /// Values this instruction reads.
-    pub fn uses(&self) -> Vec<Val> {
+    /// Calls `f` on every value this instruction reads, in operand
+    /// order, without allocating (the translator passes walk every
+    /// operand of every instruction, so this is on the translation hot
+    /// path — [`MInsn::uses`] is the allocating convenience form).
+    pub fn for_each_use(&self, mut f: impl FnMut(Val)) {
         match *self {
-            MInsn::Mov { src, .. } => vec![src],
-            MInsn::Bin { a, b, .. } => vec![a, b],
-            MInsn::Load { base, .. } => vec![base],
-            MInsn::Store { src, base, .. } => vec![src, base],
-            MInsn::FlagDef { a, b, res, cin, .. } => {
-                let mut v = vec![a, b, res];
-                if let Some(c) = cin {
-                    v.push(c);
-                }
-                v
+            MInsn::Mov { src, .. } => f(src),
+            MInsn::Bin { a, b, .. } => {
+                f(a);
+                f(b);
             }
-            MInsn::EvalCond { .. } => vec![Val::Reg(VReg::FLAGS)],
+            MInsn::Load { base, .. } => f(base),
+            MInsn::Store { src, base, .. } => {
+                f(src);
+                f(base);
+            }
+            MInsn::FlagDef { a, b, res, cin, .. } => {
+                f(a);
+                f(b);
+                f(res);
+                if let Some(c) = cin {
+                    f(c);
+                }
+            }
+            MInsn::EvalCond { .. } => f(Val::Reg(VReg::FLAGS)),
             // The shift helper reads (and merges into) the packed flags.
             MInsn::ShiftFx { a, count, .. } => {
-                vec![a, count, Val::Reg(VReg::FLAGS)]
+                f(a);
+                f(count);
+                f(Val::Reg(VReg::FLAGS));
             }
             // Divides read the widened accumulator (EAX/EDX) implicitly.
             MInsn::DivHelper { divisor, .. } => {
-                vec![divisor, Val::Reg(VReg(0)), Val::Reg(VReg(2))]
+                f(divisor);
+                f(Val::Reg(VReg(0)));
+                f(Val::Reg(VReg(2)));
             }
             // String ops read EAX/ECX/ESI/EDI and DF implicitly.
-            MInsn::RepString { .. } => vec![
-                Val::Reg(VReg(0)),
-                Val::Reg(VReg(1)),
-                Val::Reg(VReg(6)),
-                Val::Reg(VReg(7)),
-                Val::Reg(VReg::FLAGS),
-            ],
+            MInsn::RepString { .. } => {
+                for r in [0u32, 1, 6, 7] {
+                    f(Val::Reg(VReg(r)));
+                }
+                f(Val::Reg(VReg::FLAGS));
+            }
             // SetDf is a read-modify-write of the packed flags word.
-            MInsn::SetDf(_) => vec![Val::Reg(VReg::FLAGS)],
+            MInsn::SetDf(_) => f(Val::Reg(VReg::FLAGS)),
         }
+    }
+
+    /// Values this instruction reads.
+    pub fn uses(&self) -> Vec<Val> {
+        let mut v = Vec::new();
+        self.for_each_use(|u| v.push(u));
+        v
     }
 }
 

@@ -1,8 +1,36 @@
 //! Dead temporary elimination (backward liveness over one block).
 
-use std::collections::HashSet;
-
 use crate::mir::{MBlock, MInsn, Term, VReg, Val};
+
+/// A dense liveness set over virtual-register numbers (one bit each).
+/// The pass flips a few bits per instruction on every translated block,
+/// so the set is a flat bit array rather than a hash set.
+struct LiveSet {
+    words: Vec<u64>,
+}
+
+impl LiveSet {
+    fn new(regs: usize) -> LiveSet {
+        LiveSet {
+            words: vec![0; regs.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, r: VReg) {
+        self.words[(r.0 / 64) as usize] |= 1 << (r.0 % 64);
+    }
+
+    #[inline]
+    fn remove(&mut self, r: VReg) {
+        self.words[(r.0 / 64) as usize] &= !(1 << (r.0 % 64));
+    }
+
+    #[inline]
+    fn contains(&self, r: VReg) -> bool {
+        self.words[(r.0 / 64) as usize] & (1 << (r.0 % 64)) != 0
+    }
+}
 
 /// Removes pure instructions whose destination temporary is never read.
 ///
@@ -10,7 +38,10 @@ use crate::mir::{MBlock, MInsn, Term, VReg, Val};
 /// removed even when dead: a load can fault, and x86 still faults when the
 /// result is unused.
 pub fn eliminate(block: &mut MBlock) {
-    let mut live: HashSet<VReg> = (0..=8).map(VReg).collect();
+    let mut live = LiveSet::new(block.next_temp.max(VReg::FIRST_TEMP) as usize);
+    for r in 0..=8 {
+        live.insert(VReg(r));
+    }
     if let Term::Indirect(r) = block.term {
         live.insert(r);
     }
@@ -23,19 +54,19 @@ pub fn eliminate(block: &mut MBlock) {
         );
         if removable {
             let dst = insn.def().expect("pure insns have a def");
-            if !live.contains(&dst) {
+            if !live.contains(dst) {
                 keep[i] = false;
                 continue;
             }
-            live.remove(&dst);
+            live.remove(dst);
         } else if let Some(dst) = insn.def() {
-            live.remove(&dst);
+            live.remove(dst);
         }
-        for v in insn.uses() {
+        insn.for_each_use(|v| {
             if let Val::Reg(r) = v {
                 live.insert(r);
             }
-        }
+        });
         // FlagDef and EvalCond interactions with the packed flags word are
         // handled by the dedicated flag pass; here VReg::FLAGS stays live
         // by virtue of being guest state.
@@ -79,7 +110,10 @@ mod tests {
                     a: Val::Reg(VReg(0)),
                     b: Val::Const(1),
                 }, // dead
-                MInsn::Mov { dst: VReg(0), src: Val::Const(3) },
+                MInsn::Mov {
+                    dst: VReg(0),
+                    src: Val::Const(3),
+                },
             ],
             Term::Halt,
         );
@@ -97,7 +131,10 @@ mod tests {
                     a: Val::Reg(VReg(0)),
                     b: Val::Const(1),
                 },
-                MInsn::Mov { dst: VReg(1), src: Val::Reg(VReg(9)) },
+                MInsn::Mov {
+                    dst: VReg(1),
+                    src: Val::Reg(VReg(9)),
+                },
             ],
             Term::Halt,
         );
@@ -139,13 +176,25 @@ mod tests {
     fn dead_mov_of_overwritten_guest_reg() {
         let mut b = block(
             vec![
-                MInsn::Mov { dst: VReg(0), src: Val::Const(1) }, // dead: overwritten
-                MInsn::Mov { dst: VReg(0), src: Val::Const(2) },
+                MInsn::Mov {
+                    dst: VReg(0),
+                    src: Val::Const(1),
+                }, // dead: overwritten
+                MInsn::Mov {
+                    dst: VReg(0),
+                    src: Val::Const(2),
+                },
             ],
             Term::Halt,
         );
         eliminate(&mut b);
         assert_eq!(b.insns.len(), 1);
-        assert_eq!(b.insns[0], MInsn::Mov { dst: VReg(0), src: Val::Const(2) });
+        assert_eq!(
+            b.insns[0],
+            MInsn::Mov {
+                dst: VReg(0),
+                src: Val::Const(2)
+            }
+        );
     }
 }

@@ -176,7 +176,6 @@ pub fn eliminate_dead_flags_conservative(block: &mut MBlock) {
 }
 
 fn eliminate_with_liveout(block: &mut MBlock, mut live: FlagSet) {
-
     // Backward pass over the body.
     let mut keep = vec![true; block.insns.len()];
     let mut shift_flags = vec![false; block.insns.len()];
@@ -213,7 +212,13 @@ fn eliminate_with_liveout(block: &mut MBlock, mut live: FlagSet) {
             continue;
         }
         match *insn {
-            MInsn::ShiftFx { op, size, dst, a, count } if !shift_flags[i] => {
+            MInsn::ShiftFx {
+                op,
+                size,
+                dst,
+                a,
+                count,
+            } if !shift_flags[i] => {
                 lower_value_shift(block.next_temp, &mut out, op, size, dst, a, count)
                     .map(|n| block.next_temp = n)
                     .unwrap_or(());
@@ -378,10 +383,10 @@ mod tests {
             a.hlt();
         });
         assert_eq!(flagdefs(&b), 1);
-        assert!(b.insns.iter().any(|i| matches!(
-            i,
-            MInsn::FlagDef { flag: Flag::Zf, .. }
-        )));
+        assert!(b
+            .insns
+            .iter()
+            .any(|i| matches!(i, MInsn::FlagDef { flag: Flag::Zf, .. })));
     }
 
     #[test]
@@ -406,10 +411,10 @@ mod tests {
         // The add's CF must survive; its other five flags are killed by
         // the adc before any read.
         assert_eq!(flagdefs(&b), 1);
-        assert!(b.insns.iter().any(|i| matches!(
-            i,
-            MInsn::FlagDef { flag: Flag::Cf, .. }
-        )));
+        assert!(b
+            .insns
+            .iter()
+            .any(|i| matches!(i, MInsn::FlagDef { flag: Flag::Cf, .. })));
     }
 
     #[test]
@@ -426,10 +431,13 @@ mod tests {
             !b.insns.iter().any(|i| matches!(i, MInsn::ShiftFx { .. })),
             "flag-dead shift must be rewritten"
         );
-        assert!(b
-            .insns
-            .iter()
-            .any(|i| matches!(i, MInsn::Bin { op: crate::mir::BinOp::Shl, .. })));
+        assert!(b.insns.iter().any(|i| matches!(
+            i,
+            MInsn::Bin {
+                op: crate::mir::BinOp::Shl,
+                ..
+            }
+        )));
     }
 
     #[test]

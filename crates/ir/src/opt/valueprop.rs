@@ -1,106 +1,136 @@
 //! Constant folding plus copy/constant propagation (one forward pass).
 
-use std::collections::HashMap;
-
 use crate::mir::{BinOp, MInsn, VReg, Val};
 
 /// What we currently know about a virtual register.
+///
+/// A `CopyOf` fact captures the source register's redefinition version at
+/// the time the fact was made; the fact is valid only while the version
+/// still matches. This makes invalidation O(1) — bump the version —
+/// instead of a scan over every outstanding fact, which mattered: the
+/// translator runs this pass on every block and helper-style
+/// instructions invalidate several registers each.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Lattice {
+enum Fact {
     Const(u32),
-    CopyOf(VReg),
+    CopyOf(VReg, u32),
+}
+
+/// Per-register fact table, indexed by virtual-register number.
+struct Facts {
+    fact: Vec<Option<Fact>>,
+    /// Redefinition counter per register; stale `CopyOf` facts are
+    /// detected by version mismatch.
+    ver: Vec<u32>,
+}
+
+impl Facts {
+    fn new(regs: usize) -> Facts {
+        Facts {
+            fact: vec![None; regs],
+            ver: vec![0; regs],
+        }
+    }
+
+    /// Resolves a value through the fact table.
+    fn resolve(&self, v: Val) -> Val {
+        match v {
+            Val::Const(_) => v,
+            Val::Reg(r) => match self.fact[r.0 as usize] {
+                Some(Fact::Const(c)) => Val::Const(c),
+                Some(Fact::CopyOf(s, sv)) if self.ver[s.0 as usize] == sv => Val::Reg(s),
+                _ => v,
+            },
+        }
+    }
+
+    /// Drops facts about `r` and (by version bump) any copies of it.
+    fn invalidate(&mut self, r: VReg) {
+        self.fact[r.0 as usize] = None;
+        self.ver[r.0 as usize] += 1;
+    }
+
+    fn set(&mut self, r: VReg, f: Fact) {
+        self.fact[r.0 as usize] = Some(f);
+    }
+
+    fn copy_of(&self, src: VReg) -> Fact {
+        Fact::CopyOf(src, self.ver[src.0 as usize])
+    }
 }
 
 /// Folds constant expressions and forwards copies/constants through the
 /// block. Sound per-block: helper-style instructions that mutate guest
 /// registers invalidate what they touch.
 pub fn propagate(block: &mut crate::mir::MBlock) {
-    let mut known: HashMap<VReg, Lattice> = HashMap::new();
-
-    // Resolves a value through the lattice.
-    fn resolve(known: &HashMap<VReg, Lattice>, v: Val) -> Val {
-        match v {
-            Val::Const(_) => v,
-            Val::Reg(r) => match known.get(&r) {
-                Some(Lattice::Const(c)) => Val::Const(*c),
-                Some(Lattice::CopyOf(src)) => Val::Reg(*src),
-                None => v,
-            },
-        }
-    }
-
-    // Drops facts about `r` and any copies of it.
-    fn invalidate(known: &mut HashMap<VReg, Lattice>, r: VReg) {
-        known.remove(&r);
-        known.retain(|_, v| *v != Lattice::CopyOf(r));
-    }
+    let mut known = Facts::new(block.next_temp.max(VReg::FIRST_TEMP) as usize);
 
     for insn in &mut block.insns {
         match insn {
             MInsn::Mov { dst, src } => {
-                *src = resolve(&known, *src);
+                *src = known.resolve(*src);
+                let d = *dst;
                 let fact = match *src {
-                    Val::Const(c) => Some(Lattice::Const(c)),
-                    Val::Reg(s) if s != *dst => Some(Lattice::CopyOf(s)),
+                    Val::Const(c) => Some(Fact::Const(c)),
+                    Val::Reg(s) if s != d => Some(known.copy_of(s)),
                     Val::Reg(_) => None,
                 };
-                let d = *dst;
-                invalidate(&mut known, d);
+                known.invalidate(d);
                 if let Some(f) = fact {
-                    known.insert(d, f);
+                    known.set(d, f);
                 }
             }
             MInsn::Bin { op, dst, a, b } => {
-                *a = resolve(&known, *a);
-                *b = resolve(&known, *b);
+                *a = known.resolve(*a);
+                *b = known.resolve(*b);
                 let d = *dst;
                 if let (Val::Const(ca), Val::Const(cb)) = (*a, *b) {
                     let folded = fold(*op, ca, cb);
                     let src = Val::Const(folded);
-                    invalidate(&mut known, d);
-                    known.insert(d, Lattice::Const(folded));
+                    known.invalidate(d);
+                    known.set(d, Fact::Const(folded));
                     *insn = MInsn::Mov { dst: d, src };
                 } else {
-                    invalidate(&mut known, d);
+                    known.invalidate(d);
                 }
             }
             MInsn::Load { dst, base, .. } => {
-                *base = resolve(&known, *base);
+                *base = known.resolve(*base);
                 let d = *dst;
-                invalidate(&mut known, d);
+                known.invalidate(d);
             }
             MInsn::Store { src, base, .. } => {
-                *src = resolve(&known, *src);
-                *base = resolve(&known, *base);
+                *src = known.resolve(*src);
+                *base = known.resolve(*base);
             }
             MInsn::FlagDef { a, b, res, cin, .. } => {
-                *a = resolve(&known, *a);
-                *b = resolve(&known, *b);
-                *res = resolve(&known, *res);
+                *a = known.resolve(*a);
+                *b = known.resolve(*b);
+                *res = known.resolve(*res);
                 if let Some(c) = cin {
-                    *c = resolve(&known, *c);
+                    *c = known.resolve(*c);
                 }
             }
             MInsn::EvalCond { dst, .. } => {
                 let d = *dst;
-                invalidate(&mut known, d);
+                known.invalidate(d);
             }
             MInsn::ShiftFx { dst, a, count, .. } => {
-                *a = resolve(&known, *a);
-                *count = resolve(&known, *count);
+                *a = known.resolve(*a);
+                *count = known.resolve(*count);
                 let d = *dst;
-                invalidate(&mut known, d);
+                known.invalidate(d);
             }
             MInsn::DivHelper { divisor, .. } => {
-                *divisor = resolve(&known, *divisor);
+                *divisor = known.resolve(*divisor);
                 // Mutates EAX/EDX.
-                invalidate(&mut known, VReg(0));
-                invalidate(&mut known, VReg(2));
+                known.invalidate(VReg(0));
+                known.invalidate(VReg(2));
             }
             MInsn::RepString { .. } => {
                 // Mutates EAX/ECX/ESI/EDI depending on the op; be blunt.
                 for r in [0u32, 1, 6, 7] {
-                    invalidate(&mut known, VReg(r));
+                    known.invalidate(VReg(r));
                 }
             }
             MInsn::SetDf(_) => {}
@@ -147,26 +177,38 @@ mod tests {
     #[test]
     fn folds_constants() {
         let mut b = block(vec![
-            MInsn::Mov { dst: VReg(9), src: Val::Const(6) },
+            MInsn::Mov {
+                dst: VReg(9),
+                src: Val::Const(6),
+            },
             MInsn::Bin {
                 op: BinOp::Mul,
                 dst: VReg(10),
                 a: Val::Reg(VReg(9)),
                 b: Val::Const(7),
             },
-            MInsn::Mov { dst: VReg(0), src: Val::Reg(VReg(10)) },
+            MInsn::Mov {
+                dst: VReg(0),
+                src: Val::Reg(VReg(10)),
+            },
         ]);
         propagate(&mut b);
         assert_eq!(
             b.insns[2],
-            MInsn::Mov { dst: VReg(0), src: Val::Const(42) }
+            MInsn::Mov {
+                dst: VReg(0),
+                src: Val::Const(42)
+            }
         );
     }
 
     #[test]
     fn copies_forward() {
         let mut b = block(vec![
-            MInsn::Mov { dst: VReg(9), src: Val::Reg(VReg(1)) },
+            MInsn::Mov {
+                dst: VReg(9),
+                src: Val::Reg(VReg(1)),
+            },
             MInsn::Bin {
                 op: BinOp::Add,
                 dst: VReg(10),
@@ -189,9 +231,15 @@ mod tests {
     #[test]
     fn redefinition_invalidates_copies() {
         let mut b = block(vec![
-            MInsn::Mov { dst: VReg(9), src: Val::Reg(VReg(1)) },
+            MInsn::Mov {
+                dst: VReg(9),
+                src: Val::Reg(VReg(1)),
+            },
             // Redefine the source.
-            MInsn::Mov { dst: VReg(1), src: Val::Const(0) },
+            MInsn::Mov {
+                dst: VReg(1),
+                src: Val::Const(0),
+            },
             MInsn::Bin {
                 op: BinOp::Add,
                 dst: VReg(10),
@@ -215,19 +263,28 @@ mod tests {
     #[test]
     fn div_helper_clobbers_accumulator() {
         let mut b = block(vec![
-            MInsn::Mov { dst: VReg(0), src: Val::Const(5) }, // EAX = 5
+            MInsn::Mov {
+                dst: VReg(0),
+                src: Val::Const(5),
+            }, // EAX = 5
             MInsn::DivHelper {
                 signed: false,
                 size: vta_x86::Size::Dword,
                 divisor: Val::Const(2),
             },
-            MInsn::Mov { dst: VReg(9), src: Val::Reg(VReg(0)) },
+            MInsn::Mov {
+                dst: VReg(9),
+                src: Val::Reg(VReg(0)),
+            },
         ]);
         propagate(&mut b);
         // EAX is no longer the constant 5 after the divide.
         assert_eq!(
             b.insns[2],
-            MInsn::Mov { dst: VReg(9), src: Val::Reg(VReg(0)) }
+            MInsn::Mov {
+                dst: VReg(9),
+                src: Val::Reg(VReg(0))
+            }
         );
     }
 

@@ -11,7 +11,9 @@ use vta_ir::{apply_helper, translate_block, OptLevel};
 use vta_raw::exec::{run_block, BlockExit, CoreState, DataPort, Fault};
 use vta_raw::isa::{HelperKind, MemOp, RReg};
 use vta_sim::Rng;
-use vta_x86::{Asm, Cond, Cpu, GuestImage, GuestMem, Reg, Size, StopReason, SysState, SyscallResult};
+use vta_x86::{
+    Asm, Cond, Cpu, GuestImage, GuestMem, Reg, Size, StopReason, SysState, SyscallResult,
+};
 
 const BASE: u32 = 0x0800_0000;
 const DATA: u32 = 0x0900_0000;
@@ -172,15 +174,24 @@ fn memory_matrix_walk() {
             a.mov_ri(Reg::ECX, 64);
             let top = a.here();
             // [ebx + ecx*4] = ecx * 3
-            a.lea(Reg::EAX, vta_x86::MemRef::base_index(Reg::ECX, Reg::ECX, 2, 0));
-            a.mov_mr(vta_x86::MemRef::base_index(Reg::EBX, Reg::ECX, 4, 0), Reg::EAX);
+            a.lea(
+                Reg::EAX,
+                vta_x86::MemRef::base_index(Reg::ECX, Reg::ECX, 2, 0),
+            );
+            a.mov_mr(
+                vta_x86::MemRef::base_index(Reg::EBX, Reg::ECX, 4, 0),
+                Reg::EAX,
+            );
             a.dec_r(Reg::ECX);
             a.jcc(Cond::Ne, top);
             // Sum them back.
             a.mov_ri(Reg::ECX, 64);
             a.mov_ri(Reg::EDX, 0);
             let top2 = a.here();
-            a.add_rm(Reg::EDX, vta_x86::MemRef::base_index(Reg::EBX, Reg::ECX, 4, 0));
+            a.add_rm(
+                Reg::EDX,
+                vta_x86::MemRef::base_index(Reg::EBX, Reg::ECX, 4, 0),
+            );
             a.dec_r(Reg::ECX);
             a.jcc(Cond::Ne, top2);
             a.mov_rr(Reg::EAX, Reg::EDX);
@@ -448,7 +459,10 @@ fn random_program(rng: &mut Rng) -> GuestImage {
         }
     }
     // Consume every condition at the end so all flags are observable.
-    for (i, c) in [Cond::B, Cond::E, Cond::S, Cond::O, Cond::P].iter().enumerate() {
+    for (i, c) in [Cond::B, Cond::E, Cond::S, Cond::O, Cond::P]
+        .iter()
+        .enumerate()
+    {
         asm.setcc(*c, (i % 4) as u8);
         asm.push_r(Reg::EAX);
         asm.pop_r(Reg::EAX);

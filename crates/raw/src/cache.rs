@@ -108,6 +108,7 @@ impl Cache {
     }
 
     /// Accesses `addr`; fills on miss; marks dirty on writes.
+    #[inline]
     pub fn access(&mut self, addr: u64, write: bool) -> Access {
         self.tick += 1;
         let line_addr = addr >> self.line_shift;

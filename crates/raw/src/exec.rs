@@ -6,9 +6,9 @@
 //! delegating guest loads/stores to a [`DataPort`] — the DBT's pipelined
 //! memory system — which returns the stall cycles the access cost.
 
-use crate::isa::{AluIOp, AluOp, BranchTarget, HelperKind, MemOp, RInsn, RReg, NUM_REGS};
 #[cfg(test)]
 use crate::isa::BrCond;
+use crate::isa::{AluIOp, AluOp, BranchTarget, HelperKind, MemOp, RInsn, RReg, NUM_REGS};
 
 /// Cycles of pipeline bubble on a taken branch (8-stage in-order pipe).
 pub const TAKEN_BRANCH_PENALTY: u64 = 2;
@@ -146,10 +146,10 @@ pub struct RunOutcome {
 ///
 /// Panics if execution falls off the end of `code` — the code generator
 /// guarantees every block ends in a terminator.
-pub fn run_block(
+pub fn run_block<P: DataPort + ?Sized>(
     state: &mut CoreState,
     code: &[RInsn],
-    port: &mut dyn DataPort,
+    port: &mut P,
     fuel: u64,
 ) -> RunOutcome {
     let mut pc = 0usize;
@@ -164,7 +164,9 @@ pub fn run_block(
                 insns,
             };
         }
-        let insn = *code.get(pc).expect("fell off the end of a translated block");
+        let insn = *code
+            .get(pc)
+            .expect("fell off the end of a translated block");
         pc += 1;
         insns += 1;
         cycles += insn.cycles();
@@ -225,11 +227,19 @@ pub fn run_block(
             }
             RInsn::Lui { rd, imm } => state.set(rd, imm << 16),
             RInsn::Ext { rd, rs, pos, len } => {
-                let mask = if len >= 32 { u32::MAX } else { (1u32 << len) - 1 };
+                let mask = if len >= 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << len) - 1
+                };
                 state.set(rd, (state.get(rs) >> pos) & mask);
             }
             RInsn::Ins { rd, rs, pos, len } => {
-                let mask = if len >= 32 { u32::MAX } else { (1u32 << len) - 1 };
+                let mask = if len >= 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << len) - 1
+                };
                 let cleared = state.get(rd) & !(mask << pos);
                 state.set(rd, cleared | ((state.get(rs) & mask) << pos));
             }
@@ -262,7 +272,12 @@ pub fn run_block(
                     }
                 }
             }
-            RInsn::Branch { cond, rs, rt, target } => {
+            RInsn::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => {
                 if cond.holds(state.get(rs), state.get(rt)) {
                     cycles += TAKEN_BRANCH_PENALTY;
                     match target {
@@ -368,9 +383,24 @@ mod tests {
     fn straight_line_arithmetic() {
         let mut s = CoreState::new();
         let code = [
-            RInsn::AluI { op: AluIOp::Addi, rd: r(1), rs: r(0), imm: 6 },
-            RInsn::AluI { op: AluIOp::Addi, rd: r(2), rs: r(0), imm: 7 },
-            RInsn::Alu { op: AluOp::Mul, rd: r(3), rs: r(1), rt: r(2) },
+            RInsn::AluI {
+                op: AluIOp::Addi,
+                rd: r(1),
+                rs: r(0),
+                imm: 6,
+            },
+            RInsn::AluI {
+                op: AluIOp::Addi,
+                rd: r(2),
+                rs: r(0),
+                imm: 7,
+            },
+            RInsn::Alu {
+                op: AluOp::Mul,
+                rd: r(3),
+                rs: r(1),
+                rt: r(2),
+            },
             RInsn::Hlt,
         ];
         let out = run_block(&mut s, &code, &mut TestPort::new(0), 100);
@@ -385,10 +415,30 @@ mod tests {
     fn local_branch_loops() {
         // r1 = 5; loop: r2 += r1; r1 -= 1; bne r1, r0, loop; hlt
         let code = [
-            RInsn::AluI { op: AluIOp::Addi, rd: r(1), rs: r(0), imm: 5 },
-            RInsn::Alu { op: AluOp::Add, rd: r(2), rs: r(2), rt: r(1) },
-            RInsn::AluI { op: AluIOp::Addi, rd: r(1), rs: r(1), imm: -1 },
-            RInsn::Branch { cond: BrCond::Ne, rs: r(1), rt: r(0), target: BranchTarget::Local(1) },
+            RInsn::AluI {
+                op: AluIOp::Addi,
+                rd: r(1),
+                rs: r(0),
+                imm: 5,
+            },
+            RInsn::Alu {
+                op: AluOp::Add,
+                rd: r(2),
+                rs: r(2),
+                rt: r(1),
+            },
+            RInsn::AluI {
+                op: AluIOp::Addi,
+                rd: r(1),
+                rs: r(1),
+                imm: -1,
+            },
+            RInsn::Branch {
+                cond: BrCond::Ne,
+                rs: r(1),
+                rt: r(0),
+                target: BranchTarget::Local(1),
+            },
             RInsn::Hlt,
         ];
         let mut s = CoreState::new();
@@ -399,13 +449,20 @@ mod tests {
 
     #[test]
     fn guest_exit_and_dispatch() {
-        let code = [RInsn::Jump { target: BranchTarget::Guest(0x8000_0010) }];
+        let code = [RInsn::Jump {
+            target: BranchTarget::Guest(0x8000_0010),
+        }];
         let mut s = CoreState::new();
         let out = run_block(&mut s, &code, &mut TestPort::new(0), 10);
         assert_eq!(out.exit, BlockExit::Goto(0x8000_0010));
 
         let code = [
-            RInsn::AluI { op: AluIOp::Addi, rd: r(4), rs: r(0), imm: 0x1234 },
+            RInsn::AluI {
+                op: AluIOp::Addi,
+                rd: r(4),
+                rs: r(0),
+                imm: 0x1234,
+            },
             RInsn::Dispatch { rs: r(4) },
         ];
         let mut s = CoreState::new();
@@ -416,9 +473,24 @@ mod tests {
     #[test]
     fn memory_stalls_counted() {
         let code = [
-            RInsn::AluI { op: AluIOp::Addi, rd: r(1), rs: r(0), imm: 0x100 },
-            RInsn::Store { op: MemOp::W, src: r(1), base: r(1), off: 0 },
-            RInsn::Load { op: MemOp::W, rd: r(2), base: r(1), off: 0 },
+            RInsn::AluI {
+                op: AluIOp::Addi,
+                rd: r(1),
+                rs: r(0),
+                imm: 0x100,
+            },
+            RInsn::Store {
+                op: MemOp::W,
+                src: r(1),
+                base: r(1),
+                off: 0,
+            },
+            RInsn::Load {
+                op: MemOp::W,
+                rd: r(2),
+                base: r(1),
+                off: 0,
+            },
             RInsn::Hlt,
         ];
         let mut s = CoreState::new();
@@ -433,9 +505,24 @@ mod tests {
         let mut port = TestPort::new(0);
         port.store(0x10, 0x80, MemOp::B).unwrap();
         let code = [
-            RInsn::AluI { op: AluIOp::Addi, rd: r(1), rs: r(0), imm: 0x10 },
-            RInsn::Load { op: MemOp::B, rd: r(2), base: r(1), off: 0 },
-            RInsn::Load { op: MemOp::Bu, rd: r(3), base: r(1), off: 0 },
+            RInsn::AluI {
+                op: AluIOp::Addi,
+                rd: r(1),
+                rs: r(0),
+                imm: 0x10,
+            },
+            RInsn::Load {
+                op: MemOp::B,
+                rd: r(2),
+                base: r(1),
+                off: 0,
+            },
+            RInsn::Load {
+                op: MemOp::Bu,
+                rd: r(3),
+                base: r(1),
+                off: 0,
+            },
             RInsn::Hlt,
         ];
         let mut s = CoreState::new();
@@ -447,10 +534,30 @@ mod tests {
     #[test]
     fn ext_ins_bitfields() {
         let code = [
-            RInsn::AluI { op: AluIOp::Addi, rd: r(1), rs: r(0), imm: 0b1011_0100 },
-            RInsn::Ext { rd: r(2), rs: r(1), pos: 4, len: 4 }, // 0b1011
-            RInsn::AluI { op: AluIOp::Addi, rd: r(3), rs: r(0), imm: 1 },
-            RInsn::Ins { rd: r(1), rs: r(3), pos: 0, len: 2 }, // low 2 bits := 01
+            RInsn::AluI {
+                op: AluIOp::Addi,
+                rd: r(1),
+                rs: r(0),
+                imm: 0b1011_0100,
+            },
+            RInsn::Ext {
+                rd: r(2),
+                rs: r(1),
+                pos: 4,
+                len: 4,
+            }, // 0b1011
+            RInsn::AluI {
+                op: AluIOp::Addi,
+                rd: r(3),
+                rs: r(0),
+                imm: 1,
+            },
+            RInsn::Ins {
+                rd: r(1),
+                rs: r(3),
+                pos: 0,
+                len: 2,
+            }, // low 2 bits := 01
             RInsn::Hlt,
         ];
         let mut s = CoreState::new();
@@ -462,7 +569,12 @@ mod tests {
     #[test]
     fn div_zero_faults() {
         let code = [
-            RInsn::Alu { op: AluOp::Divu, rd: r(1), rs: r(1), rt: r(0) },
+            RInsn::Alu {
+                op: AluOp::Divu,
+                rd: r(1),
+                rs: r(1),
+                rt: r(0),
+            },
             RInsn::Hlt,
         ];
         let mut s = CoreState::new();
@@ -472,7 +584,9 @@ mod tests {
 
     #[test]
     fn fuel_limit_stops_runaway() {
-        let code = [RInsn::Jump { target: BranchTarget::Local(0) }];
+        let code = [RInsn::Jump {
+            target: BranchTarget::Local(0),
+        }];
         let mut s = CoreState::new();
         let out = run_block(&mut s, &code, &mut TestPort::new(0), 50);
         assert_eq!(out.exit, BlockExit::Fault(Fault::FuelExhausted));
@@ -482,7 +596,12 @@ mod tests {
     #[test]
     fn r0_is_hardwired_zero() {
         let code = [
-            RInsn::AluI { op: AluIOp::Addi, rd: r(0), rs: r(0), imm: 99 },
+            RInsn::AluI {
+                op: AluIOp::Addi,
+                rd: r(0),
+                rs: r(0),
+                imm: 99,
+            },
             RInsn::Hlt,
         ];
         let mut s = CoreState::new();
@@ -493,8 +612,16 @@ mod tests {
     #[test]
     fn lui_ori_builds_constant() {
         let code = [
-            RInsn::Lui { rd: r(1), imm: 0xDEAD },
-            RInsn::AluI { op: AluIOp::Ori, rd: r(1), rs: r(1), imm: 0xBEEF },
+            RInsn::Lui {
+                rd: r(1),
+                imm: 0xDEAD,
+            },
+            RInsn::AluI {
+                op: AluIOp::Ori,
+                rd: r(1),
+                rs: r(1),
+                imm: 0xBEEF,
+            },
             RInsn::Hlt,
         ];
         let mut s = CoreState::new();
@@ -505,11 +632,21 @@ mod tests {
     #[test]
     fn taken_branch_penalty_charged() {
         let taken = [
-            RInsn::Branch { cond: BrCond::Eq, rs: r(0), rt: r(0), target: BranchTarget::Local(1) },
+            RInsn::Branch {
+                cond: BrCond::Eq,
+                rs: r(0),
+                rt: r(0),
+                target: BranchTarget::Local(1),
+            },
             RInsn::Hlt,
         ];
         let not_taken = [
-            RInsn::Branch { cond: BrCond::Ne, rs: r(0), rt: r(0), target: BranchTarget::Local(1) },
+            RInsn::Branch {
+                cond: BrCond::Ne,
+                rs: r(0),
+                rt: r(0),
+                target: BranchTarget::Local(1),
+            },
             RInsn::Hlt,
         ];
         let mut s = CoreState::new();

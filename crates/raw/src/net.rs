@@ -70,7 +70,10 @@ impl<T> Network<T> {
     ///
     /// Panics if either endpoint is outside the grid.
     pub fn send(&mut self, now: Cycle, from: TileId, to: TileId, words: u32, payload: T) -> Cycle {
-        assert!(from.x < self.width && from.y < self.height, "bad src {from}");
+        assert!(
+            from.x < self.width && from.y < self.height,
+            "bad src {from}"
+        );
         assert!(to.x < self.width && to.y < self.height, "bad dst {to}");
         let hops = from.hops_to(to) as u64;
         self.messages += 1;
@@ -89,7 +92,10 @@ impl<T> Network<T> {
         self.port_free.insert(to, arrival + words.max(1) as u64);
         self.pair_last.insert((from, to), arrival);
 
-        self.inboxes.entry(to).or_default().schedule(arrival, payload);
+        self.inboxes
+            .entry(to)
+            .or_default()
+            .schedule(arrival, payload);
         arrival
     }
 

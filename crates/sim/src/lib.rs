@@ -33,4 +33,4 @@ mod stats;
 pub use cycle::Cycle;
 pub use event::EventQueue;
 pub use rng::Rng;
-pub use stats::{Histogram, Stats};
+pub use stats::{Ctr, Histogram, Stats};

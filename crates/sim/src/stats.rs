@@ -1,6 +1,180 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// The interned counters every simulated component bumps on its hot path.
+///
+/// The execution loop increments several counters per simulated basic
+/// block, so the well-known names are interned: each variant indexes a
+/// flat `[u64; N]` array inside [`Stats`] and an increment is a single
+/// array add. The string-keyed [`Stats`] API still accepts these names
+/// (they resolve to the same slots) plus arbitrary ad-hoc names, which
+/// land in a fallback map off the hot path.
+///
+/// Variants are declared in ascending name order so that iteration can
+/// merge them with the fallback map without sorting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Ctr {
+    /// `chain.taken` — direct branches dispatched through an L1 chain.
+    ChainTaken,
+    /// `cycles` — total simulated cycles (set once at end of run).
+    Cycles,
+    /// `dispatch.direct_miss` — direct branches that missed the L1 chain.
+    DispatchDirectMiss,
+    /// `dispatch.indirect` — indirect branch dispatches.
+    DispatchIndirect,
+    /// `exec.blocks` — translated blocks executed.
+    ExecBlocks,
+    /// `guest_insns` — guest instructions retired.
+    GuestInsns,
+    /// `host_insns` — host instructions executed.
+    HostInsns,
+    /// `l15.hit` — L1.5 code-cache hits.
+    L15Hit,
+    /// `l15.miss` — L1.5 code-cache misses.
+    L15Miss,
+    /// `l1code.flushes` — whole-L1-code-cache flushes.
+    L1CodeFlushes,
+    /// `l1code.hit` — L1 code-cache hits.
+    L1CodeHit,
+    /// `l1code.miss` — L1 code-cache misses.
+    L1CodeMiss,
+    /// `l2code.access` — L2 code-cache (manager) accesses.
+    L2CodeAccess,
+    /// `l2code.miss` — L2 code-cache misses (demand translations).
+    L2CodeMiss,
+    /// `mem.dram` — data accesses served by DRAM.
+    MemDram,
+    /// `mem.l1_hit` — data accesses served by the L1 D-cache.
+    MemL1Hit,
+    /// `mem.l2_hit` — data accesses served by an L2 bank.
+    MemL2Hit,
+    /// `mem.tlb_miss` — TLB misses (page-table walks).
+    MemTlbMiss,
+    /// `morph.reconfigs` — morphing reconfiguration decisions.
+    MorphReconfigs,
+    /// `morph.to_cache` — translator tiles morphed into cache banks.
+    MorphToCache,
+    /// `morph.to_translator` — cache banks morphed into translators.
+    MorphToTranslator,
+    /// `smc.invalidations` — self-modifying-code page invalidations.
+    SmcInvalidations,
+    /// `spec.pushes` — speculative translation queue pushes.
+    SpecPushes,
+    /// `syscalls` — guest system calls.
+    Syscalls,
+    /// `translate.blocks` — blocks translated by the slave pool.
+    TranslateBlocks,
+    /// `translate.busy_cycles` — slave-tile cycles spent translating.
+    TranslateBusyCycles,
+    /// `translate.committed` — translations committed to the L2 code cache.
+    TranslateCommitted,
+}
+
+impl Ctr {
+    /// Number of interned counters (the size of the flat array).
+    pub const COUNT: usize = 27;
+
+    /// Every interned counter, in ascending name order.
+    pub const ALL: [Ctr; Ctr::COUNT] = [
+        Ctr::ChainTaken,
+        Ctr::Cycles,
+        Ctr::DispatchDirectMiss,
+        Ctr::DispatchIndirect,
+        Ctr::ExecBlocks,
+        Ctr::GuestInsns,
+        Ctr::HostInsns,
+        Ctr::L15Hit,
+        Ctr::L15Miss,
+        Ctr::L1CodeFlushes,
+        Ctr::L1CodeHit,
+        Ctr::L1CodeMiss,
+        Ctr::L2CodeAccess,
+        Ctr::L2CodeMiss,
+        Ctr::MemDram,
+        Ctr::MemL1Hit,
+        Ctr::MemL2Hit,
+        Ctr::MemTlbMiss,
+        Ctr::MorphReconfigs,
+        Ctr::MorphToCache,
+        Ctr::MorphToTranslator,
+        Ctr::SmcInvalidations,
+        Ctr::SpecPushes,
+        Ctr::Syscalls,
+        Ctr::TranslateBlocks,
+        Ctr::TranslateBusyCycles,
+        Ctr::TranslateCommitted,
+    ];
+
+    /// The dotted string name this counter is published under.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Ctr::ChainTaken => "chain.taken",
+            Ctr::Cycles => "cycles",
+            Ctr::DispatchDirectMiss => "dispatch.direct_miss",
+            Ctr::DispatchIndirect => "dispatch.indirect",
+            Ctr::ExecBlocks => "exec.blocks",
+            Ctr::GuestInsns => "guest_insns",
+            Ctr::HostInsns => "host_insns",
+            Ctr::L15Hit => "l15.hit",
+            Ctr::L15Miss => "l15.miss",
+            Ctr::L1CodeFlushes => "l1code.flushes",
+            Ctr::L1CodeHit => "l1code.hit",
+            Ctr::L1CodeMiss => "l1code.miss",
+            Ctr::L2CodeAccess => "l2code.access",
+            Ctr::L2CodeMiss => "l2code.miss",
+            Ctr::MemDram => "mem.dram",
+            Ctr::MemL1Hit => "mem.l1_hit",
+            Ctr::MemL2Hit => "mem.l2_hit",
+            Ctr::MemTlbMiss => "mem.tlb_miss",
+            Ctr::MorphReconfigs => "morph.reconfigs",
+            Ctr::MorphToCache => "morph.to_cache",
+            Ctr::MorphToTranslator => "morph.to_translator",
+            Ctr::SmcInvalidations => "smc.invalidations",
+            Ctr::SpecPushes => "spec.pushes",
+            Ctr::Syscalls => "syscalls",
+            Ctr::TranslateBlocks => "translate.blocks",
+            Ctr::TranslateBusyCycles => "translate.busy_cycles",
+            Ctr::TranslateCommitted => "translate.committed",
+        }
+    }
+
+    /// Resolves a string name to its interned counter, if it is one of
+    /// the well-known names.
+    pub fn from_name(name: &str) -> Option<Ctr> {
+        Some(match name {
+            "chain.taken" => Ctr::ChainTaken,
+            "cycles" => Ctr::Cycles,
+            "dispatch.direct_miss" => Ctr::DispatchDirectMiss,
+            "dispatch.indirect" => Ctr::DispatchIndirect,
+            "exec.blocks" => Ctr::ExecBlocks,
+            "guest_insns" => Ctr::GuestInsns,
+            "host_insns" => Ctr::HostInsns,
+            "l15.hit" => Ctr::L15Hit,
+            "l15.miss" => Ctr::L15Miss,
+            "l1code.flushes" => Ctr::L1CodeFlushes,
+            "l1code.hit" => Ctr::L1CodeHit,
+            "l1code.miss" => Ctr::L1CodeMiss,
+            "l2code.access" => Ctr::L2CodeAccess,
+            "l2code.miss" => Ctr::L2CodeMiss,
+            "mem.dram" => Ctr::MemDram,
+            "mem.l1_hit" => Ctr::MemL1Hit,
+            "mem.l2_hit" => Ctr::MemL2Hit,
+            "mem.tlb_miss" => Ctr::MemTlbMiss,
+            "morph.reconfigs" => Ctr::MorphReconfigs,
+            "morph.to_cache" => Ctr::MorphToCache,
+            "morph.to_translator" => Ctr::MorphToTranslator,
+            "smc.invalidations" => Ctr::SmcInvalidations,
+            "spec.pushes" => Ctr::SpecPushes,
+            "syscalls" => Ctr::Syscalls,
+            "translate.blocks" => Ctr::TranslateBlocks,
+            "translate.busy_cycles" => Ctr::TranslateBusyCycles,
+            "translate.committed" => Ctr::TranslateCommitted,
+            _ => return None,
+        })
+    }
+}
+
 /// A registry of named event counters and histograms for one simulation run.
 ///
 /// Every figure in the paper's evaluation is a ratio of two counters
@@ -8,22 +182,64 @@ use std::fmt;
 /// counters here and the benchmark harness reads them back by name at the
 /// end of a run. Names are dotted paths like `"l2code.miss"`.
 ///
+/// The well-known counters (see [`Ctr`]) live in a flat array and are
+/// bumped with [`Stats::bump_ctr`]/[`Stats::add_ctr`] — a single indexed
+/// add, suitable for per-block hot paths. The string-keyed API resolves
+/// well-known names to the same slots and falls back to a `BTreeMap` for
+/// ad-hoc names, so both views always agree.
+///
 /// # Examples
 ///
 /// ```
-/// use vta_sim::Stats;
+/// use vta_sim::{Ctr, Stats};
 ///
 /// let mut stats = Stats::new();
 /// stats.add("l2code.access", 3);
-/// stats.bump("l2code.access");
+/// stats.bump_ctr(Ctr::L2CodeAccess);
 /// assert_eq!(stats.get("l2code.access"), 4);
+/// assert_eq!(stats.get_ctr(Ctr::L2CodeAccess), 4);
 /// assert_eq!(stats.get("never.touched"), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Stats {
-    counters: BTreeMap<String, u64>,
+    /// Interned counter slots, indexed by `Ctr as usize`.
+    fixed: [u64; Ctr::COUNT],
+    /// Interned counters explicitly `set` to zero: they read the same as
+    /// untouched ones but are still listed by `iter`/`Display`.
+    zeroed: [bool; Ctr::COUNT],
+    /// Ad-hoc counters with names outside the interned set.
+    other: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
 }
+
+impl Default for Stats {
+    fn default() -> Self {
+        Stats {
+            fixed: [0; Ctr::COUNT],
+            zeroed: [false; Ctr::COUNT],
+            other: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+}
+
+impl PartialEq for Stats {
+    fn eq(&self, o: &Self) -> bool {
+        // A counter `set` to zero and an untouched one hold the same
+        // value; they differ only in visibility. Compare visibility of
+        // the zero-valued slots rather than the raw flags so that e.g.
+        // `set(c, 0); add(c, 1)` equals a plain `add(c, 1)`.
+        self.fixed == o.fixed
+            && Ctr::ALL.iter().all(|&c| {
+                let i = c as usize;
+                (self.zeroed[i] && self.fixed[i] == 0) == (o.zeroed[i] && o.fixed[i] == 0)
+            })
+            && self.other == o.other
+            && self.histograms == o.histograms
+    }
+}
+
+impl Eq for Stats {}
 
 impl Stats {
     /// Creates an empty registry.
@@ -31,15 +247,50 @@ impl Stats {
         Stats::default()
     }
 
+    /// Increments an interned counter by one.
+    #[inline]
+    pub fn bump_ctr(&mut self, c: Ctr) {
+        self.fixed[c as usize] += 1;
+    }
+
+    /// Adds `n` to an interned counter.
+    #[inline]
+    pub fn add_ctr(&mut self, c: Ctr, n: u64) {
+        self.fixed[c as usize] += n;
+    }
+
+    /// Reads an interned counter.
+    #[inline]
+    pub fn get_ctr(&self, c: Ctr) -> u64 {
+        self.fixed[c as usize]
+    }
+
+    /// Sets an interned counter to an absolute value.
+    #[inline]
+    pub fn set_ctr(&mut self, c: Ctr, value: u64) {
+        self.fixed[c as usize] = value;
+        self.zeroed[c as usize] = value == 0;
+    }
+
+    /// Whether an interned counter would be listed by `iter`.
+    fn fixed_present(&self, c: Ctr) -> bool {
+        self.fixed[c as usize] != 0 || self.zeroed[c as usize]
+    }
+
     /// Adds `n` to the counter `name`, creating it at zero if absent.
     pub fn add(&mut self, name: &str, n: u64) {
         if n == 0 {
             return;
         }
-        if let Some(c) = self.counters.get_mut(name) {
-            *c += n;
-        } else {
-            self.counters.insert(name.to_owned(), n);
+        match Ctr::from_name(name) {
+            Some(c) => self.add_ctr(c, n),
+            None => {
+                if let Some(v) = self.other.get_mut(name) {
+                    *v += n;
+                } else {
+                    self.other.insert(name.to_owned(), n);
+                }
+            }
         }
     }
 
@@ -50,12 +301,20 @@ impl Stats {
 
     /// Reads a counter; unknown names read as zero.
     pub fn get(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        match Ctr::from_name(name) {
+            Some(c) => self.get_ctr(c),
+            None => self.other.get(name).copied().unwrap_or(0),
+        }
     }
 
     /// Sets a counter to an absolute value (for gauges like queue depth).
     pub fn set(&mut self, name: &str, value: u64) {
-        self.counters.insert(name.to_owned(), value);
+        match Ctr::from_name(name) {
+            Some(c) => self.set_ctr(c, value),
+            None => {
+                self.other.insert(name.to_owned(), value);
+            }
+        }
     }
 
     /// Records `value` into the histogram `name`.
@@ -77,15 +336,38 @@ impl Stats {
         (d != 0).then(|| self.get(num) as f64 / d as f64)
     }
 
-    /// Iterates over all counters in name order.
+    /// Iterates over all touched counters in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        // Both sources are already name-ordered; merge them.
+        let mut fixed = Ctr::ALL
+            .iter()
+            .filter(|&&c| self.fixed_present(c))
+            .map(|&c| (c.name(), self.fixed[c as usize]))
+            .peekable();
+        let mut other = self.other.iter().map(|(k, v)| (k.as_str(), *v)).peekable();
+        std::iter::from_fn(move || match (fixed.peek(), other.peek()) {
+            (Some(&(fk, _)), Some(&(ok, _))) => {
+                if fk < ok {
+                    fixed.next()
+                } else {
+                    other.next()
+                }
+            }
+            (Some(_), None) => fixed.next(),
+            (None, _) => other.next(),
+        })
     }
 
     /// Merges another registry into this one, summing counters.
     pub fn merge(&mut self, other: &Stats) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+        for (a, b) in self.fixed.iter_mut().zip(other.fixed.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.zeroed.iter_mut().zip(other.zeroed.iter()) {
+            *a |= b;
+        }
+        for (k, v) in &other.other {
+            *self.other.entry(k.clone()).or_insert(0) += v;
         }
         for (k, h) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(h);
@@ -95,7 +377,7 @@ impl Stats {
 
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (k, v) in &self.counters {
+        for (k, v) in self.iter() {
             writeln!(f, "{k} = {v}")?;
         }
         Ok(())
@@ -221,11 +503,54 @@ mod tests {
     }
 
     #[test]
+    fn merge_sums_interned_counters() {
+        let mut a = Stats::new();
+        a.bump_ctr(Ctr::ChainTaken);
+        let mut b = Stats::new();
+        b.add("chain.taken", 2);
+        a.merge(&b);
+        assert_eq!(a.get_ctr(Ctr::ChainTaken), 3);
+    }
+
+    #[test]
     fn set_overwrites() {
         let mut s = Stats::new();
         s.add("gauge", 5);
         s.set("gauge", 2);
         assert_eq!(s.get("gauge"), 2);
+    }
+
+    #[test]
+    fn interned_and_string_views_agree() {
+        let mut s = Stats::new();
+        s.bump_ctr(Ctr::L2CodeAccess);
+        s.add("l2code.access", 2);
+        assert_eq!(s.get("l2code.access"), 3);
+        assert_eq!(s.get_ctr(Ctr::L2CodeAccess), 3);
+        s.set("cycles", 10);
+        assert_eq!(s.get_ctr(Ctr::Cycles), 10);
+    }
+
+    #[test]
+    fn ctr_names_roundtrip_and_are_sorted() {
+        let mut prev: Option<&str> = None;
+        for c in Ctr::ALL {
+            assert_eq!(Ctr::from_name(c.name()), Some(c));
+            if let Some(p) = prev {
+                assert!(p < c.name(), "{p} !< {}", c.name());
+            }
+            prev = Some(c.name());
+        }
+        assert_eq!(Ctr::ALL.len(), Ctr::COUNT);
+    }
+
+    #[test]
+    fn set_zero_is_listed_untouched_is_not() {
+        let mut s = Stats::new();
+        s.set("cycles", 0);
+        let listed: Vec<&str> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(listed, ["cycles"]);
+        assert!(!Stats::new().iter().any(|(k, _)| k == "cycles"));
     }
 
     #[test]
@@ -255,7 +580,10 @@ mod tests {
     fn stats_display_lists_counters() {
         let mut s = Stats::new();
         s.add("k", 1);
-        assert!(s.to_string().contains("k = 1"));
+        s.bump_ctr(Ctr::Syscalls);
+        let text = s.to_string();
+        assert!(text.contains("k = 1"));
+        assert!(text.contains("syscalls = 1"));
     }
 
     #[test]
@@ -263,7 +591,22 @@ mod tests {
         let mut s = Stats::new();
         s.add("b", 1);
         s.add("a", 1);
+        s.bump_ctr(Ctr::Cycles);
+        s.bump_ctr(Ctr::TranslateCommitted);
         let names: Vec<&str> = s.iter().map(|(k, _)| k).collect();
-        assert_eq!(names, ["a", "b"]);
+        assert_eq!(names, ["a", "b", "cycles", "translate.committed"]);
+    }
+
+    #[test]
+    fn equality_ignores_how_counters_were_written() {
+        let mut a = Stats::new();
+        a.set("cycles", 0);
+        a.add("cycles", 1);
+        let mut b = Stats::new();
+        b.bump_ctr(Ctr::Cycles);
+        assert_eq!(a, b);
+        let mut c = Stats::new();
+        c.set("cycles", 0);
+        assert_ne!(c, Stats::new(), "a visible zero counter is observable");
     }
 }

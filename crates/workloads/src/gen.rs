@@ -183,10 +183,7 @@ mod tests {
         g.code_region(40, 30, 4096);
         let img = g.finish_with_checksum().with_bss(DATA_BASE, 0x10000);
         let mut cpu = Cpu::new(&img);
-        assert!(matches!(
-            cpu.run(1_000_000).unwrap(),
-            StopReason::Exit(_)
-        ));
+        assert!(matches!(cpu.run(1_000_000).unwrap(), StopReason::Exit(_)));
     }
 
     #[test]

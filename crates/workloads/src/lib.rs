@@ -82,8 +82,7 @@ pub struct Workload {
 
 /// Benchmark names in the paper's presentation order.
 pub const NAMES: [&str; 11] = [
-    "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "perlbmk", "gap", "vortex", "bzip2",
-    "twolf",
+    "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "perlbmk", "gap", "vortex", "bzip2", "twolf",
 ];
 
 /// Builds the full suite at `scale`, in the paper's order.
@@ -99,13 +98,19 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
     let (build, description): (fn(Scale) -> GuestImage, &'static str) = match name {
         "gzip" => (suite::gzip, "LZ-style compression kernel (small code)"),
         "vpr" => (suite::vpr, "annealing placement sweep (code > L1)"),
-        "gcc" => (suite::gcc, "many-function compilation passes (code >> L1.5)"),
+        "gcc" => (
+            suite::gcc,
+            "many-function compilation passes (code >> L1.5)",
+        ),
         "mcf" => (suite::mcf, "network-simplex pointer chasing (memory-bound)"),
         "crafty" => (suite::crafty, "bitboard move generation (code > L1)"),
         "parser" => (suite::parser, "dictionary tokenizer (string compares)"),
         "perlbmk" => (suite::perlbmk, "bytecode interpreter (indirect dispatch)"),
         "gap" => (suite::gap, "multi-precision arithmetic (carry chains)"),
-        "vortex" => (suite::vortex, "object store with indirect calls (code >> L1.5)"),
+        "vortex" => (
+            suite::vortex,
+            "object store with indirect calls (code >> L1.5)",
+        ),
         "bzip2" => (suite::bzip2, "block sort + histogram (memory-heavy)"),
         "twolf" => (suite::twolf, "cell placement cost deltas"),
         _ => return None,

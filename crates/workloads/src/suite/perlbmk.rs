@@ -29,7 +29,9 @@ pub fn build(scale: Scale) -> GuestImage {
     let runs = scale.iters(3);
 
     // Bytecode: random opcode stream.
-    let program: Vec<u8> = (0..PROGRAM).map(|_| g.rng.below(OPS as u64) as u8).collect();
+    let program: Vec<u8> = (0..PROGRAM)
+        .map(|_| g.rng.below(OPS as u64) as u8)
+        .collect();
 
     prologue(&mut g);
     let mut handlers = Vec::with_capacity(OPS);
@@ -42,7 +44,11 @@ pub fn build(scale: Scale) -> GuestImage {
     let run_top = a.here();
     a.mov_ri(ESI, 0); // instruction pointer
     let dispatch = a.here();
-    a.movzx_m(EBX, MemRef::base_index(EBP, ESI, 1, CODE_OFF as i32), Size::Byte);
+    a.movzx_m(
+        EBX,
+        MemRef::base_index(EBP, ESI, 1, CODE_OFF as i32),
+        Size::Byte,
+    );
     a.mov_rm(ECX, MemRef::base_index(EBP, EBX, 4, TABLE_OFF as i32));
     a.jmp_r(ECX);
     // Handlers re-enter here.
@@ -98,6 +104,10 @@ mod tests {
             cpu.run(100_000_000).expect("no fault"),
             StopReason::Exit(_)
         ));
-        assert!(img.code.len() > 9_000, "handlers exceed L1 code: {}", img.code.len());
+        assert!(
+            img.code.len() > 9_000,
+            "handlers exceed L1 code: {}",
+            img.code.len()
+        );
     }
 }

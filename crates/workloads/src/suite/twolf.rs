@@ -91,6 +91,10 @@ mod tests {
             cpu.run(100_000_000).expect("no fault"),
             StopReason::Exit(_)
         ));
-        assert!(img.code.len() > 9_000, "twolf exceeds L1 code: {}", img.code.len());
+        assert!(
+            img.code.len() > 9_000,
+            "twolf exceeds L1 code: {}",
+            img.code.len()
+        );
     }
 }

@@ -58,7 +58,10 @@ pub fn build(scale: Scale) -> GuestImage {
                 g.a.push_r(ESI);
                 g.a.cld();
                 g.a.lea(ESI, MemRef::base_disp(EBP, rec));
-                g.a.lea(EDI, MemRef::base_disp(EBP, ((rec as u32 + 0x2_0000) & 0x2_7FC0) as i32));
+                g.a.lea(
+                    EDI,
+                    MemRef::base_disp(EBP, ((rec as u32 + 0x2_0000) & 0x2_7FC0) as i32),
+                );
                 g.a.mov_ri(ECX, 16);
                 g.a.rep_movs(Size::Dword);
                 g.a.pop_r(ESI);

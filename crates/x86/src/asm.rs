@@ -84,10 +84,7 @@ impl Asm {
     ///
     /// Panics if the label was already bound.
     pub fn bind(&mut self, label: Label) {
-        assert!(
-            self.labels[label.0].is_none(),
-            "label bound twice"
-        );
+        assert!(self.labels[label.0].is_none(), "label bound twice");
         self.labels[label.0] = Some(self.cur_addr());
     }
 
@@ -752,10 +749,7 @@ mod tests {
     #[test]
     fn esp_base_uses_sib() {
         let insns = roundtrip(|a| a.mov_rm(EAX, MemRef::base_disp(ESP, 8)));
-        assert_eq!(
-            insns[0].src,
-            Some(Operand::Mem(MemRef::base_disp(ESP, 8)))
-        );
+        assert_eq!(insns[0].src, Some(Operand::Mem(MemRef::base_disp(ESP, 8))));
     }
 
     #[test]
@@ -777,13 +771,19 @@ mod tests {
     fn abs_and_index_only() {
         let insns = roundtrip(|a| {
             a.mov_rm(EAX, MemRef::abs(0x0900_0000));
-            a.mov_rm(EAX, MemRef {
-                base: None,
-                index: Some((ECX, 8)),
-                disp: 0x100,
-            });
+            a.mov_rm(
+                EAX,
+                MemRef {
+                    base: None,
+                    index: Some((ECX, 8)),
+                    disp: 0x100,
+                },
+            );
         });
-        assert_eq!(insns[0].src.unwrap().mem().unwrap().disp as u32, 0x0900_0000);
+        assert_eq!(
+            insns[0].src.unwrap().mem().unwrap().disp as u32,
+            0x0900_0000
+        );
         let m = insns[1].src.unwrap().mem().unwrap();
         assert_eq!(m.index, Some((ECX, 8)));
     }
@@ -802,7 +802,15 @@ mod tests {
         let ops: Vec<Op> = insns.iter().map(|i| i.op).collect();
         assert_eq!(
             ops,
-            [Op::Shl, Op::Shr, Op::Sar, Op::ImulR, Op::Mul, Op::Idiv, Op::Cdq]
+            [
+                Op::Shl,
+                Op::Shr,
+                Op::Sar,
+                Op::ImulR,
+                Op::Mul,
+                Op::Idiv,
+                Op::Cdq
+            ]
         );
     }
 

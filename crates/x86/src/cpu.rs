@@ -283,7 +283,14 @@ impl Cpu {
                 let v = self.pop(at)?;
                 self.write_operand(insn.dst.unwrap(), Size::Dword, v, at)?;
             }
-            Op::Add | Op::Or | Op::Adc | Op::Sbb | Op::And | Op::Sub | Op::Xor | Op::Cmp
+            Op::Add
+            | Op::Or
+            | Op::Adc
+            | Op::Sbb
+            | Op::And
+            | Op::Sub
+            | Op::Xor
+            | Op::Cmp
             | Op::Test => {
                 let d = insn.dst.unwrap();
                 let a = self.read_operand(d, size, at)?;
@@ -360,10 +367,9 @@ impl Cpu {
             Op::ImulR => {
                 let (a, b) = match insn.src2 {
                     // Three-operand: dst = src * imm.
-                    Some(Operand::Imm(i)) => (
-                        self.read_operand(insn.src.unwrap(), size, at)?,
-                        i as u32,
-                    ),
+                    Some(Operand::Imm(i)) => {
+                        (self.read_operand(insn.src.unwrap(), size, at)?, i as u32)
+                    }
                     // Two-operand: dst = dst * src.
                     _ => (
                         self.read_operand(insn.dst.unwrap(), size, at)?,
@@ -726,10 +732,7 @@ mod tests {
         asm.mov_ri(ECX, 0);
         asm.div_r(ECX);
         let mut cpu = Cpu::new(&GuestImage::from_code(asm.finish()));
-        assert!(matches!(
-            cpu.run(100),
-            Err(CpuError::DivideError { .. })
-        ));
+        assert!(matches!(cpu.run(100), Err(CpuError::DivideError { .. })));
     }
 
     #[test]

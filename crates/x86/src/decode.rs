@@ -60,7 +60,10 @@ impl std::fmt::Display for DecodeError {
                 write!(f, "unsupported opcode {esc}{opcode:02x} at {addr:#010x}")
             }
             DecodeError::UnsupportedGroup { addr, opcode, ext } => {
-                write!(f, "unsupported group op {opcode:02x} /{ext} at {addr:#010x}")
+                write!(
+                    f,
+                    "unsupported group op {opcode:02x} /{ext} at {addr:#010x}"
+                )
             }
             DecodeError::TooLong { addr } => {
                 write!(f, "instruction at {addr:#010x} exceeds 15 bytes")
@@ -156,9 +159,7 @@ impl<S: CodeSource + ?Sized> Cursor<'_, S> {
 }
 
 /// Decodes ModRM (and SIB/displacement): returns `(rm_operand, reg_field)`.
-fn modrm<S: CodeSource + ?Sized>(
-    cur: &mut Cursor<'_, S>,
-) -> Result<(Operand, u8), DecodeError> {
+fn modrm<S: CodeSource + ?Sized>(cur: &mut Cursor<'_, S>) -> Result<(Operand, u8), DecodeError> {
     let byte = cur.u8()?;
     let md = byte >> 6;
     let reg = (byte >> 3) & 7;
@@ -182,7 +183,14 @@ fn modrm<S: CodeSource + ?Sized>(
         if bs == 5 && md == 0 {
             // No base, disp32 follows.
             let disp = cur.u32()? as i32;
-            return Ok((Operand::Mem(MemRef { base: None, index, disp }), reg));
+            return Ok((
+                Operand::Mem(MemRef {
+                    base: None,
+                    index,
+                    disp,
+                }),
+                reg,
+            ));
         }
         base = Some(Reg::from_num(bs));
     } else if rm == 5 && md == 0 {
@@ -514,8 +522,11 @@ pub fn decode<S: CodeSource + ?Sized>(src: &S, addr: u32) -> Result<Insn, Decode
                 insn.size = Size::Byte;
             }
             let (rm, ext) = modrm(&mut cur)?;
-            insn.op = SHIFT_OPS[ext as usize]
-                .ok_or(DecodeError::UnsupportedGroup { addr, opcode, ext })?;
+            insn.op = SHIFT_OPS[ext as usize].ok_or(DecodeError::UnsupportedGroup {
+                addr,
+                opcode,
+                ext,
+            })?;
             insn.dst = Some(rm);
             insn.src = Some(Operand::Imm(cur.u8()? as i64));
             done!();
@@ -552,8 +563,11 @@ pub fn decode<S: CodeSource + ?Sized>(src: &S, addr: u32) -> Result<Insn, Decode
                 insn.size = Size::Byte;
             }
             let (rm, ext) = modrm(&mut cur)?;
-            insn.op = SHIFT_OPS[ext as usize]
-                .ok_or(DecodeError::UnsupportedGroup { addr, opcode, ext })?;
+            insn.op = SHIFT_OPS[ext as usize].ok_or(DecodeError::UnsupportedGroup {
+                addr,
+                opcode,
+                ext,
+            })?;
             insn.dst = Some(rm);
             insn.src = if opcode < 0xD2 {
                 Some(Operand::Imm(1))
@@ -747,10 +761,7 @@ mod tests {
         // add [ebx+4], ecx
         let i = one(&[0x01, 0x4B, 0x04]);
         assert_eq!(i.op, Op::Add);
-        assert_eq!(
-            i.dst,
-            Some(Operand::Mem(MemRef::base_disp(Reg::EBX, 4)))
-        );
+        assert_eq!(i.dst, Some(Operand::Mem(MemRef::base_disp(Reg::EBX, 4))));
         assert_eq!(i.src, Some(Operand::Reg(Reg::ECX)));
 
         // sub edx, [esi]
@@ -766,7 +777,12 @@ mod tests {
         let i = one(&[0x8B, 0x44, 0x8B, 0x10]);
         assert_eq!(
             i.src,
-            Some(Operand::Mem(MemRef::base_index(Reg::EBX, Reg::ECX, 4, 0x10)))
+            Some(Operand::Mem(MemRef::base_index(
+                Reg::EBX,
+                Reg::ECX,
+                4,
+                0x10
+            )))
         );
     }
 

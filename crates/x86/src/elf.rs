@@ -33,7 +33,10 @@ impl std::fmt::Display for ElfError {
             ElfError::Truncated { what } => write!(f, "truncated ELF while reading {what}"),
             ElfError::BadMagic => write!(f, "not an ELF file"),
             ElfError::Unsupported { what } => {
-                write!(f, "unsupported ELF ({what}); need 32-bit LE ET_EXEC for EM_386")
+                write!(
+                    f,
+                    "unsupported ELF ({what}); need 32-bit LE ET_EXEC for EM_386"
+                )
             }
             ElfError::NoLoadableSegments => write!(f, "ELF has no PT_LOAD segments"),
         }
@@ -80,7 +83,9 @@ fn u32le(b: &[u8], off: usize, what: &'static str) -> Result<u32, ElfError> {
 /// # Ok::<(), vta_x86::elf::ElfError>(())
 /// ```
 pub fn load(bytes: &[u8]) -> Result<GuestImage, ElfError> {
-    let ident = bytes.get(0..16).ok_or(ElfError::Truncated { what: "e_ident" })?;
+    let ident = bytes
+        .get(0..16)
+        .ok_or(ElfError::Truncated { what: "e_ident" })?;
     if ident[0..4] != [0x7F, b'E', b'L', b'F'] {
         return Err(ElfError::BadMagic);
     }
@@ -101,7 +106,9 @@ pub fn load(bytes: &[u8]) -> Result<GuestImage, ElfError> {
     let phentsize = u16le(bytes, 42, "e_phentsize")? as usize;
     let phnum = u16le(bytes, 44, "e_phnum")? as usize;
     if phentsize < 32 {
-        return Err(ElfError::Unsupported { what: "e_phentsize" });
+        return Err(ElfError::Unsupported {
+            what: "e_phentsize",
+        });
     }
 
     let mut segments: Vec<(u32, Vec<u8>, u32)> = Vec::new();
@@ -117,7 +124,9 @@ pub fn load(bytes: &[u8]) -> Result<GuestImage, ElfError> {
         let p_memsz = u32le(bytes, p + 20, "p_memsz")?;
         let data = bytes
             .get(p_offset..p_offset + p_filesz)
-            .ok_or(ElfError::Truncated { what: "segment data" })?
+            .ok_or(ElfError::Truncated {
+                what: "segment data",
+            })?
             .to_vec();
         segments.push((p_vaddr, data, p_memsz));
     }
@@ -172,7 +181,7 @@ pub fn write_minimal_exec(vaddr: u32, code: &[u8], entry: u32) -> Vec<u8> {
     out.extend_from_slice(&(phentsize as u16).to_le_bytes());
     out.extend_from_slice(&1u16.to_le_bytes()); // e_phnum
     out.extend_from_slice(&[0u8; 6]); // shentsize/shnum/shstrndx
-    // Program header.
+                                      // Program header.
     out.extend_from_slice(&1u32.to_le_bytes()); // PT_LOAD
     out.extend_from_slice(&offset.to_le_bytes());
     out.extend_from_slice(&vaddr.to_le_bytes());

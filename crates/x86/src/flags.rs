@@ -198,7 +198,11 @@ pub fn shl(f: &mut Flags, size: Size, a: u32, count: u32) -> u32 {
     if c == 0 {
         return a;
     }
-    let r = if c >= size.bits() { 0 } else { (a << c) & size.mask() };
+    let r = if c >= size.bits() {
+        0
+    } else {
+        (a << c) & size.mask()
+    };
     let cf = if c <= size.bits() {
         (a >> (size.bits() - c)) & 1 != 0
     } else {
@@ -389,7 +393,10 @@ mod tests {
         let lo = add(&mut f, Size::Dword, 0x0000_0001, 0xFFFF_FFFF);
         let hi = adc(&mut f, Size::Dword, 0xFFFF_FFFF, 0x0000_0001);
         let got = ((hi as u64) << 32) | lo as u64;
-        assert_eq!(got, 0xFFFF_FFFF_0000_0001u64.wrapping_add(0x0000_0001_FFFF_FFFF));
+        assert_eq!(
+            got,
+            0xFFFF_FFFF_0000_0001u64.wrapping_add(0x0000_0001_FFFF_FFFF)
+        );
 
         let mut f = Flags::default();
         let lo = sub(&mut f, Size::Dword, 0, 1);

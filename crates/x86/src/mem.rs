@@ -199,7 +199,9 @@ impl GuestMem {
     ///
     /// Returns [`UnmappedAccess`] on the first unmapped byte.
     pub fn read_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>, UnmappedAccess> {
-        (0..len).map(|i| self.read_u8(addr.wrapping_add(i))).collect()
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i)))
+            .collect()
     }
 }
 

@@ -24,11 +24,14 @@ fn build() -> GuestImage {
     // Dispatch through a two-entry jump table on a computed index.
     let table = DATA + 0x100;
     asm.mov_ri(ECX, 1);
-    asm.mov_rm(EDX, MemRef {
-        base: None,
-        index: Some((ECX, 4)),
-        disp: table as i32,
-    });
+    asm.mov_rm(
+        EDX,
+        MemRef {
+            base: None,
+            index: Some((ECX, 4)),
+            disp: table as i32,
+        },
+    );
     asm.jmp_r(EDX);
     let case0 = asm.cur_addr();
     asm.mov_mi(MemRef::abs(DATA), u32::from_le_bytes(*b"zero"));
@@ -76,7 +79,10 @@ fn main() {
     // Reference interpreter first — the correctness oracle.
     let mut cpu = Cpu::new(&image);
     let ref_stop = cpu.run(1_000_000).expect("interpreter ran");
-    println!("reference : stop={ref_stop:?}, wrote {:?}", String::from_utf8_lossy(&cpu.sys.output));
+    println!(
+        "reference : stop={ref_stop:?}, wrote {:?}",
+        String::from_utf8_lossy(&cpu.sys.output)
+    );
 
     // Now the full parallel-DBT virtual machine.
     let mut system = System::new(VirtualArchConfig::paper_default(), &image);

@@ -18,9 +18,18 @@ fn main() {
     println!("benchmark: {} — {}\n", w.name, w.description);
 
     let configs = [
-        ("static 1 mem / 9 translators", VirtualArchConfig::mem_trans(1, 9)),
-        ("static 4 mem / 6 translators", VirtualArchConfig::mem_trans(4, 6)),
-        ("morphing (threshold 0)      ", VirtualArchConfig::morphing(0)),
+        (
+            "static 1 mem / 9 translators",
+            VirtualArchConfig::mem_trans(1, 9),
+        ),
+        (
+            "static 4 mem / 6 translators",
+            VirtualArchConfig::mem_trans(4, 6),
+        ),
+        (
+            "morphing (threshold 0)      ",
+            VirtualArchConfig::morphing(0),
+        ),
     ];
 
     let mut best_static = u64::MAX;

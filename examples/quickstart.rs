@@ -39,11 +39,18 @@ fn main() {
         .run(&image, 10_000_000)
         .expect("baseline ran");
 
-    println!("exit code        : {:?} (expected {})", report.exit_code, (0..256).sum::<u32>());
+    println!(
+        "exit code        : {:?} (expected {})",
+        report.exit_code,
+        (0..256).sum::<u32>()
+    );
     println!("guest insns      : {}", report.guest_insns);
     println!("virtual machine  : {} cycles", report.cycles);
     println!("pentium iii      : {} cycles", piii.cycles);
-    println!("slowdown         : {:.1}x", vta::slowdown(report.cycles, piii.cycles));
+    println!(
+        "slowdown         : {:.1}x",
+        vta::slowdown(report.cycles, piii.cycles)
+    );
     println!();
     println!("selected counters:");
     for key in [

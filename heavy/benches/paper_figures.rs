@@ -1,0 +1,159 @@
+// Criterion bench: requires the `criterion` feature (external dependency).
+#[cfg(feature = "criterion")]
+mod real {
+    //! Criterion benchmarks regenerating the paper's figures at test scale.
+    //!
+    //! One benchmark group per figure. Each iteration is a full simulated
+    //! run of one `(benchmark, configuration)` cell, so Criterion's numbers
+    //! are host-side costs; the *simulated* cycle counts — the paper's actual
+    //! data — are printed once per cell as `sim-slowdown`.
+    //!
+    //! ```text
+    //! cargo bench -p vta-bench --bench paper_figures
+    //! ```
+
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+    use vta_dbt::{System, VirtualArchConfig};
+    use vta_ir::OptLevel;
+    use vta_pentium::PentiumModel;
+    use vta_workloads::{by_name, Scale};
+
+    /// Benchmarks representative of the suite's three regimes.
+    const PICKS: [&str; 3] = ["gzip", "mcf", "gcc"];
+
+    fn run_sim(image: &vta_x86::GuestImage, cfg: VirtualArchConfig) -> u64 {
+        System::new(cfg, image)
+            .run(2_000_000_000)
+            .expect("benchmark runs")
+            .cycles
+    }
+
+    fn report_slowdown(label: &str, image: &vta_x86::GuestImage, cfg: VirtualArchConfig) {
+        let cycles = run_sim(image, cfg);
+        let piii = PentiumModel::new()
+            .run(image, 2_000_000_000)
+            .expect("baseline runs")
+            .cycles;
+        eprintln!("    {label}: sim-slowdown {:.1}x", cycles as f64 / piii as f64);
+    }
+
+    fn fig4_l15(c: &mut Criterion) {
+        let mut g = c.benchmark_group("fig4_l15_code_cache");
+        g.sample_size(10);
+        for name in PICKS {
+            let w = by_name(name, Scale::Test).unwrap();
+            for banks in [0usize, 1, 2] {
+                let cfg = VirtualArchConfig::with_l15_banks(banks);
+                report_slowdown(&format!("{name}/{banks}banks"), &w.image, cfg.clone());
+                g.bench_with_input(
+                    BenchmarkId::new(name, format!("{banks}banks")),
+                    &cfg,
+                    |b, cfg| b.iter(|| run_sim(&w.image, cfg.clone())),
+                );
+            }
+        }
+        g.finish();
+    }
+
+    fn fig5_translators(c: &mut Criterion) {
+        let mut g = c.benchmark_group("fig5_translators");
+        g.sample_size(10);
+        for name in PICKS {
+            let w = by_name(name, Scale::Test).unwrap();
+            for (label, cfg) in [
+                ("1cons".to_string(), VirtualArchConfig::with_translators(1, false)),
+                ("2spec".to_string(), VirtualArchConfig::with_translators(2, true)),
+                ("6spec".to_string(), VirtualArchConfig::with_translators(6, true)),
+                ("9spec".to_string(), VirtualArchConfig::with_translators(9, true)),
+            ] {
+                report_slowdown(&format!("{name}/{label}"), &w.image, cfg.clone());
+                g.bench_with_input(BenchmarkId::new(name, label), &cfg, |b, cfg| {
+                    b.iter(|| run_sim(&w.image, cfg.clone()))
+                });
+            }
+        }
+        g.finish();
+    }
+
+    fn fig8_optimization(c: &mut Criterion) {
+        let mut g = c.benchmark_group("fig8_optimization");
+        g.sample_size(10);
+        for name in PICKS {
+            let w = by_name(name, Scale::Test).unwrap();
+            for (label, opt) in [("noopt", OptLevel::None), ("opt", OptLevel::Full)] {
+                let mut cfg = VirtualArchConfig::morphing(15);
+                cfg.opt = opt;
+                report_slowdown(&format!("{name}/{label}"), &w.image, cfg.clone());
+                g.bench_with_input(BenchmarkId::new(name, label), &cfg, |b, cfg| {
+                    b.iter(|| run_sim(&w.image, cfg.clone()))
+                });
+            }
+        }
+        g.finish();
+    }
+
+    fn fig9_morphing(c: &mut Criterion) {
+        let mut g = c.benchmark_group("fig9_morphing");
+        g.sample_size(10);
+        for name in PICKS {
+            let w = by_name(name, Scale::Test).unwrap();
+            for (label, cfg) in [
+                ("1mem9trans".to_string(), VirtualArchConfig::mem_trans(1, 9)),
+                ("4mem6trans".to_string(), VirtualArchConfig::mem_trans(4, 6)),
+                ("morph-t15".to_string(), VirtualArchConfig::morphing(15)),
+                ("morph-t0".to_string(), VirtualArchConfig::morphing(0)),
+                ("morph-t5".to_string(), VirtualArchConfig::morphing(5)),
+            ] {
+                report_slowdown(&format!("{name}/{label}"), &w.image, cfg.clone());
+                g.bench_with_input(BenchmarkId::new(name, &label), &cfg, |b, cfg| {
+                    b.iter(|| run_sim(&w.image, cfg.clone()))
+                });
+            }
+        }
+        g.finish();
+    }
+
+    fn fig11_intrinsics(c: &mut Criterion) {
+        use vta_dbt::memsys::MemSys;
+        use vta_dbt::Timing;
+        use vta_raw::{Dram, TileId};
+        use vta_sim::Cycle;
+
+        // Print the measured intrinsics table once.
+        eprintln!("{}", vta_bench::figures::fig11());
+
+        let mut g = c.benchmark_group("fig11_intrinsics");
+        g.bench_function("l1_hit_probe", |b| {
+            let t = Timing::default();
+            let mut mem = MemSys::new(&[TileId::new(2, 2)], 32 * 1024);
+            let mut dram = Dram::new(t.dram_latency, t.dram_word);
+            let exec = TileId::new(1, 1);
+            let mmu = TileId::new(2, 1);
+            mem.access(Cycle(0), 0, false, exec, mmu, &mut dram, &t);
+            let mut now = 1000u64;
+            b.iter(|| {
+                now += 100;
+                mem.access(Cycle(now), 0, false, exec, mmu, &mut dram, &t)
+            })
+        });
+        g.finish();
+    }
+
+    criterion_group!(
+        figures,
+        fig4_l15,
+        fig5_translators,
+        fig8_optimization,
+        fig9_morphing,
+        fig11_intrinsics
+    );
+}
+
+#[cfg(feature = "criterion")]
+fn main() {
+    real::figures();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}
+
+#[cfg(not(feature = "criterion"))]
+fn main() {}

@@ -1,0 +1,114 @@
+// Criterion bench: requires the `criterion` feature (external dependency).
+#[cfg(feature = "criterion")]
+mod real {
+    //! Ablation microbenchmarks on the translator itself and on the
+    //! DESIGN.md extension knobs (reserved demand slave, speculation depth).
+
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+    use vta_dbt::{System, VirtualArchConfig};
+    use vta_ir::{translate_block, OptLevel};
+    use vta_workloads::{by_name, Scale};
+    use vta_x86::decode::SliceSource;
+    use vta_x86::{Asm, Cond, Reg::*};
+
+    fn typical_block() -> vta_x86::Program {
+        let mut a = Asm::new(0x0800_0000);
+        a.mov_rm(EAX, vta_x86::MemRef::base_disp(EBP, 8));
+        a.add_ri(EAX, 100);
+        a.imul_rri(EDX, EAX, 3);
+        a.mov_mr(vta_x86::MemRef::base_disp(EBP, 12), EDX);
+        a.cmp_rr(EAX, EBX);
+        let t = a.label();
+        a.jcc(Cond::L, t);
+        a.bind(t);
+        a.and_rr(ECX, ECX);
+        a.hlt();
+        a.finish()
+    }
+
+    /// Host-side cost of one block translation at both optimization levels.
+    fn translate_throughput(c: &mut Criterion) {
+        let prog = typical_block();
+        let src = SliceSource::new(prog.base, &prog.code);
+        let mut g = c.benchmark_group("translate_block");
+        for (label, opt) in [("noopt", OptLevel::None), ("opt", OptLevel::Full)] {
+            g.bench_function(label, |b| {
+                b.iter(|| translate_block(&src, prog.base, opt).expect("translates"))
+            });
+        }
+        g.finish();
+    }
+
+    /// Ablation: the paper's suggested fix for the vpr/gcc/crafty anomaly —
+    /// reserving one slave for demand misses (§4.3).
+    fn ablation_reserved_slave(c: &mut Criterion) {
+        let mut g = c.benchmark_group("ablation_reserved_demand_slave");
+        g.sample_size(10);
+        for name in ["gcc", "vpr"] {
+            let w = by_name(name, Scale::Test).unwrap();
+            for reserved in [false, true] {
+                let mut cfg = VirtualArchConfig::paper_default();
+                cfg.reserve_demand_slave = reserved;
+                let cycles = System::new(cfg.clone(), &w.image)
+                    .run(2_000_000_000)
+                    .expect("runs")
+                    .cycles;
+                eprintln!("    {name}/reserved={reserved}: sim-cycles {cycles}");
+                g.bench_with_input(
+                    BenchmarkId::new(name, format!("reserved={reserved}")),
+                    &cfg,
+                    |b, cfg| {
+                        b.iter(|| {
+                            System::new(cfg.clone(), &w.image)
+                                .run(2_000_000_000)
+                                .expect("runs")
+                                .cycles
+                        })
+                    },
+                );
+            }
+        }
+        g.finish();
+    }
+
+    /// Ablation: speculation depth (how far ahead the crawler may run).
+    fn ablation_spec_depth(c: &mut Criterion) {
+        let mut g = c.benchmark_group("ablation_spec_depth");
+        g.sample_size(10);
+        let w = by_name("gcc", Scale::Test).unwrap();
+        for depth in [1u8, 3, 5, 8] {
+            let mut cfg = VirtualArchConfig::paper_default();
+            cfg.max_spec_depth = depth;
+            let cycles = System::new(cfg.clone(), &w.image)
+                .run(2_000_000_000)
+                .expect("runs")
+                .cycles;
+            eprintln!("    gcc/depth={depth}: sim-cycles {cycles}");
+            g.bench_with_input(BenchmarkId::new("gcc", depth), &cfg, |b, cfg| {
+                b.iter(|| {
+                    System::new(cfg.clone(), &w.image)
+                        .run(2_000_000_000)
+                        .expect("runs")
+                        .cycles
+                })
+            });
+        }
+        g.finish();
+    }
+
+    criterion_group!(
+        ablations,
+        translate_throughput,
+        ablation_reserved_slave,
+        ablation_spec_depth
+    );
+}
+
+#[cfg(feature = "criterion")]
+fn main() {
+    real::ablations();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}
+
+#[cfg(not(feature = "criterion"))]
+fn main() {}

@@ -1,3 +1,6 @@
+// Property suite: requires the `proptest` feature (external dependency).
+#![cfg(feature = "proptest")]
+
 //! Property tests on the DBT components: work-queue invariants, code
 //! cache accounting, and morph-manager hysteresis.
 

@@ -1,3 +1,6 @@
+// Property suite: requires the `proptest` feature (external dependency).
+#![cfg(feature = "proptest")]
+
 //! Property tests: assembler/decoder round trips and decoder robustness.
 
 use proptest::prelude::*;

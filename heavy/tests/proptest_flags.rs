@@ -1,3 +1,6 @@
+// Property suite: requires the `proptest` feature (external dependency).
+#![cfg(feature = "proptest")]
+
 //! Property tests: EFLAGS semantics against independent oracles.
 
 use proptest::prelude::*;

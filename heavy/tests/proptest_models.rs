@@ -1,3 +1,6 @@
+// Property suite: requires the `proptest` feature (external dependency).
+#![cfg(feature = "proptest")]
+
 //! Property tests on the hardware models: cache invariants, network
 //! ordering and timing monotonicity, DRAM serialization.
 

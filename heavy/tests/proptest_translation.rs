@@ -1,3 +1,6 @@
+// Property suite: requires the `proptest` feature (external dependency).
+#![cfg(feature = "proptest")]
+
 //! Property tests: translated host code is semantically equivalent to
 //! the reference interpreter on proptest-generated straight-line guest
 //! programs, at both optimization levels — with shrinking, so a failure

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md): everything here must pass offline — no
+# network, no registry. The default workspace has zero external
+# dependencies by policy (root Cargo.toml); the excluded `heavy/`
+# package holds the proptest/criterion suites and is built on request
+# only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release --workspace
+cargo test -q --workspace
+
+echo "ci: all tier-1 checks passed"

@@ -26,7 +26,10 @@ fn jump_into_unmapped_memory() {
     let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
     assert!(matches!(
         sys.run(100),
-        Err(SystemError::Translate { addr: 0x4000_0000, .. })
+        Err(SystemError::Translate {
+            addr: 0x4000_0000,
+            ..
+        })
     ));
 }
 
@@ -52,10 +55,19 @@ fn wild_store_faults_identically() {
     });
     let mut cpu = Cpu::new(&img);
     let ref_err = cpu.run(100);
-    assert!(matches!(ref_err, Err(CpuError::Unmapped { addr: 0x7777_0000, .. })));
+    assert!(matches!(
+        ref_err,
+        Err(CpuError::Unmapped {
+            addr: 0x7777_0000,
+            ..
+        })
+    ));
     let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
     match sys.run(100) {
-        Err(SystemError::GuestFault { fault: Fault::Unmapped { addr }, .. }) => {
+        Err(SystemError::GuestFault {
+            fault: Fault::Unmapped { addr },
+            ..
+        }) => {
             assert_eq!(addr, 0x7777_0000);
         }
         other => panic!("expected unmapped fault, got {other:?}"),
@@ -77,7 +89,10 @@ fn divide_overflow_faults_identically() {
     let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
     assert!(matches!(
         sys.run(100),
-        Err(SystemError::GuestFault { fault: Fault::DivZero, .. })
+        Err(SystemError::GuestFault {
+            fault: Fault::DivZero,
+            ..
+        })
     ));
 }
 

@@ -69,8 +69,6 @@ fn fig8_optimization_pays_for_itself() {
     );
 }
 
-
-
 #[test]
 fn fig9_morphing_tracks_the_best_static() {
     // Morphing must land within 15% of the better static configuration
