@@ -2,7 +2,12 @@
 //!
 //! ```text
 //! figures [--fig 4|5|6|7|8|9|10|11|cpi|headline|all] [--scale test|small|large] [--csv]
+//! figures --trace out.json [--bench vpr] [--scale test|small|large]
 //! ```
+//!
+//! `--trace` runs one benchmark under `paper_default` with cycle-accurate
+//! tracing, writes a Chrome-trace-event JSON file (open it at
+//! <https://ui.perfetto.dev>), and prints a utilization report.
 
 use vta_bench::figures as f;
 use vta_workloads::Scale;
@@ -12,12 +17,22 @@ fn main() {
     let mut fig = "all".to_string();
     let mut scale = Scale::Small;
     let mut csv = false;
+    let mut trace_out: Option<String> = None;
+    let mut bench = "vpr".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--fig" => {
                 i += 1;
                 fig = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--trace" => {
+                i += 1;
+                trace_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--bench" => {
+                i += 1;
+                bench = args.get(i).cloned().unwrap_or_else(|| usage());
             }
             "--scale" => {
                 i += 1;
@@ -34,6 +49,11 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if let Some(path) = trace_out {
+        run_trace(&bench, scale, &path);
+        return;
     }
 
     let print = |t: &vta_bench::Table| {
@@ -84,10 +104,29 @@ fn main() {
     }
 }
 
+fn run_trace(bench: &str, scale: Scale, path: &str) {
+    use vta_bench::trace::{chrome_trace_json, trace_benchmark, utilization_report};
+    use vta_dbt::VirtualArchConfig;
+
+    let (report, tracer) =
+        trace_benchmark(bench, scale, VirtualArchConfig::paper_default(), 1 << 18);
+    let json = chrome_trace_json(&tracer);
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!(
+        "{bench}: {} cycles, {} trace events ({} dropped) -> {path}",
+        report.cycles,
+        tracer.len(),
+        tracer.dropped()
+    );
+    println!("open the file at https://ui.perfetto.dev\n");
+    print!("{}", utilization_report(&tracer, report.cycles));
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: figures [--fig 4|5|6|7|8|9|10|11|cpi|headline|all] \
-         [--scale test|small|large] [--csv]"
+         [--scale test|small|large] [--csv]\n       \
+         figures --trace out.json [--bench vpr] [--scale test|small|large]"
     );
     std::process::exit(2);
 }

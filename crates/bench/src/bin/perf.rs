@@ -5,13 +5,21 @@
 //! ```text
 //! cargo run --release -p vta-bench --bin perf             # print only
 //! cargo run --release -p vta-bench --bin perf -- --write  # refresh JSON
+//! cargo run --release -p vta-bench --bin perf -- --check  # verify cycles
 //! ```
 //!
 //! With `--write`, the "before" section is the frozen pre-optimization
 //! baseline measured on the tree this PR started from (dependency fixes
 //! only, no hot-path work); the "after" section is the current tree.
+//!
+//! With `--check`, only the cycle fingerprints are recomputed and
+//! compared against the checked-in `BENCH_dispatch.json` — nothing is
+//! rewritten, and any drift exits nonzero. CI runs this so simulated
+//! behavior cannot change silently.
 
-use vta_bench::perf::{cycle_fingerprint, render_json, run_fig5_probe, SweepPerf};
+use vta_bench::perf::{
+    cycle_fingerprint, parse_fingerprints, render_json, run_fig5_probe, SweepPerf,
+};
 
 /// The Figure 5 `Scale::Test` sweep measured on the pre-optimization
 /// tree (string-keyed stats, HashMap block dispatch, no D$ fast path).
@@ -28,7 +36,55 @@ fn pre_opt_baseline() -> SweepPerf {
     }
 }
 
+/// Recomputes the fingerprints and diffs them against the checked-in
+/// JSON. Returns the process exit code.
+fn check() -> i32 {
+    let json = match std::fs::read_to_string("BENCH_dispatch.json") {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("--check: cannot read BENCH_dispatch.json: {e}");
+            return 2;
+        }
+    };
+    let expected = match parse_fingerprints(&json) {
+        Ok(fp) => fp,
+        Err(e) => {
+            eprintln!("--check: cannot parse BENCH_dispatch.json: {e}");
+            return 2;
+        }
+    };
+    let actual = cycle_fingerprint();
+    let mut bad = false;
+    for (name, cycles) in &actual {
+        match expected.iter().find(|(n, _)| n == name) {
+            Some((_, want)) if want == cycles => {
+                println!("--check: {name}: {cycles} ok");
+            }
+            Some((_, want)) => {
+                eprintln!("--check: {name}: cycles drifted: expected {want}, got {cycles}");
+                bad = true;
+            }
+            None => {
+                eprintln!("--check: {name}: missing from BENCH_dispatch.json");
+                bad = true;
+            }
+        }
+    }
+    if bad {
+        eprintln!(
+            "--check: simulated cycle counts changed; if intentional, refresh with \
+             `perf -- --write` and explain the behavior change"
+        );
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        std::process::exit(check());
+    }
     let write = std::env::args().any(|a| a == "--write");
     let (after, _) = run_fig5_probe(
         "after: interned stats + arena dispatch + D$ fast path + shared translations",

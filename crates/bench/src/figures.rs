@@ -180,17 +180,18 @@ pub fn fig11() -> String {
     let mmu = TileId::new(2, 1);
     let mut mem = MemSys::new(&[TileId::new(2, 2), TileId::new(3, 1)], 32 * 1024);
     let mut dram = Dram::new(t.dram_latency, t.dram_word);
+    let tr = &mut vta_sim::Tracer::disabled();
 
     // Warm the TLB so the probes measure the memory path, not the walk.
-    mem.access(Cycle(0), 0x0, false, exec, mmu, &mut dram, &t);
+    mem.access(Cycle(0), 0x0, false, exec, mmu, &mut dram, &t, tr);
     // DRAM miss with a warm TLB (same page, new line).
-    let (miss, _) = mem.access(Cycle(10_000), 0x80, false, exec, mmu, &mut dram, &t);
+    let (miss, _) = mem.access(Cycle(10_000), 0x80, false, exec, mmu, &mut dram, &t, tr);
     // L1 hit.
-    let (hit, _) = mem.access(Cycle(20_000), 0x80, false, exec, mmu, &mut dram, &t);
+    let (hit, _) = mem.access(Cycle(20_000), 0x80, false, exec, mmu, &mut dram, &t, tr);
     // Evict line 0 from the 2-way L1 set, leaving it in its L2 bank.
-    mem.access(Cycle(30_000), 0x4000, false, exec, mmu, &mut dram, &t);
-    mem.access(Cycle(40_000), 0x8000, false, exec, mmu, &mut dram, &t);
-    let (l2hit, _) = mem.access(Cycle(50_000), 0x0, false, exec, mmu, &mut dram, &t);
+    mem.access(Cycle(30_000), 0x4000, false, exec, mmu, &mut dram, &t, tr);
+    mem.access(Cycle(40_000), 0x8000, false, exec, mmu, &mut dram, &t, tr);
+    let (l2hit, _) = mem.access(Cycle(50_000), 0x0, false, exec, mmu, &mut dram, &t, tr);
 
     let mut out = String::new();
     out.push_str("== Figure 11: Architecture Intrinsics ==\n");

@@ -13,8 +13,10 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod json_lint;
 pub mod perf;
 pub mod table;
+pub mod trace;
 
 use std::collections::HashMap;
 use std::sync::Arc;

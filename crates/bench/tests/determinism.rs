@@ -8,7 +8,49 @@ use std::sync::Arc;
 
 use vta_bench::RUN_BUDGET;
 use vta_dbt::{SharedTranslations, System, VirtualArchConfig};
+use vta_sim::TraceConfig;
 use vta_workloads::Scale;
+
+/// The tracer is an observer: running with tracing enabled must not
+/// change a single simulated number relative to running without it.
+#[test]
+fn tracing_does_not_change_a_single_cycle() {
+    let w = vta_workloads::by_name("gzip", Scale::Test).expect("gzip exists");
+    let plain = System::new(VirtualArchConfig::paper_default(), &w.image)
+        .run(RUN_BUDGET)
+        .expect("gzip runs");
+    let mut traced_sys = System::new(VirtualArchConfig::paper_default(), &w.image);
+    traced_sys.enable_tracing(TraceConfig { capacity: 1 << 14 });
+    let traced = traced_sys.run(RUN_BUDGET).expect("gzip runs");
+    assert_eq!(plain.cycles, traced.cycles, "cycles must be bit-identical");
+    assert_eq!(plain.guest_insns, traced.guest_insns);
+    assert_eq!(plain.output, traced.output);
+    assert_eq!(plain.stats, traced.stats, "all counters identical");
+    let tracer = traced_sys.take_tracer();
+    assert!(tracer.is_enabled() && !tracer.is_empty(), "trace captured");
+    assert!(tracer.events().count() > 0);
+}
+
+/// The frozen `paper_default` cycle fingerprints in `BENCH_dispatch.json`
+/// must match what the tree actually simulates. This is the regression
+/// net for the whole observability subsystem (and any other change):
+/// simulated behavior cannot drift silently.
+#[test]
+fn fingerprints_match_checked_in_json() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
+    let json = std::fs::read_to_string(path).expect("BENCH_dispatch.json exists");
+    let expected = vta_bench::perf::parse_fingerprints(&json).expect("parseable fingerprints");
+    for (name, cycles) in vta_bench::perf::cycle_fingerprint() {
+        let want = expected
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("{name} missing from BENCH_dispatch.json"));
+        assert_eq!(
+            cycles, want.1,
+            "{name}: simulated cycles drifted from the checked-in fingerprint"
+        );
+    }
+}
 
 #[test]
 fn gzip_runs_are_bit_identical() {

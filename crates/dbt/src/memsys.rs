@@ -9,7 +9,7 @@
 //! (morphing them into translators) genuinely shrinks L2 capacity.
 
 use vta_raw::{Cache, CacheConfig, Dram, TileId};
-use vta_sim::Cycle;
+use vta_sim::{Cycle, Tracer, TrackId};
 
 use crate::timing::Timing;
 
@@ -33,6 +33,8 @@ pub struct Bank {
     pub cache: Cache,
     /// When the software transactor is next free.
     pub next_free: Cycle,
+    /// Trace track for this bank tile (set when tracing is enabled).
+    pub track: TrackId,
 }
 
 /// The pipelined memory system state.
@@ -44,6 +46,10 @@ pub struct MemSys {
     pub tlb: Cache,
     /// When the MMU software loop is next free.
     pub mmu_next_free: Cycle,
+    /// Trace track of the MMU tile (set when tracing is enabled).
+    pub trk_mmu: TrackId,
+    /// Trace track of the DRAM channel (set when tracing is enabled).
+    pub trk_dram: TrackId,
     /// The L2 data bank tiles.
     pub banks: Vec<Bank>,
     /// Counters: `(l1_hit, l2_hit, dram, tlb_miss)`.
@@ -70,12 +76,15 @@ impl MemSys {
                 ways: 4,
             }),
             mmu_next_free: Cycle::ZERO,
+            trk_mmu: TrackId::default(),
+            trk_dram: TrackId::default(),
             banks: bank_tiles
                 .iter()
                 .map(|&tile| Bank {
                     tile,
                     cache: bank_cache(bank_bytes),
                     next_free: Cycle::ZERO,
+                    track: TrackId::default(),
                 })
                 .collect(),
             counts: [0; 4],
@@ -88,6 +97,7 @@ impl MemSys {
             tile,
             cache: bank_cache(bank_bytes),
             next_free: Cycle::ZERO,
+            track: TrackId::default(),
         });
     }
 
@@ -118,13 +128,14 @@ impl MemSys {
         mmu: TileId,
         dram: &mut Dram,
         t: &Timing,
+        tracer: &mut Tracer,
     ) -> (u64, MemLevel) {
         // L1: inline software address translation + hardware D$ probe.
         if self.l1d.access(addr as u64, write).is_hit() {
             self.counts[0] += 1;
             return (t.l1d_hit, MemLevel::L1);
         }
-        self.miss_path(now, addr, write, exec, mmu, dram, t)
+        self.miss_path(now, addr, write, exec, mmu, dram, t, tracer)
     }
 
     /// The pipelined path past an L1 D$ miss: MMU/TLB, bank, DRAM.
@@ -140,24 +151,44 @@ impl MemSys {
         mmu: TileId,
         dram: &mut Dram,
         t: &Timing,
+        tracer: &mut Tracer,
     ) -> (u64, MemLevel) {
         // Request travels to the MMU tile.
         let mut when = now + t.l1d_hit;
+        tracer.net_msg(
+            when,
+            net_latency(exec, mmu, 1),
+            exec.into(),
+            mmu.into(),
+            1,
+            exec.hops_to(mmu) as u8,
+        );
         when += net_latency(exec, mmu, 1);
         when = when.max(self.mmu_next_free);
+        let mmu_start = when;
         when += t.mmu_service;
         if !self.tlb.access(addr as u64, false).is_hit() {
             // Page-table walk in DRAM.
             self.counts[3] += 1;
-            let walk_done = dram.access(when, 2).max(when);
+            tracer.instant(when, self.trk_mmu, "tlb.walk", addr as u64 >> 12);
+            let walk_done = dram
+                .access_traced(when, 2, tracer, self.trk_dram, "tlb.walk")
+                .max(when);
             when = walk_done + t.tlb_miss_walk.saturating_sub(t.dram_latency);
         }
         self.mmu_next_free = when;
+        tracer.span(
+            mmu_start,
+            when.saturating_since(mmu_start),
+            self.trk_mmu,
+            "mmu",
+        );
 
         // MMU forwards to the owning bank (interleaved by line address).
         let (stall, level) = if self.banks.is_empty() {
             // No cache tiles: straight to DRAM.
-            let done = dram.access(when, t.line_words) + net_latency_raw(mmu, exec, t.line_words);
+            let done = dram.access_traced(when, t.line_words, tracer, self.trk_dram, "mem.fill")
+                + net_latency_raw(mmu, exec, t.line_words);
             self.counts[2] += 1;
             (done - now, MemLevel::Dram)
         } else {
@@ -168,8 +199,17 @@ impl MemSys {
             let idx = (line as usize) % self.banks.len();
             let local = (line / self.banks.len() as u64) << 5;
             let bank_tile = self.banks[idx].tile;
+            tracer.net_msg(
+                when,
+                net_latency(mmu, bank_tile, 1),
+                mmu.into(),
+                bank_tile.into(),
+                1,
+                mmu.hops_to(bank_tile) as u8,
+            );
             let mut when = when + net_latency(mmu, bank_tile, 1);
             when = when.max(self.banks[idx].next_free);
+            let bank_start = when;
             when += t.bank_service;
             let access = self.banks[idx].cache.access(local, write);
             let level = if access.is_hit() {
@@ -179,12 +219,24 @@ impl MemSys {
                 self.counts[2] += 1;
                 // Line fill from DRAM (plus any write-back occupancy).
                 if let vta_raw::Access::Miss { writeback: Some(_) } = access {
-                    dram.access(when, t.line_words);
+                    dram.access_traced(when, t.line_words, tracer, self.trk_dram, "writeback");
                 }
-                when = dram.access(when, t.line_words).max(when);
+                when = dram
+                    .access_traced(when, t.line_words, tracer, self.trk_dram, "l2d.fill")
+                    .max(when);
                 MemLevel::Dram
             };
             self.banks[idx].next_free = when;
+            let track = self.banks[idx].track;
+            tracer.span(bank_start, when.saturating_since(bank_start), track, "bank");
+            tracer.net_msg(
+                when,
+                net_latency_raw(bank_tile, exec, t.line_words),
+                bank_tile.into(),
+                exec.into(),
+                t.line_words,
+                bank_tile.hops_to(exec) as u8,
+            );
             let done = when + net_latency_raw(bank_tile, exec, t.line_words);
             (done - now, level)
         };
@@ -226,8 +278,26 @@ mod tests {
     fn l1_hit_costs_software_translation() {
         let (mut m, mut d, t, exec, mmu) = sys();
         // Prime.
-        m.access(Cycle(0), 0x1000, false, exec, mmu, &mut d, &t);
-        let (stall, level) = m.access(Cycle(500), 0x1000, false, exec, mmu, &mut d, &t);
+        m.access(
+            Cycle(0),
+            0x1000,
+            false,
+            exec,
+            mmu,
+            &mut d,
+            &t,
+            &mut Tracer::disabled(),
+        );
+        let (stall, level) = m.access(
+            Cycle(500),
+            0x1000,
+            false,
+            exec,
+            mmu,
+            &mut d,
+            &t,
+            &mut Tracer::disabled(),
+        );
         assert_eq!(level, MemLevel::L1);
         assert_eq!(stall, t.l1d_hit, "Figure 11: L1 hit occupancy 4");
     }
@@ -235,7 +305,16 @@ mod tests {
     #[test]
     fn first_touch_goes_to_dram() {
         let (mut m, mut d, t, exec, mmu) = sys();
-        let (stall, level) = m.access(Cycle(0), 0x4000, false, exec, mmu, &mut d, &t);
+        let (stall, level) = m.access(
+            Cycle(0),
+            0x4000,
+            false,
+            exec,
+            mmu,
+            &mut d,
+            &t,
+            &mut Tracer::disabled(),
+        );
         assert_eq!(level, MemLevel::Dram);
         assert!(stall > 100, "cold miss ≈ 151 cycles, got {stall}");
     }
@@ -245,11 +324,47 @@ mod tests {
         let (mut m, mut d, t, exec, mmu) = sys();
         // Fill the same L1 set with three conflicting lines (2-way L1,
         // 512 sets × 32B → stride 16 KiB).
-        m.access(Cycle(0), 0x0_0000, false, exec, mmu, &mut d, &t);
-        m.access(Cycle(1000), 0x0_4000, false, exec, mmu, &mut d, &t);
-        m.access(Cycle(2000), 0x0_8000, false, exec, mmu, &mut d, &t);
+        m.access(
+            Cycle(0),
+            0x0_0000,
+            false,
+            exec,
+            mmu,
+            &mut d,
+            &t,
+            &mut Tracer::disabled(),
+        );
+        m.access(
+            Cycle(1000),
+            0x0_4000,
+            false,
+            exec,
+            mmu,
+            &mut d,
+            &t,
+            &mut Tracer::disabled(),
+        );
+        m.access(
+            Cycle(2000),
+            0x0_8000,
+            false,
+            exec,
+            mmu,
+            &mut d,
+            &t,
+            &mut Tracer::disabled(),
+        );
         // First line is now out of L1 but still in its L2 bank.
-        let (stall, level) = m.access(Cycle(9000), 0x0_0000, false, exec, mmu, &mut d, &t);
+        let (stall, level) = m.access(
+            Cycle(9000),
+            0x0_0000,
+            false,
+            exec,
+            mmu,
+            &mut d,
+            &t,
+            &mut Tracer::disabled(),
+        );
         assert_eq!(level, MemLevel::L2);
         assert!(
             (60..=110).contains(&stall),
@@ -261,29 +376,83 @@ mod tests {
     fn bank_contention_queues() {
         let (mut m, mut d, t, exec, mmu) = sys();
         // Two cold misses to the same bank at the same cycle.
-        let (s1, _) = m.access(Cycle(0), 0x0_0000, false, exec, mmu, &mut d, &t);
-        let (s2, _) = m.access(Cycle(0), 0x1_0000, false, exec, mmu, &mut d, &t);
+        let (s1, _) = m.access(
+            Cycle(0),
+            0x0_0000,
+            false,
+            exec,
+            mmu,
+            &mut d,
+            &t,
+            &mut Tracer::disabled(),
+        );
+        let (s2, _) = m.access(
+            Cycle(0),
+            0x1_0000,
+            false,
+            exec,
+            mmu,
+            &mut d,
+            &t,
+            &mut Tracer::disabled(),
+        );
         assert!(s2 > s1, "second request queues at MMU/bank: {s1} vs {s2}");
     }
 
     #[test]
     fn removing_banks_loses_capacity() {
         let (mut m, mut d, t, exec, mmu) = sys();
-        m.access(Cycle(0), 0x2_0000, true, exec, mmu, &mut d, &t);
+        m.access(
+            Cycle(0),
+            0x2_0000,
+            true,
+            exec,
+            mmu,
+            &mut d,
+            &t,
+            &mut Tracer::disabled(),
+        );
         let removed = m.remove_bank().expect("bank present");
         assert_eq!(m.banks.len(), 1);
         let _ = removed;
         // With one bank gone the address re-homes and must refill.
-        let (_, level) = m.access(Cycle(50_000), 0x2_0040, false, exec, mmu, &mut d, &t);
+        let (_, level) = m.access(
+            Cycle(50_000),
+            0x2_0040,
+            false,
+            exec,
+            mmu,
+            &mut d,
+            &t,
+            &mut Tracer::disabled(),
+        );
         assert_eq!(level, MemLevel::Dram);
     }
 
     #[test]
     fn tlb_miss_charged_once_per_page() {
         let (mut m, mut d, t, exec, mmu) = sys();
-        m.access(Cycle(0), 0x9_0000, false, exec, mmu, &mut d, &t);
+        m.access(
+            Cycle(0),
+            0x9_0000,
+            false,
+            exec,
+            mmu,
+            &mut d,
+            &t,
+            &mut Tracer::disabled(),
+        );
         let before = m.stats()[3];
-        m.access(Cycle(5000), 0x9_0100, false, exec, mmu, &mut d, &t);
+        m.access(
+            Cycle(5000),
+            0x9_0100,
+            false,
+            exec,
+            mmu,
+            &mut d,
+            &t,
+            &mut Tracer::disabled(),
+        );
         assert_eq!(m.stats()[3], before, "same page: no second TLB miss");
     }
 
@@ -300,6 +469,7 @@ mod tests {
             TileId::new(2, 1),
             &mut d,
             &t,
+            &mut Tracer::disabled(),
         );
         assert_eq!(level, MemLevel::Dram);
     }

@@ -9,7 +9,7 @@
 //! The implementation morphs between the paper's two poles:
 //! 4 mem / 6 translators ↔ 1 mem / 9 translators.
 
-use vta_sim::Cycle;
+use vta_sim::{Cycle, Tracer, TrackId};
 
 use crate::config::MorphConfig;
 
@@ -50,31 +50,42 @@ impl MorphManager {
     }
 
     /// Samples the queue length; returns a reconfiguration decision.
+    /// Decisions are recorded as instants on `track` in `tracer`.
     ///
     /// Sampling only happens every `check_interval` cycles, so the
     /// monitoring cost is negligible (§2.3); hysteresis enforces a
-    /// minimum gap between reconfigurations.
+    /// minimum gap between reconfigurations. Sample points sit on a fixed
+    /// grid (multiples of `check_interval`): the run loop only polls
+    /// between blocks, so calls arrive late, and advancing from `now`
+    /// instead of the grid would let caller cadence drift every later
+    /// sample point.
     pub fn decide(
         &mut self,
         now: Cycle,
         queue_len: usize,
         cur_banks: usize,
+        tracer: &mut Tracer,
+        track: TrackId,
     ) -> Option<MorphAction> {
         if now < self.next_check {
             return None;
         }
-        self.next_check = now + self.cfg.check_interval;
+        let interval = self.cfg.check_interval;
+        let missed = now.saturating_since(self.next_check) / interval;
+        self.next_check += interval * (missed + 1);
         if now.saturating_since(self.last_reconfig) < self.cfg.hysteresis {
             return None;
         }
         if queue_len > self.cfg.threshold && cur_banks > self.min_banks {
             self.last_reconfig = now;
             self.reconfigs += 1;
+            tracer.instant(now, track, "morph.to_translator", queue_len as u64);
             return Some(MorphAction::CacheToTranslator);
         }
         if queue_len == 0 && cur_banks < self.max_banks {
             self.last_reconfig = now;
             self.reconfigs += 1;
+            tracer.instant(now, track, "morph.to_cache", cur_banks as u64);
             return Some(MorphAction::TranslatorToCache);
         }
         None
@@ -84,6 +95,7 @@ impl MorphManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vta_sim::{TraceConfig, TraceEvent};
 
     fn mgr(threshold: usize) -> MorphManager {
         MorphManager::new(
@@ -97,12 +109,23 @@ mod tests {
         )
     }
 
+    /// `decide` with an inert tracer, to keep the timing tests readable.
+    fn decide(m: &mut MorphManager, now: u64, q: usize, banks: usize) -> Option<MorphAction> {
+        m.decide(
+            Cycle(now),
+            q,
+            banks,
+            &mut Tracer::disabled(),
+            TrackId::default(),
+        )
+    }
+
     #[test]
     fn no_decision_between_samples() {
         let mut m = mgr(5);
-        assert_eq!(m.decide(Cycle(10), 100, 4), None, "before first sample");
+        assert_eq!(decide(&mut m, 10, 100, 4), None, "before first sample");
         assert_eq!(
-            m.decide(Cycle(6000), 100, 4),
+            decide(&mut m, 6000, 100, 4),
             Some(MorphAction::CacheToTranslator)
         );
     }
@@ -110,11 +133,11 @@ mod tests {
     #[test]
     fn hysteresis_blocks_rapid_flapping() {
         let mut m = mgr(5);
-        assert!(m.decide(Cycle(6000), 100, 4).is_some());
+        assert!(decide(&mut m, 6000, 100, 4).is_some());
         // Queue drains immediately, but hysteresis holds.
-        assert_eq!(m.decide(Cycle(7000), 0, 3), None);
+        assert_eq!(decide(&mut m, 7000, 0, 3), None);
         assert_eq!(
-            m.decide(Cycle(12_000), 0, 3),
+            decide(&mut m, 12_000, 0, 3),
             Some(MorphAction::TranslatorToCache)
         );
     }
@@ -122,16 +145,16 @@ mod tests {
     #[test]
     fn respects_bank_budget() {
         let mut m = mgr(5);
-        assert_eq!(m.decide(Cycle(6000), 100, 1), None, "min banks reached");
+        assert_eq!(decide(&mut m, 6000, 100, 1), None, "min banks reached");
         let mut m = mgr(5);
-        assert_eq!(m.decide(Cycle(6000), 0, 4), None, "max banks reached");
+        assert_eq!(decide(&mut m, 6000, 0, 4), None, "max banks reached");
     }
 
     #[test]
     fn threshold_zero_morphs_on_any_queue() {
         let mut m = mgr(0);
         assert_eq!(
-            m.decide(Cycle(6000), 1, 4),
+            decide(&mut m, 6000, 1, 4),
             Some(MorphAction::CacheToTranslator)
         );
     }
@@ -139,8 +162,59 @@ mod tests {
     #[test]
     fn counts_reconfigs() {
         let mut m = mgr(0);
-        m.decide(Cycle(6000), 1, 4);
-        m.decide(Cycle(20_000), 0, 3);
+        decide(&mut m, 6000, 1, 4);
+        decide(&mut m, 20_000, 0, 3);
         assert_eq!(m.reconfigs, 2);
+    }
+
+    /// Regression test for sampling-grid drift: `next_check` used to be
+    /// set to `now + check_interval`, so a call that arrived late (the run
+    /// loop only polls between blocks) pushed every subsequent sample
+    /// point later by the lateness.
+    #[test]
+    fn late_sample_does_not_shift_the_grid() {
+        let mut m = mgr(5);
+        // The sample due at 6000 is taken late, at 6500. Queue is calm so
+        // nothing reconfigures (and hysteresis state is untouched).
+        assert_eq!(decide(&mut m, 6500, 0, 4), None);
+        // The next sample point is still 7000 on the fixed grid. The old
+        // code had moved it to 7500 and returned None here.
+        assert_eq!(
+            decide(&mut m, 7000, 100, 4),
+            Some(MorphAction::CacheToTranslator),
+            "sample due at 7000 must fire despite the previous late call"
+        );
+    }
+
+    #[test]
+    fn skips_entirely_missed_sample_points() {
+        let mut m = mgr(5);
+        // First poll ever arrives at 10_300: the grid points 1000..=10_000
+        // are all in the past; one sample fires, and the next is 11_000.
+        assert!(decide(&mut m, 10_300, 100, 4).is_some());
+        assert_eq!(decide(&mut m, 10_900, 100, 3), None, "before 11_000");
+        // Sample at 11_000 happens (hysteresis silently holds the action).
+        assert_eq!(decide(&mut m, 11_000, 100, 3), None);
+    }
+
+    #[test]
+    fn decisions_emit_trace_instants() {
+        let mut m = mgr(0);
+        let mut tr = Tracer::new(TraceConfig::default());
+        let track = tr.track("morph");
+        m.decide(Cycle(6000), 3, 4, &mut tr, track);
+        m.decide(Cycle(20_000), 0, 3, &mut tr, track);
+        let evs: Vec<_> = tr.events().collect();
+        assert_eq!(evs.len(), 2);
+        match *evs[0] {
+            TraceEvent::Instant { ts, name, arg, .. } => {
+                assert_eq!((ts, name, arg), (6000, "morph.to_translator", 3));
+            }
+            ref other => panic!("expected Instant, got {other:?}"),
+        }
+        match *evs[1] {
+            TraceEvent::Instant { name, .. } => assert_eq!(name, "morph.to_cache"),
+            ref other => panic!("expected Instant, got {other:?}"),
+        }
     }
 }

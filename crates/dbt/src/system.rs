@@ -15,7 +15,7 @@ use vta_ir::{apply_helper, translate_block, TBlock, TranslateError};
 use vta_raw::exec::{run_block, BlockExit, CoreState, DataPort, Fault};
 use vta_raw::isa::{HelperKind, MemOp, RReg};
 use vta_raw::{Dram, TileId};
-use vta_sim::{Ctr, Cycle, Stats};
+use vta_sim::{Ctr, Cycle, Stats, TraceConfig, Tracer, TrackId};
 use vta_x86::{GuestImage, GuestMem, SysState, SyscallResult};
 
 use crate::codecache::{BlockHandle, L15Bank, L1Code, L2Code};
@@ -128,6 +128,23 @@ pub struct System {
     failed: HashSet<u32>,
     /// Optional cross-system translation memo (sweeps).
     shared: Option<Arc<SharedTranslations>>,
+    /// Cycle-accurate event recorder (disabled unless
+    /// [`System::enable_tracing`] is called; recording never changes
+    /// simulated time).
+    tracer: Tracer,
+    /// Synthetic trace tracks (DRAM channel, queue-depth counter, morph).
+    trk: Trk,
+    /// Trace track per grid tile, indexed by `TileId::index(width)`.
+    tile_tracks: Vec<TrackId>,
+}
+
+/// Track ids for the non-tile trace timelines.
+#[derive(Debug, Clone, Copy, Default)]
+struct Trk {
+    exec: TrackId,
+    dram: TrackId,
+    qdepth: TrackId,
+    morph: TrackId,
 }
 
 impl System {
@@ -176,9 +193,82 @@ impl System {
             page_blocks: HashMap::new(),
             failed: HashSet::new(),
             shared: None,
+            tracer: Tracer::disabled(),
+            trk: Trk::default(),
+            tile_tracks: Vec::new(),
             timing,
             cfg,
         }
+    }
+
+    /// Turns on cycle-accurate tracing (call before [`System::run`]).
+    ///
+    /// Registers one track per grid tile (named by the tile's boot-time
+    /// role) plus tracks for the DRAM channel, the speculation-queue
+    /// depth counter, and morph decisions. Tracing is an observer:
+    /// simulated cycle counts are bit-identical with it on or off.
+    pub fn enable_tracing(&mut self, tcfg: TraceConfig) {
+        self.tracer = Tracer::new(tcfg);
+        let p = self.cfg.placement.clone();
+        let n = self.cfg.width as usize * self.cfg.height as usize;
+        let mut roles: Vec<Option<&'static str>> = vec![None; n];
+        let set = |roles: &mut Vec<Option<&'static str>>, t: TileId, role: &'static str| {
+            let slot = &mut roles[t.index(self.cfg.width)];
+            if slot.is_none() {
+                *slot = Some(role);
+            }
+        };
+        set(&mut roles, p.exec, "exec");
+        set(&mut roles, p.mmu, "mmu");
+        set(&mut roles, p.manager, "manager");
+        set(&mut roles, p.syscall, "syscall");
+        for &t in &p.l15_banks {
+            set(&mut roles, t, "l15");
+        }
+        for bank in &self.memsys.banks {
+            set(&mut roles, bank.tile, "l2bank");
+        }
+        for i in 0..self.pool.len() {
+            set(&mut roles, self.pool.slave(i).tile, "slave");
+        }
+        self.tile_tracks = TileId::all(self.cfg.width, self.cfg.height)
+            .map(|t| {
+                let role = roles[t.index(self.cfg.width)].unwrap_or("idle");
+                self.tracer.track(&format!("tile({},{}) {role}", t.x, t.y))
+            })
+            .collect();
+        self.trk = Trk {
+            exec: self.ttrack(p.exec),
+            dram: self.tracer.track("dram"),
+            qdepth: self.tracer.track("specq.depth"),
+            morph: self.tracer.track("morph"),
+        };
+        self.memsys.trk_mmu = self.ttrack(p.mmu);
+        self.memsys.trk_dram = self.trk.dram;
+        for i in 0..self.memsys.banks.len() {
+            self.memsys.banks[i].track =
+                self.tile_tracks[self.memsys.banks[i].tile.index(self.cfg.width)];
+        }
+    }
+
+    /// The trace recorder (empty and disabled unless
+    /// [`System::enable_tracing`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Takes the trace recorder out of the system (for export after a
+    /// run), leaving a disabled one behind.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
+    }
+
+    /// Trace track of `tile` (default id when tracing is disabled).
+    fn ttrack(&self, tile: TileId) -> TrackId {
+        self.tile_tracks
+            .get(tile.index(self.cfg.width))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Attaches a cross-system translation memo (see
@@ -240,6 +330,7 @@ impl System {
 
             // Execute the block on the execution tile.
             let mut smc = Vec::new();
+            let block_start = self.now;
             let outcome = {
                 let mut port = ExecPort {
                     mem: &mut self.mem,
@@ -251,10 +342,13 @@ impl System {
                     now: self.now,
                     code_pages: &self.code_pages,
                     smc: &mut smc,
+                    tracer: &mut self.tracer,
                 };
                 run_block(&mut self.state, &block.code, &mut port, 50_000_000)
             };
             self.now += outcome.cycles;
+            self.tracer
+                .span(block_start, outcome.cycles, self.trk.exec, "block");
             self.guest_insns += block.guest_insns as u64;
             self.stats.add_ctr(Ctr::HostInsns, outcome.insns);
             self.stats.bump_ctr(Ctr::ExecBlocks);
@@ -302,6 +396,8 @@ impl System {
             }
 
             self.catch_up(self.now);
+            self.tracer
+                .counter(self.now, self.trk.qdepth, self.queues.len() as u64);
         };
 
         self.stats.set_ctr(Ctr::Cycles, self.now.as_u64());
@@ -352,13 +448,22 @@ impl System {
         if !self.l15.is_empty() {
             let idx = (pc as usize >> 2) % self.l15.len();
             let bank_tile = self.cfg.placement.l15_banks[idx];
-            self.now += self.net(self.cfg.placement.exec, bank_tile, 1);
+            let wire = self.net_t(self.cfg.placement.exec, bank_tile, 1);
+            self.now += wire;
             self.now = self.now.max(self.l15_next_free[idx]);
+            let svc_start = self.now;
             self.now += self.timing.l15_service;
             self.l15_next_free[idx] = self.now;
+            self.tracer.span(
+                svc_start,
+                self.timing.l15_service,
+                self.ttrack(bank_tile),
+                "l15.lookup",
+            );
             if let Some(b) = self.l15[idx].get(pc) {
                 self.stats.bump_ctr(Ctr::L15Hit);
-                self.now += self.net(bank_tile, self.cfg.placement.exec, b.code.len() as u32);
+                let wire = self.net_t(bank_tile, self.cfg.placement.exec, b.code.len() as u32);
+                self.now += wire;
                 self.install_l1(&b);
                 let h = self.l1.lookup(pc);
                 return Ok((b, h));
@@ -368,13 +473,24 @@ impl System {
 
         // L2 manager.
         let manager = self.cfg.placement.manager;
-        self.now += self.net(self.cfg.placement.exec, manager, 1);
+        let wire = self.net_t(self.cfg.placement.exec, manager, 1);
+        self.now += wire;
         self.catch_up(self.now);
         self.now = self.now.max(self.manager_next_free);
+        let svc_start = self.now;
         self.now += self.timing.manager_service;
         // The manager looks its metadata up in DRAM-resident structures.
-        self.now = self.dram.access(self.now, 2).max(self.now);
+        self.now = self
+            .dram
+            .access_traced(self.now, 2, &mut self.tracer, self.trk.dram, "l2meta")
+            .max(self.now);
         self.manager_next_free = self.now;
+        self.tracer.span(
+            svc_start,
+            self.now.saturating_since(svc_start),
+            self.ttrack(manager),
+            "l2.lookup",
+        );
         self.stats.bump_ctr(Ctr::L2CodeAccess);
 
         let block = if let Some(b) = self.l2code.get(pc) {
@@ -384,8 +500,10 @@ impl System {
             let waited_from = self.now;
             let ready_at = self.demand_translate(pc)?;
             self.now = self.now.max(ready_at);
-            self.stats
-                .record("demand.wait_cycles", self.now.saturating_since(waited_from));
+            let waited = self.now.saturating_since(waited_from);
+            self.stats.record("demand.wait_cycles", waited);
+            self.tracer
+                .instant(self.now, self.trk.exec, "demand.wait", waited);
             self.l2code
                 .get(pc)
                 .map(Arc::clone)
@@ -394,8 +512,18 @@ impl System {
 
         // Fetch the block image from DRAM through the manager.
         let words = block.code.len() as u32;
-        self.now = self.dram.access(self.now, words).max(self.now);
-        self.now += self.net(manager, self.cfg.placement.exec, words);
+        self.now = self
+            .dram
+            .access_traced(
+                self.now,
+                words,
+                &mut self.tracer,
+                self.trk.dram,
+                "l2code.read",
+            )
+            .max(self.now);
+        let wire = self.net_t(manager, self.cfg.placement.exec, words);
+        self.now += wire;
 
         // Install into L1.5 (if present) and L1.
         if !self.l15.is_empty() {
@@ -413,6 +541,8 @@ impl System {
         self.now += 30 + words * self.timing.l1code_copy_per_word;
         if self.l1.insert(Arc::clone(block)) {
             self.now += self.timing.l1code_flush;
+            self.tracer
+                .instant(self.now, self.trk.exec, "l1code.flush", words);
         }
     }
 
@@ -493,10 +623,23 @@ impl System {
             // competes with demand lookups for the shared resource — the
             // congestion the paper blames for vpr/gcc/crafty (§4.3).
             let commit_cost = 40 + block.code.len() as u64 / 2;
-            self.manager_next_free = self.manager_next_free.max(done) + commit_cost;
+            let commit_start = self.manager_next_free.max(done);
+            self.manager_next_free = commit_start + commit_cost;
+            self.tracer.span(
+                commit_start,
+                commit_cost,
+                self.ttrack(self.cfg.placement.manager),
+                "commit",
+            );
             // Writing the block into the DRAM-resident L2 code cache
             // shares the channel with demand fetches.
-            self.dram.access(done, block.code.len() as u32);
+            self.dram.access_traced(
+                done,
+                block.code.len() as u32,
+                &mut self.tracer,
+                self.trk.dram,
+                "l2code.write",
+            );
             self.stats
                 .record("translate.block_host_bytes", block.host_bytes() as u64);
             self.stats
@@ -616,16 +759,29 @@ impl System {
 
     fn start_translation(&mut self, slave_idx: usize, addr: u32, depth: u8, at: Cycle) {
         // Handing out work occupies the manager's software loop.
-        self.manager_next_free = self.manager_next_free.max(at) + 30;
+        let assign_start = self.manager_next_free.max(at);
+        self.manager_next_free = assign_start + 30;
         let tile = self.pool.slave(slave_idx).tile;
         let manager = self.cfg.placement.manager;
+        self.tracer
+            .span(assign_start, 30, self.ttrack(manager), "assign");
         let result = self.translate_at(addr).ok();
         let (cycles, words) = match &result {
             Some(b) => (b.translate_cycles, b.code.len() as u32),
             // Failed translations still burn decode time.
             None => (200, 0),
         };
-        let done_at = at + cycles + net_cost(tile, manager, words.max(1));
+        let wire = net_cost(tile, manager, words.max(1));
+        let done_at = at + cycles + wire;
+        self.tracer.span(at, cycles, self.ttrack(tile), "translate");
+        self.tracer.net_msg(
+            at + cycles,
+            wire,
+            tile.into(),
+            manager.into(),
+            words.max(1),
+            tile.hops_to(manager) as u8,
+        );
         let slave = self.pool.slave_mut(slave_idx);
         slave.busy_cycles += cycles;
         slave.current = Some(InFlight {
@@ -649,10 +805,19 @@ impl System {
 
     /// Proxies a syscall to the syscall tile; returns `Some(code)` on exit.
     fn do_syscall(&mut self) -> Option<u32> {
-        let p = &self.cfg.placement;
-        self.now += self.net(p.exec, p.syscall, 4);
+        let (exec, sysc) = (self.cfg.placement.exec, self.cfg.placement.syscall);
+        let wire = self.net_t(exec, sysc, 4);
+        self.now += wire;
+        let svc_start = self.now;
         self.now += self.timing.syscall_service;
-        self.now += self.net(p.syscall, p.exec, 1);
+        self.tracer.span(
+            svc_start,
+            self.timing.syscall_service,
+            self.ttrack(sysc),
+            "syscall",
+        );
+        let wire = self.net_t(sysc, exec, 1);
+        self.now += wire;
 
         let nr = self.state.get(R_EAX);
         let args = [
@@ -671,15 +836,30 @@ impl System {
     }
 
     fn maybe_morph(&mut self) {
+        let qlen = self.queues.len();
+        let nbanks = self.memsys.banks.len();
+        let (trk_morph, trk_dram) = (self.trk.morph, self.trk.dram);
         let Some(m) = &mut self.morph else { return };
-        let action = m.decide(self.now, self.queues.len(), self.memsys.banks.len());
+        let action = m.decide(self.now, qlen, nbanks, &mut self.tracer, trk_morph);
         match action {
             Some(MorphAction::CacheToTranslator) => {
                 if let Some((tile, dirty)) = self.memsys.remove_bank() {
                     // Write back the dirty lines (DRAM occupancy) and
                     // reload the tile's software role.
-                    self.dram.access(self.now, dirty * self.timing.line_words);
+                    self.dram.access_traced(
+                        self.now,
+                        dirty * self.timing.line_words,
+                        &mut self.tracer,
+                        trk_dram,
+                        "morph.writeback",
+                    );
                     self.now += self.timing.reconfig_per_dirty_line * dirty as u64 / 8 + 50;
+                    self.tracer.instant(
+                        self.now,
+                        self.ttrack(tile),
+                        "role.translator",
+                        dirty as u64,
+                    );
                     self.pool.grow(tile);
                     let ready = self.now + self.timing.reconfig;
                     let n = self.pool.len();
@@ -695,9 +875,12 @@ impl System {
             Some(MorphAction::TranslatorToCache) => {
                 if let Some((tile, free_at)) = self.pool.shrink(self.now) {
                     self.memsys.add_bank(tile, self.cfg.l2_bank_bytes);
+                    let track = self.ttrack(tile);
                     let bank = self.memsys.banks.last_mut().expect("just added");
                     bank.next_free = free_at + self.timing.reconfig;
+                    bank.track = track;
                     self.now += 50;
+                    self.tracer.instant(self.now, track, "role.cache", 0);
                     self.stats.bump_ctr(Ctr::MorphToCache);
                 }
             }
@@ -718,13 +901,26 @@ impl System {
             self.l2code.invalidate(addr);
         }
         self.code_pages.remove(&page);
-        // Invalidation round trips to the manager.
-        self.now += self.timing.manager_service
-            + 2 * self.net(self.cfg.placement.exec, self.cfg.placement.manager, 1);
+        self.tracer
+            .instant(self.now, self.trk.exec, "smc.invalidate", page as u64);
+        // Invalidation round trips to the manager (same cost each way).
+        let (exec, manager) = (self.cfg.placement.exec, self.cfg.placement.manager);
+        let round_trip = self.net_t(exec, manager, 1) + self.net_t(manager, exec, 1);
+        self.now += self.timing.manager_service + round_trip;
     }
 
-    fn net(&self, from: TileId, to: TileId, words: u32) -> u64 {
-        net_cost(from, to, words)
+    /// Network cost of one message, recorded in the trace at `self.now`.
+    fn net_t(&mut self, from: TileId, to: TileId, words: u32) -> u64 {
+        let cost = net_cost(from, to, words);
+        self.tracer.net_msg(
+            self.now,
+            cost,
+            from.into(),
+            to.into(),
+            words,
+            from.hops_to(to) as u8,
+        );
+        cost
     }
 }
 
@@ -747,6 +943,7 @@ struct ExecPort<'a> {
     now: Cycle,
     code_pages: &'a HashSet<u32>,
     smc: &'a mut Vec<u32>,
+    tracer: &'a mut Tracer,
 }
 
 impl DataPort for ExecPort<'_> {
@@ -763,6 +960,7 @@ impl DataPort for ExecPort<'_> {
             self.mmu,
             self.dram,
             self.timing,
+            self.tracer,
         );
         self.now += stall + 1;
         Ok((value, stall))
@@ -784,6 +982,7 @@ impl DataPort for ExecPort<'_> {
             self.mmu,
             self.dram,
             self.timing,
+            self.tracer,
         );
         self.now += stall + 1;
         Ok(stall)

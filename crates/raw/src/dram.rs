@@ -53,6 +53,23 @@ impl Dram {
         done
     }
 
+    /// Like [`Dram::access`], but also records a span covering the
+    /// channel-occupancy window on `track` in `tracer`.
+    pub fn access_traced(
+        &mut self,
+        now: Cycle,
+        words: u32,
+        tracer: &mut vta_sim::Tracer,
+        track: vta_sim::TrackId,
+        name: &'static str,
+    ) -> Cycle {
+        let start = now.max(self.next_free);
+        let done = self.access(now, words);
+        let occupancy = (self.word_occupancy * words as u64).max(1);
+        tracer.span(start, occupancy, track, name);
+        done
+    }
+
     /// Raw access latency (no queueing).
     pub fn latency(&self) -> u64 {
         self.latency

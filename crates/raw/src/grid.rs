@@ -55,6 +55,12 @@ impl TileId {
     }
 }
 
+impl From<TileId> for vta_sim::Coord {
+    fn from(t: TileId) -> vta_sim::Coord {
+        vta_sim::Coord { x: t.x, y: t.y }
+    }
+}
+
 impl std::fmt::Display for TileId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "({},{})", self.x, self.y)

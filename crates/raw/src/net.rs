@@ -70,6 +70,57 @@ impl<T> Network<T> {
     ///
     /// Panics if either endpoint is outside the grid.
     pub fn send(&mut self, now: Cycle, from: TileId, to: TileId, words: u32, payload: T) -> Cycle {
+        let arrival = self.route(now, from, to, words);
+        self.inboxes
+            .entry(to)
+            .or_default()
+            .schedule(arrival, payload);
+        arrival
+    }
+
+    /// Like [`send`], but also records the message in `tracer`.
+    ///
+    /// [`send`]: Network::send
+    pub fn send_traced(
+        &mut self,
+        now: Cycle,
+        from: TileId,
+        to: TileId,
+        words: u32,
+        payload: T,
+        tracer: &mut vta_sim::Tracer,
+    ) -> Cycle {
+        let arrival = self.send(now, from, to, words, payload);
+        tracer.net_msg(
+            now,
+            arrival - now,
+            from.into(),
+            to.into(),
+            words,
+            from.hops_to(to) as u8,
+        );
+        arrival
+    }
+
+    /// Computes the arrival time of a message *without* enqueueing a
+    /// payload — for synchronous request/reply modelling where the caller
+    /// blocks on the result anyway. Contention state (ejection ports,
+    /// point-to-point ordering) is updated exactly as for [`send`], but no
+    /// message is ever scheduled, so pending payloads from earlier `send`s
+    /// are untouched.
+    ///
+    /// [`send`]: Network::send
+    pub fn latency(&mut self, now: Cycle, from: TileId, to: TileId, words: u32) -> Cycle {
+        self.route(now, from, to, words)
+    }
+
+    /// Shared contention bookkeeping for [`send`]/[`latency`]: computes the
+    /// arrival cycle and updates port/ordering state, without touching any
+    /// inbox.
+    ///
+    /// [`send`]: Network::send
+    /// [`latency`]: Network::latency
+    fn route(&mut self, now: Cycle, from: TileId, to: TileId, words: u32) -> Cycle {
         assert!(
             from.x < self.width && from.y < self.height,
             "bad src {from}"
@@ -91,29 +142,6 @@ impl<T> Network<T> {
         arrival = arrival.max(free);
         self.port_free.insert(to, arrival + words.max(1) as u64);
         self.pair_last.insert((from, to), arrival);
-
-        self.inboxes
-            .entry(to)
-            .or_default()
-            .schedule(arrival, payload);
-        arrival
-    }
-
-    /// Computes the arrival time of a message *without* enqueueing a
-    /// payload — for synchronous request/reply modelling where the caller
-    /// blocks on the result anyway. Contention state (ejection ports,
-    /// point-to-point ordering) is updated exactly as for [`send`].
-    ///
-    /// [`send`]: Network::send
-    pub fn latency(&mut self, now: Cycle, from: TileId, to: TileId, words: u32) -> Cycle
-    where
-        T: Default,
-    {
-        // Reuse send's bookkeeping, then drop the placeholder payload.
-        let arrival = self.send(now, from, to, words, T::default());
-        if let Some(q) = self.inboxes.get_mut(&to) {
-            let _ = q.pop_ready(arrival);
-        }
         arrival
     }
 
@@ -203,6 +231,57 @@ mod tests {
         let t_b = b.send(Cycle(5), t(0, 0), t(3, 1), 2, ());
         assert_eq!(t_a, t_b, "latency() mirrors send() timing");
         assert_eq!(a.pending(t(3, 1)), 0, "latency() leaves no payload");
+    }
+
+    /// Regression test for the ghost-message bug: `latency` used to enqueue
+    /// a `T::default()` placeholder and then `pop_ready(arrival)` it — but
+    /// `pop_ready` pops the *earliest* due message, so a real pending
+    /// payload on the same destination was silently swallowed and the
+    /// placeholder delivered in its place.
+    #[test]
+    fn latency_does_not_drop_pending_payloads() {
+        let mut net: Network<u32> = Network::new(4, 4);
+        let dst = t(3, 0);
+        let arrive = net.send(Cycle(0), t(0, 0), dst, 1, 7);
+        // Synchronous probe to the same destination while the real payload
+        // is still in flight (its arrival is later, so pop_ready(arrival)
+        // on the old code popped the real message).
+        let probe = net.latency(Cycle(0), t(1, 0), dst, 1);
+        assert!(
+            probe >= arrive,
+            "probe queues behind the payload's port use"
+        );
+        assert_eq!(net.pending(dst), 1, "the real payload is still pending");
+        assert_eq!(
+            net.recv(dst, probe.max(arrive)),
+            Some(7),
+            "the delivered message is the real payload, not a placeholder"
+        );
+        assert_eq!(net.recv(dst, probe + 100), None, "and no ghost follows");
+    }
+
+    #[test]
+    fn send_traced_records_message() {
+        let mut net: Network<u8> = Network::new(4, 4);
+        let mut tr = vta_sim::Tracer::new(vta_sim::TraceConfig::default());
+        let arrive = net.send_traced(Cycle(2), t(0, 0), t(2, 1), 3, 5, &mut tr);
+        let links: Vec<_> = tr.links().collect();
+        assert_eq!(links.len(), 1);
+        let (src, dst, st) = links[0];
+        assert_eq!((src.x, src.y), (0, 0));
+        assert_eq!((dst.x, dst.y), (2, 1));
+        assert_eq!((st.msgs, st.words), (1, 3));
+        match tr.events().next() {
+            Some(&vta_sim::TraceEvent::NetMsg { ts, dur, hops, .. }) => {
+                assert_eq!(ts, 2);
+                assert_eq!(dur, (arrive - Cycle(2)));
+                assert_eq!(hops, 3);
+            }
+            other => panic!("expected NetMsg, got {other:?}"),
+        }
+        // Timing is identical to an untraced send.
+        let mut plain: Network<u8> = Network::new(4, 4);
+        assert_eq!(plain.send(Cycle(2), t(0, 0), t(2, 1), 3, 5), arrive);
     }
 
     #[test]

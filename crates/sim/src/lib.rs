@@ -29,8 +29,10 @@ mod cycle;
 mod event;
 mod rng;
 mod stats;
+pub mod trace;
 
 pub use cycle::Cycle;
 pub use event::EventQueue;
 pub use rng::Rng;
 pub use stats::{Ctr, Histogram, Stats};
+pub use trace::{Coord, LinkStats, TraceConfig, TraceEvent, Tracer, TrackId};

@@ -421,6 +421,11 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
         self.buckets[64 - value.leading_zeros() as usize] += 1;
@@ -451,6 +456,32 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// An upper bound on the `p`-quantile of the recorded samples
+    /// (`p` in `0.0..=1.0`), or zero if the histogram is empty.
+    ///
+    /// Buckets are power-of-two sized, so the answer is the upper edge of
+    /// the bucket containing the quantile (clamped to the observed
+    /// maximum): exact for small values, within 2x above that — plenty for
+    /// "p99 queue depth" style reporting.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                if i == 0 {
+                    return 0;
+                }
+                let upper = (1u128 << i) - 1;
+                return (upper.min(self.max as u128)) as u64;
+            }
+        }
+        self.max
     }
 
     /// Accumulates another histogram's samples into this one.
@@ -595,6 +626,100 @@ mod tests {
         s.bump_ctr(Ctr::TranslateCommitted);
         let names: Vec<&str> = s.iter().map(|(k, _)| k).collect();
         assert_eq!(names, ["a", "b", "cycles", "translate.committed"]);
+    }
+
+    #[test]
+    fn percentile_bounds_quantiles() {
+        let mut h = Histogram::default();
+        assert_eq!(h.percentile(0.5), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Power-of-two buckets: the answer is an upper bound within 2x.
+        for p in [0.5f64, 0.9, 0.99] {
+            let exact = (p * 100.0).ceil() as u64;
+            let got = h.percentile(p);
+            assert!(got >= exact, "p{p}: {got} >= {exact}");
+            assert!(got < exact * 2, "p{p}: {got} < {}", exact * 2);
+        }
+        assert_eq!(h.percentile(1.0), 100, "clamped to observed max");
+        let mut zeros = Histogram::default();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.percentile(0.99), 0);
+    }
+
+    /// Property-style check (in-tree RNG, no external proptest): merging
+    /// two registries built from disjoint event streams must equal one
+    /// registry that replayed both streams, for any interleaving of
+    /// additive events. `set` is deliberately excluded — it is an
+    /// overwrite, not an event — except for the `set(_, 0)` presence case
+    /// checked separately below.
+    #[test]
+    fn merge_agrees_with_replaying_events() {
+        let names = ["a.x", "b.y", "cycles", "l2code.access", "spec.pushes"];
+        let hists = ["lat.dram", "depth.q"];
+        let mut rng = crate::Rng::seeded(0xDECAF);
+        for trial in 0..50 {
+            let mut left = Stats::new();
+            let mut right = Stats::new();
+            let mut replay = Stats::new();
+            for _ in 0..rng.range(1, 60) {
+                let pick_left = rng.chance(1, 2);
+                let target = if pick_left { &mut left } else { &mut right };
+                match rng.below(4) {
+                    0 => {
+                        let n = names[rng.below(names.len() as u64) as usize];
+                        target.bump(n);
+                        replay.bump(n);
+                    }
+                    1 => {
+                        let n = names[rng.below(names.len() as u64) as usize];
+                        let v = rng.below(1000);
+                        target.add(n, v);
+                        replay.add(n, v);
+                    }
+                    2 => {
+                        let c = Ctr::ALL[rng.below(Ctr::COUNT as u64) as usize];
+                        target.bump_ctr(c);
+                        replay.bump_ctr(c);
+                    }
+                    _ => {
+                        let h = hists[rng.below(hists.len() as u64) as usize];
+                        // Shift keeps sums far from u64 overflow while
+                        // still exercising many bucket indices.
+                        let v = rng.next_u64() >> (16 + rng.below(48));
+                        target.record(h, v);
+                        replay.record(h, v);
+                    }
+                }
+            }
+            left.merge(&right);
+            assert_eq!(left, replay, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn merge_preserves_set_zero_presence() {
+        // A counter set to 0 on either side must still be listed after the
+        // merge, and summing into it must behave like a plain counter.
+        let mut a = Stats::new();
+        a.set("cycles", 0);
+        let b = Stats::new();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert!(merged.iter().any(|(k, _)| k == "cycles"));
+        let mut c = Stats::new();
+        c.merge(&a);
+        assert!(c.iter().any(|(k, _)| k == "cycles"), "rhs zero is kept");
+        // Zero + value merges to the value, and equals a never-zeroed peer.
+        let mut d = Stats::new();
+        d.add("cycles", 7);
+        c.merge(&d);
+        assert_eq!(c.get("cycles"), 7);
+        let mut plain = Stats::new();
+        plain.add("cycles", 7);
+        assert_eq!(c, plain);
     }
 
     #[test]

@@ -14,4 +14,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
 
+# The trace feature must compile out completely (the Tracer becomes a
+# zero-sized no-op), and simulated cycle counts must match the frozen
+# fingerprints in BENCH_dispatch.json bit-for-bit.
+cargo check -q -p vta-sim --no-default-features
+cargo run --release -q -p vta-bench --bin perf -- --check
+
 echo "ci: all tier-1 checks passed"
