@@ -1,24 +1,34 @@
 //! Measures host simulator throughput on the Figure 5 sweep at
-//! `Scale::Test` and maintains the `BENCH_dispatch.json` trajectory
-//! artifact.
+//! `Scale::Test` and maintains the `BENCH_dispatch.json` and
+//! `BENCH_parallel.json` trajectory artifacts.
 //!
 //! ```text
-//! cargo run --release -p vta-bench --bin perf             # print only
-//! cargo run --release -p vta-bench --bin perf -- --write  # refresh JSON
-//! cargo run --release -p vta-bench --bin perf -- --check  # verify cycles
+//! cargo run --release -p vta-bench --bin perf                  # print only
+//! cargo run --release -p vta-bench --bin perf -- --threads 4   # parallel sweep
+//! cargo run --release -p vta-bench --bin perf -- --write       # refresh dispatch JSON
+//! cargo run --release -p vta-bench --bin perf -- --scaling     # refresh parallel JSON
+//! cargo run --release -p vta-bench --bin perf -- --check       # verify determinism
 //! ```
 //!
-//! With `--write`, the "before" section is the frozen pre-optimization
-//! baseline measured on the tree this PR started from (dependency fixes
-//! only, no hot-path work); the "after" section is the current tree.
+//! `--threads N` sets both the sweep's host-thread fan-out and the
+//! in-`System` worker-pool width used for the fingerprint runs, so a
+//! `--check` at `--threads 4` genuinely exercises the parallel
+//! translation path end to end.
 //!
-//! With `--check`, only the cycle fingerprints are recomputed and
-//! compared against the checked-in `BENCH_dispatch.json` — nothing is
-//! rewritten, and any drift exits nonzero. CI runs this so simulated
-//! behavior cannot change silently.
+//! With `--check`, the fingerprints are recomputed and compared against
+//! the checked-in `BENCH_dispatch.json`, and `BENCH_parallel.json` is
+//! validated for internal consistency — nothing is rewritten, and any
+//! drift exits nonzero. Crucially the `--check` stdout is identical for
+//! every `--threads` value, so CI can diff the output across thread
+//! counts to enforce the determinism invariant.
+//!
+//! With `--scaling`, the fig5 sweep runs at 1/2/4/8 threads (verifying
+//! fingerprints at each width) and the measured scaling is written to
+//! `BENCH_parallel.json`.
 
 use vta_bench::perf::{
-    cycle_fingerprint, parse_fingerprints, render_json, run_fig5_probe, SweepPerf,
+    cycle_fingerprint, parse_fingerprints, render_json, render_parallel_json, run_fig5_probe,
+    validate_parallel, Fingerprint, ParallelPoint, SweepPerf,
 };
 
 /// The Figure 5 `Scale::Test` sweep measured on the pre-optimization
@@ -36,9 +46,31 @@ fn pre_opt_baseline() -> SweepPerf {
     }
 }
 
-/// Recomputes the fingerprints and diffs them against the checked-in
-/// JSON. Returns the process exit code.
-fn check() -> i32 {
+/// Value of a `--flag N` argument, if present.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn threads_arg() -> usize {
+    arg_value("--threads")
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Recomputes the fingerprints (with `threads` host threads inside each
+/// fingerprinted `System`) and diffs them against the checked-in JSON;
+/// also validates `BENCH_parallel.json`. Returns the process exit code.
+///
+/// Everything printed to stdout here is independent of `threads`: ci.sh
+/// diffs this output across thread counts.
+fn check(threads: usize) -> i32 {
     let json = match std::fs::read_to_string("BENCH_dispatch.json") {
         Ok(j) => j,
         Err(e) => {
@@ -53,27 +85,47 @@ fn check() -> i32 {
             return 2;
         }
     };
-    let actual = cycle_fingerprint();
+    let actual = cycle_fingerprint(threads);
     let mut bad = false;
-    for (name, cycles) in &actual {
-        match expected.iter().find(|(n, _)| n == name) {
-            Some((_, want)) if want == cycles => {
-                println!("--check: {name}: {cycles} ok");
+    for fp in &actual {
+        match expected.iter().find(|(n, _)| n == fp.name) {
+            Some((_, want)) if *want == fp.cycles => {
+                println!("--check: {}: {} ok", fp.name, fp.cycles);
             }
             Some((_, want)) => {
-                eprintln!("--check: {name}: cycles drifted: expected {want}, got {cycles}");
+                eprintln!(
+                    "--check: {}: cycles drifted: expected {want}, got {}",
+                    fp.name, fp.cycles
+                );
                 bad = true;
             }
             None => {
-                eprintln!("--check: {name}: missing from BENCH_dispatch.json");
+                eprintln!("--check: {}: missing from BENCH_dispatch.json", fp.name);
                 bad = true;
             }
+        }
+        // Not compared against the dispatch file (older files predate
+        // it); printed so ci.sh can diff the FULL stats state across
+        // thread counts, not just total cycles.
+        println!("--check: {}: stats_fp {:016x}", fp.name, fp.stats_fp);
+    }
+    match std::fs::read_to_string("BENCH_parallel.json") {
+        Ok(pjson) => match validate_parallel(&pjson) {
+            Ok(()) => println!("--check: BENCH_parallel.json ok"),
+            Err(e) => {
+                eprintln!("--check: BENCH_parallel.json invalid: {e}");
+                bad = true;
+            }
+        },
+        Err(e) => {
+            eprintln!("--check: cannot read BENCH_parallel.json: {e}");
+            bad = true;
         }
     }
     if bad {
         eprintln!(
-            "--check: simulated cycle counts changed; if intentional, refresh with \
-             `perf -- --write` and explain the behavior change"
+            "--check: simulated behavior or artifacts drifted; if intentional, refresh \
+             with `perf -- --write` / `perf -- --scaling` and explain the change"
         );
         1
     } else {
@@ -81,24 +133,75 @@ fn check() -> i32 {
     }
 }
 
+/// Runs the fig5 sweep at 1/2/4/8 threads, verifying the fingerprints
+/// are identical at every width, and writes `BENCH_parallel.json`.
+fn scaling() -> i32 {
+    let mut points: Vec<ParallelPoint> = Vec::new();
+    let mut base_fp: Option<Vec<Fingerprint>> = None;
+    let mut base_wall = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let (perf, _) = run_fig5_probe(&format!("{threads} threads"), threads);
+        let fp = cycle_fingerprint(threads);
+        match &base_fp {
+            None => base_fp = Some(fp),
+            Some(base) => {
+                if *base != fp {
+                    eprintln!("--scaling: fingerprints diverged at {threads} threads");
+                    return 1;
+                }
+            }
+        }
+        if threads == 1 {
+            base_wall = perf.wall_seconds;
+        }
+        let speedup = base_wall / perf.wall_seconds.max(1e-9);
+        println!(
+            "--scaling: {threads} threads: wall {:.3}s, cpu {:.3}s, speedup {:.2}x",
+            perf.wall_seconds, perf.cpu_seconds, speedup
+        );
+        points.push(ParallelPoint {
+            threads,
+            wall_seconds: perf.wall_seconds,
+            cpu_seconds: perf.cpu_seconds,
+            speedup_wall: speedup,
+        });
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let host = format!("{cores}-core host (speedup bounded by physical cores)");
+    let json = render_parallel_json(&host, &points, true);
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+    0
+}
+
 fn main() {
+    let threads = threads_arg();
     if std::env::args().any(|a| a == "--check") {
-        std::process::exit(check());
+        std::process::exit(check(threads));
+    }
+    if std::env::args().any(|a| a == "--scaling") {
+        std::process::exit(scaling());
     }
     let write = std::env::args().any(|a| a == "--write");
     let (after, _) = run_fig5_probe(
         "after: interned stats + arena dispatch + D$ fast path + shared translations",
+        threads,
     );
     println!(
-        "fig5 sweep @ Scale::Test: wall {:.3}s, serial {:.3}s, {:.1}M guest insns/s, {:.1}M sim cycles/s",
+        "fig5 sweep @ Scale::Test ({} host thread{}): wall {:.3}s, serial {:.3}s, {:.1}M guest insns/s, {:.1}M sim cycles/s",
+        threads,
+        if threads == 1 { "" } else { "s" },
         after.wall_seconds,
         after.cpu_seconds,
         after.guest_insns_per_sec() / 1e6,
         after.sim_cycles_per_sec() / 1e6
     );
-    let fp = cycle_fingerprint();
-    for (name, cycles) in &fp {
-        println!("paper_default cycles {name}: {cycles}");
+    let fp = cycle_fingerprint(threads);
+    for f in &fp {
+        println!("paper_default cycles {}: {}", f.name, f.cycles);
+        println!("paper_default stats_fp {}: {:016x}", f.name, f.stats_fp);
     }
     if write {
         let json = render_json(&pre_opt_baseline(), &after, &fp);

@@ -166,9 +166,62 @@ fn shared_per_opt(
     memos
 }
 
+/// Runs `f(0..n)` on at most `threads` scoped host threads, returning
+/// the results in index order.
+///
+/// Work is pulled from a shared counter (no pre-partitioning, so slow
+/// items don't strand a thread's whole share) and each result is tagged
+/// with its index, so the output is deterministic — identical to a
+/// serial `(0..n).map(f)` — for any thread count.
+pub(crate) fn bounded_map<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.clamp(1, n.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bounded_map worker panicked"))
+            .collect()
+    });
+    let mut all: Vec<(usize, T)> = parts.into_iter().flatten().collect();
+    all.sort_by_key(|&(i, _)| i);
+    all.into_iter().map(|(_, t)| t).collect()
+}
+
 /// Fans a set of `(config_label, config)` pairs across every benchmark,
-/// running all simulations in parallel host threads.
+/// running all simulations in parallel host threads (one per cell).
 pub fn sweep(scale: Scale, configs: &[(String, VirtualArchConfig)]) -> Vec<Measurement> {
+    sweep_threads(scale, configs, usize::MAX)
+}
+
+/// Like [`sweep`], bounded to at most `threads` concurrent simulations.
+///
+/// The result vector is identical (order and content) for every
+/// `threads` value: cells are placed by job index and each cell is an
+/// independent deterministic simulation.
+pub fn sweep_threads(
+    scale: Scale,
+    configs: &[(String, VirtualArchConfig)],
+    threads: usize,
+) -> Vec<Measurement> {
     let suite: Vec<Workload> = vta_workloads::all(scale);
     let mut jobs: Vec<(usize, usize)> = Vec::new();
     for b in 0..suite.len() {
@@ -181,43 +234,23 @@ pub fn sweep(scale: Scale, configs: &[(String, VirtualArchConfig)]) -> Vec<Measu
     // translation memo (per opt level) and the PIII baseline cycles.
     let memos: Vec<HashMap<OptLevel, Arc<SharedTranslations>>> =
         suite.iter().map(|_| shared_per_opt(configs)).collect();
-    let piii: Vec<u64> = std::thread::scope(|s| {
-        let handles: Vec<_> = suite
-            .iter()
-            .map(|w| s.spawn(move || piii_cycles_for(w.name, &w.image)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("piii run panicked"))
-            .collect()
+    let piii: Vec<u64> = bounded_map(threads, suite.len(), |b| {
+        piii_cycles_for(suite[b].name, &suite[b].image)
     });
 
-    let results: Vec<Measurement> = std::thread::scope(|s| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(b, c)| {
-                let w = &suite[b];
-                let (label, cfg) = &configs[c];
-                let shared = memos[b].get(&cfg.opt);
-                let piii_cycles = piii[b];
-                s.spawn(move || {
-                    measure_cell(
-                        w.name,
-                        &w.image,
-                        label,
-                        cfg.clone(),
-                        shared,
-                        Some(piii_cycles),
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("run panicked"))
-            .collect()
-    });
-    results
+    bounded_map(threads, jobs.len(), |j| {
+        let (b, c) = jobs[j];
+        let w = &suite[b];
+        let (label, cfg) = &configs[c];
+        measure_cell(
+            w.name,
+            &w.image,
+            label,
+            cfg.clone(),
+            memos[b].get(&cfg.opt),
+            Some(piii[b]),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -248,5 +281,27 @@ mod tests {
         ];
         let ms = sweep(Scale::Test, &configs);
         assert_eq!(ms.len(), 11 * 2);
+    }
+
+    #[test]
+    fn bounded_sweep_is_thread_count_invariant() {
+        let configs = vec![("a".to_string(), VirtualArchConfig::paper_default())];
+        let serial = sweep_threads(Scale::Test, &configs, 1);
+        let bounded = sweep_threads(Scale::Test, &configs, 3);
+        assert_eq!(serial.len(), bounded.len());
+        for (s, b) in serial.iter().zip(&bounded) {
+            assert_eq!(s.bench, b.bench, "canonical job order");
+            assert_eq!(s.report.cycles, b.report.cycles, "{}", s.bench);
+            assert_eq!(s.report.stats, b.report.stats, "{}", s.bench);
+        }
+    }
+
+    #[test]
+    fn bounded_map_matches_serial_for_any_width() {
+        let serial: Vec<usize> = (0..97).map(|i| i * 3).collect();
+        for threads in [1, 2, 5, 200] {
+            assert_eq!(bounded_map(threads, 97, |i| i * 3), serial);
+        }
+        assert!(bounded_map(4, 0, |i| i).is_empty());
     }
 }

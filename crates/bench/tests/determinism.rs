@@ -27,8 +27,12 @@ fn tracing_does_not_change_a_single_cycle() {
     assert_eq!(plain.output, traced.output);
     assert_eq!(plain.stats, traced.stats, "all counters identical");
     let tracer = traced_sys.take_tracer();
-    assert!(tracer.is_enabled() && !tracer.is_empty(), "trace captured");
-    assert!(tracer.events().count() > 0);
+    // Without the `trace` feature the Tracer is a no-op shell; the
+    // cycle/stats equalities above are the test's substance either way.
+    if cfg!(feature = "trace") {
+        assert!(tracer.is_enabled() && !tracer.is_empty(), "trace captured");
+        assert!(tracer.events().count() > 0);
+    }
 }
 
 /// The frozen `paper_default` cycle fingerprints in `BENCH_dispatch.json`
@@ -40,16 +44,25 @@ fn fingerprints_match_checked_in_json() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
     let json = std::fs::read_to_string(path).expect("BENCH_dispatch.json exists");
     let expected = vta_bench::perf::parse_fingerprints(&json).expect("parseable fingerprints");
-    for (name, cycles) in vta_bench::perf::cycle_fingerprint() {
+    // Checked at 1 and 4 host threads: the frozen fingerprints pin the
+    // serial path AND the worker-pool path to the same simulation.
+    let serial = vta_bench::perf::cycle_fingerprint(1);
+    for fp in &serial {
         let want = expected
             .iter()
-            .find(|(n, _)| n == name)
-            .unwrap_or_else(|| panic!("{name} missing from BENCH_dispatch.json"));
+            .find(|(n, _)| n == fp.name)
+            .unwrap_or_else(|| panic!("{} missing from BENCH_dispatch.json", fp.name));
         assert_eq!(
-            cycles, want.1,
-            "{name}: simulated cycles drifted from the checked-in fingerprint"
+            fp.cycles, want.1,
+            "{}: simulated cycles drifted from the checked-in fingerprint",
+            fp.name
         );
     }
+    let parallel = vta_bench::perf::cycle_fingerprint(4);
+    assert_eq!(
+        serial, parallel,
+        "host worker threads changed a fingerprint (cycles or stats)"
+    );
 }
 
 #[test]

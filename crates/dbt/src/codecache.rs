@@ -419,6 +419,11 @@ impl L2Code {
 
     /// Commits a finished translation. At capacity the cache drops the
     /// new block (105 MB never fills in practice).
+    ///
+    /// This is the single point where translations become visible to the
+    /// simulation, and it is only ever reached from the coordinating
+    /// thread in canonical commit order (see [`crate::slave`]) — host
+    /// worker threads feed blocks *to* the coordinator, never in here.
     pub fn commit(&mut self, block: Arc<TBlock>) {
         self.in_flight.remove(&block.guest_addr);
         let bytes = block.host_bytes() as u64;

@@ -1,0 +1,375 @@
+//! Host-side worker threads for translation-slave tiles.
+//!
+//! The paper's translation slaves are *simulated* tiles: their cycle cost
+//! is charged by [`SlavePool`](crate::slave::SlavePool) on the
+//! coordinating thread. This module moves the **host work** they stand
+//! for — running the `vta-ir` pipeline — onto real worker threads, so a
+//! multi-core host overlaps translation with the interpretation loop,
+//! exactly the way the paper's slaves run ahead of the execution tile
+//! (§2.1).
+//!
+//! # Determinism
+//!
+//! Nothing simulated may move by a single cycle when worker threads are
+//! enabled. The design earns that invariant rather than hoping for it:
+//!
+//! - **Workers translate from an immutable snapshot** of guest memory
+//!   (`Arc<GuestMem>`, cloned once at pool creation and re-cloned on SMC
+//!   invalidation). They never see in-progress guest writes.
+//! - **Every commit carries its read footprint** (a
+//!   [`ReadSet`] recorded by [`RecordingSource`]): the exact bytes — and
+//!   failed fetches — the translator observed, including the successor
+//!   bytes the dead-flags pass scans *beyond* the block. A consult
+//!   revalidates the full footprint against live memory; the translator
+//!   is a pure function of those reads, so a validated cached block is
+//!   byte-for-byte what inline translation would produce, including its
+//!   `translate_cycles` charge.
+//! - **A miss is always safe**: the coordinator falls back to inline
+//!   translation, which is today's serial path. The pool is purely a
+//!   host accelerator — hit/miss patterns shift host wall-clock, never
+//!   simulated cycles, stats, or trace events.
+//! - **Commits drain in stamp order** (a global sequence counter), so
+//!   the coordinator-side cache contents are independent of the racy
+//!   order commits arrived in the channel.
+//!
+//! With `VTA_HOST_THREADS=1` (the default) no pool exists and
+//! [`System`](crate::System) runs exactly the historical serial code.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use vta_ir::{translate_block, OptLevel, ReadSet, RecordingSource, TBlock};
+use vta_x86::GuestMem;
+
+use crate::specq::ShardedSpecQueue;
+
+/// How long an idle worker parks before re-checking the queue. Purely a
+/// liveness knob: wakeups are also signalled on submit, this bounds the
+/// window lost to a missed signal.
+const PARK: Duration = Duration::from_millis(1);
+
+/// Host-side performance counters for the worker pool.
+///
+/// Deliberately **not** part of [`Stats`](vta_sim::Stats): these counters
+/// depend on host scheduling (how far ahead workers got), so folding them
+/// into simulated stats would break the bit-identical-stats invariant
+/// across thread counts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HostPerf {
+    /// Work items handed to the pool (deduplicated by address).
+    pub submitted: u64,
+    /// Successful worker translations drained from the commit channel.
+    pub translated: u64,
+    /// Worker translations that failed (speculation into data).
+    pub failed: u64,
+    /// Consults answered from the validated worker cache.
+    pub hits: u64,
+    /// Cached entries rejected because live memory diverged from the
+    /// recorded read footprint (then evicted).
+    pub stale: u64,
+    /// Consults that found no usable entry (fell back to inline).
+    pub misses: u64,
+}
+
+/// One finished worker translation, in flight to the coordinator.
+struct Commit {
+    seq: u64,
+    epoch: u64,
+    addr: u32,
+    /// `None` when translation failed; counted, never cached.
+    result: Option<(ReadSet, Arc<TBlock>)>,
+}
+
+/// A validated, coordinator-owned cache entry.
+struct Done {
+    reads: ReadSet,
+    block: Arc<TBlock>,
+}
+
+/// State shared between the coordinator and the worker threads.
+struct PoolShared {
+    /// `(epoch, snapshot)`: workers clone the `Arc` under the lock and
+    /// translate from the snapshot lock-free. The epoch lets the
+    /// coordinator drop commits raced past an SMC resnapshot.
+    snapshot: Mutex<(u64, Arc<GuestMem>)>,
+    /// Parking lot for idle workers.
+    park: Mutex<()>,
+    work: Condvar,
+    shutdown: AtomicBool,
+    /// Stamps commits so the coordinator drains them in a total order.
+    commit_seq: AtomicU64,
+}
+
+/// A pool of host threads running the translator ahead of the simulator.
+///
+/// Created by [`System`](crate::System) when host threads > 1; owns the
+/// worker threads and joins them on drop.
+pub struct HostTranslators {
+    queue: Arc<ShardedSpecQueue>,
+    shared: Arc<PoolShared>,
+    rx: Receiver<Commit>,
+    workers: Vec<JoinHandle<()>>,
+    /// Current snapshot epoch (coordinator's copy).
+    epoch: u64,
+    /// Validated results, keyed by guest address.
+    done: HashMap<u32, Done>,
+    /// Addresses already handed to the pool (dedup; cleared on SMC).
+    pending: HashSet<u32>,
+    perf: HostPerf,
+}
+
+impl HostTranslators {
+    /// Spawns `workers` threads translating at `opt` from a snapshot of
+    /// `mem`.
+    pub fn new(workers: usize, opt: OptLevel, mem: &GuestMem) -> HostTranslators {
+        let workers = workers.max(1);
+        let queue = Arc::new(ShardedSpecQueue::new(workers));
+        let shared = Arc::new(PoolShared {
+            snapshot: Mutex::new((0, Arc::new(mem.clone()))),
+            park: Mutex::new(()),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            commit_seq: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::channel();
+        let handles = (0..workers)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("vta-xlate-{i}"))
+                    .spawn(move || worker_loop(i, opt, &queue, &shared, &tx))
+                    .expect("spawn translation worker")
+            })
+            .collect();
+        HostTranslators {
+            queue,
+            shared,
+            rx,
+            workers: handles,
+            epoch: 0,
+            done: HashMap::new(),
+            pending: HashSet::new(),
+            perf: HostPerf::default(),
+        }
+    }
+
+    /// Hands `addr` to the pool at speculation `depth`. Duplicate
+    /// submissions of an address are dropped until it is evicted.
+    pub fn submit(&mut self, addr: u32, depth: u8) {
+        if self.pending.insert(addr) {
+            self.perf.submitted += 1;
+            self.queue.push(addr, depth);
+            self.shared.work.notify_one();
+        }
+    }
+
+    /// Looks `addr` up in the validated worker cache, first draining any
+    /// commits the workers have finished.
+    ///
+    /// Returns a block only when its recorded read footprint matches
+    /// `live` byte-for-byte — in which case the block is exactly what
+    /// inline translation would produce. A stale entry is evicted and
+    /// the address may be resubmitted.
+    pub fn consult(&mut self, addr: u32, live: &GuestMem) -> Option<Arc<TBlock>> {
+        self.drain();
+        match self.done.get(&addr) {
+            Some(d) if d.reads.verify(live) => {
+                self.perf.hits += 1;
+                Some(Arc::clone(&d.block))
+            }
+            Some(_) => {
+                self.perf.stale += 1;
+                self.done.remove(&addr);
+                self.pending.remove(&addr);
+                None
+            }
+            None => {
+                self.perf.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Replaces the workers' snapshot with the current live memory after
+    /// an SMC invalidation, discarding every cached and pending result
+    /// derived from the old bytes.
+    pub fn resnapshot(&mut self, mem: &GuestMem) {
+        self.epoch += 1;
+        if let Ok(mut s) = self.shared.snapshot.lock() {
+            *s = (self.epoch, Arc::new(mem.clone()));
+        }
+        self.done.clear();
+        self.pending.clear();
+        // Old-epoch commits still in the channel are dropped at drain.
+    }
+
+    /// Host-side counters (never folded into simulated [`Stats`]).
+    ///
+    /// [`Stats`]: vta_sim::Stats
+    pub fn perf(&self) -> HostPerf {
+        self.perf
+    }
+
+    /// Pulls finished commits into the cache, in stamp order so the
+    /// cache state is independent of channel arrival order.
+    fn drain(&mut self) {
+        let mut batch: Vec<Commit> = self.rx.try_iter().collect();
+        if batch.is_empty() {
+            return;
+        }
+        batch.sort_by_key(|c| c.seq);
+        for c in batch {
+            if c.epoch != self.epoch {
+                continue; // raced past a resnapshot; footprint is void
+            }
+            match c.result {
+                Some((reads, block)) => {
+                    self.perf.translated += 1;
+                    self.done.insert(c.addr, Done { reads, block });
+                }
+                None => self.perf.failed += 1,
+            }
+        }
+    }
+}
+
+impl Drop for HostTranslators {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    idx: usize,
+    opt: OptLevel,
+    queue: &ShardedSpecQueue,
+    shared: &PoolShared,
+    tx: &Sender<Commit>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let Some((addr, _depth)) = queue.pop_worker(idx) else {
+            // Park until a submit signals or the timeout re-polls.
+            if let Ok(g) = shared.park.lock() {
+                let _ = shared.work.wait_timeout(g, PARK);
+            }
+            continue;
+        };
+        let (epoch, snap) = match shared.snapshot.lock() {
+            Ok(s) => (s.0, Arc::clone(&s.1)),
+            Err(_) => break,
+        };
+        let rec = RecordingSource::new(&*snap);
+        let result = translate_block(&rec, addr, opt)
+            .ok()
+            .map(|b| (rec.into_read_set(), Arc::new(b)));
+        let seq = shared.commit_seq.fetch_add(1, Ordering::Relaxed);
+        if tx
+            .send(Commit {
+                seq,
+                epoch,
+                addr,
+                result,
+            })
+            .is_err()
+        {
+            break; // coordinator gone
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+    use vta_x86::{Asm, GuestImage, Reg};
+
+    fn image() -> GuestImage {
+        let mut asm = Asm::new(0x0800_0000);
+        asm.mov_ri(Reg::EAX, 6);
+        asm.mov_ri(Reg::ECX, 7);
+        asm.imul_rr(Reg::EAX, Reg::ECX);
+        asm.exit_with_eax();
+        GuestImage::from_code(asm.finish())
+    }
+
+    /// Polls `consult` until the workers land the block (bounded).
+    fn wait_hit(pool: &mut HostTranslators, addr: u32, mem: &GuestMem) -> Option<Arc<TBlock>> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            if let Some(b) = pool.consult(addr, mem) {
+                return Some(b);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        None
+    }
+
+    #[test]
+    fn worker_translation_matches_inline() {
+        let img = image();
+        let mem = img.build_mem();
+        let mut pool = HostTranslators::new(2, OptLevel::Full, &mem);
+        pool.submit(img.entry, 0);
+        let b = wait_hit(&mut pool, img.entry, &mem).expect("worker translated");
+        let inline = translate_block(&mem, img.entry, OptLevel::Full).expect("inline");
+        assert_eq!(b.code, inline.code, "bit-identical host code");
+        assert_eq!(b.translate_cycles, inline.translate_cycles);
+        assert_eq!(b.guest_len, inline.guest_len);
+        assert!(pool.perf().hits >= 1);
+    }
+
+    #[test]
+    fn stale_footprint_is_evicted_not_served() {
+        let img = image();
+        let mut mem = img.build_mem();
+        let mut pool = HostTranslators::new(1, OptLevel::Full, &mem);
+        pool.submit(img.entry, 0);
+        wait_hit(&mut pool, img.entry, &mem).expect("initial hit");
+        // Overwrite the first code byte in *live* memory only; the
+        // worker's snapshot (and its cached block) are now stale.
+        let old = mem.read_u8(img.entry).unwrap();
+        mem.write_u8(img.entry, old ^ 0x01).unwrap();
+        assert!(
+            pool.consult(img.entry, &mem).is_none(),
+            "stale entry must not be served"
+        );
+        assert_eq!(pool.perf().stale, 1);
+        // After resnapshotting to the new bytes the pool serves the NEW
+        // translation (or nothing — never the old one).
+        pool.resnapshot(&mem);
+        pool.submit(img.entry, 0);
+        if let Some(b) = wait_hit(&mut pool, img.entry, &mem) {
+            let inline = translate_block(&mem, img.entry, OptLevel::Full);
+            match inline {
+                Ok(i) => assert_eq!(b.code, i.code),
+                Err(_) => panic!("cache served a block inline translation rejects"),
+            }
+        }
+    }
+
+    #[test]
+    fn failed_translations_are_counted_not_cached() {
+        let img = image();
+        let mem = img.build_mem();
+        let mut pool = HostTranslators::new(1, OptLevel::Full, &mem);
+        // An unmapped address: every fetch misses, translation fails.
+        pool.submit(0x4000_0000, 0);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.perf().failed == 0 && Instant::now() < deadline {
+            pool.consult(0x4000_0000, &mem);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.perf().failed, 1);
+        assert!(pool.consult(0x4000_0000, &mem).is_none());
+    }
+}

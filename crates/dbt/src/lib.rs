@@ -44,6 +44,7 @@
 
 pub mod codecache;
 pub mod config;
+pub mod host;
 pub mod memsys;
 pub mod morph;
 pub mod shared;
@@ -53,6 +54,7 @@ pub mod system;
 pub mod timing;
 
 pub use config::{MorphConfig, Placement, VirtualArchConfig};
+pub use host::{HostPerf, HostTranslators};
 pub use shared::SharedTranslations;
 pub use system::{RunReport, StopCause, System, SystemError};
 pub use timing::Timing;

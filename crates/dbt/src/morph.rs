@@ -95,6 +95,7 @@ impl MorphManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "trace")]
     use vta_sim::{TraceConfig, TraceEvent};
 
     fn mgr(threshold: usize) -> MorphManager {
@@ -197,6 +198,7 @@ mod tests {
         assert_eq!(decide(&mut m, 11_000, 100, 3), None);
     }
 
+    #[cfg(feature = "trace")]
     #[test]
     fn decisions_emit_trace_instants() {
         let mut m = mgr(0);

@@ -36,9 +36,15 @@ struct Entry {
 }
 
 /// A translation memo shared by every sweep cell running one binary.
+///
+/// Entries are `Arc`ed so a consult holds the map lock only for the
+/// probe; the byte re-validation against the caller's live memory runs
+/// outside it. With host worker threads (see [`crate::host`]) many
+/// systems hammer this memo concurrently, and validation is the long
+/// part of a consult.
 pub struct SharedTranslations {
     opt: OptLevel,
-    inner: Mutex<HashMap<u32, Entry>>,
+    inner: Mutex<HashMap<u32, Arc<Entry>>>,
 }
 
 impl SharedTranslations {
@@ -58,8 +64,8 @@ impl SharedTranslations {
     /// Returns the memoized translation at `addr` if the caller's guest
     /// memory still holds the exact bytes it was derived from.
     pub(crate) fn consult(&self, mem: &GuestMem, addr: u32) -> Option<Arc<TBlock>> {
-        let inner = self.inner.lock().ok()?;
-        let e = inner.get(&addr)?;
+        // Probe under the lock, validate outside it.
+        let e = Arc::clone(self.inner.lock().ok()?.get(&addr)?);
         let live = mem.read_bytes(addr, e.bytes.len() as u32).ok()?;
         (live == e.bytes).then(|| Arc::clone(&e.block))
     }
@@ -69,11 +75,12 @@ impl SharedTranslations {
         let Ok(bytes) = mem.read_bytes(block.guest_addr, block.guest_len) else {
             return;
         };
+        let entry = Arc::new(Entry {
+            bytes,
+            block: Arc::clone(block),
+        });
         if let Ok(mut inner) = self.inner.lock() {
-            inner.entry(block.guest_addr).or_insert_with(|| Entry {
-                bytes,
-                block: Arc::clone(block),
-            });
+            inner.entry(block.guest_addr).or_insert(entry);
         }
     }
 

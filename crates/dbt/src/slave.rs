@@ -7,6 +7,14 @@
 //! this as the reason vpr/gcc/crafty run slower with speculation (§4.3).
 //! The optional reserved demand slave implements the fix the paper
 //! proposes.
+//!
+//! **Canonical commit order.** [`SlavePool::pop_done`] releases finished
+//! translations strictly min-keyed by `(done_at, slave index)` — the
+//! simulated completion cycle with the tile id as tie-break. Every
+//! consumer (manager commit, stats, trace) observes completions in this
+//! one total order, which is what makes the simulation deterministic
+//! regardless of how the *host* work behind each block was produced
+//! (serially, or ahead of time on worker threads — see [`crate::host`]).
 
 use std::sync::Arc;
 
@@ -116,7 +124,9 @@ impl SlavePool {
             .min_by_key(|&(i, c)| (c, i))
     }
 
-    /// Completions ready at or before `now`, in completion order.
+    /// Completions ready at or before `now`, in the canonical commit
+    /// order: min `(done_at, slave index)`. This ordering is a
+    /// determinism invariant — see the module docs.
     pub fn pop_done(&mut self, now: Cycle) -> Option<(usize, InFlight)> {
         let ready = self
             .slaves
@@ -219,6 +229,20 @@ mod tests {
         let (i, f) = pool.pop_done(Cycle(300)).expect("ready");
         assert_eq!((i, f.addr), (0, 0xA));
         assert_eq!(pool.total_completed(), 2);
+    }
+
+    #[test]
+    fn completions_tie_break_on_slave_index() {
+        // Two slaves finishing on the same cycle: the lower tile index
+        // commits first, every time — the canonical order's tie-break.
+        let mut pool = SlavePool::new(&[t(0), t(1), t(2)]);
+        pool.slave_mut(2).current = Some(flight(0xC, 100));
+        pool.slave_mut(0).current = Some(flight(0xA, 100));
+        pool.slave_mut(1).current = Some(flight(0xB, 100));
+        let order: Vec<_> = std::iter::from_fn(|| pool.pop_done(Cycle(100)))
+            .map(|(i, f)| (i, f.addr))
+            .collect();
+        assert_eq!(order, vec![(0, 0xA), (1, 0xB), (2, 0xC)]);
     }
 
     #[test]

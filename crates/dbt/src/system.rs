@@ -20,6 +20,7 @@ use vta_x86::{GuestImage, GuestMem, SysState, SyscallResult};
 
 use crate::codecache::{BlockHandle, L15Bank, L1Code, L2Code};
 use crate::config::VirtualArchConfig;
+use crate::host::{HostPerf, HostTranslators};
 use crate::memsys::MemSys;
 use crate::morph::{MorphAction, MorphManager};
 use crate::shared::SharedTranslations;
@@ -128,6 +129,12 @@ pub struct System {
     failed: HashSet<u32>,
     /// Optional cross-system translation memo (sweeps).
     shared: Option<Arc<SharedTranslations>>,
+    /// Host worker threads running the translator ahead of the
+    /// simulator (`None` when `host_threads == 1`; see [`crate::host`]).
+    host: Option<HostTranslators>,
+    /// Requested host parallelism (coordinator + `host_threads - 1`
+    /// workers). Defaults to `VTA_HOST_THREADS`, else 1.
+    host_threads: usize,
     /// Cycle-accurate event recorder (disabled unless
     /// [`System::enable_tracing`] is called; recording never changes
     /// simulated time).
@@ -193,6 +200,8 @@ impl System {
             page_blocks: HashMap::new(),
             failed: HashSet::new(),
             shared: None,
+            host: None,
+            host_threads: host_threads_from_env(),
             tracer: Tracer::disabled(),
             trk: Trk::default(),
             tile_tracks: Vec::new(),
@@ -281,13 +290,62 @@ impl System {
         }
     }
 
+    /// Sets the host parallelism for subsequent [`System::run`] calls:
+    /// the coordinating thread plus `n - 1` translation workers.
+    ///
+    /// `n == 1` (the default, or `VTA_HOST_THREADS`) disables the worker
+    /// pool entirely — the historical serial path, byte for byte. Any
+    /// `n` produces bit-identical simulated cycles, stats, and trace
+    /// events; only host wall-clock changes.
+    pub fn set_host_threads(&mut self, n: usize) {
+        self.host_threads = n.max(1);
+        // Recreated lazily at the next run() with the new width.
+        self.host = None;
+    }
+
+    /// The configured host parallelism (see [`System::set_host_threads`]).
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
+    }
+
+    /// Host-side worker-pool counters, if a pool is active. Kept apart
+    /// from [`RunReport::stats`] because they depend on host scheduling.
+    pub fn host_perf(&self) -> Option<HostPerf> {
+        self.host.as_ref().map(HostTranslators::perf)
+    }
+
+    /// Spawns the worker pool on first use when parallelism is enabled.
+    fn ensure_host_pool(&mut self) {
+        if self.host_threads > 1 && self.host.is_none() {
+            self.host = Some(HostTranslators::new(
+                self.host_threads - 1,
+                self.cfg.opt,
+                &self.mem,
+            ));
+        }
+    }
+
     /// Translates `pc` at the configured opt level, consulting and
     /// feeding the shared memo when one is attached. The memo validates
     /// the live guest bytes, so a hit is byte-for-byte what a fresh
     /// translation would produce.
-    fn translate_at(&self, pc: u32) -> Result<Arc<TBlock>, TranslateError> {
+    ///
+    /// With host workers enabled the pool's validated cache is consulted
+    /// next: a hit there carries a read footprint proving it equals what
+    /// the inline call below would return, so the consult order is
+    /// host-observable only. A miss falls through to inline translation
+    /// — today's serial path.
+    fn translate_at(&mut self, pc: u32) -> Result<Arc<TBlock>, TranslateError> {
         if let Some(sh) = &self.shared {
             if let Some(b) = sh.consult(&self.mem, pc) {
+                return Ok(b);
+            }
+        }
+        if let Some(host) = &mut self.host {
+            if let Some(b) = host.consult(pc, &self.mem) {
+                if let Some(sh) = &self.shared {
+                    sh.publish(&self.mem, &b);
+                }
                 return Ok(b);
             }
         }
@@ -305,6 +363,7 @@ impl System {
     /// Returns [`SystemError`] on guest faults or untranslatable demanded
     /// code.
     pub fn run(&mut self, max_guest_insns: u64) -> Result<RunReport, SystemError> {
+        self.ensure_host_pool();
         let stop = loop {
             if self.guest_insns >= max_guest_insns {
                 break (StopCause::InsnBudget, None);
@@ -551,6 +610,9 @@ impl System {
     fn demand_translate(&mut self, pc: u32) -> Result<Cycle, SystemError> {
         if !self.l2code.known(pc) {
             self.queues.push(pc, 0);
+            if let Some(host) = &mut self.host {
+                host.submit(pc, 0);
+            }
         }
         let mut t = self.now;
         loop {
@@ -697,6 +759,12 @@ impl System {
     fn push_spec(&mut self, addr: u32, depth: u8) {
         if !self.l2code.known(addr) && !self.failed.contains(&addr) {
             self.queues.push(addr, depth);
+            // Mirror the speculation frontier to the host workers: they
+            // run ahead on the wall clock exactly where the simulated
+            // slaves run ahead in simulated time.
+            if let Some(host) = &mut self.host {
+                host.submit(addr, depth);
+            }
         }
     }
 
@@ -901,6 +969,11 @@ impl System {
             self.l2code.invalidate(addr);
         }
         self.code_pages.remove(&page);
+        // Worker snapshots were taken before the write: swap in the new
+        // bytes and drop every result derived from the old ones.
+        if let Some(host) = &mut self.host {
+            host.resnapshot(&self.mem);
+        }
         self.tracer
             .instant(self.now, self.trk.exec, "smc.invalidate", page as u64);
         // Invalidation round trips to the manager (same cost each way).
@@ -922,6 +995,16 @@ impl System {
         );
         cost
     }
+}
+
+/// Default host parallelism: `VTA_HOST_THREADS` if set and ≥ 1, else 1
+/// (the serial path).
+fn host_threads_from_env() -> usize {
+    std::env::var("VTA_HOST_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 /// One-way message cost: inject + hops + payload + eject.
@@ -1239,6 +1322,70 @@ mod tests {
             assert_eq!(r.stats, base.stats, "pass {pass}");
         }
         assert!(!sh.is_empty());
+    }
+
+    #[test]
+    fn host_threads_do_not_change_results() {
+        // The tentpole invariant: simulated cycles AND stats are
+        // bit-identical at every host thread count. Use a program with
+        // a wide speculation frontier so the workers actually get work.
+        let img = image(|a| {
+            for i in 0..150u32 {
+                a.test_ri(Reg::EAX, 1);
+                let taken = a.label();
+                a.jcc(Cond::Ne, taken);
+                a.add_ri(Reg::EBX, i as i32);
+                a.bind(taken);
+                a.add_ri(Reg::EAX, 1);
+            }
+            a.exit_with_eax();
+        });
+        let run = |threads: usize| {
+            let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+            sys.set_host_threads(threads);
+            sys.run(10_000_000).expect("runs")
+        };
+        let base = run(1);
+        for threads in [2, 4] {
+            let r = run(threads);
+            assert_eq!(r.cycles, base.cycles, "threads={threads}");
+            assert_eq!(r.stats, base.stats, "threads={threads}");
+            assert_eq!(r.exit_code, base.exit_code, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn host_threads_survive_smc() {
+        // Self-modifying guest under worker threads: the pool must
+        // resnapshot and never serve a pre-patch translation.
+        let mut site = 0u32;
+        let img = image(|a| {
+            a.mov_ri(Reg::ESI, 2);
+            a.mov_ri(Reg::EAX, 0);
+            let outer = a.here();
+            a.mov_ri(Reg::ECX, 500);
+            let top = a.here();
+            site = a.cur_addr();
+            a.mov_ri(Reg::EBX, 11);
+            a.add_rr(Reg::EAX, Reg::EBX);
+            a.dec_r(Reg::ECX);
+            a.jcc(Cond::Ne, top);
+            a.mov_mi8(vta_x86::MemRef::abs(site + 1), 99);
+            a.dec_r(Reg::ESI);
+            a.jcc(Cond::Ne, outer);
+            a.exit_with_eax();
+        });
+        let run = |threads: usize| {
+            let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+            sys.set_host_threads(threads);
+            sys.run(10_000_000).expect("runs")
+        };
+        let base = run(1);
+        assert_eq!(base.exit_code, Some(500 * 11 + 500 * 99));
+        let par = run(4);
+        assert_eq!(par.exit_code, base.exit_code);
+        assert_eq!(par.cycles, base.cycles);
+        assert_eq!(par.stats, base.stats);
     }
 
     #[test]

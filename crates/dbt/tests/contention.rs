@@ -1,0 +1,187 @@
+//! Contention coverage for the work-distribution structures.
+//!
+//! The sharded speculation queue is the one data structure host worker
+//! threads and the coordinator race on, so its merge semantics must be
+//! order-independent: the final queue state after any interleaving of
+//! pushes equals a serial oracle applied to the same stamped operations.
+//! `SlavePool` stays coordinator-owned, but its canonical pop order is
+//! the determinism linchpin — it gets a seeded oracle test too.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use vta_dbt::specq::ShardedSpecQueue;
+use vta_dbt::System;
+use vta_dbt::VirtualArchConfig;
+
+/// Tiny deterministic generator (xorshift64*), one per thread, seeded.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Pushes from `threads` threads, then asserts the canonical drain
+/// equals the serial oracle built from the *actually assigned* stamps.
+///
+/// Each `push(addr, depth)` returns the global sequence stamp it was
+/// assigned; the queue keeps, per address, the lexicographic-min
+/// `(depth, seq)`. That merge is commutative, so the oracle replays the
+/// stamped operations in any order and must land on the same state.
+fn stress_push_drain(threads: usize, per_thread: usize, seed: u64) {
+    let q = Arc::new(ShardedSpecQueue::new(threads));
+    let stamped: Vec<Vec<(u32, u8, u64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    let mut rng = Rng::new(seed.wrapping_add(t as u64).wrapping_mul(0x9E37));
+                    let mut ops = Vec::with_capacity(per_thread);
+                    for _ in 0..per_thread {
+                        // Small address space forces cross-thread merges.
+                        let addr = ((rng.next() % 64) as u32) * 16;
+                        let depth = (rng.next() % 6) as u8;
+                        let seq = q.push(addr, depth);
+                        ops.push((addr, depth, seq));
+                    }
+                    ops
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Serial oracle: per address, keep the (depth, seq) minimum.
+    let mut min: HashMap<u32, (u8, u64)> = HashMap::new();
+    for (addr, depth, seq) in stamped.into_iter().flatten() {
+        let e = min.entry(addr).or_insert((depth, seq));
+        if (depth, seq) < *e {
+            *e = (depth, seq);
+        }
+    }
+    let mut expect: Vec<(u8, u64, u32)> = min.iter().map(|(&a, &(d, s))| (d, s, a)).collect();
+    expect.sort_unstable();
+
+    assert_eq!(q.len(), expect.len(), "one live entry per address");
+    let mut got = Vec::new();
+    while let Some((addr, depth)) = q.pop_canonical() {
+        got.push((addr, depth));
+    }
+    let expect: Vec<(u32, u8)> = expect.into_iter().map(|(d, _, a)| (a, d)).collect();
+    assert_eq!(got, expect, "canonical drain must match the serial oracle");
+}
+
+#[test]
+fn sharded_queue_matches_serial_oracle_2_threads() {
+    stress_push_drain(2, 2_000, 0xDEAD_BEEF);
+}
+
+#[test]
+fn sharded_queue_matches_serial_oracle_4_threads() {
+    stress_push_drain(4, 1_000, 0xC0FF_EE00);
+}
+
+#[test]
+fn sharded_queue_matches_serial_oracle_8_threads() {
+    stress_push_drain(8, 500, 0x5EED_5EED);
+}
+
+#[test]
+fn concurrent_workers_pop_each_address_exactly_once() {
+    // Disjoint per-pusher address ranges (no merges), concurrent
+    // pushers and poppers: every address must come out exactly once.
+    const PUSHERS: usize = 3;
+    const POPPERS: usize = 3;
+    const PER: u32 = 2_000;
+    let q = Arc::new(ShardedSpecQueue::new(POPPERS));
+    let popped: Vec<Vec<u32>> = std::thread::scope(|s| {
+        for p in 0..PUSHERS {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                let mut rng = Rng::new(0xAB + p as u64);
+                for i in 0..PER {
+                    let addr = (p as u32) * 0x0100_0000 + i * 4;
+                    q.push(addr, (rng.next() % 4) as u8);
+                }
+            });
+        }
+        let poppers: Vec<_> = (0..POPPERS)
+            .map(|w| {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut idle = 0u32;
+                    // Spin until the queue stays empty for a while after
+                    // the pushers are plausibly done.
+                    while idle < 1_000 {
+                        match q.pop_worker(w) {
+                            Some((addr, _)) => {
+                                got.push(addr);
+                                idle = 0;
+                            }
+                            None => {
+                                idle += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        poppers.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut seen = HashSet::new();
+    let mut total = 0usize;
+    for addr in popped.into_iter().flatten() {
+        assert!(seen.insert(addr), "address {addr:#x} popped twice");
+        total += 1;
+    }
+    // Poppers may finish their idle window before the last pushes land;
+    // anything left in the queue still counts exactly once.
+    while let Some((addr, _)) = q.pop_canonical() {
+        assert!(seen.insert(addr), "address {addr:#x} popped twice");
+        total += 1;
+    }
+    assert_eq!(total, PUSHERS * PER as usize, "no address lost");
+}
+
+#[test]
+fn full_system_is_deterministic_across_host_thread_counts() {
+    // End-to-end: a branchy guest (wide speculation frontier) must
+    // produce identical cycles and stats at 1, 2, and 3 host threads.
+    use vta_x86::{Asm, Cond, GuestImage, Reg};
+    let mut asm = Asm::new(0x0800_0000);
+    for i in 0..120u32 {
+        asm.test_ri(Reg::EAX, 1);
+        let taken = asm.label();
+        asm.jcc(Cond::Ne, taken);
+        asm.add_ri(Reg::EBX, i as i32);
+        asm.bind(taken);
+        asm.add_ri(Reg::EAX, 1);
+    }
+    asm.exit_with_eax();
+    let img = GuestImage::from_code(asm.finish());
+
+    let run = |threads: usize| {
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        sys.set_host_threads(threads);
+        sys.run(10_000_000).expect("runs")
+    };
+    let base = run(1);
+    for threads in [2, 3] {
+        let r = run(threads);
+        assert_eq!(r.cycles, base.cycles, "threads={threads}");
+        assert_eq!(r.stats, base.stats, "threads={threads}");
+    }
+}

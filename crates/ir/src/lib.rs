@@ -43,4 +43,4 @@ mod translate;
 
 pub use helper::apply_helper;
 pub use mir::{FlagSet, MBlock, MInsn, Term, VReg, Val};
-pub use translate::{translate_block, OptLevel, TBlock, TranslateError};
+pub use translate::{translate_block, OptLevel, ReadSet, RecordingSource, TBlock, TranslateError};

@@ -1,4 +1,18 @@
 //! The translation pipeline driver: decode → lower → optimize → codegen.
+//!
+//! The whole pipeline is a *pure* function of the bytes it fetches through
+//! [`CodeSource`]: no globals, no randomness, no iteration over unordered
+//! containers. That purity is what lets host worker threads run the
+//! translator ahead of the simulation (see `vta-dbt`'s host-parallel
+//! translation): a block produced on another thread against a memory
+//! snapshot is bit-identical to one produced inline, *provided every byte
+//! the translation read still holds the same value*. [`RecordingSource`]
+//! captures that read footprint and [`ReadSet::verify`] re-checks it, so
+//! reuse is sound even when the optimizer scans guest bytes far beyond
+//! the translated block (the dead-flags pass follows successors).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 
 use vta_raw::isa::RInsn;
 use vta_x86::decode::{CodeSource, DecodeError};
@@ -137,11 +151,170 @@ pub fn translate_block<S: CodeSource + ?Sized>(
     })
 }
 
+/// The exact byte footprint one translation read through [`CodeSource`],
+/// including *negative* results (addresses whose fetch returned `None`).
+///
+/// Because the translator is deterministic, a translation is reusable in
+/// any context where every recorded fetch would return the same result:
+/// a fresh translation there would read the same bytes in the same order
+/// and produce the same block. This is strictly stronger than validating
+/// only the block's own `[guest_addr, guest_addr + guest_len)` bytes —
+/// the optimizer's cross-block flag-liveness scan reads successor code
+/// too, and those bytes are part of the footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadSet {
+    /// Sorted `(addr, fetch result)` pairs, deduplicated.
+    reads: Vec<(u32, Option<u8>)>,
+}
+
+impl ReadSet {
+    /// Number of distinct addresses in the footprint.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Whether the footprint is empty (nothing was fetched).
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// True when every recorded fetch would return the identical result
+    /// against `live`, i.e. the recorded translation is exactly what a
+    /// fresh translation against `live` would produce.
+    pub fn verify<S: CodeSource + ?Sized>(&self, live: &S) -> bool {
+        self.reads
+            .iter()
+            .all(|&(addr, byte)| live.fetch(addr) == byte)
+    }
+}
+
+/// A [`CodeSource`] adapter that records every fetch (address and result)
+/// so the translation it feeds can be revalidated later with
+/// [`ReadSet::verify`].
+///
+/// # Examples
+///
+/// ```
+/// use vta_ir::{translate_block, OptLevel, RecordingSource};
+/// use vta_x86::decode::SliceSource;
+/// use vta_x86::{Asm, Reg};
+///
+/// let mut asm = Asm::new(0x1000);
+/// asm.add_ri(Reg::EAX, 1);
+/// asm.hlt();
+/// let p = asm.finish();
+/// let src = SliceSource::new(p.base, &p.code);
+/// let rec = RecordingSource::new(&src);
+/// let block = translate_block(&rec, p.base, OptLevel::Full)?;
+/// let reads = rec.into_read_set();
+/// assert!(reads.len() >= block.guest_len as usize);
+/// assert!(reads.verify(&src), "unchanged bytes must verify");
+/// # Ok::<(), vta_ir::TranslateError>(())
+/// ```
+#[derive(Debug)]
+pub struct RecordingSource<'a, S: ?Sized> {
+    src: &'a S,
+    reads: RefCell<BTreeMap<u32, Option<u8>>>,
+}
+
+impl<'a, S: CodeSource + ?Sized> RecordingSource<'a, S> {
+    /// Wraps `src`, recording all fetches made through the wrapper.
+    pub fn new(src: &'a S) -> Self {
+        RecordingSource {
+            src,
+            reads: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// Consumes the wrapper and returns the recorded footprint.
+    pub fn into_read_set(self) -> ReadSet {
+        ReadSet {
+            reads: self.reads.into_inner().into_iter().collect(),
+        }
+    }
+}
+
+impl<S: CodeSource + ?Sized> CodeSource for RecordingSource<'_, S> {
+    fn fetch(&self, addr: u32) -> Option<u8> {
+        let byte = self.src.fetch(addr);
+        self.reads.borrow_mut().insert(addr, byte);
+        byte
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use vta_x86::decode::SliceSource;
     use vta_x86::{Asm, Reg::*};
+
+    /// `TBlock` and `ReadSet` cross host threads in the parallel DBT.
+    #[test]
+    fn translation_artifacts_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TBlock>();
+        assert_send_sync::<ReadSet>();
+        assert_send_sync::<TranslateError>();
+    }
+
+    #[test]
+    fn recording_source_captures_negative_fetches() {
+        let bytes = [0xB8, 0x01, 0x00, 0x00]; // truncated `mov eax, imm32`
+        let src = SliceSource::new(0x1000, &bytes);
+        let rec = RecordingSource::new(&src);
+        let err = translate_block(&rec, 0x1000, OptLevel::Full);
+        assert!(err.is_err(), "truncated instruction must not translate");
+        let reads = rec.into_read_set();
+        assert!(reads.verify(&src));
+        // The failed fetch past the end is part of the footprint: a source
+        // that *does* have that byte must not verify.
+        let longer = [0xB8, 0x01, 0x00, 0x00, 0x00, 0xF4];
+        assert!(!reads.verify(&SliceSource::new(0x1000, &longer)));
+    }
+
+    #[test]
+    fn read_set_detects_byte_change() {
+        let mut asm = Asm::new(0x1000);
+        asm.mov_ri(EAX, 7);
+        asm.hlt();
+        let p = asm.finish();
+        let src = SliceSource::new(p.base, &p.code);
+        let rec = RecordingSource::new(&src);
+        let a = translate_block(&rec, p.base, OptLevel::Full).expect("translates");
+        let reads = rec.into_read_set();
+        assert!(reads.verify(&src));
+
+        let mut patched = p.code.clone();
+        patched[1] = 99; // the immediate byte of `mov eax, 7`
+        let psrc = SliceSource::new(p.base, &patched);
+        assert!(!reads.verify(&psrc), "patched byte must invalidate");
+        let b = translate_block(&psrc, p.base, OptLevel::Full).expect("translates");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn read_set_covers_successor_scan() {
+        // The dead-flags pass scans the fall-through successor; its bytes
+        // must be in the footprint even though they are past `guest_len`.
+        let mut asm = Asm::new(0x1000);
+        asm.add_ri(EAX, 1); // defines flags
+        let l = asm.label();
+        asm.jmp(l);
+        asm.bind(l);
+        asm.jcc(vta_x86::Cond::Ne, l); // successor reads flags
+        asm.hlt();
+        let p = asm.finish();
+        let src = SliceSource::new(p.base, &p.code);
+        let rec = RecordingSource::new(&src);
+        let block = translate_block(&rec, p.base, OptLevel::Full).expect("translates");
+        let reads = rec.into_read_set();
+        assert!(
+            reads.len() > block.guest_len as usize,
+            "footprint {} must extend past the block's {} bytes",
+            reads.len(),
+            block.guest_len
+        );
+    }
 
     fn translate(opt: OptLevel, f: impl FnOnce(&mut Asm)) -> TBlock {
         let mut asm = Asm::new(0x1000);

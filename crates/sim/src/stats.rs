@@ -358,6 +358,36 @@ impl Stats {
         })
     }
 
+    /// A deterministic 64-bit digest of every counter and histogram.
+    ///
+    /// FNV-1a over the name-ordered counter list plus each histogram's
+    /// `(name, count, sum, max)` — stable across processes and host
+    /// thread counts, so two runs fingerprint equal iff their observable
+    /// stats are equal. The determinism CI stage compares this digest
+    /// across `--threads` settings.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for (name, value) in self.iter() {
+            eat(name.as_bytes());
+            eat(&value.to_le_bytes());
+        }
+        for (name, hist) in &self.histograms {
+            eat(name.as_bytes());
+            eat(&hist.count().to_le_bytes());
+            eat(&hist.sum().to_le_bytes());
+            eat(&hist.max().to_le_bytes());
+        }
+        h
+    }
+
     /// Merges another registry into this one, summing counters.
     pub fn merge(&mut self, other: &Stats) {
         for (a, b) in self.fixed.iter_mut().zip(other.fixed.iter()) {
@@ -733,5 +763,31 @@ mod tests {
         let mut c = Stats::new();
         c.set("cycles", 0);
         assert_ne!(c, Stats::new(), "a visible zero counter is observable");
+    }
+
+    #[test]
+    fn fingerprint_tracks_observable_state() {
+        let mut a = Stats::new();
+        a.add("cycles", 10);
+        a.bump_ctr(Ctr::L2CodeAccess);
+        a.record("lat", 3);
+        a.record("lat", 9);
+        let mut b = Stats::new();
+        b.record("lat", 3);
+        b.bump_ctr(Ctr::L2CodeAccess);
+        b.add("cycles", 10);
+        b.record("lat", 9);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "order of writes is invisible"
+        );
+        b.add("cycles", 1);
+        assert_ne!(a.fingerprint(), b.fingerprint(), "a changed counter shows");
+        let mut c = a.clone();
+        c.record("lat", 9);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "histograms are covered");
+        assert_eq!(Stats::new().fingerprint(), Stats::new().fingerprint());
     }
 }
