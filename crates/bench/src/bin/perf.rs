@@ -8,7 +8,19 @@
 //! cargo run --release -p vta-bench --bin perf -- --write       # refresh dispatch JSON
 //! cargo run --release -p vta-bench --bin perf -- --scaling     # refresh parallel JSON
 //! cargo run --release -p vta-bench --bin perf -- --check       # verify determinism
+//! cargo run --release -p vta-bench --bin perf -- --metrics     # windowed time series
 //! ```
+//!
+//! `--metrics [--bench B] [--interval N] [--threads N]` runs one
+//! benchmark at `Scale::Test` with the windowed metrics layer on and
+//! writes the series as `metrics_B.csv` / `metrics_B.json` plus a
+//! Chrome-trace file `metrics_B_trace.json` whose counter tracks open
+//! directly in Perfetto; the phase report and (when `--threads > 1`)
+//! the host worker-pool counters go to stdout. `--metrics --check`
+//! instead re-derives the committed `BENCH_metrics_vpr.csv` golden
+//! (vpr, serial, fixed interval) and diffs byte-for-byte — regenerate
+//! with `--metrics --bless` when a simulated-behavior change is
+//! intentional.
 //!
 //! `--threads N` sets both the sweep's host-thread fan-out and the
 //! in-`System` worker-pool width used for the fingerprint runs, so a
@@ -26,10 +38,15 @@
 //! fingerprints at each width) and the measured scaling is written to
 //! `BENCH_parallel.json`.
 
+use vta_bench::metrics::{metrics_benchmark, phase_summary, series_csv, series_json};
 use vta_bench::perf::{
-    cycle_fingerprint, parse_fingerprints, render_json, render_parallel_json, run_fig5_probe,
-    validate_parallel, Fingerprint, ParallelPoint, SweepPerf,
+    cycle_fingerprint, cycle_fingerprint_with_pool, parse_fingerprints, render_json,
+    render_parallel_json, run_fig5_probe, validate_parallel, Fingerprint, ParallelPoint, SweepPerf,
 };
+use vta_bench::trace::chrome_trace_json_with_metrics;
+use vta_dbt::VirtualArchConfig;
+use vta_sim::{MetricsConfig, Tracer};
+use vta_workloads::Scale;
 
 /// The Figure 5 `Scale::Test` sweep measured on the pre-optimization
 /// tree (string-keyed stats, HashMap block dispatch, no D$ fast path).
@@ -176,8 +193,131 @@ fn scaling() -> i32 {
     0
 }
 
+/// The committed metrics golden: benchmark, interval, and file name.
+/// Serial on purpose — host-pool gauges are only registered when a
+/// worker pool spawns, so the serial column set is host-independent.
+const METRICS_GOLDEN: (&str, u64, &str) = ("vpr", 50_000, "BENCH_metrics_vpr.csv");
+
+/// `--metrics` mode: run one benchmark with windowed sampling on and
+/// export/inspect the series. Returns the process exit code.
+fn metrics_mode(threads: usize) -> i32 {
+    let check = std::env::args().any(|a| a == "--check");
+    let bless = std::env::args().any(|a| a == "--bless");
+    if check || bless {
+        return metrics_check(bless);
+    }
+    let bench = arg_value("--bench").unwrap_or_else(|| "vpr".to_string());
+    let interval = arg_value("--interval")
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(MetricsConfig::default().interval);
+    let mcfg = MetricsConfig {
+        interval,
+        ..MetricsConfig::default()
+    };
+    let (report, m, host) = metrics_benchmark(
+        &bench,
+        Scale::Test,
+        VirtualArchConfig::paper_default(),
+        mcfg,
+        threads,
+    );
+    if !m.is_enabled() {
+        eprintln!("--metrics: built without the `metrics` feature; nothing recorded");
+        return 2;
+    }
+    if let Err(e) = m.reconcile_stats(&report.stats) {
+        eprintln!("--metrics: series does not reconcile with Stats: {e}");
+        return 1;
+    }
+    println!(
+        "--metrics: {bench} @ Scale::Test, interval {interval}: {} windows reconcile with \
+         end-of-run stats exactly",
+        m.len()
+    );
+    print!("{}", phase_summary(&m, &report, host.as_ref()));
+    for (path, content) in [
+        (format!("metrics_{bench}.csv"), series_csv(&m)),
+        (format!("metrics_{bench}.json"), series_json(&m)),
+        (
+            format!("metrics_{bench}_trace.json"),
+            chrome_trace_json_with_metrics(&Tracer::disabled(), Some(&m)),
+        ),
+    ] {
+        std::fs::write(&path, content).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+    0
+}
+
+/// `--metrics --check` / `--bless`: re-derive the golden series CSV
+/// (always serial at the fixed interval) and diff or rewrite it.
+fn metrics_check(bless: bool) -> i32 {
+    let (bench, interval, path) = METRICS_GOLDEN;
+    let (report, m, _) = metrics_benchmark(
+        bench,
+        Scale::Test,
+        VirtualArchConfig::paper_default(),
+        MetricsConfig {
+            interval,
+            ..MetricsConfig::default()
+        },
+        1,
+    );
+    if !m.is_enabled() {
+        println!("--metrics --check: `metrics` feature off; golden not applicable, skipping");
+        return 0;
+    }
+    if let Err(e) = m.reconcile_stats(&report.stats) {
+        eprintln!("--metrics --check: series does not reconcile with Stats: {e}");
+        return 1;
+    }
+    let csv = series_csv(&m);
+    if bless {
+        std::fs::write(path, &csv).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path} ({} windows)", m.len());
+        return 0;
+    }
+    let golden = match std::fs::read_to_string(path) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("--metrics --check: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    if golden == csv {
+        println!(
+            "--metrics --check: {bench} series matches {path} ({} windows)",
+            m.len()
+        );
+        return 0;
+    }
+    let mismatch = golden
+        .lines()
+        .zip(csv.lines())
+        .position(|(a, b)| a != b)
+        .map_or_else(
+            || {
+                format!(
+                    "line counts differ ({} vs {})",
+                    golden.lines().count(),
+                    csv.lines().count()
+                )
+            },
+            |i| format!("first difference at line {}", i + 1),
+        );
+    eprintln!(
+        "--metrics --check: {bench} series drifted from {path}: {mismatch}; if the simulated \
+         behavior change is intentional, refresh with `perf -- --metrics --bless`"
+    );
+    1
+}
+
 fn main() {
     let threads = threads_arg();
+    if std::env::args().any(|a| a == "--metrics") {
+        std::process::exit(metrics_mode(threads));
+    }
     if std::env::args().any(|a| a == "--check") {
         std::process::exit(check(threads));
     }
@@ -198,10 +338,27 @@ fn main() {
         after.guest_insns_per_sec() / 1e6,
         after.sim_cycles_per_sec() / 1e6
     );
-    let fp = cycle_fingerprint(threads);
+    let (fp, pool) = cycle_fingerprint_with_pool(threads);
     for f in &fp {
         println!("paper_default cycles {}: {}", f.name, f.cycles);
         println!("paper_default stats_fp {}: {:016x}", f.name, f.stats_fp);
+    }
+    // Host-side pool counters (threads > 1 only). Informational: they
+    // depend on host scheduling, so they are never part of --check.
+    if let Some(p) = pool {
+        println!(
+            "host pool ({} threads): {} submitted, {} translated ({} failed), {} hits / {} stale \
+             / {} misses, {} steals, {} discarded epochs",
+            threads,
+            p.submitted,
+            p.translated,
+            p.failed,
+            p.hits,
+            p.stale,
+            p.misses,
+            p.steals,
+            p.discarded
+        );
     }
     if write {
         let json = render_json(&pre_opt_baseline(), &after, &fp);

@@ -14,6 +14,7 @@
 
 pub mod figures;
 pub mod json_lint;
+pub mod metrics;
 pub mod perf;
 pub mod table;
 pub mod trace;

@@ -19,7 +19,7 @@
 use std::fmt::Write as _;
 
 use vta_dbt::{RunReport, System, VirtualArchConfig};
-use vta_sim::{TraceConfig, TraceEvent, Tracer};
+use vta_sim::{Ctr, Metrics, TraceConfig, TraceEvent, Tracer};
 use vta_workloads::Scale;
 
 /// Runs `bench` at `scale` under `cfg` with tracing enabled; returns the
@@ -65,6 +65,15 @@ fn json_escape(out: &mut String, s: &str) {
 /// track becomes a named thread; network messages live on a synthetic
 /// `network` thread with source/destination/hops/words as arguments.
 pub fn chrome_trace_json(tracer: &Tracer) -> String {
+    chrome_trace_json_with_metrics(tracer, None)
+}
+
+/// Like [`chrome_trace_json`], optionally merging a windowed metrics
+/// series into the export as Perfetto **counter tracks** (`"ph":"C"`):
+/// per-window guest-instruction throughput and CPI, every registered
+/// gauge, and the series' point annotations as instants on a synthetic
+/// `metrics` thread.
+pub fn chrome_trace_json_with_metrics(tracer: &Tracer, metrics: Option<&Metrics>) -> String {
     let mut out = String::from("[\n");
     let pid = 1u32;
     let mut first = true;
@@ -178,6 +187,68 @@ pub fn chrome_trace_json(tracer: &Tracer) -> String {
             ),
         };
         push(&mut out, &mut first, &line);
+    }
+
+    // Windowed-metrics counter tracks: one "C" sample per window close.
+    if let Some(m) = metrics.filter(|m| m.is_enabled()) {
+        let met_tid = net_tid + 1;
+        push(
+            &mut out,
+            &mut first,
+            &format!(
+                "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{met_tid},\
+                 \"args\":{{\"name\":\"metrics\"}}}}"
+            ),
+        );
+        let counter = |out: &mut String, first: &mut bool, name: &str, ts: u64, value: &str| {
+            let mut l = String::from("  {\"name\":\"");
+            json_escape(&mut l, name);
+            let _ = write!(
+                l,
+                "\",\"ph\":\"C\",\"pid\":{pid},\"ts\":{ts},\"args\":{{\"value\":{value}}}}}"
+            );
+            push(out, first, &l);
+        };
+        for w in m.windows() {
+            counter(
+                &mut out,
+                &mut first,
+                "metric.guest_insns",
+                w.end,
+                &w.delta(Ctr::GuestInsns).to_string(),
+            );
+            if let Some(cpi) = w.cpi() {
+                counter(
+                    &mut out,
+                    &mut first,
+                    "metric.cpi",
+                    w.end,
+                    &format!("{cpi:.3}"),
+                );
+            }
+            for (id, name) in m.gauges() {
+                if let Some(v) = w.gauge(id) {
+                    counter(
+                        &mut out,
+                        &mut first,
+                        &format!("gauge.{name}"),
+                        w.end,
+                        &v.to_string(),
+                    );
+                }
+            }
+        }
+        for e in m.events() {
+            let mut l = String::from("  {\"name\":\"");
+            json_escape(&mut l, e.name);
+            let _ = write!(
+                l,
+                "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{met_tid},\"ts\":{},\
+                 \"args\":{{\"value\":{}}}}}",
+                e.ts, e.value
+            );
+            push(&mut out, &mut first, &l);
+        }
     }
     out.push_str("\n]\n");
     out
@@ -298,6 +369,32 @@ mod tests {
         crate::json_lint::check(&s).expect("valid JSON");
         let r = utilization_report(&Tracer::disabled(), 100);
         assert!(r.contains("Utilization"));
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn metrics_merge_adds_counter_tracks() {
+        use vta_sim::{Ctr, Metrics, MetricsConfig};
+        let mut m = Metrics::new(MetricsConfig {
+            interval: 50,
+            max_windows: 8,
+        });
+        m.gauge("specq.len");
+        let mut snap = [0u64; Ctr::COUNT];
+        snap[Ctr::Cycles as usize] = 50;
+        snap[Ctr::GuestInsns as usize] = 25;
+        m.sample(vta_sim::Cycle(50), &snap, &[3]);
+        m.event(vta_sim::Cycle(60), "morph.to_translator", 40);
+        m.finish(vta_sim::Cycle(70), &snap, &[1]);
+        let s = chrome_trace_json_with_metrics(&Tracer::disabled(), Some(&m));
+        crate::json_lint::check(&s).expect("valid JSON");
+        assert!(s.contains("\"name\":\"metric.cpi\""));
+        assert!(s.contains("\"name\":\"gauge.specq.len\""));
+        assert!(s.contains("\"name\":\"morph.to_translator\""));
+        assert!(s.contains("\"args\":{\"name\":\"metrics\"}"));
+        // A disabled series adds nothing.
+        let bare = chrome_trace_json_with_metrics(&Tracer::disabled(), Some(&Metrics::disabled()));
+        assert_eq!(bare, chrome_trace_json(&Tracer::disabled()));
     }
 
     #[cfg(feature = "trace")]

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use vta_bench::RUN_BUDGET;
 use vta_dbt::{SharedTranslations, System, VirtualArchConfig};
-use vta_sim::TraceConfig;
+use vta_sim::{MetricsConfig, TraceConfig};
 use vta_workloads::Scale;
 
 /// The tracer is an observer: running with tracing enabled must not
@@ -32,6 +32,44 @@ fn tracing_does_not_change_a_single_cycle() {
     if cfg!(feature = "trace") {
         assert!(tracer.is_enabled() && !tracer.is_empty(), "trace captured");
         assert!(tracer.events().count() > 0);
+    }
+}
+
+/// The metrics recorder is the same kind of observer as the tracer:
+/// windowed sampling must not change a single simulated number relative
+/// to running without it — at any sampling interval. Mirrors
+/// [`tracing_does_not_change_a_single_cycle`]; holds in both feature
+/// configurations (with `metrics` off the recorder is a no-op shell).
+#[test]
+fn metrics_do_not_change_a_single_cycle() {
+    let w = vta_workloads::by_name("gzip", Scale::Test).expect("gzip exists");
+    let plain = System::new(VirtualArchConfig::paper_default(), &w.image)
+        .run(RUN_BUDGET)
+        .expect("gzip runs");
+    for interval in [1u64, 1000, 10_000] {
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &w.image);
+        sys.enable_metrics(MetricsConfig {
+            interval,
+            ..MetricsConfig::default()
+        });
+        let sampled = sys.run(RUN_BUDGET).expect("gzip runs");
+        assert_eq!(plain.cycles, sampled.cycles, "interval {interval}");
+        assert_eq!(plain.guest_insns, sampled.guest_insns);
+        assert_eq!(plain.output, sampled.output);
+        assert_eq!(plain.stats, sampled.stats, "all counters identical");
+        assert_eq!(
+            plain.stats.fingerprint(),
+            sampled.stats.fingerprint(),
+            "stats digest identical with metrics on"
+        );
+        let m = sys.take_metrics();
+        if cfg!(feature = "metrics") {
+            assert!(m.is_enabled() && !m.is_empty(), "series captured");
+            m.reconcile_stats(&sampled.stats)
+                .expect("windowed sums telescope to the run totals");
+        } else {
+            assert!(m.is_empty());
+        }
     }
 }
 

@@ -73,6 +73,12 @@ pub struct HostPerf {
     pub stale: u64,
     /// Consults that found no usable entry (fell back to inline).
     pub misses: u64,
+    /// Worker pops served from a shard other than the worker's own
+    /// (cross-shard work stealing in the sharded queue).
+    pub steals: u64,
+    /// Drained commits discarded because a resnapshot advanced the epoch
+    /// while they were in flight (their footprints were void).
+    pub discarded: u64,
 }
 
 /// One finished worker translation, in flight to the coordinator.
@@ -213,7 +219,17 @@ impl HostTranslators {
     ///
     /// [`Stats`]: vta_sim::Stats
     pub fn perf(&self) -> HostPerf {
-        self.perf
+        let mut p = self.perf;
+        p.steals = self.queue.steals();
+        p
+    }
+
+    /// Live entries per queue shard, in shard order (a metrics gauge;
+    /// host-side occupancy, never folded into simulated [`Stats`]).
+    ///
+    /// [`Stats`]: vta_sim::Stats
+    pub fn queue_shard_lens(&self) -> Vec<usize> {
+        self.queue.shard_lens()
     }
 
     /// Pulls finished commits into the cache, in stamp order so the
@@ -226,6 +242,7 @@ impl HostTranslators {
         batch.sort_by_key(|c| c.seq);
         for c in batch {
             if c.epoch != self.epoch {
+                self.perf.discarded += 1;
                 continue; // raced past a resnapshot; footprint is void
             }
             match c.result {

@@ -33,6 +33,16 @@ pub struct MorphManager {
     /// Bank-tile budget limits (min mem tiles, max translators added).
     min_banks: usize,
     max_banks: usize,
+    /// First grid sample (since the last calm one) that saw the queue over
+    /// threshold; measures how long pressure persisted before a switch.
+    pressure_since: Option<Cycle>,
+    /// First grid sample (since the last busy one) that saw the queue
+    /// empty; the analogue for the switch back.
+    calm_since: Option<Cycle>,
+    /// Cycles between the triggering condition first being observed and
+    /// the most recent reconfiguration ("morph lag": hysteresis holds plus
+    /// sampling-grid latency).
+    last_lag: u64,
 }
 
 impl MorphManager {
@@ -46,7 +56,19 @@ impl MorphManager {
             reconfigs: 0,
             min_banks,
             max_banks,
+            pressure_since: None,
+            calm_since: None,
+            last_lag: 0,
         }
+    }
+
+    /// Lag of the most recent decision: cycles between the first grid
+    /// sample that observed the triggering condition (queue over threshold
+    /// for a to-translator switch, queue empty for a to-cache switch) and
+    /// the switch itself. Zero when the first observation triggered
+    /// immediately, or before any decision was made.
+    pub fn last_lag(&self) -> u64 {
+        self.last_lag
     }
 
     /// Samples the queue length; returns a reconfiguration decision.
@@ -73,18 +95,34 @@ impl MorphManager {
         let interval = self.cfg.check_interval;
         let missed = now.saturating_since(self.next_check) / interval;
         self.next_check += interval * (missed + 1);
+        // Track when the triggering conditions were FIRST observed, before
+        // the hysteresis gate: the lag being measured is precisely the
+        // time a condition persists while hysteresis (or a bank budget)
+        // holds the switch back.
+        if queue_len > self.cfg.threshold {
+            self.pressure_since.get_or_insert(now);
+        } else {
+            self.pressure_since = None;
+        }
+        if queue_len == 0 {
+            self.calm_since.get_or_insert(now);
+        } else {
+            self.calm_since = None;
+        }
         if now.saturating_since(self.last_reconfig) < self.cfg.hysteresis {
             return None;
         }
         if queue_len > self.cfg.threshold && cur_banks > self.min_banks {
             self.last_reconfig = now;
             self.reconfigs += 1;
+            self.last_lag = now.saturating_since(self.pressure_since.take().unwrap_or(now));
             tracer.instant(now, track, "morph.to_translator", queue_len as u64);
             return Some(MorphAction::CacheToTranslator);
         }
         if queue_len == 0 && cur_banks < self.max_banks {
             self.last_reconfig = now;
             self.reconfigs += 1;
+            self.last_lag = now.saturating_since(self.calm_since.take().unwrap_or(now));
             tracer.instant(now, track, "morph.to_cache", cur_banks as u64);
             return Some(MorphAction::TranslatorToCache);
         }
@@ -196,6 +234,39 @@ mod tests {
         assert_eq!(decide(&mut m, 10_900, 100, 3), None, "before 11_000");
         // Sample at 11_000 happens (hysteresis silently holds the action).
         assert_eq!(decide(&mut m, 11_000, 100, 3), None);
+    }
+
+    #[test]
+    fn lag_measures_hysteresis_hold() {
+        let mut m = mgr(5);
+        assert!(decide(&mut m, 6000, 100, 4).is_some());
+        assert_eq!(m.last_lag(), 0, "first observation triggered immediately");
+        // Pressure returns at 7000 but hysteresis (5000 from cycle 6000)
+        // holds until the 11_000 grid sample.
+        assert_eq!(decide(&mut m, 7000, 100, 3), None);
+        assert_eq!(decide(&mut m, 8000, 100, 3), None);
+        assert!(decide(&mut m, 11_000, 100, 3).is_some());
+        assert_eq!(m.last_lag(), 4000, "pressure first seen at 7000");
+    }
+
+    #[test]
+    fn lag_resets_when_pressure_clears() {
+        let mut m = mgr(5);
+        assert!(decide(&mut m, 6000, 100, 4).is_some());
+        assert_eq!(decide(&mut m, 7000, 100, 3), None, "hysteresis holds");
+        assert_eq!(decide(&mut m, 8000, 2, 3), None, "pressure cleared");
+        assert_eq!(decide(&mut m, 10_000, 100, 3), None, "re-crossed at 10_000");
+        assert!(decide(&mut m, 11_000, 100, 3).is_some());
+        assert_eq!(m.last_lag(), 1000, "measured from the re-crossing");
+    }
+
+    #[test]
+    fn lag_for_the_switch_back_uses_calm_time() {
+        let mut m = mgr(5);
+        assert!(decide(&mut m, 6000, 100, 4).is_some());
+        assert_eq!(decide(&mut m, 7000, 0, 3), None, "calm but hysteresis");
+        assert!(decide(&mut m, 11_000, 0, 3).is_some());
+        assert_eq!(m.last_lag(), 4000, "queue first seen empty at 7000");
     }
 
     #[cfg(feature = "trace")]

@@ -119,6 +119,16 @@ impl SpecQueues {
         self.promotions
     }
 
+    /// Live entries per speculation depth, index 0..=max_depth (a
+    /// point-in-time gauge for the metrics layer; tombstones excluded).
+    pub fn depth_lens(&self) -> Vec<usize> {
+        let mut lens = vec![0usize; self.queues.len()];
+        for &(depth, _) in self.live.values() {
+            lens[depth as usize] += 1;
+        }
+        lens
+    }
+
     /// Drops all speculative work (used when morphing shrinks the pool).
     pub fn clear_speculative(&mut self, keep_depth: u8) {
         for d in (keep_depth as usize + 1)..self.queues.len() {
@@ -159,6 +169,9 @@ impl SpecQueues {
 pub struct ShardedSpecQueue {
     shards: Vec<Mutex<Shard>>,
     next_seq: AtomicU64,
+    /// Successful [`ShardedSpecQueue::pop_worker`] pops that came from a
+    /// shard other than the worker's own (work stealing).
+    steals: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -201,6 +214,7 @@ impl ShardedSpecQueue {
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             next_seq: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
         }
     }
 
@@ -239,10 +253,22 @@ impl ShardedSpecQueue {
                 .expect("queue poisoned")
                 .pop();
             if got.is_some() {
+                if k > 0 {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                }
                 return got;
             }
         }
         None
+    }
+
+    /// Cross-shard steals observed so far (see [`ShardedSpecQueue::pop_worker`]).
+    ///
+    /// A host-side occupancy observation, not simulated state: the value
+    /// depends on worker scheduling and must never feed back into
+    /// simulated time or `Stats`.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
     }
 
     /// Pops the global `(depth, seq)` minimum across all shards.
@@ -271,6 +297,21 @@ impl ShardedSpecQueue {
     /// Whether nothing is pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live entries per shard, in shard order (a point-in-time gauge for
+    /// the metrics layer; like [`ShardedSpecQueue::len`] it takes each
+    /// shard lock in turn).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("queue poisoned").live.len())
+            .collect()
     }
 }
 
@@ -352,6 +393,19 @@ mod tests {
         assert_eq!(q.pop(), Some((0x20, 0)));
         q.push(0x20, 2);
         assert_eq!(q.pushes(), 3);
+    }
+
+    #[test]
+    fn depth_lens_count_live_entries_only() {
+        let mut q = SpecQueues::new(4);
+        q.push(0x10, 3);
+        q.push(0x20, 3);
+        q.push(0x10, 1); // promotion leaves a tombstone at depth 3
+        q.push(0x30, 0);
+        assert_eq!(q.depth_lens(), [1, 1, 0, 1, 0]);
+        q.pop(); // drains 0x30 at depth 0
+        assert_eq!(q.depth_lens(), [0, 1, 0, 1, 0]);
+        assert_eq!(q.depth_lens().iter().sum::<usize>(), q.len());
     }
 
     /// A promoted address must pop exactly once, at its promoted depth,

@@ -15,7 +15,7 @@ use vta_ir::{apply_helper, translate_block, TBlock, TranslateError};
 use vta_raw::exec::{run_block, BlockExit, CoreState, DataPort, Fault};
 use vta_raw::isa::{HelperKind, MemOp, RReg};
 use vta_raw::{Dram, TileId};
-use vta_sim::{Ctr, Cycle, Stats, TraceConfig, Tracer, TrackId};
+use vta_sim::{Ctr, Cycle, GaugeId, Metrics, MetricsConfig, Stats, TraceConfig, Tracer, TrackId};
 use vta_x86::{GuestImage, GuestMem, SysState, SyscallResult};
 
 use crate::codecache::{BlockHandle, L15Bank, L1Code, L2Code};
@@ -143,6 +143,32 @@ pub struct System {
     trk: Trk,
     /// Trace track per grid tile, indexed by `TileId::index(width)`.
     tile_tracks: Vec<TrackId>,
+    /// Windowed metrics recorder (disabled unless
+    /// [`System::enable_metrics`] is called; sampling never changes
+    /// simulated time).
+    metrics: Metrics,
+    /// Gauge ids for the metrics series columns.
+    gauges: Gauges,
+}
+
+/// Gauge ids registered with the metrics recorder. The simulated gauges
+/// are registered at [`System::enable_metrics`] time; host-pool gauges
+/// join when the worker pool spawns (serial runs never register them, so
+/// single-thread series stay free of host-scheduling-dependent columns).
+#[derive(Debug, Clone, Default)]
+struct Gauges {
+    /// Total pending speculative-translation requests.
+    specq: GaugeId,
+    /// Pending requests per speculation depth, index = depth.
+    specq_depths: Vec<GaugeId>,
+    /// Live translation slaves (morph role occupancy, translator side).
+    translators: GaugeId,
+    /// Live L2 data banks (morph role occupancy, cache side).
+    l2_banks: GaugeId,
+    /// Host-pool counters in [`HostPerf`] field order.
+    host: Vec<GaugeId>,
+    /// Live entries per host work-queue shard.
+    host_shards: Vec<GaugeId>,
 }
 
 /// Track ids for the non-tile trace timelines.
@@ -205,6 +231,8 @@ impl System {
             tracer: Tracer::disabled(),
             trk: Trk::default(),
             tile_tracks: Vec::new(),
+            metrics: Metrics::disabled(),
+            gauges: Gauges::default(),
             timing,
             cfg,
         }
@@ -272,6 +300,137 @@ impl System {
         std::mem::take(&mut self.tracer)
     }
 
+    /// Turns on windowed metrics sampling (call before [`System::run`]).
+    ///
+    /// Registers the simulated gauges (queue depths, role occupancy);
+    /// host-pool gauges are added when the worker pool spawns. Like the
+    /// tracer, the recorder is a pure observer: a window closes whenever
+    /// the simulated clock crosses a grid boundary, the snapshot handed
+    /// in is state the simulator already computed, and nothing is ever
+    /// read back, so simulated cycles and [`Stats`] are bit-identical
+    /// with metrics on or off.
+    pub fn enable_metrics(&mut self, mcfg: MetricsConfig) {
+        self.metrics = Metrics::new(mcfg);
+        self.gauges = Gauges {
+            specq: self.metrics.gauge("specq.len"),
+            specq_depths: (0..=self.cfg.max_spec_depth)
+                .map(|d| self.metrics.gauge(&format!("specq.d{d}.len")))
+                .collect(),
+            translators: self.metrics.gauge("pool.translators"),
+            l2_banks: self.metrics.gauge("mem.l2_banks"),
+            host: Vec::new(),
+            host_shards: Vec::new(),
+        };
+        if self.host.is_some() {
+            self.register_host_gauges();
+        }
+    }
+
+    /// The metrics recorder (empty and disabled unless
+    /// [`System::enable_metrics`] was called).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Takes the metrics recorder out of the system (for export after a
+    /// run), leaving a disabled one behind.
+    pub fn take_metrics(&mut self) -> Metrics {
+        std::mem::take(&mut self.metrics)
+    }
+
+    /// A full interned-counter snapshot at the current simulated time,
+    /// mirroring the end-of-run `set_ctr` block in [`System::run`]: the
+    /// bump-maintained counters read straight out of `stats`, while the
+    /// set-at-end ones are computed live so mid-run windows see exactly
+    /// the values `finish` will reconcile against.
+    fn metrics_snapshot(&self) -> [u64; Ctr::COUNT] {
+        let mut s = [0u64; Ctr::COUNT];
+        for &c in Ctr::ALL.iter() {
+            s[c as usize] = self.stats.get_ctr(c);
+        }
+        s[Ctr::Cycles as usize] = self.now.as_u64();
+        s[Ctr::GuestInsns as usize] = self.guest_insns;
+        let mem = self.memsys.stats();
+        s[Ctr::MemL1Hit as usize] = mem[0];
+        s[Ctr::MemL2Hit as usize] = mem[1];
+        s[Ctr::MemDram as usize] = mem[2];
+        s[Ctr::MemTlbMiss as usize] = mem[3];
+        s[Ctr::L1CodeFlushes as usize] = self.l1.flushes();
+        s[Ctr::TranslateBlocks as usize] = self.pool.total_completed();
+        s[Ctr::TranslateBusyCycles as usize] = self.pool.total_busy();
+        s[Ctr::SpecPushes as usize] = self.queues.pushes();
+        if let Some(m) = &self.morph {
+            s[Ctr::MorphReconfigs as usize] = m.reconfigs;
+        }
+        s
+    }
+
+    /// One sample per registered gauge, placed by gauge id.
+    fn gauge_sample(&self) -> Vec<u64> {
+        let mut v = vec![0u64; self.metrics.gauge_count()];
+        if v.is_empty() {
+            return v;
+        }
+        v[self.gauges.specq.0 as usize] = self.queues.len() as u64;
+        for (g, len) in self
+            .gauges
+            .specq_depths
+            .iter()
+            .zip(self.queues.depth_lens())
+        {
+            v[g.0 as usize] = len as u64;
+        }
+        v[self.gauges.translators.0 as usize] = self.pool.len() as u64;
+        v[self.gauges.l2_banks.0 as usize] = self.memsys.banks.len() as u64;
+        if let Some(host) = &self.host {
+            let p = host.perf();
+            let fields = [
+                p.submitted,
+                p.translated,
+                p.failed,
+                p.hits,
+                p.stale,
+                p.misses,
+                p.steals,
+                p.discarded,
+            ];
+            for (g, val) in self.gauges.host.iter().zip(fields) {
+                v[g.0 as usize] = val;
+            }
+            for (g, len) in self.gauges.host_shards.iter().zip(host.queue_shard_lens()) {
+                v[g.0 as usize] = len as u64;
+            }
+        }
+        v
+    }
+
+    /// Registers the host-pool gauge columns (worker-pool runs only).
+    /// Host-side occupancy depends on host scheduling, so these columns
+    /// exist only when a pool does — a serial run's series carries
+    /// nothing host-dependent.
+    fn register_host_gauges(&mut self) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        self.gauges.host = [
+            "host.submitted",
+            "host.translated",
+            "host.failed",
+            "host.hits",
+            "host.stale",
+            "host.misses",
+            "host.steals",
+            "host.discarded",
+        ]
+        .iter()
+        .map(|n| self.metrics.gauge(n))
+        .collect();
+        let shards = self.host.as_ref().map_or(0, |h| h.queue_shard_lens().len());
+        self.gauges.host_shards = (0..shards)
+            .map(|i| self.metrics.gauge(&format!("host.q{i}.len")))
+            .collect();
+    }
+
     /// Trace track of `tile` (default id when tracing is disabled).
     fn ttrack(&self, tile: TileId) -> TrackId {
         self.tile_tracks
@@ -322,6 +481,7 @@ impl System {
                 self.cfg.opt,
                 &self.mem,
             ));
+            self.register_host_gauges();
         }
     }
 
@@ -410,6 +570,8 @@ impl System {
                 .span(block_start, outcome.cycles, self.trk.exec, "block");
             self.guest_insns += block.guest_insns as u64;
             self.stats.add_ctr(Ctr::HostInsns, outcome.insns);
+            self.stats
+                .add_ctr(Ctr::ExecStallCycles, outcome.stall_cycles);
             self.stats.bump_ctr(Ctr::ExecBlocks);
 
             // Self-modifying-code invalidation.
@@ -457,6 +619,15 @@ impl System {
             self.catch_up(self.now);
             self.tracer
                 .counter(self.now, self.trk.qdepth, self.queues.len() as u64);
+            // Windowed sampling: one branch when metrics are off. The
+            // grid boundary may have passed mid-block; `sample` closes
+            // the window at the boundary cycle regardless of how late
+            // this check runs (see `vta_sim::metrics`).
+            if self.metrics.due(self.now) {
+                let snap = self.metrics_snapshot();
+                let gauges = self.gauge_sample();
+                self.metrics.sample(self.now, &snap, &gauges);
+            }
         };
 
         self.stats.set_ctr(Ctr::Cycles, self.now.as_u64());
@@ -474,6 +645,14 @@ impl System {
         self.stats.set_ctr(Ctr::SpecPushes, self.queues.pushes());
         if let Some(m) = &self.morph {
             self.stats.set_ctr(Ctr::MorphReconfigs, m.reconfigs);
+        }
+
+        // Close the final (off-grid) window and seal the series; the
+        // windowed sums now telescope to the totals set just above.
+        if self.metrics.is_enabled() {
+            let snap = self.metrics_snapshot();
+            let gauges = self.gauge_sample();
+            self.metrics.finish(self.now, &snap, &gauges);
         }
 
         Ok(RunReport {
@@ -909,9 +1088,18 @@ impl System {
         let (trk_morph, trk_dram) = (self.trk.morph, self.trk.dram);
         let Some(m) = &mut self.morph else { return };
         let action = m.decide(self.now, qlen, nbanks, &mut self.tracer, trk_morph);
+        let lag = m.last_lag();
         match action {
             Some(MorphAction::CacheToTranslator) => {
                 if let Some((tile, dirty)) = self.memsys.remove_bank() {
+                    // Explicit role-change event at the switch point:
+                    // old role -> new role, with the queue depth that
+                    // triggered it (the decision instant above fires at
+                    // the sample; this one marks the reconfiguration).
+                    self.tracer
+                        .instant(self.now, trk_morph, "role: l2bank->slave", qlen as u64);
+                    self.metrics.event(self.now, "morph.to_translator", lag);
+                    self.stats.record("morph.lag_cycles", lag);
                     // Write back the dirty lines (DRAM occupancy) and
                     // reload the tile's software role.
                     self.dram.access_traced(
@@ -942,6 +1130,10 @@ impl System {
             }
             Some(MorphAction::TranslatorToCache) => {
                 if let Some((tile, free_at)) = self.pool.shrink(self.now) {
+                    self.tracer
+                        .instant(self.now, trk_morph, "role: slave->l2bank", qlen as u64);
+                    self.metrics.event(self.now, "morph.to_cache", lag);
+                    self.stats.record("morph.lag_cycles", lag);
                     self.memsys.add_bank(tile, self.cfg.l2_bank_bytes);
                     let track = self.ttrack(tile);
                     let bank = self.memsys.banks.last_mut().expect("just added");
@@ -1386,6 +1578,59 @@ mod tests {
         assert_eq!(par.exit_code, base.exit_code);
         assert_eq!(par.cycles, base.cycles);
         assert_eq!(par.stats, base.stats);
+    }
+
+    #[test]
+    fn metrics_windows_reconcile_and_do_not_change_results() {
+        let img = loop_program(2000);
+        let base = System::new(VirtualArchConfig::paper_default(), &img)
+            .run(10_000_000)
+            .expect("runs");
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        sys.enable_metrics(MetricsConfig {
+            interval: 500,
+            ..MetricsConfig::default()
+        });
+        let r = sys.run(10_000_000).expect("runs");
+        assert_eq!(r.cycles, base.cycles, "sampling never changes time");
+        assert_eq!(r.stats, base.stats, "sampling never changes counters");
+        let m = sys.take_metrics();
+        // Without the `metrics` feature the recorder is a no-op shell;
+        // the equalities above are the test's substance either way.
+        if cfg!(feature = "metrics") {
+            assert!(m.len() > 1, "several windows closed: {}", m.len());
+            m.reconcile_stats(&r.stats)
+                .expect("windowed sums telescope to the run totals");
+            let last = m.windows().last().expect("non-empty");
+            assert_eq!(last.end, r.cycles, "final window closes at end of run");
+            assert!(
+                m.gauges().any(|(_, n)| n == "specq.len"),
+                "simulated gauges registered"
+            );
+        } else {
+            assert!(m.is_empty());
+        }
+    }
+
+    #[test]
+    fn metrics_interval_choice_never_changes_simulation() {
+        let img = loop_program(800);
+        let mut cycles = Vec::new();
+        for interval in [1u64, 97, 10_000] {
+            let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+            sys.enable_metrics(MetricsConfig {
+                interval,
+                ..MetricsConfig::default()
+            });
+            let r = sys.run(10_000_000).expect("runs");
+            if cfg!(feature = "metrics") {
+                sys.metrics()
+                    .reconcile_stats(&r.stats)
+                    .unwrap_or_else(|e| panic!("interval {interval}: {e}"));
+            }
+            cycles.push(r.cycles);
+        }
+        assert!(cycles.windows(2).all(|w| w[0] == w[1]), "{cycles:?}");
     }
 
     #[test]

@@ -135,6 +135,10 @@ pub struct RunOutcome {
     pub cycles: u64,
     /// Host instructions retired.
     pub insns: u64,
+    /// Cycles of `cycles` that were memory stalls (load/store wait on the
+    /// translation pipeline, an L2 bank, or DRAM). Lets an observer
+    /// decompose block time into issue vs. memory-stall cycles.
+    pub stall_cycles: u64,
 }
 
 /// Executes one translated block to its exit.
@@ -155,6 +159,7 @@ pub fn run_block<P: DataPort + ?Sized>(
     let mut pc = 0usize;
     let mut cycles: u64 = 0;
     let mut insns: u64 = 0;
+    let mut stalls: u64 = 0;
 
     loop {
         if insns >= fuel {
@@ -162,6 +167,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                 exit: BlockExit::Fault(Fault::FuelExhausted),
                 cycles,
                 insns,
+                stall_cycles: stalls,
             };
         }
         let insn = *code
@@ -197,6 +203,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                                 exit: BlockExit::Fault(Fault::DivZero),
                                 cycles,
                                 insns,
+                                stall_cycles: stalls,
                             };
                         }
                         match op {
@@ -248,6 +255,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                 match port.load(addr, op) {
                     Ok((v, stall)) => {
                         cycles += stall;
+                        stalls += stall;
                         state.set(rd, op.extend(v));
                     }
                     Err(f) => {
@@ -255,6 +263,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                             exit: BlockExit::Fault(f),
                             cycles,
                             insns,
+                            stall_cycles: stalls,
                         }
                     }
                 }
@@ -262,12 +271,16 @@ pub fn run_block<P: DataPort + ?Sized>(
             RInsn::Store { op, src, base, off } => {
                 let addr = state.get(base).wrapping_add(off as u32);
                 match port.store(addr, state.get(src), op) {
-                    Ok(stall) => cycles += stall,
+                    Ok(stall) => {
+                        cycles += stall;
+                        stalls += stall;
+                    }
                     Err(f) => {
                         return RunOutcome {
                             exit: BlockExit::Fault(f),
                             cycles,
                             insns,
+                            stall_cycles: stalls,
                         }
                     }
                 }
@@ -287,6 +300,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                                 exit: BlockExit::Goto(g),
                                 cycles,
                                 insns,
+                                stall_cycles: stalls,
                             }
                         }
                     }
@@ -301,6 +315,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                             exit: BlockExit::Goto(g),
                             cycles,
                             insns,
+                            stall_cycles: stalls,
                         }
                     }
                 }
@@ -311,6 +326,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                         exit: BlockExit::Fault(f),
                         cycles,
                         insns,
+                        stall_cycles: stalls,
                     };
                 }
             }
@@ -319,6 +335,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                     exit: BlockExit::Indirect(state.get(rs)),
                     cycles,
                     insns,
+                    stall_cycles: stalls,
                 }
             }
             RInsn::Sys => {
@@ -326,6 +343,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                     exit: BlockExit::Sys,
                     cycles,
                     insns,
+                    stall_cycles: stalls,
                 }
             }
             RInsn::Hlt => {
@@ -333,6 +351,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                     exit: BlockExit::Halt,
                     cycles,
                     insns,
+                    stall_cycles: stalls,
                 }
             }
         }
@@ -498,6 +517,7 @@ mod tests {
         assert_eq!(s.get(r(2)), 0x100);
         // 4 issue cycles + 2 accesses × 4 stall.
         assert_eq!(out.cycles, 12);
+        assert_eq!(out.stall_cycles, 8, "stall share reported separately");
     }
 
     #[test]

@@ -27,12 +27,14 @@
 
 mod cycle;
 mod event;
+pub mod metrics;
 mod rng;
 mod stats;
 pub mod trace;
 
 pub use cycle::Cycle;
 pub use event::EventQueue;
+pub use metrics::{GaugeId, MetricEvent, Metrics, MetricsConfig, Window};
 pub use rng::Rng;
 pub use stats::{Ctr, Histogram, Stats};
 pub use trace::{Coord, LinkStats, TraceConfig, TraceEvent, Tracer, TrackId};

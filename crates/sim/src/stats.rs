@@ -25,6 +25,9 @@ pub enum Ctr {
     DispatchIndirect,
     /// `exec.blocks` — translated blocks executed.
     ExecBlocks,
+    /// `exec.stall_cycles` — execution-tile cycles stalled on data
+    /// loads/stores (the memory component of CPI).
+    ExecStallCycles,
     /// `guest_insns` — guest instructions retired.
     GuestInsns,
     /// `host_insns` — host instructions executed.
@@ -73,7 +76,7 @@ pub enum Ctr {
 
 impl Ctr {
     /// Number of interned counters (the size of the flat array).
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 28;
 
     /// Every interned counter, in ascending name order.
     pub const ALL: [Ctr; Ctr::COUNT] = [
@@ -82,6 +85,7 @@ impl Ctr {
         Ctr::DispatchDirectMiss,
         Ctr::DispatchIndirect,
         Ctr::ExecBlocks,
+        Ctr::ExecStallCycles,
         Ctr::GuestInsns,
         Ctr::HostInsns,
         Ctr::L15Hit,
@@ -114,6 +118,7 @@ impl Ctr {
             Ctr::DispatchDirectMiss => "dispatch.direct_miss",
             Ctr::DispatchIndirect => "dispatch.indirect",
             Ctr::ExecBlocks => "exec.blocks",
+            Ctr::ExecStallCycles => "exec.stall_cycles",
             Ctr::GuestInsns => "guest_insns",
             Ctr::HostInsns => "host_insns",
             Ctr::L15Hit => "l15.hit",
@@ -148,6 +153,7 @@ impl Ctr {
             "dispatch.direct_miss" => Ctr::DispatchDirectMiss,
             "dispatch.indirect" => Ctr::DispatchIndirect,
             "exec.blocks" => Ctr::ExecBlocks,
+            "exec.stall_cycles" => Ctr::ExecStallCycles,
             "guest_insns" => Ctr::GuestInsns,
             "host_insns" => Ctr::HostInsns,
             "l15.hit" => Ctr::L15Hit,

@@ -13,6 +13,10 @@
 #   test     × {default, --no-default-features}   (debug-for-tests)
 #   determinism: perf --check at --threads 1, 4, $(nproc); every
 #     fingerprint AND the full --check stdout must be identical
+#   metrics: perf --metrics --check — the windowed series for the vpr
+#     benchmark must match the committed BENCH_metrics_vpr.csv golden
+#     byte-for-byte (regenerate with --metrics --bless when a simulated
+#     behavior change is intentional)
 #   scaling gate: on multi-core hosts, the fig5 sweep at 4 threads must
 #     actually beat 1 thread (skipped on single-core hosts, where no
 #     wall-clock speedup is physically possible)
@@ -87,6 +91,11 @@ determinism_stage() {
 }
 run_stage "determinism (threads 1/4/$(nproc))" \
     determinism_stage
+
+# Metrics stage: the windowed time series is a pure function of
+# (image, config, interval) — diff it against the committed golden.
+run_stage "metrics (perf --metrics --check)" \
+    cargo run --release -q -p vta-bench --bin perf -- --metrics --check
 
 # Scaling gate: parallelism must actually pay off where it can. A
 # single-core host cannot speed anything up with threads (only measure
