@@ -1,0 +1,118 @@
+//! Differential fuzzing driver for the x86 front end.
+//!
+//! Streams deterministic cases from `vta_ir::fuzz::gen` through the
+//! three-way oracle (reference interpreter vs translated path at both
+//! optimization levels). Any divergence is minimized on the spot and
+//! printed in the corpus file format, ready to commit under
+//! `crates/ir/tests/corpus/`; the process then exits nonzero.
+//!
+//! ```text
+//! cargo run --release -p vta-bench --bin fuzz                    # 10k cases, seed 0x5EED
+//! cargo run --release -p vta-bench --bin fuzz -- --cases 100000
+//! cargo run --release -p vta-bench --bin fuzz -- --seed 7
+//! cargo run --release -p vta-bench --bin fuzz -- --corpus crates/ir/tests/corpus
+//! cargo run --release -p vta-bench --bin fuzz -- --verbose       # per-case verdicts
+//! ```
+//!
+//! Everything is deterministic and offline: the same `--seed` produces
+//! the same case stream and the same verdicts on every host, which is
+//! what lets CI run a fixed-seed smoke sweep as a hard gate.
+
+use vta_ir::fuzz::{corpus, gen::CaseStream, minimize, run_case, Verdict};
+
+fn parse_flag(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let cases: u64 = parse_flag("--cases")
+        .map(|v| v.parse().expect("--cases takes a number"))
+        .unwrap_or(10_000);
+    let seed: u64 = parse_flag("--seed")
+        .map(|v| {
+            let v = v.trim_start_matches("0x");
+            u64::from_str_radix(v, 16)
+                .or_else(|_| v.parse())
+                .expect("--seed takes a number")
+        })
+        .unwrap_or(0x5EED);
+    let verbose = std::env::args().any(|a| a == "--verbose");
+
+    // Corpus replay mode: every committed reproducer must pass.
+    if let Some(dir) = parse_flag("--corpus") {
+        let loaded = corpus::load_dir(std::path::Path::new(&dir)).unwrap_or_else(|e| {
+            eprintln!("fuzz: {e}");
+            std::process::exit(2);
+        });
+        let mut failed = 0usize;
+        for (path, case) in &loaded {
+            match run_case(case) {
+                Verdict::Pass => {
+                    if verbose {
+                        println!("PASS  {path}");
+                    }
+                }
+                Verdict::Skip(reason) => {
+                    // Committed cases must be comparable; a skip means
+                    // the corpus entry no longer tests anything.
+                    println!("SKIP  {path} ({reason}) — corpus entries must not skip");
+                    failed += 1;
+                }
+                Verdict::Diverge(d) => {
+                    println!("FAIL  {path}: {:?} at {:?}: {}", d.channel, d.opt, d.detail);
+                    failed += 1;
+                }
+            }
+        }
+        println!("corpus: {} replayed, {failed} failed", loaded.len());
+        std::process::exit(i32::from(failed > 0));
+    }
+
+    let mut passes = 0u64;
+    let mut skips = 0u64;
+    for (i, case) in CaseStream::new(seed).take(cases as usize).enumerate() {
+        match run_case(&case) {
+            Verdict::Pass => passes += 1,
+            Verdict::Skip(reason) => {
+                skips += 1;
+                if verbose {
+                    println!("skip  {} ({reason})", case.name);
+                }
+            }
+            Verdict::Diverge(d) => {
+                println!("DIVERGENCE in case {} (#{i}):", case.name);
+                println!("  channel {:?} at {:?}: {}", d.channel, d.opt, d.detail);
+                println!("minimizing…");
+                let min = minimize::minimize(&case);
+                match run_case(&min) {
+                    Verdict::Diverge(md) => {
+                        println!(
+                            "  minimized to {} bytes ({:?} at {:?}: {})",
+                            min.code.len(),
+                            md.channel,
+                            md.opt,
+                            md.detail
+                        );
+                    }
+                    _ => println!("  (minimizer lost the divergence; showing original)"),
+                }
+                println!("--- corpus file (commit under crates/ir/tests/corpus/) ---");
+                print!("{}", corpus::format(&min));
+                println!("-----------------------------------------------------------");
+                std::process::exit(1);
+            }
+        }
+        if verbose && (i + 1) % 1000 == 0 {
+            println!("… {} cases ({passes} pass, {skips} skip)", i + 1);
+        }
+    }
+    println!(
+        "fuzz: {cases} cases at seed {seed:#x}: {passes} passed, {skips} skipped, 0 divergences"
+    );
+}

@@ -927,7 +927,7 @@ impl System {
                 }
             }
             Term::Sys(next) => self.push_spec(next, d1),
-            Term::Indirect(_) | Term::Halt => {}
+            Term::Indirect(_) | Term::Trap(_) | Term::Halt => {}
         }
         if block.is_call {
             // Return predictor: the address after the call, low priority.

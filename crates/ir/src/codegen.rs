@@ -1531,6 +1531,7 @@ fn emit_term(em: &mut Emitter, alloc: &mut Alloc, term: Term) {
             em.load_const(SYS_RESUME_REG, next);
             em.emit(RInsn::Sys);
         }
+        Term::Trap(cause) => em.emit(RInsn::Trap { cause }),
         Term::Halt => em.emit(RInsn::Hlt),
     }
 }

@@ -1,0 +1,99 @@
+//! The committed regression-corpus format.
+//!
+//! Every divergence the fuzzer ever finds is minimized and persisted as
+//! a small text file so it is replayed forever by the tier-1 corpus test
+//! (`crates/ir/tests/fuzz_corpus.rs`). The format is line-oriented:
+//!
+//! ```text
+//! # free-form commentary (what diverged, and why)
+//! name: int21-bad-vector
+//! code: cd21
+//! input: 68656c6c6f
+//! ```
+//!
+//! `code` is required; `input` is optional; `#` lines and blank lines
+//! are ignored. Hex strings may contain spaces between byte pairs.
+//!
+//! **Corpus policy:** a file is added only after its divergence is
+//! *fixed* — the corpus is a set of must-pass reproducers, not a bug
+//! tracker. Cases the oracle [skips](crate::fuzz::Verdict::Skip)
+//! (resource limits, codegen capacity) are never committed.
+
+use crate::fuzz::Case;
+
+/// Parses a hex string (whitespace between byte pairs allowed).
+fn parse_hex(s: &str) -> Result<Vec<u8>, String> {
+    let compact: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    if !compact.len().is_multiple_of(2) {
+        return Err(format!("odd-length hex string: {s:?}"));
+    }
+    (0..compact.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&compact[i..i + 2], 16)
+                .map_err(|e| format!("bad hex byte at {i}: {e}"))
+        })
+        .collect()
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Parses one corpus file.
+pub fn parse(text: &str) -> Result<Case, String> {
+    let mut name = None;
+    let mut code = None;
+    let mut input = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("line {}: expected `key: value`", lineno + 1))?;
+        match key.trim() {
+            "name" => name = Some(value.trim().to_string()),
+            "code" => code = Some(parse_hex(value)?),
+            "input" => input = parse_hex(value)?,
+            other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+        }
+    }
+    Ok(Case {
+        name: name.ok_or("missing `name:` line")?,
+        code: code.ok_or("missing `code:` line")?,
+        input,
+    })
+}
+
+/// Formats a case in the corpus file format (no commentary).
+pub fn format(case: &Case) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("name: {}\n", case.name));
+    out.push_str(&format!("code: {}\n", to_hex(&case.code)));
+    if !case.input.is_empty() {
+        out.push_str(&format!("input: {}\n", to_hex(&case.input)));
+    }
+    out
+}
+
+/// Loads every `*.txt` corpus file in a directory, sorted by file name
+/// for deterministic replay order.
+pub fn load_dir(dir: &std::path::Path) -> Result<Vec<(String, Case)>, String> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read_dir {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    entries.sort();
+    let mut cases = Vec::new();
+    for path in entries {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let case = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        cases.push((path.display().to_string(), case));
+    }
+    Ok(cases)
+}

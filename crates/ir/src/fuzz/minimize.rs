@@ -1,0 +1,144 @@
+//! Delta-debugging minimizer for diverging cases.
+//!
+//! Shrinks a diverging [`Case`] while preserving *some* divergence (not
+//! necessarily the original channel — any disagreement is worth a
+//! regression test). Three passes run to fixpoint:
+//!
+//! 1. **tail truncation** — drop code from the end, coarsest first;
+//! 2. **instruction NOP-out** — replace each decodable instruction span
+//!    with `0x90` bytes (layout-preserving, so branch targets survive);
+//! 3. **byte NOP-out** — replace single bytes with `0x90` (reaches the
+//!    undecodable tails instruction-granular passes cannot).
+//!
+//! A final pass shrinks the synthetic syscall input.
+
+use crate::fuzz::{oracle, Case, CODE_BASE};
+use vta_x86::decode::{decode, SliceSource};
+
+/// True when the oracle still reports a divergence for `case`.
+fn still_diverges(case: &Case) -> bool {
+    oracle::run_case(case).is_divergence()
+}
+
+/// Splits the code into decoded instruction spans `(offset, len)`;
+/// stops at the first undecodable byte.
+fn insn_spans(code: &[u8]) -> Vec<(usize, usize)> {
+    let src = SliceSource::new(CODE_BASE, code);
+    let mut spans = Vec::new();
+    let mut pc = CODE_BASE;
+    let end = CODE_BASE + code.len() as u32;
+    while pc < end {
+        match decode(&src, pc) {
+            Ok(insn) => {
+                spans.push(((pc - CODE_BASE) as usize, insn.len as usize));
+                pc = insn.next_addr();
+            }
+            Err(_) => break,
+        }
+    }
+    spans
+}
+
+fn try_truncate(case: &mut Case) -> bool {
+    let mut changed = false;
+    // Halve first, then peel single instructions off the end.
+    while case.code.len() > 1 {
+        let mut candidate = case.clone();
+        candidate.code.truncate(case.code.len() / 2);
+        if still_diverges(&candidate) {
+            case.code = candidate.code;
+            changed = true;
+        } else {
+            break;
+        }
+    }
+    loop {
+        let spans = insn_spans(&case.code);
+        let Some(&(off, _)) = spans.last() else { break };
+        if off == 0 || off >= case.code.len() {
+            break;
+        }
+        let mut candidate = case.clone();
+        candidate.code.truncate(off);
+        if still_diverges(&candidate) {
+            case.code = candidate.code;
+            changed = true;
+        } else {
+            break;
+        }
+    }
+    changed
+}
+
+fn try_nop_out_insns(case: &mut Case) -> bool {
+    let mut changed = false;
+    let spans = insn_spans(&case.code);
+    for (off, len) in spans {
+        if case.code[off..off + len].iter().all(|&b| b == 0x90) {
+            continue;
+        }
+        let mut candidate = case.clone();
+        for b in &mut candidate.code[off..off + len] {
+            *b = 0x90;
+        }
+        if still_diverges(&candidate) {
+            case.code = candidate.code;
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn try_nop_out_bytes(case: &mut Case) -> bool {
+    let mut changed = false;
+    for i in 0..case.code.len() {
+        if case.code[i] == 0x90 {
+            continue;
+        }
+        let mut candidate = case.clone();
+        candidate.code[i] = 0x90;
+        if still_diverges(&candidate) {
+            case.code = candidate.code;
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn try_shrink_input(case: &mut Case) -> bool {
+    let mut changed = false;
+    while !case.input.is_empty() {
+        let mut candidate = case.clone();
+        candidate.input.truncate(case.input.len() / 2);
+        if still_diverges(&candidate) {
+            case.input = candidate.input;
+            changed = true;
+        } else {
+            break;
+        }
+    }
+    changed
+}
+
+/// Shrinks a diverging case to a (locally) minimal reproducer.
+///
+/// Returns the case unchanged if it does not actually diverge. The
+/// result's name gains a `-min` suffix.
+pub fn minimize(case: &Case) -> Case {
+    let mut min = case.clone();
+    if !still_diverges(&min) {
+        return min;
+    }
+    loop {
+        let mut changed = false;
+        changed |= try_truncate(&mut min);
+        changed |= try_nop_out_insns(&mut min);
+        changed |= try_nop_out_bytes(&mut min);
+        changed |= try_shrink_input(&mut min);
+        if !changed {
+            break;
+        }
+    }
+    min.name = format!("{}-min", min.name);
+    min
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod codegen;
+pub mod fuzz;
 pub mod helper;
 pub mod lower;
 pub mod mir;

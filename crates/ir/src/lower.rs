@@ -9,6 +9,8 @@
 use vta_x86::decode::{decode, CodeSource, DecodeError};
 use vta_x86::{Cond, Insn, MemRef, Op, Operand, Reg, Size};
 
+use vta_raw::isa::TrapCause;
+
 use crate::mir::{BinOp, Flag, FlagKind, MBlock, MInsn, ShiftKind, StringOp, Term, VReg, Val};
 
 /// Default cap on guest instructions per translated block.
@@ -298,7 +300,22 @@ pub fn lower_block<S: CodeSource + ?Sized>(
     let mut is_call = false;
 
     loop {
-        let insn = decode(src, pc)?;
+        let insn = match decode(src, pc) {
+            Ok(i) => i,
+            // A decode failure at the block's first instruction is a
+            // translation error, but *after* a decodable prefix the block
+            // must still execute that prefix: the reference interpreter
+            // faults instruction by instruction, so earlier instructions
+            // run (and may fault first, e.g. on an unmapped store) before
+            // the undecodable bytes are ever reached.
+            Err(e) => {
+                if count == 0 {
+                    return Err(e);
+                }
+                term = Term::Trap(TrapCause::Undecodable { addr: pc });
+                break;
+            }
+        };
         count += 1;
         pc = insn.next_addr();
         if let Some(t) = lower_insn(&mut ctx, &insn) {
@@ -352,11 +369,27 @@ fn lower_insn(ctx: &mut Ctx, insn: &Insn) -> Option<Term> {
             let (d, s) = (insn.dst.unwrap(), insn.src.unwrap());
             let dv = ctx.read_operand(d, size);
             let sv = ctx.read_operand(s, size);
+            // For a plain register operand, `dv` is the guest register's
+            // vreg itself, not a snapshot — copy it to a temp before the
+            // first write clobbers it (found by differential fuzzing).
+            let t = ctx.temp();
+            ctx.emit(MInsn::Mov { dst: t, src: dv });
             ctx.write_operand(d, size, sv);
-            ctx.write_operand(s, size, dv);
+            ctx.write_operand(s, size, Val::Reg(t));
         }
         Op::Push => {
             let v = ctx.read_operand(insn.dst.unwrap(), Size::Dword);
+            // `push esp` pushes the value from *before* the decrement,
+            // but for a register operand `v` is the live ESP vreg itself
+            // — snapshot it ahead of `push`'s ESP update (found by
+            // differential fuzzing).
+            let v = if v == Val::Reg(VReg::guest(Reg::ESP)) {
+                let t = ctx.temp();
+                ctx.emit(MInsn::Mov { dst: t, src: v });
+                Val::Reg(t)
+            } else {
+                v
+            };
             ctx.push(v);
         }
         Op::Pop => {
@@ -603,8 +636,9 @@ fn lower_insn(ctx: &mut Ctx, insn: &Insn) -> Option<Term> {
             if vector == 0x80 {
                 return Some(Term::Sys(insn.next_addr()));
             }
-            // Unsupported interrupt vectors stop the virtual machine.
-            return Some(Term::Halt);
+            // Unsupported interrupt vectors fault, exactly as the
+            // reference interpreter's `CpuError::BadInterrupt` does.
+            return Some(Term::Trap(TrapCause::BadInterrupt { vector }));
         }
         Op::Hlt => return Some(Term::Halt),
     }

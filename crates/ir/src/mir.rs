@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use vta_raw::isa::TrapCause;
 use vta_x86::{Cond, Rep, Size};
 
 /// A virtual register.
@@ -460,6 +461,14 @@ pub enum Term {
         /// Resume address.
         u32,
     ),
+    /// A statically known guest fault: an unimplemented `int` vector, or
+    /// undecodable bytes after a decodable straight-line prefix. The
+    /// preceding body still executes (and may fault on its own first),
+    /// matching the reference interpreter's instruction-granular faults.
+    Trap(
+        /// Why the machine faults here.
+        TrapCause,
+    ),
     /// `hlt`.
     Halt,
 }
@@ -471,7 +480,7 @@ impl Term {
             Term::Goto(t) => vec![t],
             Term::CondGoto { taken, fall, .. } => vec![taken, fall],
             Term::Sys(next) => vec![next],
-            Term::Indirect(_) | Term::Halt => vec![],
+            Term::Indirect(_) | Term::Trap(_) | Term::Halt => vec![],
         }
     }
 }

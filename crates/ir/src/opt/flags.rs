@@ -158,7 +158,8 @@ pub fn eliminate_dead_flags<S: CodeSource + ?Sized>(block: &mut MBlock, src: &S)
             .union(live_in_at(src, fall, &mut memo)),
         Term::Sys(next) => live_in_at(src, next, &mut memo),
         Term::Indirect(_) => FlagSet::ALL,
-        Term::Halt => FlagSet::EMPTY,
+        // Trap and Halt both stop the machine: no flag is observable after.
+        Term::Trap(_) | Term::Halt => FlagSet::EMPTY,
     };
     eliminate_with_liveout(block, live);
 }
@@ -168,7 +169,7 @@ pub fn eliminate_dead_flags<S: CodeSource + ?Sized>(block: &mut MBlock, src: &S)
 /// uses — looking ahead into successors is itself an optimization.
 pub fn eliminate_dead_flags_conservative(block: &mut MBlock) {
     let live = match block.term {
-        Term::Halt => FlagSet::EMPTY,
+        Term::Trap(_) | Term::Halt => FlagSet::EMPTY,
         Term::CondGoto { cond, .. } => FlagSet::for_cond(cond).union(FlagSet::ALL),
         _ => FlagSet::ALL,
     };

@@ -186,6 +186,16 @@ impl ReadSet {
             .iter()
             .all(|&(addr, byte)| live.fetch(addr) == byte)
     }
+
+    /// Whether `addr` is one of the recorded fetch addresses.
+    ///
+    /// Address membership is stronger than [`verify`](Self::verify) for
+    /// write detection: a store into the footprint invalidates the
+    /// translation even if the byte is later restored (or cycles back)
+    /// to the recorded value before anyone revalidates.
+    pub fn covers(&self, addr: u32) -> bool {
+        self.reads.binary_search_by_key(&addr, |&(a, _)| a).is_ok()
+    }
 }
 
 /// A [`CodeSource`] adapter that records every fetch (address and result)

@@ -70,8 +70,28 @@ pub enum Fault {
     },
     /// Host divide by zero (emitted guards forward x86 divide faults here).
     DivZero,
+    /// `int` with a vector the virtual machine does not implement.
+    BadInterrupt {
+        /// The interrupt vector.
+        vector: u8,
+    },
+    /// Guest code at `addr` does not decode; raised by a translated
+    /// [`RInsn::Trap`] once execution actually reaches the bad bytes.
+    Undecodable {
+        /// Guest address of the undecodable instruction.
+        addr: u32,
+    },
     /// The block ran past its fuel limit (malformed internal loop).
     FuelExhausted,
+}
+
+impl From<crate::isa::TrapCause> for Fault {
+    fn from(cause: crate::isa::TrapCause) -> Fault {
+        match cause {
+            crate::isa::TrapCause::BadInterrupt { vector } => Fault::BadInterrupt { vector },
+            crate::isa::TrapCause::Undecodable { addr } => Fault::Undecodable { addr },
+        }
+    }
 }
 
 /// The execution tile's window onto the DBT memory system.
@@ -341,6 +361,14 @@ pub fn run_block<P: DataPort + ?Sized>(
             RInsn::Sys => {
                 return RunOutcome {
                     exit: BlockExit::Sys,
+                    cycles,
+                    insns,
+                    stall_cycles: stalls,
+                }
+            }
+            RInsn::Trap { cause } => {
+                return RunOutcome {
+                    exit: BlockExit::Fault(cause.into()),
                     cycles,
                     insns,
                     stall_cycles: stalls,

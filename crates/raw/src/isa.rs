@@ -207,6 +207,28 @@ impl HelperKind {
     }
 }
 
+/// Why a [`RInsn::Trap`] stops the machine.
+///
+/// Traps are *statically known* guest faults the translator discovers at
+/// translation time and materialises as a terminator, so the translated
+/// path reports them with the same precision as the reference
+/// interpreter: the guest code before the faulting point still executes
+/// (and may fault on its own first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapCause {
+    /// `int` with a vector the virtual machine does not implement.
+    BadInterrupt {
+        /// The interrupt vector.
+        vector: u8,
+    },
+    /// Guest bytes at `addr` do not decode (unsupported opcode, truncated
+    /// instruction, or unmapped code page reached mid-block).
+    Undecodable {
+        /// Guest address of the undecodable instruction.
+        addr: u32,
+    },
+}
+
 /// One host instruction.
 ///
 /// # Examples
@@ -321,6 +343,11 @@ pub enum RInsn {
     },
     /// Proxy a guest system call (registers already hold the x86 state).
     Sys,
+    /// Raise a statically known guest fault (see [`TrapCause`]).
+    Trap {
+        /// Why the machine faults here.
+        cause: TrapCause,
+    },
     /// Stop the virtual machine.
     Hlt,
     /// No operation.
@@ -348,6 +375,7 @@ impl RInsn {
             self,
             RInsn::Dispatch { .. }
                 | RInsn::Sys
+                | RInsn::Trap { .. }
                 | RInsn::Hlt
                 | RInsn::Jump {
                     target: BranchTarget::Guest(_)

@@ -418,6 +418,15 @@ pub fn decode<S: CodeSource + ?Sized>(src: &S, addr: u32) -> Result<Insn, Decode
         0x8D => {
             insn.op = Op::Lea;
             let (rm, reg) = modrm(&mut cur)?;
+            // `lea r32, r32` (mod == 3) is #UD on real hardware; reject
+            // it here so neither execution path sees a register source.
+            if !matches!(rm, Operand::Mem(_)) {
+                return Err(DecodeError::Unsupported {
+                    addr,
+                    opcode,
+                    two_byte: false,
+                });
+            }
             insn.dst = Some(Operand::Reg(Reg::from_num(reg)));
             insn.src = Some(rm);
             done!();

@@ -5,6 +5,31 @@
 //! translator's generated host code is property-tested against them
 //! (flags the architecture leaves undefined are given one deterministic
 //! definition here so both sides always agree).
+//!
+//! # Shift and rotate conventions
+//!
+//! x86 masks every shift/rotate count to 5 bits and leaves several flag
+//! outcomes architecturally undefined. This module pins them down once,
+//! for every operand width, and every other layer (reference interpreter,
+//! shift helper, codegen's flag materialisation) inherits the choice:
+//!
+//! * **Count 0 (after the 5-bit mask)** — the operation is a complete
+//!   no-op: value and *all* flags are unchanged.
+//! * **`OF` for counts > 1** — architecturally undefined; defined here as
+//!   the count-1 formula applied to the final result: [`shl`] uses
+//!   `msb(result) ^ CF`, [`shr`] uses `msb(original)`, [`sar`] clears it,
+//!   [`rol`] uses `msb(result) ^ CF`, and [`ror`] uses
+//!   `msb(result) ^ bit(result, width-2)`.
+//! * **Shift counts at or past the operand width** (possible for 8/16-bit
+//!   operands, where the 5-bit mask does not clamp to the width) — the
+//!   result is fully shifted out (zero, or sign-fill for [`sar`]); `CF` is
+//!   the last bit genuinely shifted out, i.e. for `count == width` it is
+//!   bit 0 ([`shl`]) or the sign bit ([`shr`]/[`sar`]), and for
+//!   `count > width` it is cleared ([`sar`] keeps the sign copy).
+//! * **Sub-width rotates by a multiple of the width** (e.g. an 8-bit
+//!   rotate by 16): the value is unchanged, but because the *masked* count
+//!   is nonzero the rotate still writes `CF`/`OF` from the (unchanged)
+//!   result — matching how hardware reports the last rotated-out bit.
 
 use crate::insn::{Cond, Size};
 
@@ -471,6 +496,114 @@ mod tests {
         assert!(f.sf());
         let r = sar(&mut f, Size::Byte, 0x80, 2);
         assert_eq!(r, 0xE0);
+    }
+
+    #[test]
+    fn shift_cf_at_width_boundary() {
+        // Sub-width shifts where the 5-bit count mask does not clamp to the
+        // operand width: counts width-1, width, width+1 and 31 must follow
+        // the documented "last bit genuinely shifted out" convention.
+        for (size, bits) in [(Size::Byte, 8u32), (Size::Word, 16u32)] {
+            let a = 0x81u32; // bit 0 and bit 7 set, fits both widths
+            let msb = size.sign_bit();
+
+            // SHL count == width-1: result keeps only bit 0 shifted up.
+            let mut f = Flags::default();
+            let r = shl(&mut f, size, a, bits - 1);
+            assert_eq!(r, msb, "shl {bits}-bit by width-1");
+            assert!(!f.cf(), "shl by width-1 shifts out bit 1 (clear)");
+
+            // SHL count == width: everything out, CF = original bit 0.
+            let mut f = Flags::default();
+            let r = shl(&mut f, size, a, bits);
+            assert_eq!(r, 0);
+            assert!(f.cf(), "shl by width: CF = bit 0 of original");
+            assert!(f.zf());
+
+            // SHL count == width+1 and 31: zero result, CF cleared.
+            for c in [bits + 1, 31] {
+                let mut f = Flags::default();
+                f.set_cf(true);
+                let r = shl(&mut f, size, a, c);
+                assert_eq!(r, 0);
+                assert!(!f.cf(), "shl {bits}-bit by {c}: CF clears");
+            }
+
+            // SHR count == width-1: only the msb survives, at bit 0.
+            let mut f = Flags::default();
+            let r = shr(&mut f, size, msb | 1, bits - 1);
+            assert_eq!(r, 1, "shr {bits}-bit by width-1");
+            assert!(!f.cf());
+
+            // SHR count == width: CF = original msb.
+            let mut f = Flags::default();
+            let r = shr(&mut f, size, msb | 1, bits);
+            assert_eq!(r, 0);
+            assert!(f.cf(), "shr by width: CF = msb of original");
+
+            for c in [bits + 1, 31] {
+                let mut f = Flags::default();
+                f.set_cf(true);
+                let r = shr(&mut f, size, size.mask(), c);
+                assert_eq!(r, 0);
+                assert!(!f.cf(), "shr {bits}-bit by {c}: CF clears");
+            }
+
+            // SAR: sign-fills at/past the width; CF stays the sign copy.
+            for c in [bits, bits + 1, 31] {
+                let mut f = Flags::default();
+                let r = sar(&mut f, size, msb, c);
+                assert_eq!(r, size.mask(), "sar {bits}-bit by {c} sign-fills");
+                assert!(f.cf(), "sar negative by {c}: CF = sign copy");
+                let mut f = Flags::default();
+                f.set_cf(true);
+                let r = sar(&mut f, size, msb >> 1, c);
+                assert_eq!(r, 0);
+                assert!(!f.cf(), "sar positive by {c}: CF clears");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_width_rotate_by_width_multiple() {
+        // 8-bit rotates by 8/16/24 and 16-bit rotates by 16: the masked
+        // count is nonzero but a multiple of the width, so the value is
+        // unchanged while CF/OF are still written from the result.
+        for c in [8u32, 16, 24] {
+            let mut f = Flags::default();
+            f.set_of(true);
+            let r = rol(&mut f, Size::Byte, 0x81, c);
+            assert_eq!(r, 0x81, "8-bit rol by {c} is value-identity");
+            assert!(f.cf(), "rol CF = bit 0 of result");
+            assert!(!f.of(), "rol OF = msb(r) ^ CF = 1 ^ 1 = 0");
+        }
+
+        for c in [8u32, 16, 24] {
+            let mut f = Flags::default();
+            let r = ror(&mut f, Size::Byte, 0x81, c);
+            assert_eq!(r, 0x81, "8-bit ror by {c} is value-identity");
+            assert!(f.cf(), "ror CF = msb of result");
+            assert!(f.of(), "ror OF = msb ^ bit6 = 1 ^ 0 = 1");
+        }
+
+        let mut f = Flags::default();
+        let r = rol(&mut f, Size::Word, 0x8001, 16);
+        assert_eq!(r, 0x8001, "16-bit rol by 16 is value-identity");
+        assert!(f.cf() && !f.of());
+        let mut f = Flags::default();
+        let r = ror(&mut f, Size::Word, 0x8001, 16);
+        assert_eq!(r, 0x8001);
+        assert!(f.cf(), "ror CF = msb");
+        assert!(f.of(), "ror OF = msb ^ bit14 = 1 ^ 0 = 1");
+
+        // Count 0 after the 5-bit mask really is a full no-op (contrast
+        // with the cases above where only the *value* is unchanged).
+        let mut f = Flags::default();
+        f.set_cf(true);
+        f.set_of(true);
+        let r = rol(&mut f, Size::Byte, 0x40, 32);
+        assert_eq!(r, 0x40);
+        assert!(f.cf() && f.of(), "masked count 0 leaves flags alone");
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Table-driven decoder tests for ModRM/SIB edge cases.
+//!
+//! These encodings are where IA-32's addressing-mode escape hatches
+//! live — EBP loses its base role at `mod == 0`, ESP in the `rm` field
+//! means "SIB follows", index 4 means "no index" — and they are exactly
+//! the shapes raw-byte differential fuzzing leans on. Each table row
+//! decodes a hand-assembled byte string and checks the full decoded
+//! form (op, size, operands, length).
+
+use vta_x86::decode::{decode, DecodeError, SliceSource};
+use vta_x86::{Insn, MemRef, Op, Operand, Reg, Size};
+
+const BASE: u32 = 0x0800_0000;
+
+fn decode_one(bytes: &[u8]) -> Result<Insn, DecodeError> {
+    let src = SliceSource::new(BASE, bytes);
+    decode(&src, BASE)
+}
+
+fn mem(insn: &Insn) -> MemRef {
+    match insn.src {
+        Some(Operand::Mem(m)) => m,
+        other => panic!("expected memory src, got {other:?}"),
+    }
+}
+
+#[test]
+fn modrm_ebp_base_needs_disp() {
+    // mod == 1: EBP base with sign-extended disp8, both signs.
+    let rows: [(&[u8], i32); 3] = [
+        (&[0x8B, 0x45, 0x08], 8),  // mov eax, [ebp+8]
+        (&[0x8B, 0x45, 0xFC], -4), // mov eax, [ebp-4]
+        (&[0x8B, 0x45, 0x00], 0),  // mov eax, [ebp+0] — canonical [ebp]
+    ];
+    for (bytes, disp) in rows {
+        let insn = decode_one(bytes).expect("decodes");
+        assert_eq!(insn.op, Op::Mov);
+        assert_eq!(insn.len as usize, bytes.len());
+        assert_eq!(
+            mem(&insn),
+            MemRef {
+                base: Some(Reg::EBP),
+                index: None,
+                disp
+            },
+            "bytes {bytes:02x?}"
+        );
+    }
+
+    // mod == 2: EBP base with disp32.
+    let insn = decode_one(&[0x8B, 0x85, 0x80, 0x00, 0x00, 0x00]).expect("decodes");
+    assert_eq!(insn.len, 6);
+    assert_eq!(mem(&insn), MemRef::base_disp(Reg::EBP, 0x80));
+
+    // mod == 0, rm == 5 is NOT [ebp]: it is absolute disp32.
+    let insn = decode_one(&[0x8B, 0x05, 0x44, 0x33, 0x22, 0x11]).expect("decodes");
+    assert_eq!(insn.len, 6);
+    assert_eq!(mem(&insn), MemRef::abs(0x1122_3344));
+}
+
+#[test]
+fn sib_index_and_base_escapes() {
+    // SIB with index 4 = no index: mov eax, [esp].
+    let insn = decode_one(&[0x8B, 0x04, 0x24]).expect("decodes");
+    assert_eq!(insn.len, 3);
+    assert_eq!(
+        mem(&insn),
+        MemRef {
+            base: Some(Reg::ESP),
+            index: None,
+            disp: 0
+        }
+    );
+
+    // SIB base 5 at mod == 0 = no base, disp32 follows (index kept).
+    let insn = decode_one(&[0x8B, 0x04, 0x8D, 0x44, 0x33, 0x22, 0x11]).expect("decodes");
+    assert_eq!(insn.len, 7);
+    assert_eq!(
+        mem(&insn),
+        MemRef {
+            base: None,
+            index: Some((Reg::ECX, 4)),
+            disp: 0x1122_3344
+        }
+    );
+
+    // SIB base 5 at mod == 0 with index 4 too: bare [disp32] via SIB.
+    let insn = decode_one(&[0x8B, 0x04, 0x25, 0x44, 0x33, 0x22, 0x11]).expect("decodes");
+    assert_eq!(insn.len, 7);
+    assert_eq!(
+        mem(&insn),
+        MemRef {
+            base: None,
+            index: None,
+            disp: 0x1122_3344
+        }
+    );
+
+    // SIB base 5 at mod == 1 IS an EBP base (plus disp8 and index).
+    let insn = decode_one(&[0x8B, 0x44, 0x8D, 0x10]).expect("decodes");
+    assert_eq!(insn.len, 4);
+    assert_eq!(
+        mem(&insn),
+        MemRef {
+            base: Some(Reg::EBP),
+            index: Some((Reg::ECX, 4)),
+            disp: 0x10
+        }
+    );
+
+    // Scale bits apply even with an EBP base: [ebp+esi*8-0x20].
+    let insn = decode_one(&[0x8B, 0x44, 0xF5, 0xE0]).expect("decodes");
+    assert_eq!(
+        mem(&insn),
+        MemRef {
+            base: Some(Reg::EBP),
+            index: Some((Reg::ESI, 8)),
+            disp: -0x20
+        }
+    );
+}
+
+#[test]
+fn operand_size_prefix_narrows_to_word() {
+    // 66 8b 45 08: mov ax, [ebp+8] — Word size, same addressing form.
+    let insn = decode_one(&[0x66, 0x8B, 0x45, 0x08]).expect("decodes");
+    assert_eq!(insn.op, Op::Mov);
+    assert_eq!(insn.size, Size::Word);
+    assert_eq!(insn.len, 4);
+    assert_eq!(mem(&insn), MemRef::base_disp(Reg::EBP, 8));
+
+    // 66 05 imm16: add ax, 0x1234 — the immediate narrows with the size.
+    let insn = decode_one(&[0x66, 0x05, 0x34, 0x12]).expect("decodes");
+    assert_eq!(insn.op, Op::Add);
+    assert_eq!(insn.size, Size::Word);
+    assert_eq!(insn.len, 4);
+    assert_eq!(insn.dst, Some(Operand::Reg(Reg::EAX)));
+    assert_eq!(insn.src, Some(Operand::Imm(0x1234)));
+
+    // 66 c1 e0 05: shl ax, 5 — shift count stays a byte immediate.
+    let insn = decode_one(&[0x66, 0xC1, 0xE0, 0x05]).expect("decodes");
+    assert_eq!(insn.op, Op::Shl);
+    assert_eq!(insn.size, Size::Word);
+    assert_eq!(insn.src, Some(Operand::Imm(5)));
+}
+
+#[test]
+fn lea_requires_memory_operand() {
+    // lea with mod == 3 (register source) is #UD on hardware; the
+    // decoder must reject it rather than hand Op::Lea a register
+    // operand (both execution paths used to panic on it — see the
+    // lea-reg-reg-ud corpus entry).
+    for modrm in [0xC0u8, 0xD8, 0xFF] {
+        match decode_one(&[0x8D, modrm]) {
+            Err(DecodeError::Unsupported { opcode: 0x8D, .. }) => {}
+            other => panic!("lea mod==3 (modrm {modrm:#04x}) decoded to {other:?}"),
+        }
+    }
+
+    // The memory forms still decode fine.
+    let insn = decode_one(&[0x8D, 0x44, 0x24, 0x10]).expect("decodes");
+    assert_eq!(insn.op, Op::Lea);
+    assert_eq!(
+        mem(&insn),
+        MemRef {
+            base: Some(Reg::ESP),
+            index: None,
+            disp: 0x10
+        }
+    );
+}

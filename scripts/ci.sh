@@ -97,6 +97,24 @@ run_stage "determinism (threads 1/4/$(nproc))" \
 run_stage "metrics (perf --metrics --check)" \
     cargo run --release -q -p vta-bench --bin perf -- --metrics --check
 
+# Fuzz stage: differential fuzzing of the x86 front end. Two parts,
+# both deterministic and offline: (1) every committed minimized
+# reproducer in the regression corpus must replay clean through the
+# three-way oracle, and (2) a fixed-seed generated batch must complete
+# with zero divergences. Fixed seeds mean the same case stream and the
+# same verdicts on every host; the binary exits nonzero (printing a
+# ready-to-commit corpus file) on any divergence.
+fuzz_stage() {
+    cargo run --release -q -p vta-bench --bin fuzz -- \
+        --corpus crates/ir/tests/corpus
+    cargo run --release -q -p vta-bench --bin fuzz -- \
+        --cases 3000 --seed 0x5EED
+    cargo run --release -q -p vta-bench --bin fuzz -- \
+        --cases 2000 --seed 3
+}
+run_stage "fuzz (fixed-seed smoke)" \
+    fuzz_stage
+
 # Scaling gate: parallelism must actually pay off where it can. A
 # single-core host cannot speed anything up with threads (only measure
 # scheduler overhead), so the assertion is gated on available cores;
