@@ -9,7 +9,13 @@
 //! cargo run --release -p vta-bench --bin perf -- --scaling     # refresh parallel JSON
 //! cargo run --release -p vta-bench --bin perf -- --check       # verify determinism
 //! cargo run --release -p vta-bench --bin perf -- --metrics     # windowed time series
+//! cargo run --release -p vta-bench --bin perf -- --superblock  # refresh superblock A/B JSON
 //! ```
+//!
+//! `--superblock` runs the region-formation A/B matrix (gzip/mcf/crafty/
+//! interp × both opt levels × superblocks off/on), re-derives the
+//! paper-default fingerprints at 1/4/nproc host threads to attest
+//! thread-count invariance, and writes `BENCH_superblock.json`.
 //!
 //! `--metrics [--bench B] [--interval N] [--threads N]` runs one
 //! benchmark at `Scale::Test` with the windowed metrics layer on and
@@ -41,7 +47,8 @@
 use vta_bench::metrics::{metrics_benchmark, phase_summary, series_csv, series_json};
 use vta_bench::perf::{
     cycle_fingerprint, cycle_fingerprint_with_pool, parse_fingerprints, render_json,
-    render_parallel_json, run_fig5_probe, validate_parallel, Fingerprint, ParallelPoint, SweepPerf,
+    render_parallel_json, render_superblock_json, run_fig5_probe, superblock_cells,
+    superblock_highlights, validate_parallel, Fingerprint, ParallelPoint, SweepPerf,
 };
 use vta_bench::trace::chrome_trace_json_with_metrics;
 use vta_dbt::VirtualArchConfig;
@@ -193,6 +200,61 @@ fn scaling() -> i32 {
     0
 }
 
+/// `--superblock` mode: attest fingerprint thread-count invariance,
+/// run the region-formation A/B matrix, and write
+/// `BENCH_superblock.json`. Returns the process exit code.
+fn superblock_mode() -> i32 {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut widths = vec![1usize, 4, cores];
+    widths.dedup();
+    let base = cycle_fingerprint(1);
+    for &w in &widths[1..] {
+        let fp = cycle_fingerprint(w);
+        if fp != base {
+            eprintln!("--superblock: fingerprints diverged at {w} host threads");
+            return 1;
+        }
+    }
+    println!(
+        "--superblock: fingerprints identical at {:?} host threads",
+        widths
+    );
+    let cells = superblock_cells();
+    for c in &cells {
+        println!(
+            "--superblock: {:>7} opt={:<4} sb={:<5} cycles {:>12} block-exits/kinsn {:>8.3} \
+             inline_hit {:>8} wall {:.3}s",
+            c.bench,
+            c.opt,
+            c.superblock,
+            c.cycles,
+            c.block_exits_per_kinsn(),
+            c.inline_hit,
+            c.wall_seconds
+        );
+    }
+    let highlights = superblock_highlights();
+    for h in &highlights {
+        println!(
+            "--superblock: large {:>7} cycles {:>12} -> {:>12} block-exits/kinsn \
+             {:>8.3} -> {:>8.3} wall {:.3}s -> {:.3}s",
+            h.bench,
+            h.cycles_off,
+            h.cycles_on,
+            h.block_exits_off,
+            h.block_exits_on,
+            h.wall_off,
+            h.wall_on
+        );
+    }
+    let json = render_superblock_json(&cells, &highlights, true);
+    std::fs::write("BENCH_superblock.json", &json).expect("write BENCH_superblock.json");
+    println!("wrote BENCH_superblock.json");
+    0
+}
+
 /// The committed metrics golden: benchmark, interval, and file name.
 /// Serial on purpose — host-pool gauges are only registered when a
 /// worker pool spawns, so the serial column set is host-independent.
@@ -323,6 +385,9 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--scaling") {
         std::process::exit(scaling());
+    }
+    if std::env::args().any(|a| a == "--superblock") {
+        std::process::exit(superblock_mode());
     }
     let write = std::env::args().any(|a| a == "--write");
     let (after, _) = run_fig5_probe(

@@ -154,15 +154,18 @@ pub fn piii_cycles_for(bench: &str, image: &GuestImage) -> u64 {
         .cycles
 }
 
-/// One [`SharedTranslations`] memo per distinct opt level in `configs`.
+/// One [`SharedTranslations`] memo per distinct `(opt level, superblock)`
+/// pair in `configs` — translations formed under different region limits
+/// are not interchangeable, and `attach_shared` would (silently) refuse
+/// a memo whose limits disagree with the system's.
 fn shared_per_opt(
     configs: &[(String, VirtualArchConfig)],
-) -> HashMap<OptLevel, Arc<SharedTranslations>> {
+) -> HashMap<(OptLevel, bool), Arc<SharedTranslations>> {
     let mut memos = HashMap::new();
     for (_, cfg) in configs {
         memos
-            .entry(cfg.opt)
-            .or_insert_with(|| SharedTranslations::new(cfg.opt));
+            .entry((cfg.opt, cfg.superblock))
+            .or_insert_with(|| SharedTranslations::with_limits(cfg.opt, cfg.region_limits()));
     }
     memos
 }
@@ -233,7 +236,7 @@ pub fn sweep_threads(
 
     // Per-benchmark accelerators shared by that benchmark's cells: the
     // translation memo (per opt level) and the PIII baseline cycles.
-    let memos: Vec<HashMap<OptLevel, Arc<SharedTranslations>>> =
+    let memos: Vec<HashMap<(OptLevel, bool), Arc<SharedTranslations>>> =
         suite.iter().map(|_| shared_per_opt(configs)).collect();
     let piii: Vec<u64> = bounded_map(threads, suite.len(), |b| {
         piii_cycles_for(suite[b].name, &suite[b].image)
@@ -248,7 +251,7 @@ pub fn sweep_threads(
             &w.image,
             label,
             cfg.clone(),
-            memos[b].get(&cfg.opt),
+            memos[b].get(&(cfg.opt, cfg.superblock)),
             Some(piii[b]),
         )
     })

@@ -34,14 +34,24 @@ pub struct BlockHandle {
     gen: u32,
 }
 
-/// One arena slot: the resident block plus the slot's generation and a
-/// small direct-chain successor cache (a block terminator names at most
-/// two static targets, so two entries never thrash).
+/// One arena slot: the resident block plus the slot's generation, a small
+/// direct-chain successor cache, and an inline indirect-target cache.
+///
+/// The successor cache has four entries: a basic block's terminator names
+/// at most two static targets, but a superblock region also exits through
+/// its side exits and SMC-guard resumes, so its direct-exit fanout is
+/// wider. The indirect cache (`itc`) models the small per-site
+/// target-prediction cache patched next to a translated `ret`/indirect
+/// `jmp` — the paper's return predictor generalized — and is checked
+/// before falling back to dispatch.
 #[derive(Debug, Clone)]
 struct Slot {
     block: Option<Arc<TBlock>>,
     gen: u32,
-    succ: [Option<(u32, BlockHandle)>; 2],
+    succ: [Option<(u32, BlockHandle)>; 4],
+    itc: [Option<(u32, BlockHandle)>; 4],
+    /// Round-robin eviction cursor for `itc` (deterministic).
+    itc_next: u8,
 }
 
 const EMPTY: u32 = u32::MAX;
@@ -152,14 +162,56 @@ impl L1Code {
         if slot.gen != h.gen {
             return;
         }
-        // Reuse a matching or empty entry, else evict the second (a
-        // terminator has at most two static targets).
+        // Reuse a matching or empty entry, else evict the last (direct
+        // exits of one block rarely exceed the four entries).
         let idx = slot
             .succ
             .iter()
             .position(|e| e.is_none() || e.is_some_and(|(t, _)| t == target))
-            .unwrap_or(1);
+            .unwrap_or(slot.succ.len() - 1);
         slot.succ[idx] = Some((target, succ));
+    }
+
+    /// The inline-cache prediction of `h`'s block for indirect target
+    /// `target`, if cached and still valid.
+    #[inline]
+    pub fn cached_indirect(&self, h: BlockHandle, target: u32) -> Option<BlockHandle> {
+        let slot = &self.slots[h.slot as usize];
+        if slot.gen != h.gen {
+            return None;
+        }
+        for entry in slot.itc.iter().flatten() {
+            if entry.0 == target {
+                let s = entry.1;
+                if self.slots[s.slot as usize].gen == s.gen {
+                    return Some(s);
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Records `succ` in `h`'s inline indirect-target cache under guest
+    /// target `target` (round-robin eviction when full).
+    pub fn cache_indirect(&mut self, h: BlockHandle, target: u32, succ: BlockHandle) {
+        let slot = &mut self.slots[h.slot as usize];
+        if slot.gen != h.gen {
+            return;
+        }
+        let idx = match slot
+            .itc
+            .iter()
+            .position(|e| e.is_none() || e.is_some_and(|(t, _)| t == target))
+        {
+            Some(i) => i,
+            None => {
+                let i = slot.itc_next as usize % slot.itc.len();
+                slot.itc_next = slot.itc_next.wrapping_add(1);
+                i
+            }
+        };
+        slot.itc[idx] = Some((target, succ));
     }
 
     /// Looks up a resident translation.
@@ -249,13 +301,17 @@ impl L1Code {
         if let Some(i) = self.free_slots.pop() {
             let s = &mut self.slots[i as usize];
             s.block = Some(block);
-            s.succ = [None; 2];
+            s.succ = [None; 4];
+            s.itc = [None; 4];
+            s.itc_next = 0;
             i
         } else {
             self.slots.push(Slot {
                 block: Some(block),
                 gen: 0,
-                succ: [None; 2],
+                succ: [None; 4],
+                itc: [None; 4],
+                itc_next: 0,
             });
             (self.slots.len() - 1) as u32
         }
@@ -265,7 +321,9 @@ impl L1Code {
         let s = &mut self.slots[i as usize];
         s.block = None;
         s.gen = s.gen.wrapping_add(1);
-        s.succ = [None; 2];
+        s.succ = [None; 4];
+        s.itc = [None; 4];
+        s.itc_next = 0;
         self.free_slots.push(i);
     }
 
@@ -444,6 +502,12 @@ impl L2Code {
         self.in_flight.get(&guest_addr).copied()
     }
 
+    /// Clears an in-flight mark without committing (the translation was
+    /// dropped: cancelled by SMC, or its shape went stale).
+    pub fn clear_in_flight(&mut self, guest_addr: u32) {
+        self.in_flight.remove(&guest_addr);
+    }
+
     /// Drops a translation (self-modifying-code invalidation).
     pub fn invalidate(&mut self, guest_addr: u32) {
         if let Some(b) = self.blocks.remove(&guest_addr) {
@@ -476,6 +540,8 @@ mod tests {
             translate_cycles: 100,
             term: vta_ir::mir::Term::Halt,
             is_call: false,
+            ranges: vec![(addr, 4)],
+            member_insns: vec![1],
         })
     }
 
@@ -556,6 +622,32 @@ mod tests {
         l1.cache_succ(a, 0x4000, c);
         assert_eq!(l1.cached_succ(a, 0x2000), Some(b2));
         assert_eq!(l1.cached_succ(a, 0x4000), Some(c));
+    }
+
+    #[test]
+    fn l1_inline_indirect_cache() {
+        let mut l1 = L1Code::new(1000);
+        l1.insert(block(0x1000, 5));
+        let a = l1.lookup(0x1000).unwrap();
+        for (i, addr) in [0x2000u32, 0x3000, 0x4000, 0x5000].iter().enumerate() {
+            l1.insert(block(*addr, 1));
+            let t = l1.lookup(*addr).unwrap();
+            l1.cache_indirect(a, *addr, t);
+            assert_eq!(l1.cached_indirect(a, *addr), Some(t), "entry {i}");
+        }
+        // A fifth target evicts round-robin; the cache still answers for
+        // the newest entry and misses cleanly on the evicted one.
+        l1.insert(block(0x6000, 1));
+        let t6 = l1.lookup(0x6000).unwrap();
+        l1.cache_indirect(a, 0x6000, t6);
+        assert_eq!(l1.cached_indirect(a, 0x6000), Some(t6));
+        assert_eq!(l1.cached_indirect(a, 0x2000), None, "evicted");
+        // Invalidating a cached target's translation revokes the entry.
+        l1.invalidate(0x6000);
+        assert_eq!(l1.cached_indirect(a, 0x6000), None, "stale generation");
+        // Invalidating the *source* block revokes the whole cache.
+        l1.invalidate(0x1000);
+        assert_eq!(l1.cached_indirect(a, 0x3000), None);
     }
 
     #[test]

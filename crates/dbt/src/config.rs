@@ -8,7 +8,7 @@
 //! MMU, L2 data banks next to the MMU, L1.5 banks next to the execution
 //! tile — "spatial pipelining takes into account wire delays", §2.2).
 
-use vta_ir::OptLevel;
+use vta_ir::{OptLevel, RegionLimits};
 use vta_raw::TileId;
 
 /// Dynamic-reconfiguration (morphing) parameters.
@@ -137,6 +137,16 @@ pub struct VirtualArchConfig {
     pub placement: Placement,
     /// Translation optimization level (Figure 8's knob).
     pub opt: OptLevel,
+    /// Whether hot code may be *promoted* to superblock regions: a
+    /// taken loop backedge (or a capped region continuing into a known
+    /// successor) marks its target, a slave retranslates it as a
+    /// multi-block region along the predicted path in the background,
+    /// and the commit swaps it in for the resident single-block
+    /// translation. Ordinary (demand/speculative/host-pool)
+    /// translation always stays single-block; the triggers are purely
+    /// architectural, so the knob never perturbs determinism. Only
+    /// effective at [`OptLevel::Full`]; see [`Self::region_limits`].
+    pub superblock: bool,
     /// Whether slaves translate ahead speculatively (`false` =
     /// the paper's "1 conservative translator" baseline).
     pub speculation: bool,
@@ -167,6 +177,7 @@ impl VirtualArchConfig {
             height: 4,
             placement: Placement::layout(2, 4, 6),
             opt: OptLevel::Full,
+            superblock: true,
             speculation: true,
             max_spec_depth: 5,
             l1_code_bytes: 24 * 1024,
@@ -218,6 +229,18 @@ impl VirtualArchConfig {
     /// Number of translation slave tiles.
     pub fn translators(&self) -> usize {
         self.placement.slaves.len()
+    }
+
+    /// The region-formation limits all translation in this configuration
+    /// uses (inline demand translation, speculative slaves, and the host
+    /// translation pool must agree or host-produced blocks would diverge
+    /// from inline ones).
+    pub fn region_limits(&self) -> RegionLimits {
+        if self.superblock {
+            RegionLimits::for_opt(self.opt)
+        } else {
+            RegionLimits::single()
+        }
     }
 }
 

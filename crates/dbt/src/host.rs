@@ -42,7 +42,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use vta_ir::{translate_block, OptLevel, ReadSet, RecordingSource, TBlock};
+use vta_ir::{translate_region, OptLevel, ReadSet, RecordingSource, RegionLimits, TBlock};
 use vta_x86::GuestMem;
 
 use crate::specq::ShardedSpecQueue;
@@ -129,9 +129,18 @@ pub struct HostTranslators {
 }
 
 impl HostTranslators {
-    /// Spawns `workers` threads translating at `opt` from a snapshot of
-    /// `mem`.
-    pub fn new(workers: usize, opt: OptLevel, mem: &GuestMem) -> HostTranslators {
+    /// Spawns `workers` threads translating at `opt` under `limits` from
+    /// a snapshot of `mem`. The limits must equal the shape the
+    /// coordinator uses for pool-eligible addresses — since promoted
+    /// (region-shaped) pcs are never submitted to the pool, that is
+    /// always [`RegionLimits::single`]; anything else would let a
+    /// worker block diverge from inline translation.
+    pub fn new(
+        workers: usize,
+        opt: OptLevel,
+        limits: RegionLimits,
+        mem: &GuestMem,
+    ) -> HostTranslators {
         let workers = workers.max(1);
         let queue = Arc::new(ShardedSpecQueue::new(workers));
         let shared = Arc::new(PoolShared {
@@ -149,7 +158,7 @@ impl HostTranslators {
                 let tx = tx.clone();
                 std::thread::Builder::new()
                     .name(format!("vta-xlate-{i}"))
-                    .spawn(move || worker_loop(i, opt, &queue, &shared, &tx))
+                    .spawn(move || worker_loop(i, opt, limits, &queue, &shared, &tx))
                     .expect("spawn translation worker")
             })
             .collect();
@@ -269,6 +278,7 @@ impl Drop for HostTranslators {
 fn worker_loop(
     idx: usize,
     opt: OptLevel,
+    limits: RegionLimits,
     queue: &ShardedSpecQueue,
     shared: &PoolShared,
     tx: &Sender<Commit>,
@@ -286,7 +296,7 @@ fn worker_loop(
             Err(_) => break,
         };
         let rec = RecordingSource::new(&*snap);
-        let result = translate_block(&rec, addr, opt)
+        let result = translate_region(&rec, addr, opt, &limits)
             .ok()
             .map(|b| (rec.into_read_set(), Arc::new(b)));
         let seq = shared.commit_seq.fetch_add(1, Ordering::Relaxed);
@@ -335,10 +345,10 @@ mod tests {
     fn worker_translation_matches_inline() {
         let img = image();
         let mem = img.build_mem();
-        let mut pool = HostTranslators::new(2, OptLevel::Full, &mem);
+        let mut pool = HostTranslators::new(2, OptLevel::Full, RegionLimits::single(), &mem);
         pool.submit(img.entry, 0);
         let b = wait_hit(&mut pool, img.entry, &mem).expect("worker translated");
-        let inline = translate_block(&mem, img.entry, OptLevel::Full).expect("inline");
+        let inline = vta_ir::translate_block(&mem, img.entry, OptLevel::Full).expect("inline");
         assert_eq!(b.code, inline.code, "bit-identical host code");
         assert_eq!(b.translate_cycles, inline.translate_cycles);
         assert_eq!(b.guest_len, inline.guest_len);
@@ -346,10 +356,31 @@ mod tests {
     }
 
     #[test]
+    fn worker_region_translation_matches_inline() {
+        let mut asm = Asm::new(0x0800_0000);
+        asm.mov_ri(Reg::EAX, 1);
+        let l = asm.label();
+        asm.jmp(l);
+        asm.bind(l);
+        asm.add_ri(Reg::EAX, 2);
+        asm.exit_with_eax();
+        let img = GuestImage::from_code(asm.finish());
+        let mem = img.build_mem();
+        let limits = RegionLimits::for_opt(OptLevel::Full);
+        let mut pool = HostTranslators::new(2, OptLevel::Full, limits, &mem);
+        pool.submit(img.entry, 0);
+        let b = wait_hit(&mut pool, img.entry, &mem).expect("worker translated");
+        let inline = translate_region(&mem, img.entry, OptLevel::Full, &limits).expect("inline");
+        assert!(b.ranges.len() > 1, "region formed: {:?}", b.ranges);
+        assert_eq!(b.code, inline.code, "bit-identical host code");
+        assert_eq!(b.ranges, inline.ranges);
+    }
+
+    #[test]
     fn stale_footprint_is_evicted_not_served() {
         let img = image();
         let mut mem = img.build_mem();
-        let mut pool = HostTranslators::new(1, OptLevel::Full, &mem);
+        let mut pool = HostTranslators::new(1, OptLevel::Full, RegionLimits::single(), &mem);
         pool.submit(img.entry, 0);
         wait_hit(&mut pool, img.entry, &mem).expect("initial hit");
         // Overwrite the first code byte in *live* memory only; the
@@ -366,7 +397,7 @@ mod tests {
         pool.resnapshot(&mem);
         pool.submit(img.entry, 0);
         if let Some(b) = wait_hit(&mut pool, img.entry, &mem) {
-            let inline = translate_block(&mem, img.entry, OptLevel::Full);
+            let inline = vta_ir::translate_block(&mem, img.entry, OptLevel::Full);
             match inline {
                 Ok(i) => assert_eq!(b.code, i.code),
                 Err(_) => panic!("cache served a block inline translation rejects"),
@@ -378,7 +409,7 @@ mod tests {
     fn failed_translations_are_counted_not_cached() {
         let img = image();
         let mem = img.build_mem();
-        let mut pool = HostTranslators::new(1, OptLevel::Full, &mem);
+        let mut pool = HostTranslators::new(1, OptLevel::Full, RegionLimits::single(), &mem);
         // An unmapped address: every fetch misses, translation fails.
         pool.submit(0x4000_0000, 0);
         let deadline = Instant::now() + Duration::from_secs(10);

@@ -2,7 +2,9 @@
 //!
 //! A parameter sweep (Figure 5) runs the same guest binary under dozens
 //! of virtual-architecture configurations. The translator is a pure
-//! function of `(code bytes, address, opt level)`, so every cell
+//! function of `(code bytes, address, opt level, shape)` — where the
+//! shape says whether the address was translated as a single basic block
+//! or promoted to a superblock region — so every cell
 //! re-deriving the same ~thousands of translations is wasted host work —
 //! it dominated sweep wall-clock. [`SharedTranslations`] is an opt-in,
 //! thread-safe memo attached to each [`System`](crate::System) in a
@@ -26,12 +28,14 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use vta_ir::{OptLevel, TBlock};
+use vta_ir::{OptLevel, RegionLimits, TBlock};
 use vta_x86::GuestMem;
 
 struct Entry {
-    /// The guest code bytes the translation was derived from.
-    bytes: Vec<u8>,
+    /// The guest code bytes of each member range the translation was
+    /// derived from (one entry per `TBlock::ranges` element — a
+    /// superblock is only reusable while *every* member's bytes match).
+    range_bytes: Vec<(u32, Vec<u8>)>,
     block: Arc<TBlock>,
 }
 
@@ -44,14 +48,25 @@ struct Entry {
 /// part of a consult.
 pub struct SharedTranslations {
     opt: OptLevel,
-    inner: Mutex<HashMap<u32, Arc<Entry>>>,
+    limits: RegionLimits,
+    /// Keyed by `(guest address, region shape)`: a promoted region and
+    /// the plain single-block translation of the same address coexist.
+    inner: Mutex<HashMap<(u32, bool), Arc<Entry>>>,
 }
 
 impl SharedTranslations {
-    /// Creates an empty memo for translations at `opt`.
+    /// Creates an empty memo for translations at `opt`, with the region
+    /// limits that opt level forms superblocks under.
     pub fn new(opt: OptLevel) -> Arc<SharedTranslations> {
+        Self::with_limits(opt, RegionLimits::for_opt(opt))
+    }
+
+    /// Creates an empty memo for translations at `opt` under explicit
+    /// region-formation `limits` (must match every attached system's).
+    pub fn with_limits(opt: OptLevel, limits: RegionLimits) -> Arc<SharedTranslations> {
         Arc::new(SharedTranslations {
             opt,
+            limits,
             inner: Mutex::new(HashMap::new()),
         })
     }
@@ -61,26 +76,41 @@ impl SharedTranslations {
         self.opt
     }
 
+    /// The region-formation limits this memo's translations were made
+    /// under.
+    pub fn limits(&self) -> RegionLimits {
+        self.limits
+    }
+
     /// Returns the memoized translation at `addr` if the caller's guest
     /// memory still holds the exact bytes it was derived from.
-    pub(crate) fn consult(&self, mem: &GuestMem, addr: u32) -> Option<Arc<TBlock>> {
+    pub(crate) fn consult(&self, mem: &GuestMem, addr: u32, region: bool) -> Option<Arc<TBlock>> {
         // Probe under the lock, validate outside it.
-        let e = Arc::clone(self.inner.lock().ok()?.get(&addr)?);
-        let live = mem.read_bytes(addr, e.bytes.len() as u32).ok()?;
-        (live == e.bytes).then(|| Arc::clone(&e.block))
+        let e = Arc::clone(self.inner.lock().ok()?.get(&(addr, region))?);
+        for (a, bytes) in &e.range_bytes {
+            let live = mem.read_bytes(*a, bytes.len() as u32).ok()?;
+            if &live != bytes {
+                return None;
+            }
+        }
+        Some(Arc::clone(&e.block))
     }
 
     /// Publishes a freshly translated block (first writer wins).
-    pub(crate) fn publish(&self, mem: &GuestMem, block: &Arc<TBlock>) {
-        let Ok(bytes) = mem.read_bytes(block.guest_addr, block.guest_len) else {
-            return;
-        };
+    pub(crate) fn publish(&self, mem: &GuestMem, block: &Arc<TBlock>, region: bool) {
+        let mut range_bytes = Vec::with_capacity(block.ranges.len());
+        for &(addr, len) in &block.ranges {
+            let Ok(bytes) = mem.read_bytes(addr, len) else {
+                return;
+            };
+            range_bytes.push((addr, bytes));
+        }
         let entry = Arc::new(Entry {
-            bytes,
+            range_bytes,
             block: Arc::clone(block),
         });
         if let Ok(mut inner) = self.inner.lock() {
-            inner.entry(block.guest_addr).or_insert(entry);
+            inner.entry((block.guest_addr, region)).or_insert(entry);
         }
     }
 

@@ -31,6 +31,13 @@ pub struct InFlight {
     pub depth: u8,
     /// Cycle at which the finished block reaches the manager.
     pub done_at: Cycle,
+    /// Whether the block was translated as a superblock region. A
+    /// promotion that lands while the translation is in flight makes
+    /// the shape stale; the commit path drops such blocks.
+    pub region: bool,
+    /// Set by SMC invalidation: the block was translated from bytes
+    /// the guest has since overwritten, so the commit path drops it.
+    pub cancelled: bool,
     /// The result (precomputed functionally; timing charged via `done_at`).
     pub block: Option<Arc<TBlock>>,
 }
@@ -183,6 +190,18 @@ impl SlavePool {
         self.slaves.iter().map(|s| s.completed).sum()
     }
 
+    /// Marks every in-flight translation cancelled (SMC invalidation:
+    /// their functional results may derive from overwritten bytes).
+    /// The slaves still finish — the cycles were genuinely burned —
+    /// but the commit path discards the blocks.
+    pub fn cancel_in_flight(&mut self) {
+        for s in &mut self.slaves {
+            if let Some(c) = &mut s.current {
+                c.cancelled = true;
+            }
+        }
+    }
+
     /// The slave currently translating `addr`, if any.
     pub fn translating(&self, addr: u32) -> Option<usize> {
         self.slaves
@@ -204,6 +223,8 @@ mod tests {
             addr,
             depth: 0,
             done_at: Cycle(done),
+            region: false,
+            cancelled: false,
             block: None,
         }
     }

@@ -11,7 +11,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use vta_ir::mir::Term;
-use vta_ir::{apply_helper, translate_block, TBlock, TranslateError};
+use vta_ir::{apply_helper, translate_region, RegionLimits, TBlock, TranslateError};
 use vta_raw::exec::{run_block, BlockExit, CoreState, DataPort, Fault};
 use vta_raw::isa::{HelperKind, MemOp, RReg};
 use vta_raw::{Dram, TileId};
@@ -127,6 +127,17 @@ pub struct System {
     page_blocks: HashMap<u32, Vec<u32>>,
     /// Addresses whose translation failed (speculation into data).
     failed: HashSet<u32>,
+    /// Addresses promoted to superblock-region translation: loop-backedge
+    /// targets and capped-region continuations observed at dispatch. All
+    /// other translations stay single-block, so regions cover only the
+    /// measured hot path. The trigger is architectural (which branches
+    /// executed), never host timing, so promotion is deterministic and
+    /// thread-count invariant.
+    promoted: HashSet<u32>,
+    /// Promoted addresses whose region translation has not committed
+    /// yet. The resident single-block translation keeps executing while
+    /// the region forms in the background; the commit swaps it in.
+    region_pending: HashSet<u32>,
     /// Optional cross-system translation memo (sweeps).
     shared: Option<Arc<SharedTranslations>>,
     /// Host worker threads running the translator ahead of the
@@ -225,6 +236,8 @@ impl System {
             code_pages: HashSet::new(),
             page_blocks: HashMap::new(),
             failed: HashSet::new(),
+            promoted: HashSet::new(),
+            region_pending: HashSet::new(),
             shared: None,
             host: None,
             host_threads: host_threads_from_env(),
@@ -440,11 +453,11 @@ impl System {
     }
 
     /// Attaches a cross-system translation memo (see
-    /// [`SharedTranslations`]); refused if its opt level differs from
-    /// this system's. Purely a host-side accelerator: simulated cycle
-    /// counts are identical with or without it.
+    /// [`SharedTranslations`]); refused if its opt level or region
+    /// limits differ from this system's. Purely a host-side accelerator:
+    /// simulated cycle counts are identical with or without it.
     pub fn attach_shared(&mut self, shared: Arc<SharedTranslations>) {
-        if shared.opt() == self.cfg.opt {
+        if shared.opt() == self.cfg.opt && shared.limits() == self.cfg.region_limits() {
             self.shared = Some(shared);
         }
     }
@@ -476,42 +489,74 @@ impl System {
     /// Spawns the worker pool on first use when parallelism is enabled.
     fn ensure_host_pool(&mut self) {
         if self.host_threads > 1 && self.host.is_none() {
+            // The pool pre-translates the single-block shape only;
+            // promoted regions are rare and translated inline.
             self.host = Some(HostTranslators::new(
                 self.host_threads - 1,
                 self.cfg.opt,
+                RegionLimits::single(),
                 &self.mem,
             ));
             self.register_host_gauges();
         }
     }
 
-    /// Translates `pc` at the configured opt level, consulting and
-    /// feeding the shared memo when one is attached. The memo validates
-    /// the live guest bytes, so a hit is byte-for-byte what a fresh
-    /// translation would produce.
+    /// Whether `pc` must be translated as a superblock region: only
+    /// promoted addresses, and only under a region-capable configuration.
+    fn shape_for(&self, pc: u32) -> bool {
+        self.cfg.region_limits().max_blocks > 1 && self.promoted.contains(&pc)
+    }
+
+    /// Promotes `pc` to region shape: future translations root a
+    /// superblock there. The resident single-block translation stays
+    /// live — the execution tile never stalls on a promotion — and the
+    /// region translation is queued at high speculative priority; its
+    /// commit swaps out the single at every cache level. SMC revocation
+    /// leaves the promotion in place, so post-invalidation demand
+    /// retranslation is region-shaped again.
+    fn promote(&mut self, pc: u32) {
+        self.promoted.insert(pc);
+        self.region_pending.insert(pc);
+        self.stats.bump_ctr(Ctr::SuperblockPromotions);
+        self.queues.push(pc, 1);
+    }
+
+    /// Translates `pc` at the configured opt level — as a superblock
+    /// region when `region`, as a single basic block otherwise —
+    /// consulting and feeding the shared memo when one is attached. The
+    /// memo validates the live guest bytes and is keyed by shape, so a
+    /// hit is byte-for-byte what a fresh translation would produce.
     ///
     /// With host workers enabled the pool's validated cache is consulted
-    /// next: a hit there carries a read footprint proving it equals what
-    /// the inline call below would return, so the consult order is
+    /// next for single-block requests (the pool only pre-translates that
+    /// shape): a hit there carries a read footprint proving it equals
+    /// what the inline call below would return, so the consult order is
     /// host-observable only. A miss falls through to inline translation
     /// — today's serial path.
-    fn translate_at(&mut self, pc: u32) -> Result<Arc<TBlock>, TranslateError> {
+    fn translate_at(&mut self, pc: u32, region: bool) -> Result<Arc<TBlock>, TranslateError> {
+        let limits = if region {
+            self.cfg.region_limits()
+        } else {
+            RegionLimits::single()
+        };
         if let Some(sh) = &self.shared {
-            if let Some(b) = sh.consult(&self.mem, pc) {
+            if let Some(b) = sh.consult(&self.mem, pc, region) {
                 return Ok(b);
             }
         }
-        if let Some(host) = &mut self.host {
-            if let Some(b) = host.consult(pc, &self.mem) {
-                if let Some(sh) = &self.shared {
-                    sh.publish(&self.mem, &b);
+        if !region {
+            if let Some(host) = &mut self.host {
+                if let Some(b) = host.consult(pc, &self.mem) {
+                    if let Some(sh) = &self.shared {
+                        sh.publish(&self.mem, &b, region);
+                    }
+                    return Ok(b);
                 }
-                return Ok(b);
             }
         }
-        let b = Arc::new(translate_block(&self.mem, pc, self.cfg.opt)?);
+        let b = Arc::new(translate_region(&self.mem, pc, self.cfg.opt, &limits)?);
         if let Some(sh) = &self.shared {
-            sh.publish(&self.mem, &b);
+            sh.publish(&self.mem, &b, region);
         }
         Ok(b)
     }
@@ -568,19 +613,67 @@ impl System {
             self.now += outcome.cycles;
             self.tracer
                 .span(block_start, outcome.cycles, self.trk.exec, "block");
-            self.guest_insns += block.guest_insns as u64;
+            // Retired guest instructions: a side exit (or firing SMC
+            // guard) after `g` crossed member boundaries retired only
+            // members 0..=g; a full run retired the whole region.
+            let retired = if block.ranges.len() <= 1 {
+                block.guest_insns as u64
+            } else {
+                let g = outcome.guards_passed as usize;
+                if g + 1 >= block.member_insns.len() {
+                    block.guest_insns as u64
+                } else {
+                    block.member_insns[..=g].iter().map(|&n| n as u64).sum()
+                }
+            };
+            self.guest_insns += retired;
             self.stats.add_ctr(Ctr::HostInsns, outcome.insns);
             self.stats
                 .add_ctr(Ctr::ExecStallCycles, outcome.stall_cycles);
             self.stats.bump_ctr(Ctr::ExecBlocks);
+            if block.ranges.len() > 1 {
+                self.stats.bump_ctr(Ctr::SuperblockEntries);
+            }
 
             // Self-modifying-code invalidation.
+            let smc_fired = !smc.is_empty();
             for page in smc {
                 self.invalidate_page(page);
             }
 
             match outcome.exit {
                 BlockExit::Goto(t) => {
+                    // A direct exit that is not one of the terminator's
+                    // static targets left a superblock early: through a
+                    // side exit, or through an SMC boundary guard.
+                    if block.ranges.len() > 1 && !block.term.known_succs().contains(&t) {
+                        if smc_fired {
+                            self.stats.bump_ctr(Ctr::SuperblockSmcExits);
+                        } else {
+                            self.stats.bump_ctr(Ctr::SuperblockSideExits);
+                        }
+                    }
+                    // Region promotion. A backward direct exit marks `t`
+                    // as a loop head; a full run off the end of a capped
+                    // region marks its forward continuation, so long loop
+                    // bodies partition into back-to-back traces. Both
+                    // triggers depend only on which branches the guest
+                    // executed — never on host timing — so the resident
+                    // shape is identical across host thread counts.
+                    let limits = self.cfg.region_limits();
+                    if limits.max_blocks > 1 && !self.promoted.contains(&t) {
+                        let backedge = t < block.guest_addr;
+                        let full_run = retired == block.guest_insns as u64;
+                        let capped = block.ranges.len() as u32 >= limits.max_blocks
+                            || block.guest_insns + 4 > limits.max_insns;
+                        let continuation = block.ranges.len() > 1
+                            && full_run
+                            && capped
+                            && block.term.known_succs().contains(&t);
+                        if backedge || continuation {
+                            self.promote(t);
+                        }
+                    }
                     let succ = handle.and_then(|h| self.l1.cached_succ(h, t)).or_else(|| {
                         let nh = self.l1.lookup(t);
                         if let (Some(h), Some(nh)) = (handle, nh) {
@@ -600,8 +693,20 @@ impl System {
                     self.pc = t;
                 }
                 BlockExit::Indirect(t) => {
-                    self.now += self.timing.dispatch_indirect;
-                    self.stats.bump_ctr(Ctr::DispatchIndirect);
+                    // Inline target-prediction cache (the paper's return
+                    // predictor generalized): a compare patched next to
+                    // the indirect site, checked before dispatch.
+                    if let Some(nh) = handle.and_then(|h| self.l1.cached_indirect(h, t)) {
+                        self.now += self.timing.inline_cache_hit;
+                        self.stats.bump_ctr(Ctr::DispatchInlineHit);
+                        self.cur_handle = Some(nh);
+                    } else {
+                        self.now += self.timing.dispatch_indirect;
+                        self.stats.bump_ctr(Ctr::DispatchIndirect);
+                        if let (Some(h), Some(nh)) = (handle, self.l1.lookup(t)) {
+                            self.l1.cache_indirect(h, t, nh);
+                        }
+                    }
                     self.pc = t;
                 }
                 BlockExit::Sys => {
@@ -789,8 +894,12 @@ impl System {
     fn demand_translate(&mut self, pc: u32) -> Result<Cycle, SystemError> {
         if !self.l2code.known(pc) {
             self.queues.push(pc, 0);
-            if let Some(host) = &mut self.host {
-                host.submit(pc, 0);
+            // The host pool only pre-translates single blocks; promoted
+            // regions are translated inline when the slave is assigned.
+            if !self.shape_for(pc) {
+                if let Some(host) = &mut self.host {
+                    host.submit(pc, 0);
+                }
             }
         }
         let mut t = self.now;
@@ -801,8 +910,8 @@ impl System {
             }
             if self.failed.contains(&pc) {
                 // Re-translate on the spot to surface the error.
-                let err =
-                    translate_block(&self.mem, pc, self.cfg.opt).expect_err("known-failed address");
+                let err = translate_region(&self.mem, pc, self.cfg.opt, &RegionLimits::single())
+                    .expect_err("known-failed address");
                 return Err(SystemError::Translate {
                     addr: pc,
                     error: err,
@@ -816,7 +925,7 @@ impl System {
                 None => {
                     // Nothing in flight and nothing committed: the pool is
                     // empty or the queue lost the entry; translate inline.
-                    match self.translate_at(pc) {
+                    match self.translate_at(pc, self.shape_for(pc)) {
                         Ok(b) => {
                             t += b.translate_cycles;
                             self.record_block(&b);
@@ -859,6 +968,21 @@ impl System {
 
     fn finish(&mut self, slave_idx: usize, inflight: InFlight) {
         let done = inflight.done_at;
+        if inflight.addr != u32::MAX
+            && (inflight.cancelled || inflight.region != self.shape_for(inflight.addr))
+        {
+            // The translation went stale in flight: an SMC store may
+            // have overwritten its source bytes, or the address was
+            // promoted so the single-block shape is no longer wanted.
+            // Drop the block; re-queue the region build if one is
+            // still owed, otherwise demand re-queues on next miss.
+            self.l2code.clear_in_flight(inflight.addr);
+            if self.region_pending.contains(&inflight.addr) {
+                self.queues.push(inflight.addr, 1);
+            }
+            self.assign_one(slave_idx, done);
+            return;
+        }
         if let Some(block) = inflight.block {
             // Committing occupies the manager tile: speculative traffic
             // competes with demand lookups for the shared resource — the
@@ -885,25 +1009,42 @@ impl System {
                 .record("translate.block_host_bytes", block.host_bytes() as u64);
             self.stats
                 .record("translate.block_guest_insns", block.guest_insns as u64);
+            if inflight.region && self.region_pending.remove(&inflight.addr) {
+                // The region replaces a live single-block translation:
+                // drop the stale copies at every level so the next
+                // fetch — or a chained L1 handle, via its generation
+                // check — picks up the superblock.
+                self.l1.invalidate(inflight.addr);
+                for bank in &mut self.l15 {
+                    bank.invalidate(inflight.addr);
+                }
+                self.l2code.invalidate(inflight.addr);
+            }
             self.record_block(&block);
             self.l2code.commit(block);
         } else if inflight.addr != u32::MAX {
             self.failed.insert(inflight.addr);
+            self.region_pending.remove(&inflight.addr);
         }
         // Keep this slave busy.
         self.assign_one(slave_idx, done);
     }
 
-    /// Registers a committed block's pages for SMC detection.
+    /// Registers a committed block's pages for SMC detection. Revocation
+    /// is region-granular: every member range registers against the
+    /// region's entry address, so a store into any member — including the
+    /// interior of a superblock — revokes the whole translation.
     fn record_block(&mut self, block: &Arc<TBlock>) {
-        let first = block.guest_addr / 4096;
-        let last = (block.guest_addr + block.guest_len.max(1) - 1) / 4096;
-        for page in first..=last {
-            self.code_pages.insert(page);
-            self.page_blocks
-                .entry(page)
-                .or_default()
-                .push(block.guest_addr);
+        for &(addr, len) in &block.ranges {
+            let first = addr / 4096;
+            let last = (addr + len.max(1) - 1) / 4096;
+            for page in first..=last {
+                self.code_pages.insert(page);
+                let addrs = self.page_blocks.entry(page).or_default();
+                if !addrs.contains(&block.guest_addr) {
+                    addrs.push(block.guest_addr);
+                }
+            }
         }
         self.stats.bump_ctr(Ctr::TranslateCommitted);
     }
@@ -930,8 +1071,9 @@ impl System {
             Term::Indirect(_) | Term::Trap(_) | Term::Halt => {}
         }
         if block.is_call {
-            // Return predictor: the address after the call, low priority.
-            self.push_spec(block.guest_addr.wrapping_add(block.guest_len), RETURN_DEPTH);
+            // Return predictor: the address after the call (the end of the
+            // region's *last* member), low priority.
+            self.push_spec(block.end_addr(), RETURN_DEPTH);
         }
     }
 
@@ -991,7 +1133,16 @@ impl System {
             let Some((addr, depth)) = self.queues.pop() else {
                 return;
             };
-            if self.l2code.known(addr) || self.failed.contains(&addr) {
+            if self.failed.contains(&addr) {
+                continue;
+            }
+            // A known address is normally settled work — except when a
+            // promotion is pending: the resident single keeps running,
+            // but the region still has to be built (exactly once).
+            if self.l2code.known(addr)
+                && !(self.region_pending.contains(&addr)
+                    && self.l2code.in_flight_on(addr).is_none())
+            {
                 continue;
             }
             if self.cfg.reserve_demand_slave && slave_idx == 0 && depth != 0 && self.pool.len() > 1
@@ -1012,7 +1163,8 @@ impl System {
         let manager = self.cfg.placement.manager;
         self.tracer
             .span(assign_start, 30, self.ttrack(manager), "assign");
-        let result = self.translate_at(addr).ok();
+        let region = self.shape_for(addr);
+        let result = self.translate_at(addr, region).ok();
         let (cycles, words) = match &result {
             Some(b) => (b.translate_cycles, b.code.len() as u32),
             // Failed translations still burn decode time.
@@ -1035,6 +1187,8 @@ impl System {
             addr,
             depth,
             done_at,
+            region,
+            cancelled: false,
             block: result.clone(),
         });
         self.l2code.mark_in_flight(addr, slave_idx);
@@ -1123,6 +1277,8 @@ impl System {
                         addr: u32::MAX,
                         depth: 0,
                         done_at: ready,
+                        region: false,
+                        cancelled: false,
                         block: None,
                     });
                     self.stats.bump_ctr(Ctr::MorphToTranslator);
@@ -1161,6 +1317,10 @@ impl System {
             self.l2code.invalidate(addr);
         }
         self.code_pages.remove(&page);
+        // In-flight slave translations may derive from the overwritten
+        // bytes (their functional result is computed at assign time):
+        // cancel them all — SMC is rare, and re-queueing is always safe.
+        self.pool.cancel_in_flight();
         // Worker snapshots were taken before the write: swap in the new
         // bytes and drop every result derived from the old ones.
         if let Some(host) = &mut self.host {
@@ -1265,6 +1425,13 @@ impl DataPort for ExecPort<'_> {
 
     fn helper(&mut self, kind: HelperKind, state: &mut CoreState) -> Result<(), Fault> {
         apply_helper(kind, state)
+    }
+
+    fn smc_pending(&self) -> bool {
+        // A store into translated code pages happened earlier in this
+        // block: the next SMC guard must bail to dispatch so the region
+        // is revoked and retranslated against the fresh bytes.
+        !self.smc.is_empty()
     }
 }
 
@@ -1581,6 +1748,238 @@ mod tests {
     }
 
     #[test]
+    fn smc_guard_exits_same_region_self_modification() {
+        // The entry member of a superblock patches the immediate of a
+        // *later* member of the same region, every iteration of a loop.
+        // Iteration 1 runs as single blocks and promotes the loop head;
+        // from iteration 2 on the region's boundary guard after the
+        // storing member must bail to dispatch so the patched member
+        // never runs from the stale translation.
+        let mut site = 0u32;
+        let img = image(|a| {
+            let m1 = a.label();
+            let m2 = a.label();
+            a.mov_ri(Reg::ECX, 3);
+            let top = a.here();
+            a.mov_mi8(vta_x86::MemRef::abs(BASE + 0x40 + 1), 99);
+            a.jmp(m1);
+            a.bind(m1);
+            a.add_ri(Reg::EDX, 0);
+            a.jmp(m2);
+            while a.cur_addr() < BASE + 0x40 {
+                a.nop();
+            }
+            a.bind(m2);
+            site = a.cur_addr();
+            a.mov_ri(Reg::EBX, 11); // imm low byte patched to 99
+            a.dec_r(Reg::ECX);
+            a.jcc(Cond::Ne, top);
+            a.mov_rr(Reg::EAX, Reg::EBX);
+            a.exit_with_eax();
+        });
+        assert_eq!(site, BASE + 0x40);
+        let mut cpu = vta_x86::Cpu::new(&img);
+        let want = match cpu.run(1_000_000).unwrap() {
+            vta_x86::StopReason::Exit(c) => c,
+            other => panic!("reference stopped with {other:?}"),
+        };
+        assert_eq!(want, 99, "reference sees the patched immediate");
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        let report = sys.run(1_000_000).expect("runs");
+        assert_eq!(report.exit_code, Some(want), "stale member executed");
+        assert!(report.stats.get("smc.invalidations") >= 1);
+        assert!(
+            report.stats.get("superblock.smc_exits") >= 1,
+            "the boundary guard must fire: {:?}",
+            report.stats
+        );
+    }
+
+    #[test]
+    fn smc_store_into_region_interior_revokes_whole_region() {
+        // A region whose entry sits on one guest page and whose interior
+        // member crosses onto the next page. The guest patches the
+        // interior member's bytes (second page) and loops back: page-keyed
+        // revocation must kill the region registered under its
+        // first-page entry address, or the loop re-adds the stale value.
+        let mut site = 0u32;
+        let img = image(|a| {
+            a.mov_ri(Reg::ESI, 2);
+            a.mov_ri(Reg::EAX, 0);
+            let outer = a.here();
+            let y_entry = a.label();
+            let y_mid = a.label();
+            let y_end = a.label();
+            let done = a.label();
+            a.jmp(y_entry);
+            a.bind(y_end);
+            a.add_rr(Reg::EAX, Reg::EBX);
+            a.dec_r(Reg::ESI);
+            a.jcc(Cond::E, done);
+            a.mov_mi8(vta_x86::MemRef::abs(BASE + 0x1000 + 1), 99);
+            a.jmp(outer);
+            a.bind(done);
+            a.exit_with_eax();
+            // Region entry near the end of page 0 ...
+            while a.cur_addr() < BASE + 0xFF8 {
+                a.nop();
+            }
+            a.bind(y_entry);
+            a.jmp(y_mid);
+            // ... interior member on page 1.
+            while a.cur_addr() < BASE + 0x1000 {
+                a.nop();
+            }
+            a.bind(y_mid);
+            site = a.cur_addr();
+            a.mov_ri(Reg::EBX, 11); // imm low byte patched to 99
+            a.jmp(y_end);
+        });
+        assert_eq!(site, BASE + 0x1000);
+        let mut cpu = vta_x86::Cpu::new(&img);
+        let want = match cpu.run(1_000_000).unwrap() {
+            vta_x86::StopReason::Exit(c) => c,
+            other => panic!("reference stopped with {other:?}"),
+        };
+        assert_eq!(want, 11 + 99);
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        let report = sys.run(1_000_000).expect("runs");
+        assert_eq!(report.exit_code, Some(want), "interior patch ignored");
+        assert!(report.stats.get("smc.invalidations") >= 1);
+    }
+
+    #[test]
+    fn region_smc_identical_across_host_threads() {
+        // The interior-patch guest under the host translation pool:
+        // revocation racing worker translations must stay bit-identical
+        // with the serial oracle (cycles, stats, exit code).
+        let mut site = 0u32;
+        let img = image(|a| {
+            a.mov_ri(Reg::ESI, 3);
+            a.mov_ri(Reg::EAX, 0);
+            let outer = a.here();
+            let y_entry = a.label();
+            let y_mid = a.label();
+            let y_end = a.label();
+            let done = a.label();
+            a.jmp(y_entry);
+            a.bind(y_end);
+            a.add_rr(Reg::EAX, Reg::EBX);
+            a.dec_r(Reg::ESI);
+            a.jcc(Cond::E, done);
+            a.mov_mi8(vta_x86::MemRef::abs(BASE + 0x1000 + 1), 90);
+            a.jmp(outer);
+            a.bind(done);
+            a.exit_with_eax();
+            while a.cur_addr() < BASE + 0xFF8 {
+                a.nop();
+            }
+            a.bind(y_entry);
+            a.jmp(y_mid);
+            while a.cur_addr() < BASE + 0x1000 {
+                a.nop();
+            }
+            a.bind(y_mid);
+            site = a.cur_addr();
+            a.mov_ri(Reg::EBX, 11);
+            a.jmp(y_end);
+        });
+        assert_eq!(site, BASE + 0x1000);
+        let run = |threads: usize| {
+            let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+            sys.set_host_threads(threads);
+            sys.run(10_000_000).expect("runs")
+        };
+        let base = run(1);
+        assert_eq!(base.exit_code, Some(11 + 90 + 90));
+        for threads in [2, 4] {
+            let r = run(threads);
+            assert_eq!(r.exit_code, base.exit_code, "threads={threads}");
+            assert_eq!(r.cycles, base.cycles, "threads={threads}");
+            assert_eq!(r.stats, base.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn indirect_inline_cache_hits_on_hot_returns() {
+        // A hot call/ret loop: the first return pays the dispatch probe
+        // and seeds the inline cache; later returns hit it.
+        let img = image(|a| {
+            let func = a.label();
+            a.mov_ri(Reg::ECX, 500);
+            let top = a.here();
+            a.call(func);
+            a.dec_r(Reg::ECX);
+            a.jcc(Cond::Ne, top);
+            a.exit_with_eax();
+            a.bind(func);
+            a.add_ri(Reg::EAX, 1);
+            a.ret();
+        });
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        let report = sys.run(10_000_000).expect("runs");
+        assert_eq!(report.exit_code, Some(500));
+        let hits = report.stats.get("dispatch.inline_hit");
+        let misses = report.stats.get("dispatch.indirect");
+        assert!(
+            hits > 400,
+            "hot returns must hit the inline cache: hits={hits} misses={misses}"
+        );
+        assert!(misses >= 1, "the first return seeds the cache");
+    }
+
+    #[test]
+    fn superblocks_reduce_dispatch_exits() {
+        // A straight chain of fall-through blocks: the first backedge
+        // promotes the loop head, capped regions promote their forward
+        // continuations, and the chain collapses into a few regions —
+        // far fewer block exits reach the chain/dispatch machinery.
+        // Enough iterations to amortize retranslating the body as
+        // regions on top of the initial single-block translations.
+        let img = image(|a| {
+            a.mov_ri(Reg::ESI, 20_000);
+            let top = a.here();
+            for i in 0..30u32 {
+                a.add_ri(Reg::EAX, i as i32);
+                let l = a.label();
+                a.jmp(l);
+                a.bind(l);
+            }
+            a.dec_r(Reg::ESI);
+            a.jcc(Cond::Ne, top);
+            a.exit_with_eax();
+        });
+        let run = |superblock: bool| {
+            let mut cfg = VirtualArchConfig::paper_default();
+            cfg.superblock = superblock;
+            let mut sys = System::new(cfg, &img);
+            sys.run(10_000_000).expect("runs")
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.exit_code, off.exit_code);
+        assert!(on.stats.get("superblock.entries") > 0);
+        assert_eq!(off.stats.get("superblock.entries"), 0);
+        let exits = |r: &RunReport| {
+            r.stats.get("chain.taken")
+                + r.stats.get("dispatch.direct_miss")
+                + r.stats.get("dispatch.indirect")
+        };
+        assert!(
+            exits(&on) * 2 < exits(&off),
+            "superblocks must collapse exits: on={} off={}",
+            exits(&on),
+            exits(&off)
+        );
+        assert!(
+            on.cycles < off.cycles,
+            "fewer exits must be cheaper: on={} off={}",
+            on.cycles,
+            off.cycles
+        );
+    }
+
+    #[test]
     fn metrics_windows_reconcile_and_do_not_change_results() {
         let img = loop_program(2000);
         let base = System::new(VirtualArchConfig::paper_default(), &img)
@@ -1699,12 +2098,20 @@ mod tests {
             a.jcc(Cond::Ne, top);
             a.exit_with_eax();
         });
+        // Single-block shape only: region promotion would retranslate
+        // the two-iteration body mid-run, swamping the refill signal
+        // this test isolates.
+        let cfg = |banks| {
+            let mut c = VirtualArchConfig::with_l15_banks(banks);
+            c.superblock = false;
+            c
+        };
         let with = {
-            let mut s = System::new(VirtualArchConfig::with_l15_banks(2), &img);
+            let mut s = System::new(cfg(2), &img);
             s.run(50_000_000).expect("runs").cycles
         };
         let without = {
-            let mut s = System::new(VirtualArchConfig::with_l15_banks(0), &img);
+            let mut s = System::new(cfg(0), &img);
             s.run(50_000_000).expect("runs").cycles
         };
         assert!(

@@ -18,6 +18,9 @@ pub struct Timing {
     pub l1d_hit: u64,
     /// Extra dispatch-loop cycles for an indirect exit (hash + probe).
     pub dispatch_indirect: u64,
+    /// Cycles for an indirect exit that hits the block's inline
+    /// target-prediction cache (compare + patched branch, no hash probe).
+    pub inline_cache_hit: u64,
     /// Cycles for a direct exit whose target is resident in the L1 code
     /// cache (a patched, chained branch).
     pub chain: u64,
@@ -66,6 +69,7 @@ impl Default for Timing {
         Timing {
             l1d_hit: 4,
             dispatch_indirect: 24,
+            inline_cache_hit: 6,
             chain: 2,
             dispatch_miss: 40,
             l1code_copy_per_word: 2,

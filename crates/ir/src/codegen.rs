@@ -456,6 +456,21 @@ fn emit_insn(em: &mut Emitter, alloc: &mut Alloc, insn: &MInsn) -> Result<(), Co
                 });
             }
         }
+        // Guest state lives in fixed host registers (r1..r9), so a
+        // mid-region exit is state-complete without any spill code: the
+        // same extract+branch shape as a terminator conditional.
+        MInsn::SideExit { cond, target } => {
+            emit_eval_cond(em, SCRATCH[2], cond);
+            em.emit(RInsn::Branch {
+                cond: BrCond::Ne,
+                rs: SCRATCH[2],
+                rt: RReg(0),
+                target: BranchTarget::Guest(target),
+            });
+        }
+        MInsn::Boundary { resume } => {
+            em.emit(RInsn::SmcGuard { resume });
+        }
     }
     Ok(())
 }

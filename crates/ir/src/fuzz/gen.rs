@@ -15,7 +15,18 @@
 //!   followed by random bytes biased toward ModRM/SIB-heavy encodings;
 //! * [`smc`] — self-modifying code that patches a *later* block before
 //!   jumping to it (same-block SMC is out of contract for a block DBT);
-//! * [`syscalls`] — `write`/`brk`/`read`/`time`/`getpid`/`exit` traffic.
+//! * [`syscalls`] — `write`/`brk`/`read`/`time`/`getpid`/`exit` traffic;
+//! * [`superblock`] — hot loops over chains of small blocks linked by
+//!   direct jumps and mostly-not-taken forward branches, the shape
+//!   region formation extends through at `OptLevel::Full` (exercises
+//!   cross-member optimization and mid-region side exits);
+//! * [`indirect_chain`] — ret-heavy call trees plus data-dependent
+//!   computed jumps through an in-memory table (the indirect-target
+//!   inline-cache surface);
+//! * [`region_smc`] — a store that patches a *later member of the same
+//!   superblock region* before control reaches it: in contract only
+//!   because the member-boundary `SmcGuard` exits ahead of the stale
+//!   bytes.
 //!
 //! All generators draw exclusively from the caller's [`Rng`], so a fixed
 //! seed reproduces the identical stream of [`Case`]s on every run.
@@ -487,11 +498,186 @@ pub fn syscalls(rng: &mut Rng) -> Case {
     }
 }
 
+/// Registers a superblock-shaped loop body may clobber freely: every
+/// general-purpose register except `ECX` (the loop counter) and `EBP`
+/// (the data-region base).
+const SB_SAFE: [Reg; 4] = [Reg::EAX, Reg::EDX, Reg::EBX, Reg::ESI];
+
+/// Hot loops over chains of small blocks linked by direct jumps and
+/// mostly-not-taken forward branches — the exact shape superblock
+/// formation extends through at `OptLevel::Full`. The forward branches
+/// test against data-dependent bits so some iterations take the
+/// side exit mid-region; the backward loop branch closes the region
+/// through dispatch.
+pub fn superblock(rng: &mut Rng) -> Case {
+    let mut asm = Asm::new(CODE_BASE);
+    seed_regs(&mut asm, rng);
+    asm.mov_ri(Reg::ECX, 12 + rng.below(48) as u32);
+    let top = asm.here();
+    let n_links = 2 + rng.below(4) as usize;
+    for _ in 0..n_links {
+        for _ in 0..1 + rng.below(4) {
+            let a = SB_SAFE[rng.below(4) as usize];
+            let b = SB_SAFE[rng.below(4) as usize];
+            match rng.below(6) {
+                0 => asm.add_rr(a, b),
+                1 => asm.xor_rr(a, b),
+                2 => asm.add_ri(a, rng.next_u32() as i32),
+                3 => asm.rol_ri(a, 1 + rng.below(31) as u8),
+                4 => asm.mov_mr(MemRef::base_disp(Reg::EBP, (rng.below(64) * 4) as i32), a),
+                _ => asm.setcc(Cond::ALL[rng.below(16) as usize], rng.below(4) as u8),
+            }
+        }
+        match rng.below(3) {
+            0 => {
+                // Direct-jump link: ends the member, region continues.
+                let l = asm.label();
+                asm.jmp(l);
+                asm.bind(l);
+            }
+            1 => {
+                // Forward branch over a small chunk: predicted
+                // fall-through, occasionally a mid-region side exit.
+                asm.test_ri(Reg::EBX, 1 << rng.below(10));
+                let skip = asm.label();
+                asm.jcc(Cond::ALL[rng.below(16) as usize], skip);
+                asm.add_ri(SB_SAFE[rng.below(4) as usize], 0x101);
+                asm.bind(skip);
+            }
+            _ => {} // plain fall-through into the next link
+        }
+    }
+    // Keep the branch-feeding bits churning across iterations.
+    asm.add_rr(Reg::EBX, Reg::ESI);
+    asm.rol_ri(Reg::EBX, 7);
+    asm.dec_r(Reg::ECX);
+    asm.jcc(Cond::Ne, top);
+    flag_epilogue(&mut asm);
+    asm.hlt();
+    Case {
+        name: String::from("superblock"),
+        code: asm.finish().code,
+        input: Vec::new(),
+    }
+}
+
+/// Ret-heavy call trees and data-dependent computed jumps through an
+/// in-memory table: the workload shape the indirect-target inline cache
+/// exists for. Every `ret` and the table `jmp` leave the translated
+/// block through the indirect path.
+pub fn indirect_chain(rng: &mut Rng) -> Case {
+    let mut asm = Asm::new(CODE_BASE);
+    seed_regs(&mut asm, rng);
+    let l_main = asm.label();
+    asm.jmp(l_main);
+
+    // Small subroutines; clobber only SB_SAFE so the loop counter and
+    // data base survive.
+    let n_subs = 2 + rng.below(3) as usize;
+    let mut subs = Vec::new();
+    for _ in 0..n_subs {
+        let l = asm.here();
+        for _ in 0..1 + rng.below(3) {
+            let a = SB_SAFE[rng.below(4) as usize];
+            let b = SB_SAFE[rng.below(4) as usize];
+            match rng.below(4) {
+                0 => asm.add_rr(a, b),
+                1 => asm.xor_rr(a, b),
+                2 => asm.add_ri(a, rng.next_u32() as i32),
+                _ => asm.rol_ri(a, 1 + rng.below(31) as u8),
+            }
+        }
+        asm.ret();
+        subs.push(l);
+    }
+
+    // Landing pads for the computed jump; each resumes the loop.
+    let l_resume = asm.label();
+    let n_pads: u32 = if rng.chance(1, 2) { 2 } else { 4 };
+    let mut pad_addrs = Vec::new();
+    for _ in 0..n_pads {
+        pad_addrs.push(asm.cur_addr());
+        asm.add_ri(SB_SAFE[rng.below(4) as usize], rng.next_u32() as i32);
+        asm.jmp(l_resume);
+    }
+
+    asm.bind(l_main);
+    // Jump table in the scratch region (pad addresses are known by now).
+    let table = 0x400i32;
+    for (i, &a) in pad_addrs.iter().enumerate() {
+        asm.mov_mi(MemRef::abs(DATA_BASE + 0x400 + 4 * i as u32), a);
+    }
+    asm.mov_ri(Reg::ECX, 8 + rng.below(24) as u32);
+    let top = asm.here();
+    for _ in 0..1 + rng.below(3) {
+        asm.call(subs[rng.below(u64::from(n_subs as u32)) as usize]);
+    }
+    // Data-dependent pad selection through the table.
+    asm.mov_rr(Reg::EDX, Reg::EBX);
+    asm.shr_ri(Reg::EDX, rng.below(8) as u8);
+    asm.and_ri(Reg::EDX, n_pads as i32 - 1);
+    asm.jmp_m(MemRef::base_index(Reg::EBP, Reg::EDX, 4, table));
+    asm.bind(l_resume);
+    asm.add_rr(Reg::EBX, Reg::ESI);
+    asm.dec_r(Reg::ECX);
+    asm.jcc(Cond::Ne, top);
+    flag_epilogue(&mut asm);
+    asm.hlt();
+    Case {
+        name: String::from("indirect_chain"),
+        code: asm.finish().code,
+        input: Vec::new(),
+    }
+}
+
+/// Self-modifying code that patches a *later member of the same
+/// superblock region*: the entry member stores over the imm32 of a
+/// `mov eax, imm32` that region formation has already pulled into the
+/// translation, with one or two filler members in between. Coherent
+/// execution depends entirely on the member-boundary `SmcGuard`
+/// exiting before the patched member runs (at `OptLevel::None` the
+/// same bytes are ordinary cross-block SMC).
+pub fn region_smc(rng: &mut Rng) -> Case {
+    let mut asm = Asm::new(CODE_BASE);
+    let imm = rng.next_u32();
+    asm.mov_ri(Reg::ECX, imm);
+    let store_pos = asm.cur_addr();
+    asm.mov_mr(MemRef::abs(0), Reg::ECX); // disp32 patched below
+    let n_fill = 1 + rng.below(2) as usize;
+    let mut l_next = asm.label();
+    asm.jmp(l_next);
+    for _ in 0..n_fill {
+        asm.bind(l_next);
+        for _ in 0..rng.below(3) {
+            asm.add_ri(Reg::EDX, rng.next_u32() as i32);
+        }
+        l_next = asm.label();
+        asm.jmp(l_next);
+    }
+    asm.bind(l_next);
+    let c_addr = asm.cur_addr();
+    asm.mov_ri(Reg::EAX, 0xDEAD_BEEF); // imm32 overwritten at runtime
+    asm.add_ri(Reg::EAX, 1);
+    flag_epilogue(&mut asm);
+    asm.hlt();
+    let mut code = asm.finish().code;
+    // `mov [abs], ecx` is [0x89, modrm, disp32]: point the disp32 at the
+    // imm32 field of the final member's `mov eax` (one past its 0xB8).
+    let disp_off = (store_pos - CODE_BASE) as usize + 2;
+    code[disp_off..disp_off + 4].copy_from_slice(&(c_addr + 1).to_le_bytes());
+    Case {
+        name: String::from("region_smc"),
+        code,
+        input: Vec::new(),
+    }
+}
+
 /// A deterministic stream of cases drawn from every generator.
 ///
 /// Iterating yields `linear`, `branchy`, `flag_stress`, `memory`,
-/// `raw_bytes`, `smc`, and `syscalls` cases in a fixed weighted
-/// rotation; the same seed always produces the same stream.
+/// `raw_bytes`, `smc`, `syscalls`, `superblock`, `indirect_chain`, and
+/// `region_smc` cases in a fixed weighted rotation; the same seed
+/// always produces the same stream.
 pub struct CaseStream {
     rng: Rng,
     seed: u64,
@@ -513,14 +699,17 @@ impl Iterator for CaseStream {
     type Item = Case;
 
     fn next(&mut self) -> Option<Case> {
-        let mut case = match self.rng.below(10) {
+        let mut case = match self.rng.below(13) {
             0 | 1 => linear(&mut self.rng),
             2 => branchy(&mut self.rng),
             3 | 4 => flag_stress(&mut self.rng),
             5 => memory(&mut self.rng),
             6 | 7 => raw_bytes(&mut self.rng),
             8 => smc(&mut self.rng),
-            _ => syscalls(&mut self.rng),
+            9 => syscalls(&mut self.rng),
+            10 => superblock(&mut self.rng),
+            11 => indirect_chain(&mut self.rng),
+            _ => region_smc(&mut self.rng),
         };
         case.name = format!("{}-{:#x}#{}", case.name, self.seed, self.idx);
         self.idx += 1;

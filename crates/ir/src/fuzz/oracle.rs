@@ -1,7 +1,7 @@
 //! The three-way differential oracle.
 //!
 //! Every case is executed on the reference interpreter ([`vta_x86::Cpu`])
-//! and on the translated path ([`translate_block`] + [`run_block`]) at
+//! and on the translated path ([`translate_region`] + [`run_block`]) at
 //! both [`OptLevel::None`] and [`OptLevel::Full`], then the architectural
 //! outcomes are compared channel by channel:
 //!
@@ -38,10 +38,21 @@
 //! branched on an intermediate value. Cross-block SMC stays fully
 //! compared: the oracle retranslates every block on entry, so patches
 //! landed by *earlier* blocks are always seen.
+//!
+//! Translation uses [`translate_region`] under
+//! [`RegionLimits::for_opt`], so `OptLevel::Full` runs exercise the same
+//! superblock regions the DBT executes. Stores into a *later, not yet
+//! executed* member of the current region are back in contract: the
+//! `SmcGuard` at each member boundary exits to the next member's entry
+//! before any stale byte runs, and the oracle retranslates from there
+//! against the patched bytes. Only when the dirtied bytes belong to an
+//! already-decoded portion — the entry member itself, a member the exit
+//! does not precede, or footprint bytes outside every member range (the
+//! successor flag-liveness scan) — is the case out of contract.
 
 use crate::apply_helper;
 use crate::fuzz::Case;
-use crate::translate::{translate_block, OptLevel, RecordingSource, TranslateError};
+use crate::translate::{translate_region, OptLevel, RecordingSource, RegionLimits, TranslateError};
 use vta_raw::exec::{run_block, BlockExit, CoreState, DataPort, Fault};
 use vta_raw::isa::{HelperKind, MemOp, RReg};
 use vta_x86::{Cpu, CpuError, GuestMem, StopReason, SysState, SyscallResult, PAGE_SIZE};
@@ -152,13 +163,15 @@ struct RunResult {
 
 struct OraclePort<'a> {
     mem: &'a mut GuestMem,
-    /// Read footprint of the currently-executing block's translation.
+    /// Read footprint of the currently-executing region's translation.
     reads: &'a crate::translate::ReadSet,
-    /// Set when a store lands inside that footprint: the block is
-    /// executing stale code (same-block SMC). Tracked by store address,
+    /// Byte addresses of every store that landed inside that footprint:
+    /// the region may be executing stale code. Tracked by store address,
     /// not value, so a byte that cycles back to its translated value
-    /// mid-block (ABA) is still caught.
-    smc_dirty: bool,
+    /// mid-block (ABA) is still caught. Whether a hit is actually out of
+    /// contract depends on *which member* the dirty bytes belong to —
+    /// see the coherence check after `run_block`.
+    dirty: Vec<u32>,
 }
 
 impl DataPort for OraclePort<'_> {
@@ -170,8 +183,11 @@ impl DataPort for OraclePort<'_> {
     }
 
     fn store(&mut self, addr: u32, value: u32, op: MemOp) -> Result<u64, Fault> {
-        if (0..op.bytes()).any(|i| self.reads.covers(addr.wrapping_add(i))) {
-            self.smc_dirty = true;
+        for i in 0..op.bytes() {
+            let a = addr.wrapping_add(i);
+            if self.reads.covers(a) {
+                self.dirty.push(a);
+            }
         }
         self.mem
             .write_sized(addr, value, op.bytes())
@@ -181,6 +197,13 @@ impl DataPort for OraclePort<'_> {
 
     fn helper(&mut self, kind: HelperKind, state: &mut CoreState) -> Result<(), Fault> {
         apply_helper(kind, state)
+    }
+
+    /// Polled by `RInsn::SmcGuard` at superblock member boundaries: a
+    /// pending footprint hit makes the guard exit to the next member's
+    /// entry instead of running possibly-stale bytes.
+    fn smc_pending(&self) -> bool {
+        !self.dirty.is_empty()
     }
 }
 
@@ -228,6 +251,7 @@ fn run_translated(case: &Case, opt: OptLevel) -> RunResult {
     let mut sys = SysState::new(image.brk_base);
     sys.set_input(image.input.clone());
 
+    let limits = RegionLimits::for_opt(opt);
     let mut state = CoreState::new();
     state.set(RReg(5), image.initial_esp()); // ESP
     let mut pc = image.entry;
@@ -239,7 +263,7 @@ fn run_translated(case: &Case, opt: OptLevel) -> RunResult {
             break Outcome::Limit;
         }
         let rec = RecordingSource::new(&mem);
-        let block = match translate_block(&rec, pc, opt) {
+        let block = match translate_region(&rec, pc, opt, &limits) {
             Ok(b) => b,
             Err(TranslateError::Decode(_)) => break Outcome::Fault(FaultKind::Undecodable),
             // Capacity, not semantics (e.g. register-pressure spill):
@@ -250,14 +274,38 @@ fn run_translated(case: &Case, opt: OptLevel) -> RunResult {
         let mut port = OraclePort {
             mem: &mut mem,
             reads: &reads,
-            smc_dirty: false,
+            dirty: Vec::new(),
         };
         let out = run_block(&mut state, &block.code, &mut port, BLOCK_FUEL);
-        // If the block's own stores hit any byte its translation
-        // fetched, it ran stale code the reference never saw: the case
-        // is outside the block-DBT coherence contract, not a bug.
-        if port.smc_dirty {
-            break Outcome::OutOfContract;
+        // Stores that hit the translation's read footprint ran the risk
+        // of stale code. They stay *in* contract only when the region's
+        // SmcGuard machinery provably exited before any dirtied byte
+        // could execute: the exit resumes at a later member's entry and
+        // every dirty byte lies at or past that resume point inside the
+        // region's member ranges. Anything else — a dirty byte in code
+        // the exit does not precede, or in footprint bytes outside every
+        // member (the successor liveness scan) — is stale execution the
+        // reference never saw, and the case is skipped, not compared.
+        if !port.dirty.is_empty() {
+            let resumes_before_dirty =
+                match out.exit {
+                    BlockExit::Goto(r) => block
+                        .ranges
+                        .iter()
+                        .position(|&(a, _)| a == r)
+                        .is_some_and(|j| {
+                            j >= 1
+                                && port.dirty.iter().all(|&d| {
+                                    block.ranges[j..]
+                                        .iter()
+                                        .any(|&(a, len)| d >= a && d < a + len)
+                                })
+                        }),
+                    _ => false,
+                };
+            if !resumes_before_dirty {
+                break Outcome::OutOfContract;
+            }
         }
         match out.exit {
             BlockExit::Goto(t) | BlockExit::Indirect(t) => pc = t,

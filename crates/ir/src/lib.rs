@@ -44,4 +44,7 @@ mod translate;
 
 pub use helper::apply_helper;
 pub use mir::{FlagSet, MBlock, MInsn, Term, VReg, Val};
-pub use translate::{translate_block, OptLevel, ReadSet, RecordingSource, TBlock, TranslateError};
+pub use translate::{
+    translate_block, translate_region, OptLevel, ReadSet, RecordingSource, RegionLimits, TBlock,
+    TranslateError,
+};

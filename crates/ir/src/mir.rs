@@ -365,6 +365,24 @@ pub enum MInsn {
         /// New DF value.
         bool,
     ),
+    /// Superblock side exit: leave the region for `target` when `cond`
+    /// holds on the packed flags (the not-predicted arm of an internal
+    /// conditional branch). Architectural state must be fully
+    /// materialized here — the exit falls back to dispatch.
+    SideExit {
+        /// Condition under which the exit is taken.
+        cond: Cond,
+        /// Guest address execution continues at when the exit is taken.
+        target: u32,
+    },
+    /// Superblock member boundary: if a store into translated code pages
+    /// has been observed since the region was entered, leave the region
+    /// and resume via dispatch (against fresh bytes) at `resume`, the
+    /// guest address of the next member block.
+    Boundary {
+        /// Guest address of the next member block.
+        resume: u32,
+    },
 }
 
 impl MInsn {
@@ -426,6 +444,14 @@ impl MInsn {
             }
             // SetDf is a read-modify-write of the packed flags word.
             MInsn::SetDf(_) => f(Val::Reg(VReg::FLAGS)),
+            // Region exit points: every guest register (and the packed
+            // flags word) must hold its architectural value here, since
+            // execution may leave the region for the dispatcher.
+            MInsn::SideExit { .. } | MInsn::Boundary { .. } => {
+                for r in 0..=8u32 {
+                    f(Val::Reg(VReg(r)));
+                }
+            }
         }
     }
 

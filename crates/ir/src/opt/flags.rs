@@ -161,7 +161,7 @@ pub fn eliminate_dead_flags<S: CodeSource + ?Sized>(block: &mut MBlock, src: &S)
         // Trap and Halt both stop the machine: no flag is observable after.
         Term::Trap(_) | Term::Halt => FlagSet::EMPTY,
     };
-    eliminate_with_liveout(block, live);
+    eliminate_with_liveout(block, live, &mut |addr| live_in_at(src, addr, &mut memo));
 }
 
 /// Intrablock-only variant: assumes every flag is live at the block exit
@@ -173,10 +173,17 @@ pub fn eliminate_dead_flags_conservative(block: &mut MBlock) {
         Term::CondGoto { cond, .. } => FlagSet::for_cond(cond).union(FlagSet::ALL),
         _ => FlagSet::ALL,
     };
-    eliminate_with_liveout(block, live);
+    eliminate_with_liveout(block, live, &mut |_| FlagSet::ALL);
 }
 
-fn eliminate_with_liveout(block: &mut MBlock, mut live: FlagSet) {
+/// `exit_live(addr)` answers which flags are live on entry to the guest
+/// address a mid-body region exit (side exit or boundary guard) leaves
+/// for — the same interblock query the terminator live-out uses.
+fn eliminate_with_liveout(
+    block: &mut MBlock,
+    mut live: FlagSet,
+    exit_live: &mut dyn FnMut(u32) -> FlagSet,
+) {
     // Backward pass over the body.
     let mut keep = vec![true; block.insns.len()];
     let mut shift_flags = vec![false; block.insns.len()];
@@ -202,6 +209,18 @@ fn eliminate_with_liveout(block: &mut MBlock, mut live: FlagSet) {
                 if *rep == Rep::None => {
                     live = FlagSet::EMPTY;
                 }
+            // A taken side exit leaves the region: its condition's flags
+            // plus whatever `target`'s code reads are live here.
+            MInsn::SideExit { cond, target } => {
+                live = live
+                    .union(FlagSet::for_cond(*cond))
+                    .union(exit_live(*target));
+            }
+            // A fired boundary guard resumes (via a fresh translation) at
+            // the next member's address.
+            MInsn::Boundary { resume } => {
+                live = live.union(exit_live(*resume));
+            }
             _ => {}
         }
     }

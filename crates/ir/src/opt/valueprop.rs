@@ -134,6 +134,10 @@ pub fn propagate(block: &mut crate::mir::MBlock) {
                 }
             }
             MInsn::SetDf(_) => {}
+            // Region exit points read state but write nothing; facts stay
+            // valid across them (guest-reg writes are never removed across
+            // a boundary, so the architectural state there is exact).
+            MInsn::SideExit { .. } | MInsn::Boundary { .. } => {}
         }
     }
 }

@@ -19,7 +19,7 @@ use vta_x86::decode::{CodeSource, DecodeError};
 
 use crate::codegen::{codegen, CodegenError};
 use crate::lower::{lower_block, MAX_BLOCK_INSNS};
-use crate::mir::Term;
+use crate::mir::{MBlock, MInsn, Term, VReg, Val};
 use crate::opt;
 
 /// Translation effort (Figure 8 compares the two).
@@ -49,14 +49,63 @@ impl OptLevel {
     }
 }
 
+/// Caps on superblock (multi-block region) formation.
+///
+/// A region starts as one basic block and is extended along the
+/// statically-predicted hot path (fall-through, or the paper's
+/// backward-taken/forward-not-taken rule) until it hits an indirect
+/// terminator, a syscall, a trap, an already-included address, or one of
+/// these caps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionLimits {
+    /// Maximum member basic blocks per region.
+    pub max_blocks: u32,
+    /// Maximum total guest instructions per region.
+    pub max_insns: u32,
+    /// Maximum distinct guest code pages a region's fetches may span
+    /// (stops page-crossing runaway regions; revocation is page-keyed).
+    pub max_pages: u32,
+}
+
+impl Default for RegionLimits {
+    fn default() -> Self {
+        RegionLimits {
+            max_blocks: 8,
+            max_insns: 96,
+            max_pages: 2,
+        }
+    }
+}
+
+impl RegionLimits {
+    /// Limits that disable region formation (every region is one block).
+    pub fn single() -> RegionLimits {
+        RegionLimits {
+            max_blocks: 1,
+            max_insns: MAX_BLOCK_INSNS,
+            max_pages: 2,
+        }
+    }
+
+    /// The limits an optimization level forms regions under: superblocks
+    /// are part of the full pipeline, baseline translation stays
+    /// single-block (region formation is itself an optimization).
+    pub fn for_opt(opt: OptLevel) -> RegionLimits {
+        match opt {
+            OptLevel::Full => RegionLimits::default(),
+            OptLevel::None => RegionLimits::single(),
+        }
+    }
+}
+
 /// A translated block of host code.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TBlock {
     /// Guest address this block translates.
     pub guest_addr: u32,
-    /// Bytes of guest code covered.
+    /// Bytes of guest code covered by the entry member block.
     pub guest_len: u32,
-    /// Guest instructions covered.
+    /// Guest instructions covered (all members).
     pub guest_insns: u32,
     /// The host code.
     pub code: Vec<RInsn>,
@@ -66,12 +115,31 @@ pub struct TBlock {
     pub term: Term,
     /// Whether the block ends in a guest `call` (return predictor).
     pub is_call: bool,
+    /// Guest `(addr, len)` of each member basic block, in formation
+    /// order. A plain basic block has exactly one entry, equal to
+    /// `(guest_addr, guest_len)`. Revocation and code-page registration
+    /// must cover every member, not just the entry.
+    pub ranges: Vec<(u32, u32)>,
+    /// Guest instructions per member, parallel to `ranges`. Lets the
+    /// executor attribute the exact retired-instruction count when a
+    /// region leaves through a side exit or SMC guard (the members past
+    /// the exit never ran).
+    pub member_insns: Vec<u32>,
 }
 
 impl TBlock {
     /// Host code size in bytes (for code-cache accounting).
     pub fn host_bytes(&self) -> u32 {
         self.code.len() as u32 * RInsn::SIZE_BYTES
+    }
+
+    /// Guest address one past the last member block — the return address
+    /// the paper's return predictor speculates for `call` regions.
+    pub fn end_addr(&self) -> u32 {
+        match self.ranges.last() {
+            Some(&(a, l)) => a.wrapping_add(l),
+            None => self.guest_addr.wrapping_add(self.guest_len),
+        }
     }
 }
 
@@ -134,21 +202,210 @@ pub fn translate_block<S: CodeSource + ?Sized>(
     addr: u32,
     opt: OptLevel,
 ) -> Result<TBlock, TranslateError> {
-    let mut block = lower_block(src, addr, MAX_BLOCK_INSNS)?;
+    translate_region(src, addr, opt, &RegionLimits::single())
+}
+
+/// Translates a superblock region starting at `addr`: the basic block
+/// there, extended along the statically-predicted path subject to
+/// `limits`, optimized and register-allocated as one merged unit.
+///
+/// Internal predicted-not-taken branches become [`MInsn::SideExit`]s and
+/// each member junction carries an [`MInsn::Boundary`] guard (the exit
+/// taken when self-modifying code is detected mid-region). Like
+/// [`translate_block`], the result is a pure function of the bytes
+/// fetched through `src`.
+///
+/// # Errors
+///
+/// Returns [`TranslateError`] on undecodable guest code at the entry
+/// block or pathological register pressure. Decode failures while
+/// *extending* are not errors — the region simply stops growing; a
+/// merged region that exceeds the host register file deterministically
+/// falls back to the single-block translation.
+pub fn translate_region<S: CodeSource + ?Sized>(
+    src: &S,
+    addr: u32,
+    opt: OptLevel,
+    limits: &RegionLimits,
+) -> Result<TBlock, TranslateError> {
+    let (mut region, ranges, member_insns) = form_region(src, addr, limits)?;
     match opt {
-        OptLevel::Full => opt::optimize(&mut block, src),
-        OptLevel::None => opt::baseline_only(&mut block, src),
+        OptLevel::Full => opt::optimize(&mut region, src),
+        OptLevel::None => opt::baseline_only(&mut region, src),
     }
-    let code = codegen(&block)?;
+    let code = match codegen(&region) {
+        Ok(code) => code,
+        // A merged region can exceed the host temp pool even when each
+        // member fits alone. Deterministic fallback — identical whether
+        // the translation runs inline, on a host worker, or in the fuzz
+        // oracle — keeps host-parallel reuse bit-exact.
+        Err(CodegenError::RegisterPressure { .. }) if ranges.len() > 1 => {
+            return translate_region(src, addr, opt, &RegionLimits::single());
+        }
+        Err(e) => return Err(e.into()),
+    };
     Ok(TBlock {
-        guest_addr: block.guest_addr,
-        guest_len: block.guest_len,
-        guest_insns: block.guest_insns,
-        translate_cycles: block.guest_insns as u64 * opt.cycles_per_guest_insn(),
-        term: block.term,
-        is_call: block.is_call,
+        guest_addr: region.guest_addr,
+        guest_len: region.guest_len,
+        guest_insns: region.guest_insns,
+        translate_cycles: region.guest_insns as u64 * opt.cycles_per_guest_insn(),
+        term: region.term,
+        is_call: region.is_call,
         code,
+        ranges,
+        member_insns,
     })
+}
+
+/// Distinct 4 KiB guest pages the byte range `[addr, addr + len)` spans.
+fn pages_of(addr: u32, len: u32) -> impl Iterator<Item = u32> {
+    (addr >> 12)..=(addr.saturating_add(len.max(1) - 1) >> 12)
+}
+
+/// What [`form_region`] assembles: the merged region, the member
+/// `(addr, len)` list, and the per-member guest instruction counts.
+type FormedRegion = (MBlock, Vec<(u32, u32)>, Vec<u32>);
+
+/// Lowers the entry block at `addr` and extends it along the predicted
+/// path into a merged [`MBlock`], returning the member `(addr, len)` list.
+fn form_region<S: CodeSource + ?Sized>(
+    src: &S,
+    addr: u32,
+    limits: &RegionLimits,
+) -> Result<FormedRegion, TranslateError> {
+    let mut region = lower_block(src, addr, MAX_BLOCK_INSNS)?;
+    let mut ranges = vec![(region.guest_addr, region.guest_len)];
+    let mut member_insns = vec![region.guest_insns];
+    let mut pages: Vec<u32> = pages_of(region.guest_addr, region.guest_len).collect();
+    while (ranges.len() as u32) < limits.max_blocks && region.guest_insns < limits.max_insns {
+        // The predicted successor, and the side exit for the other arm.
+        let member_addr = ranges.last().expect("nonempty").0;
+        let (next, side) = match region.term {
+            Term::Goto(t) => (t, None),
+            Term::CondGoto { cond, taken, fall } => {
+                let closes_loop = taken <= member_addr && ranges.iter().any(|&(a, _)| a == taken);
+                if closes_loop {
+                    // Backward branch into this region: the trace's own
+                    // loop closing. Predict taken; the re-entry check
+                    // below then ends the region at the backedge.
+                    (taken, Some((cond.negate(), fall)))
+                } else {
+                    // Forward branch, or a backward branch *leaving* the
+                    // region (e.g. a rarely-taken guard into earlier
+                    // cold code): predict not taken, side-exit to the
+                    // taken arm. Following backward edges out of the
+                    // trace is how cold-guard regions end up side-
+                    // exiting on nearly every entry.
+                    (fall, Some((cond, taken)))
+                }
+            }
+            // Indirect, syscall, trap and halt all end the region.
+            _ => break,
+        };
+        // Never re-enter a member: loops close through dispatch (which
+        // chains back to the region entry), not by unrolling.
+        if ranges.iter().any(|&(a, _)| a == next) {
+            break;
+        }
+        // A decode failure on the predicted path is not an error — the
+        // region just stops before it.
+        let Ok(member) = lower_block(src, next, MAX_BLOCK_INSNS) else {
+            break;
+        };
+        if region.guest_insns + member.guest_insns > limits.max_insns {
+            break;
+        }
+        let mut new_pages = pages.clone();
+        for p in pages_of(member.guest_addr, member.guest_len) {
+            if !new_pages.contains(&p) {
+                new_pages.push(p);
+            }
+        }
+        if new_pages.len() as u32 > limits.max_pages {
+            break;
+        }
+        pages = new_pages;
+        if let Some((cond, target)) = side {
+            region.insns.push(MInsn::SideExit { cond, target });
+        }
+        region.insns.push(MInsn::Boundary { resume: next });
+        ranges.push((member.guest_addr, member.guest_len));
+        member_insns.push(member.guest_insns);
+        append_member(&mut region, member);
+    }
+    Ok((region, ranges, member_insns))
+}
+
+/// Appends `member`'s body to `region`, renumbering the member's
+/// temporaries above the region's current high-water mark.
+fn append_member(region: &mut MBlock, mut member: MBlock) {
+    let offset = region.next_temp - VReg::FIRST_TEMP;
+    for insn in &mut member.insns {
+        shift_temps(insn, offset);
+    }
+    if let Term::Indirect(r) = &mut member.term {
+        if r.0 >= VReg::FIRST_TEMP {
+            r.0 += offset;
+        }
+    }
+    region.insns.append(&mut member.insns);
+    region.guest_insns += member.guest_insns;
+    region.term = member.term;
+    region.is_call = member.is_call;
+    region.next_temp = member.next_temp + offset;
+}
+
+/// Adds `offset` to every temporary register in `insn` (guest state is
+/// shared across members and stays fixed).
+fn shift_temps(insn: &mut MInsn, offset: u32) {
+    fn sh(r: &mut VReg, offset: u32) {
+        if r.0 >= VReg::FIRST_TEMP {
+            r.0 += offset;
+        }
+    }
+    fn shv(v: &mut Val, offset: u32) {
+        if let Val::Reg(r) = v {
+            sh(r, offset);
+        }
+    }
+    match insn {
+        MInsn::Mov { dst, src } => {
+            sh(dst, offset);
+            shv(src, offset);
+        }
+        MInsn::Bin { dst, a, b, .. } => {
+            sh(dst, offset);
+            shv(a, offset);
+            shv(b, offset);
+        }
+        MInsn::Load { dst, base, .. } => {
+            sh(dst, offset);
+            shv(base, offset);
+        }
+        MInsn::Store { src, base, .. } => {
+            shv(src, offset);
+            shv(base, offset);
+        }
+        MInsn::FlagDef { a, b, res, cin, .. } => {
+            shv(a, offset);
+            shv(b, offset);
+            shv(res, offset);
+            if let Some(c) = cin {
+                shv(c, offset);
+            }
+        }
+        MInsn::EvalCond { dst, .. } => sh(dst, offset),
+        MInsn::ShiftFx { dst, a, count, .. } => {
+            sh(dst, offset);
+            shv(a, offset);
+            shv(count, offset);
+        }
+        MInsn::DivHelper { divisor, .. } => shv(divisor, offset),
+        MInsn::RepString { .. }
+        | MInsn::SetDf(_)
+        | MInsn::SideExit { .. }
+        | MInsn::Boundary { .. } => {}
+    }
 }
 
 /// The exact byte footprint one translation read through [`CodeSource`],
@@ -383,5 +640,148 @@ mod tests {
         let bytes = [0x0F, 0x31]; // rdtsc: unsupported
         let r = translate_block(&SliceSource::new(0, &bytes), 0, OptLevel::Full);
         assert!(matches!(r, Err(TranslateError::Decode(_))));
+    }
+
+    fn region(opt: OptLevel, limits: &RegionLimits, f: impl FnOnce(&mut Asm)) -> TBlock {
+        let mut asm = Asm::new(0x1000);
+        f(&mut asm);
+        let p = asm.finish();
+        translate_region(&SliceSource::new(p.base, &p.code), p.base, opt, limits)
+            .expect("translates")
+    }
+
+    #[test]
+    fn region_extends_through_predicted_path() {
+        // A: jmp C   B: add eax,1; hlt   C: sub eax,1; jnz B   D: hlt
+        // The backward branch at C leaves the region (B is not a
+        // member), so formation predicts it not taken and continues
+        // through the fall-through D.
+        let b = region(OptLevel::Full, &RegionLimits::default(), |a| {
+            let lb = a.label();
+            let lc = a.label();
+            a.jmp(lc);
+            a.bind(lb);
+            a.add_ri(EAX, 1);
+            a.hlt();
+            a.bind(lc);
+            a.sub_ri(EAX, 1);
+            a.jcc(vta_x86::Cond::Ne, lb);
+            a.add_ri(EAX, 7);
+            a.hlt();
+        });
+        // Formation order: A (goto C), C (side exit to B), D (halt).
+        assert_eq!(b.ranges.len(), 3, "ranges: {:?}", b.ranges);
+        assert_eq!(b.ranges[0].0, 0x1000);
+        assert!(b.ranges[2].0 > b.ranges[1].0, "D after C: {:?}", b.ranges);
+        assert_eq!(b.term, Term::Halt);
+        assert_eq!(
+            b.end_addr(),
+            b.ranges[2].0 + b.ranges[2].1,
+            "end_addr is the last member's end"
+        );
+        // Each junction carries an SMC guard; the conditional junction
+        // also carries a side exit (a host branch to a guest target that
+        // is not the terminator's).
+        let guards = b
+            .code
+            .iter()
+            .filter(|i| matches!(i, RInsn::SmcGuard { .. }))
+            .count();
+        assert_eq!(guards, 2, "one guard per junction");
+    }
+
+    #[test]
+    fn region_stops_at_indirect_and_revisit() {
+        // `ret` ends the region immediately.
+        let b = region(OptLevel::Full, &RegionLimits::default(), |a| {
+            a.add_ri(EAX, 1);
+            a.ret();
+        });
+        assert_eq!(b.ranges.len(), 1);
+        // A self-loop closes through dispatch, not by unrolling.
+        let b = region(OptLevel::Full, &RegionLimits::default(), |a| {
+            let top = a.label();
+            a.bind(top);
+            a.add_ri(EAX, 1);
+            a.jmp(top);
+        });
+        assert_eq!(b.ranges.len(), 1);
+        assert_eq!(b.term, Term::Goto(0x1000));
+    }
+
+    #[test]
+    fn single_limits_match_translate_block() {
+        let body = |a: &mut Asm| {
+            a.mov_ri(EAX, 3);
+            let l = a.label();
+            a.jmp(l);
+            a.bind(l);
+            a.add_ri(EAX, 1);
+            a.hlt();
+        };
+        let mut asm = Asm::new(0x1000);
+        body(&mut asm);
+        let p = asm.finish();
+        let src = SliceSource::new(p.base, &p.code);
+        let single =
+            translate_region(&src, p.base, OptLevel::Full, &RegionLimits::single()).unwrap();
+        let plain = translate_block(&src, p.base, OptLevel::Full).unwrap();
+        assert_eq!(single, plain);
+        assert_eq!(single.ranges, vec![(p.base, single.guest_len)]);
+        // With formation enabled the same code merges into one region.
+        let merged =
+            translate_region(&src, p.base, OptLevel::Full, &RegionLimits::default()).unwrap();
+        assert_eq!(merged.ranges.len(), 2);
+        assert_eq!(merged.guest_insns, 4);
+    }
+
+    #[test]
+    fn region_respects_block_cap() {
+        // A long fall-through chain of tiny blocks; cap at 3 members.
+        let limits = RegionLimits {
+            max_blocks: 3,
+            ..RegionLimits::default()
+        };
+        let b = region(OptLevel::Full, &limits, |a| {
+            for _ in 0..6 {
+                let l = a.label();
+                a.add_ri(EAX, 1);
+                a.jmp(l);
+                a.bind(l);
+            }
+            a.hlt();
+        });
+        assert_eq!(b.ranges.len(), 3);
+        assert!(matches!(b.term, Term::Goto(_)));
+    }
+
+    #[test]
+    fn cross_member_optimization_pays_off() {
+        // The constant loaded in the first member folds into the second;
+        // the merged region must beat two single blocks on host size.
+        let body = |a: &mut Asm| {
+            a.mov_ri(EAX, 6);
+            let l = a.label();
+            a.jmp(l);
+            a.bind(l);
+            a.add_ri(EAX, 7);
+            a.imul_rr(EAX, EAX);
+            a.hlt();
+        };
+        let mut asm = Asm::new(0x1000);
+        body(&mut asm);
+        let p = asm.finish();
+        let src = SliceSource::new(p.base, &p.code);
+        let merged =
+            translate_region(&src, p.base, OptLevel::Full, &RegionLimits::default()).unwrap();
+        let first = translate_block(&src, p.base, OptLevel::Full).unwrap();
+        let second = translate_block(&src, merged.ranges[1].0, OptLevel::Full).unwrap();
+        assert!(
+            merged.code.len() < first.code.len() + second.code.len(),
+            "merged {} vs split {}+{}",
+            merged.code.len(),
+            first.code.len(),
+            second.code.len()
+        );
     }
 }

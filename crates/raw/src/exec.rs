@@ -128,6 +128,14 @@ pub trait DataPort {
         let _ = state;
         panic!("DataPort::helper not supported by this port (kind {kind:?})");
     }
+
+    /// Whether a store into translated code pages has been observed since
+    /// the current block was entered. Polled by [`RInsn::SmcGuard`] at
+    /// superblock member boundaries; ports without self-modifying-code
+    /// tracking report `false`.
+    fn smc_pending(&self) -> bool {
+        false
+    }
 }
 
 /// Why a translated block returned control.
@@ -159,6 +167,12 @@ pub struct RunOutcome {
     /// translation pipeline, an L2 bank, or DRAM). Lets an observer
     /// decompose block time into issue vs. memory-stall cycles.
     pub stall_cycles: u64,
+    /// [`RInsn::SmcGuard`]s executed without firing. In a superblock
+    /// region a guard sits at each member junction, so this is the number
+    /// of member boundaries crossed — the caller uses it to attribute
+    /// retired guest instructions exactly when a region exits early
+    /// (side exit, SMC guard, fault).
+    pub guards_passed: u32,
 }
 
 /// Executes one translated block to its exit.
@@ -180,6 +194,7 @@ pub fn run_block<P: DataPort + ?Sized>(
     let mut cycles: u64 = 0;
     let mut insns: u64 = 0;
     let mut stalls: u64 = 0;
+    let mut guards: u32 = 0;
 
     loop {
         if insns >= fuel {
@@ -188,6 +203,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                 cycles,
                 insns,
                 stall_cycles: stalls,
+                guards_passed: guards,
             };
         }
         let insn = *code
@@ -224,6 +240,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                                 cycles,
                                 insns,
                                 stall_cycles: stalls,
+                                guards_passed: guards,
                             };
                         }
                         match op {
@@ -284,6 +301,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                             cycles,
                             insns,
                             stall_cycles: stalls,
+                            guards_passed: guards,
                         }
                     }
                 }
@@ -301,6 +319,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                             cycles,
                             insns,
                             stall_cycles: stalls,
+                            guards_passed: guards,
                         }
                     }
                 }
@@ -321,6 +340,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                                 cycles,
                                 insns,
                                 stall_cycles: stalls,
+                                guards_passed: guards,
                             }
                         }
                     }
@@ -336,6 +356,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                             cycles,
                             insns,
                             stall_cycles: stalls,
+                            guards_passed: guards,
                         }
                     }
                 }
@@ -347,6 +368,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                         cycles,
                         insns,
                         stall_cycles: stalls,
+                        guards_passed: guards,
                     };
                 }
             }
@@ -356,6 +378,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                     cycles,
                     insns,
                     stall_cycles: stalls,
+                    guards_passed: guards,
                 }
             }
             RInsn::Sys => {
@@ -364,6 +387,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                     cycles,
                     insns,
                     stall_cycles: stalls,
+                    guards_passed: guards,
                 }
             }
             RInsn::Trap { cause } => {
@@ -372,6 +396,7 @@ pub fn run_block<P: DataPort + ?Sized>(
                     cycles,
                     insns,
                     stall_cycles: stalls,
+                    guards_passed: guards,
                 }
             }
             RInsn::Hlt => {
@@ -380,7 +405,20 @@ pub fn run_block<P: DataPort + ?Sized>(
                     cycles,
                     insns,
                     stall_cycles: stalls,
+                    guards_passed: guards,
                 }
+            }
+            RInsn::SmcGuard { resume } => {
+                if port.smc_pending() {
+                    return RunOutcome {
+                        exit: BlockExit::Goto(resume),
+                        cycles,
+                        insns,
+                        stall_cycles: stalls,
+                        guards_passed: guards,
+                    };
+                }
+                guards += 1;
             }
         }
     }

@@ -352,6 +352,16 @@ pub enum RInsn {
     Hlt,
     /// No operation.
     Nop,
+    /// Superblock member-boundary guard: if the runtime has observed a
+    /// store into translated code pages since the block was entered,
+    /// leave translated code and continue (via dispatch, against fresh
+    /// bytes) at guest address `resume`. Free when no store is pending —
+    /// it models the zero-cost invalidation check the runtime's store
+    /// path already performs.
+    SmcGuard {
+        /// Guest address of the next member block.
+        resume: u32,
+    },
 }
 
 impl RInsn {
@@ -363,6 +373,9 @@ impl RInsn {
         match self {
             RInsn::Alu { op, .. } => op.cycles(),
             RInsn::Helper { kind } => kind.cycles(),
+            // The guard costs nothing on the common no-SMC path: the
+            // runtime's store path pays for invalidation detection.
+            RInsn::SmcGuard { .. } => 0,
             // Loads/stores: 1 issue cycle; the software address translation
             // and cache occupancy are charged by the DataPort.
             _ => 1,

@@ -23,6 +23,9 @@ pub enum Ctr {
     DispatchDirectMiss,
     /// `dispatch.indirect` — indirect branch dispatches.
     DispatchIndirect,
+    /// `dispatch.inline_hit` — indirect branches resolved by a block's
+    /// inline target-prediction cache (no dispatch round trip).
+    DispatchInlineHit,
     /// `exec.blocks` — translated blocks executed.
     ExecBlocks,
     /// `exec.stall_cycles` — execution-tile cycles stalled on data
@@ -64,6 +67,17 @@ pub enum Ctr {
     SmcInvalidations,
     /// `spec.pushes` — speculative translation queue pushes.
     SpecPushes,
+    /// `superblock.entries` — executions entering a multi-block region.
+    SuperblockEntries,
+    /// `superblock.promotions` — addresses promoted to region translation
+    /// (a loop backedge or a capped region's continuation got hot).
+    SuperblockPromotions,
+    /// `superblock.side_exits` — region exits through a side exit
+    /// (mispredicted internal branch) rather than the region terminator.
+    SuperblockSideExits,
+    /// `superblock.smc_exits` — region exits forced by a self-modifying
+    /// store observed at a member boundary guard.
+    SuperblockSmcExits,
     /// `syscalls` — guest system calls.
     Syscalls,
     /// `translate.blocks` — blocks translated by the slave pool.
@@ -76,7 +90,7 @@ pub enum Ctr {
 
 impl Ctr {
     /// Number of interned counters (the size of the flat array).
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 33;
 
     /// Every interned counter, in ascending name order.
     pub const ALL: [Ctr; Ctr::COUNT] = [
@@ -84,6 +98,7 @@ impl Ctr {
         Ctr::Cycles,
         Ctr::DispatchDirectMiss,
         Ctr::DispatchIndirect,
+        Ctr::DispatchInlineHit,
         Ctr::ExecBlocks,
         Ctr::ExecStallCycles,
         Ctr::GuestInsns,
@@ -104,6 +119,10 @@ impl Ctr {
         Ctr::MorphToTranslator,
         Ctr::SmcInvalidations,
         Ctr::SpecPushes,
+        Ctr::SuperblockEntries,
+        Ctr::SuperblockPromotions,
+        Ctr::SuperblockSideExits,
+        Ctr::SuperblockSmcExits,
         Ctr::Syscalls,
         Ctr::TranslateBlocks,
         Ctr::TranslateBusyCycles,
@@ -117,6 +136,7 @@ impl Ctr {
             Ctr::Cycles => "cycles",
             Ctr::DispatchDirectMiss => "dispatch.direct_miss",
             Ctr::DispatchIndirect => "dispatch.indirect",
+            Ctr::DispatchInlineHit => "dispatch.inline_hit",
             Ctr::ExecBlocks => "exec.blocks",
             Ctr::ExecStallCycles => "exec.stall_cycles",
             Ctr::GuestInsns => "guest_insns",
@@ -137,6 +157,10 @@ impl Ctr {
             Ctr::MorphToTranslator => "morph.to_translator",
             Ctr::SmcInvalidations => "smc.invalidations",
             Ctr::SpecPushes => "spec.pushes",
+            Ctr::SuperblockEntries => "superblock.entries",
+            Ctr::SuperblockPromotions => "superblock.promotions",
+            Ctr::SuperblockSideExits => "superblock.side_exits",
+            Ctr::SuperblockSmcExits => "superblock.smc_exits",
             Ctr::Syscalls => "syscalls",
             Ctr::TranslateBlocks => "translate.blocks",
             Ctr::TranslateBusyCycles => "translate.busy_cycles",
@@ -152,6 +176,7 @@ impl Ctr {
             "cycles" => Ctr::Cycles,
             "dispatch.direct_miss" => Ctr::DispatchDirectMiss,
             "dispatch.indirect" => Ctr::DispatchIndirect,
+            "dispatch.inline_hit" => Ctr::DispatchInlineHit,
             "exec.blocks" => Ctr::ExecBlocks,
             "exec.stall_cycles" => Ctr::ExecStallCycles,
             "guest_insns" => Ctr::GuestInsns,
@@ -172,6 +197,10 @@ impl Ctr {
             "morph.to_translator" => Ctr::MorphToTranslator,
             "smc.invalidations" => Ctr::SmcInvalidations,
             "spec.pushes" => Ctr::SpecPushes,
+            "superblock.entries" => Ctr::SuperblockEntries,
+            "superblock.promotions" => Ctr::SuperblockPromotions,
+            "superblock.side_exits" => Ctr::SuperblockSideExits,
+            "superblock.smc_exits" => Ctr::SuperblockSmcExits,
             "syscalls" => Ctr::Syscalls,
             "translate.blocks" => Ctr::TranslateBlocks,
             "translate.busy_cycles" => Ctr::TranslateBusyCycles,

@@ -1,10 +1,13 @@
-//! The eleven benchmark builders (one module per SpecInt counterpart).
+//! The benchmark builders: one module per SpecInt counterpart, plus
+//! the non-SPEC `interp` computed-goto interpreter (the inline-cache
+//! test bed).
 
 mod bzip2;
 mod crafty;
 mod gap;
 mod gcc;
 mod gzip;
+mod interp;
 mod mcf;
 mod parser;
 mod perlbmk;
@@ -17,6 +20,7 @@ pub use crafty::build as crafty;
 pub use gap::build as gap;
 pub use gcc::build as gcc;
 pub use gzip::build as gzip;
+pub use interp::build as interp;
 pub use mcf::build as mcf;
 pub use parser::build as parser;
 pub use perlbmk::build as perlbmk;

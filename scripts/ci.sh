@@ -108,9 +108,11 @@ fuzz_stage() {
     cargo run --release -q -p vta-bench --bin fuzz -- \
         --corpus crates/ir/tests/corpus
     cargo run --release -q -p vta-bench --bin fuzz -- \
-        --cases 3000 --seed 0x5EED
+        --cases 4000 --seed 0x5EED
     cargo run --release -q -p vta-bench --bin fuzz -- \
-        --cases 2000 --seed 3
+        --cases 3000 --seed 0xB10C
+    cargo run --release -q -p vta-bench --bin fuzz -- \
+        --cases 3000 --seed 3
 }
 run_stage "fuzz (fixed-seed smoke)" \
     fuzz_stage
