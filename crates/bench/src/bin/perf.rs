@@ -13,9 +13,13 @@
 //! ```
 //!
 //! `--superblock` runs the region-formation A/B matrix (gzip/mcf/crafty/
-//! interp × both opt levels × superblocks off/on), re-derives the
-//! paper-default fingerprints at 1/4/nproc host threads to attest
-//! thread-count invariance, and writes `BENCH_superblock.json`.
+//! interp × both opt levels × off/static/recorded superblock modes),
+//! asserts guest-instruction retirement reconciles across the modes,
+//! re-derives the paper-default fingerprints at 1/4/nproc host threads
+//! to attest thread-count invariance, and writes
+//! `BENCH_superblock.json`. `--superblock --check` runs only the cell
+//! matrix and the retirement reconciliation — no fingerprints, no
+//! `Scale::Large` highlights, nothing written — as a fast CI gate.
 //!
 //! `--metrics [--bench B] [--interval N] [--threads N]` runs one
 //! benchmark at `Scale::Test` with the windowed metrics layer on and
@@ -48,7 +52,8 @@ use vta_bench::metrics::{metrics_benchmark, phase_summary, series_csv, series_js
 use vta_bench::perf::{
     cycle_fingerprint, cycle_fingerprint_with_pool, parse_fingerprints, render_json,
     render_parallel_json, render_superblock_json, run_fig5_probe, superblock_cells,
-    superblock_highlights, validate_parallel, Fingerprint, ParallelPoint, SweepPerf,
+    superblock_highlights, superblock_reconciles, validate_parallel, Fingerprint, ParallelPoint,
+    SweepPerf,
 };
 use vta_bench::trace::chrome_trace_json_with_metrics;
 use vta_dbt::VirtualArchConfig;
@@ -201,51 +206,67 @@ fn scaling() -> i32 {
 }
 
 /// `--superblock` mode: attest fingerprint thread-count invariance,
-/// run the region-formation A/B matrix, and write
-/// `BENCH_superblock.json`. Returns the process exit code.
-fn superblock_mode() -> i32 {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let mut widths = vec![1usize, 4, cores];
-    widths.dedup();
-    let base = cycle_fingerprint(1);
-    for &w in &widths[1..] {
-        let fp = cycle_fingerprint(w);
-        if fp != base {
-            eprintln!("--superblock: fingerprints diverged at {w} host threads");
-            return 1;
+/// run the region-formation A/B matrix, assert retirement reconciles
+/// across modes, and write `BENCH_superblock.json`. With `check_only`
+/// the matrix + reconciliation run alone (fast CI gate, no write).
+/// Returns the process exit code.
+fn superblock_mode(check_only: bool) -> i32 {
+    if !check_only {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut widths = vec![1usize, 4, cores];
+        widths.dedup();
+        let base = cycle_fingerprint(1);
+        for &w in &widths[1..] {
+            let fp = cycle_fingerprint(w);
+            if fp != base {
+                eprintln!("--superblock: fingerprints diverged at {w} host threads");
+                return 1;
+            }
         }
+        println!(
+            "--superblock: fingerprints identical at {:?} host threads",
+            widths
+        );
     }
-    println!(
-        "--superblock: fingerprints identical at {:?} host threads",
-        widths
-    );
     let cells = superblock_cells();
     for c in &cells {
         println!(
-            "--superblock: {:>7} opt={:<4} sb={:<5} cycles {:>12} block-exits/kinsn {:>8.3} \
-             inline_hit {:>8} wall {:.3}s",
+            "--superblock: {:>7} opt={:<4} mode={:<8} cycles {:>12} block-exits/kinsn {:>8.3} \
+             inline_hit {:>8} recorded {:>4} wall {:.3}s",
             c.bench,
             c.opt,
-            c.superblock,
+            c.mode,
             c.cycles,
             c.block_exits_per_kinsn(),
             c.inline_hit,
+            c.sb_recorded,
             c.wall_seconds
         );
+    }
+    if let Err(e) = superblock_reconciles(&cells) {
+        eprintln!("--superblock: guest retirement does not reconcile: {e}");
+        return 1;
+    }
+    println!("--superblock: guest_insns identical across off/static/recorded per bench x opt");
+    if check_only {
+        return 0;
     }
     let highlights = superblock_highlights();
     for h in &highlights {
         println!(
-            "--superblock: large {:>7} cycles {:>12} -> {:>12} block-exits/kinsn \
-             {:>8.3} -> {:>8.3} wall {:.3}s -> {:.3}s",
+            "--superblock: large {:>7} cycles {:>12} / {:>12} / {:>12} block-exits/kinsn \
+             {:>8.3} / {:>8.3} / {:>8.3} wall {:.3}s / {:.3}s / {:.3}s (off/static/recorded)",
             h.bench,
             h.cycles_off,
+            h.cycles_static,
             h.cycles_on,
             h.block_exits_off,
+            h.block_exits_static,
             h.block_exits_on,
             h.wall_off,
+            h.wall_static,
             h.wall_on
         );
     }
@@ -380,14 +401,15 @@ fn main() {
     if std::env::args().any(|a| a == "--metrics") {
         std::process::exit(metrics_mode(threads));
     }
+    if std::env::args().any(|a| a == "--superblock") {
+        let check_only = std::env::args().any(|a| a == "--check");
+        std::process::exit(superblock_mode(check_only));
+    }
     if std::env::args().any(|a| a == "--check") {
         std::process::exit(check(threads));
     }
     if std::env::args().any(|a| a == "--scaling") {
         std::process::exit(scaling());
-    }
-    if std::env::args().any(|a| a == "--superblock") {
-        std::process::exit(superblock_mode());
     }
     let write = std::env::args().any(|a| a == "--write");
     let (after, _) = run_fig5_probe(

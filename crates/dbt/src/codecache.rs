@@ -272,6 +272,26 @@ impl L1Code {
         }
     }
 
+    /// Drops every inline indirect-target cache entry predicting a
+    /// target inside `page` (a 4 KiB page number). SMC invalidation
+    /// calls this on the modeled hardware's behalf: the compare patched
+    /// next to each indirect site holds a *guest code address*, and on
+    /// the real machine nothing re-checks it once new code for that
+    /// address is installed — the patch itself must be flushed. The
+    /// host-side handle in the entry happens to go stale through its
+    /// generation check too, but only as long as handles are the lookup
+    /// mechanism; the purge keeps the model honest rather than leaning
+    /// on that accident.
+    pub fn purge_indirect_targets(&mut self, page: u32) {
+        for slot in &mut self.slots {
+            for e in &mut slot.itc {
+                if e.is_some_and(|(t, _)| t / 4096 == page) {
+                    *e = None;
+                }
+            }
+        }
+    }
+
     /// Number of whole-cache flushes so far.
     pub fn flushes(&self) -> u64 {
         self.flushes
@@ -648,6 +668,34 @@ mod tests {
         // Invalidating the *source* block revokes the whole cache.
         l1.invalidate(0x1000);
         assert_eq!(l1.cached_indirect(a, 0x3000), None);
+    }
+
+    #[test]
+    fn l1_purge_indirect_targets_by_page() {
+        // SMC invalidation of a page must flush inline-cache entries
+        // predicting targets *inside* that page even when the target's
+        // own translation is still resident — the hardware's patched
+        // compare holds a raw guest address and never re-checks it.
+        let mut l1 = L1Code::new(1000);
+        l1.insert(block(0x1000, 5));
+        let a = l1.lookup(0x1000).unwrap();
+        l1.insert(block(0x2000, 1));
+        l1.insert(block(0x3000, 1));
+        let t2 = l1.lookup(0x2000).unwrap();
+        let t3 = l1.lookup(0x3000).unwrap();
+        l1.cache_indirect(a, 0x2000, t2);
+        l1.cache_indirect(a, 0x3000, t3);
+        l1.purge_indirect_targets(0x2000 / 4096);
+        assert_eq!(
+            l1.cached_indirect(a, 0x2000),
+            None,
+            "entry into the invalidated page purged despite a live target"
+        );
+        assert_eq!(
+            l1.cached_indirect(a, 0x3000),
+            Some(t3),
+            "entries into other pages survive"
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use vta_ir::{OptLevel, RegionLimits, TBlock};
+use vta_ir::{OptLevel, RegionLimits, RegionShape, TBlock};
 use vta_x86::GuestMem;
 
 struct Entry {
@@ -50,8 +50,12 @@ pub struct SharedTranslations {
     opt: OptLevel,
     limits: RegionLimits,
     /// Keyed by `(guest address, region shape)`: a promoted region and
-    /// the plain single-block translation of the same address coexist.
-    inner: Mutex<HashMap<(u32, bool), Arc<Entry>>>,
+    /// the plain single-block translation of the same address coexist,
+    /// and a recorded-path region is keyed by its full recorded
+    /// successor list — two cells whose recordings diverged never
+    /// alias, so cross-cell reuse stays byte-validated *and*
+    /// shape-exact.
+    inner: Mutex<HashMap<(u32, RegionShape), Arc<Entry>>>,
 }
 
 impl SharedTranslations {
@@ -84,9 +88,14 @@ impl SharedTranslations {
 
     /// Returns the memoized translation at `addr` if the caller's guest
     /// memory still holds the exact bytes it was derived from.
-    pub(crate) fn consult(&self, mem: &GuestMem, addr: u32, region: bool) -> Option<Arc<TBlock>> {
+    pub(crate) fn consult(
+        &self,
+        mem: &GuestMem,
+        addr: u32,
+        shape: &RegionShape,
+    ) -> Option<Arc<TBlock>> {
         // Probe under the lock, validate outside it.
-        let e = Arc::clone(self.inner.lock().ok()?.get(&(addr, region))?);
+        let e = Arc::clone(self.inner.lock().ok()?.get(&(addr, shape.clone()))?);
         for (a, bytes) in &e.range_bytes {
             let live = mem.read_bytes(*a, bytes.len() as u32).ok()?;
             if &live != bytes {
@@ -97,7 +106,7 @@ impl SharedTranslations {
     }
 
     /// Publishes a freshly translated block (first writer wins).
-    pub(crate) fn publish(&self, mem: &GuestMem, block: &Arc<TBlock>, region: bool) {
+    pub(crate) fn publish(&self, mem: &GuestMem, block: &Arc<TBlock>, shape: &RegionShape) {
         let mut range_bytes = Vec::with_capacity(block.ranges.len());
         for &(addr, len) in &block.ranges {
             let Ok(bytes) = mem.read_bytes(addr, len) else {
@@ -110,7 +119,9 @@ impl SharedTranslations {
             block: Arc::clone(block),
         });
         if let Ok(mut inner) = self.inner.lock() {
-            inner.entry((block.guest_addr, region)).or_insert(entry);
+            inner
+                .entry((block.guest_addr, shape.clone()))
+                .or_insert(entry);
         }
     }
 

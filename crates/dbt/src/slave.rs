@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use vta_ir::TBlock;
+use vta_ir::{RegionShape, TBlock};
 use vta_raw::TileId;
 use vta_sim::Cycle;
 
@@ -31,10 +31,11 @@ pub struct InFlight {
     pub depth: u8,
     /// Cycle at which the finished block reaches the manager.
     pub done_at: Cycle,
-    /// Whether the block was translated as a superblock region. A
-    /// promotion that lands while the translation is in flight makes
-    /// the shape stale; the commit path drops such blocks.
-    pub region: bool,
+    /// The shape the block was translated under: single block, static
+    /// region, or a region along a recorded path. A promotion (or a
+    /// fresh recording) that lands while the translation is in flight
+    /// makes the shape stale; the commit path drops such blocks.
+    pub shape: RegionShape,
     /// Set by SMC invalidation: the block was translated from bytes
     /// the guest has since overwritten, so the commit path drops it.
     pub cancelled: bool,
@@ -223,7 +224,7 @@ mod tests {
             addr,
             depth: 0,
             done_at: Cycle(done),
-            region: false,
+            shape: RegionShape::Single,
             cancelled: false,
             block: None,
         }

@@ -11,7 +11,10 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use vta_ir::mir::Term;
-use vta_ir::{apply_helper, translate_region, RegionLimits, TBlock, TranslateError};
+use vta_ir::{
+    apply_helper, translate_region, translate_region_along, RegionLimits, RegionShape, TBlock,
+    TranslateError,
+};
 use vta_raw::exec::{run_block, BlockExit, CoreState, DataPort, Fault};
 use vta_raw::isa::{HelperKind, MemOp, RReg};
 use vta_raw::{Dram, TileId};
@@ -138,6 +141,25 @@ pub struct System {
     /// yet. The resident single-block translation keeps executing while
     /// the region forms in the background; the commit swaps it in.
     region_pending: HashSet<u32>,
+    /// Completed path recordings, keyed by region root: the successor
+    /// the recording pass observed at each block exit, in execution
+    /// order. The list *is* the root's region shape — it keys the
+    /// shared memo and drives `translate_region_along`.
+    recorded: HashMap<u32, Arc<[u32]>>,
+    /// The at-most-one active recording pass (see `record_step`). One
+    /// at a time because a recording is a run of *consecutive* block
+    /// exits; interleaving two would split both.
+    recorder: Option<Recording>,
+    /// Promoted roots waiting for the recorder: recording starts the
+    /// next time execution enters one of them single-block.
+    armed: Vec<u32>,
+    /// Per-root entry / first-junction-exit counters driving demotion
+    /// of regions whose recorded path stopped holding.
+    exit_stats: HashMap<u32, RegionExitStats>,
+    /// Roots that have spent their one re-recording.
+    re_recorded: HashSet<u32>,
+    /// Roots demoted back to single-block translation for good.
+    pinned: HashSet<u32>,
     /// Optional cross-system translation memo (sweeps).
     shared: Option<Arc<SharedTranslations>>,
     /// Host worker threads running the translator ahead of the
@@ -180,6 +202,25 @@ struct Gauges {
     host: Vec<GaugeId>,
     /// Live entries per host work-queue shard.
     host_shards: Vec<GaugeId>,
+}
+
+/// One recording pass in progress: the promoted root it started at and
+/// the successors observed so far.
+#[derive(Debug, Clone)]
+struct Recording {
+    root: u32,
+    path: Vec<u32>,
+}
+
+/// How a recorded region's entries have been leaving it.
+#[derive(Debug, Clone, Copy, Default)]
+struct RegionExitStats {
+    /// Times the region was entered.
+    entries: u64,
+    /// Times it exited at the *first* junction (no member boundary
+    /// crossed) — the signature of a recorded path that no longer holds
+    /// at all.
+    first_exits: u64,
 }
 
 /// Track ids for the non-tile trace timelines.
@@ -238,6 +279,12 @@ impl System {
             failed: HashSet::new(),
             promoted: HashSet::new(),
             region_pending: HashSet::new(),
+            recorded: HashMap::new(),
+            recorder: None,
+            armed: Vec::new(),
+            exit_stats: HashMap::new(),
+            re_recorded: HashSet::new(),
+            pinned: HashSet::new(),
             shared: None,
             host: None,
             host_threads: host_threads_from_env(),
@@ -501,31 +548,153 @@ impl System {
         }
     }
 
-    /// Whether `pc` must be translated as a superblock region: only
-    /// promoted addresses, and only under a region-capable configuration.
-    fn shape_for(&self, pc: u32) -> bool {
-        self.cfg.region_limits().max_blocks > 1 && self.promoted.contains(&pc)
+    /// The translation shape for `pc`: a recorded-path region once a
+    /// recording has completed for a promoted address, the statically
+    /// predicted region when path recording is off, and a single basic
+    /// block otherwise — including while a recording is still in
+    /// progress, and for roots demoted back to single.
+    fn shape_for(&self, pc: u32) -> RegionShape {
+        if self.cfg.region_limits().max_blocks > 1
+            && self.promoted.contains(&pc)
+            && !self.pinned.contains(&pc)
+        {
+            if self.cfg.record_paths {
+                match self.recorded.get(&pc) {
+                    Some(path) => RegionShape::Recorded(Arc::clone(path)),
+                    None => RegionShape::Single,
+                }
+            } else {
+                RegionShape::Static
+            }
+        } else {
+            RegionShape::Single
+        }
     }
 
     /// Promotes `pc` to region shape: future translations root a
     /// superblock there. The resident single-block translation stays
-    /// live — the execution tile never stalls on a promotion — and the
-    /// region translation is queued at high speculative priority; its
-    /// commit swaps out the single at every cache level. SMC revocation
-    /// leaves the promotion in place, so post-invalidation demand
-    /// retranslation is region-shaped again.
+    /// live — the execution tile never stalls on a promotion. Under
+    /// path recording the promotion first arms a recording pass; the
+    /// region build is queued when the recording completes. Otherwise
+    /// the statically predicted region is queued right away, at high
+    /// speculative priority; its commit swaps out the single at every
+    /// cache level. SMC revocation leaves the promotion in place, so
+    /// post-invalidation demand retranslation is region-shaped again.
     fn promote(&mut self, pc: u32) {
         self.promoted.insert(pc);
-        self.region_pending.insert(pc);
         self.stats.bump_ctr(Ctr::SuperblockPromotions);
-        self.queues.push(pc, 1);
+        if self.cfg.record_paths {
+            self.armed.push(pc);
+        } else {
+            self.region_pending.insert(pc);
+            self.queues.push(pc, 1);
+        }
     }
 
-    /// Translates `pc` at the configured opt level — as a superblock
-    /// region when `region`, as a single basic block otherwise —
-    /// consulting and feeding the shared memo when one is attached. The
-    /// memo validates the live guest bytes and is keyed by shape, so a
-    /// hit is byte-for-byte what a fresh translation would produce.
+    /// One step of the active recording pass: logs the successor the
+    /// block that just executed actually took. The recording finishes
+    /// at the loop-closing backedge (the successor is the root), at an
+    /// unknowable continuation (syscall / halt / fault), at the region
+    /// formation cap, or when a resident superblock runs — its exit is
+    /// a region exit, not a single-block junction, so the path has a
+    /// gap there.
+    fn record_step(&mut self, block: &TBlock, exit: BlockExit) {
+        let max_blocks = self.cfg.region_limits().max_blocks;
+        let rec = self.recorder.as_mut().expect("recording active");
+        let done = if block.ranges.len() > 1 {
+            true
+        } else {
+            match exit.successor() {
+                Some(t) if t != rec.root => {
+                    rec.path.push(t);
+                    rec.path.len() as u32 >= max_blocks
+                }
+                _ => true,
+            }
+        };
+        if done {
+            self.finish_recording();
+        }
+    }
+
+    /// Completes the active recording. A non-empty path becomes the
+    /// root's region shape and the region build is queued; an empty one
+    /// (the root halts, syscalls, or immediately loops onto itself)
+    /// pins the root single-block — there is nothing to form along.
+    fn finish_recording(&mut self) {
+        let rec = self.recorder.take().expect("recording active");
+        if rec.path.is_empty() {
+            self.pinned.insert(rec.root);
+            return;
+        }
+        self.recorded.insert(rec.root, Arc::from(rec.path));
+        self.region_pending.insert(rec.root);
+        self.queues.push(rec.root, 1);
+    }
+
+    /// Counts an entry into a recorded region. Both counters are halved
+    /// once 128 entries accumulate, so the demotion rate tracks a
+    /// sliding window of roughly the last 64–128 entries — a region
+    /// that served a long phase well must still demote promptly when
+    /// the program moves on and its path stops holding.
+    fn note_region_entry(&mut self, root: u32) {
+        let e = self.exit_stats.entry(root).or_default();
+        e.entries += 1;
+        if e.entries >= 128 {
+            e.entries /= 2;
+            e.first_exits /= 2;
+        }
+    }
+
+    /// Notes a recorded region leaving through its *first* junction —
+    /// before any member boundary was crossed. A path whose very first
+    /// step stops holding makes the region pure overhead (a region
+    /// built toward the historically-hottest target instead of the
+    /// recorded one measured ~99% here on call-heavy code), so a root
+    /// whose first-junction-exit rate crosses 3/4 over at least 64
+    /// entries is demoted. Occasional side exits *deeper* in the
+    /// region — a data-dependent branch taking its cold arm now and
+    /// then — never demote: the entry fee was already amortized by the
+    /// members that did retire.
+    fn note_first_junction_exit(&mut self, root: u32) {
+        let e = self.exit_stats.entry(root).or_default();
+        e.first_exits += 1;
+        if e.entries >= 64 && e.first_exits * 4 > e.entries * 3 {
+            self.demote_region(root);
+        }
+    }
+
+    /// Demotes the recorded region rooted at `root`: tears it down at
+    /// every cache level (demand retranslation sees the root
+    /// single-block while no recording is stored) and discards the
+    /// recording. The first demotion re-arms the recorder for one more
+    /// pass — the program may simply have moved to a new phase; a
+    /// second demotion pins the root single-block for good.
+    fn demote_region(&mut self, root: u32) {
+        self.l1.invalidate(root);
+        for bank in &mut self.l15 {
+            bank.invalidate(root);
+        }
+        self.l2code.invalidate(root);
+        self.recorded.remove(&root);
+        self.exit_stats.remove(&root);
+        self.region_pending.remove(&root);
+        if self.re_recorded.insert(root) {
+            self.stats.bump_ctr(Ctr::SuperblockReRecorded);
+            self.armed.push(root);
+        } else {
+            self.pinned.insert(root);
+            self.stats.bump_ctr(Ctr::SuperblockDemoted);
+        }
+    }
+
+    /// Translates `pc` at the configured opt level under `shape` — a
+    /// single basic block, the statically predicted region, or a region
+    /// along a recorded path — consulting and feeding the shared memo
+    /// when one is attached. The memo validates the live guest bytes
+    /// and is keyed by the full shape (a recorded shape carries its
+    /// path), so a hit is byte-for-byte what a fresh translation would
+    /// produce.
     ///
     /// With host workers enabled the pool's validated cache is consulted
     /// next for single-block requests (the pool only pre-translates that
@@ -533,30 +702,39 @@ impl System {
     /// what the inline call below would return, so the consult order is
     /// host-observable only. A miss falls through to inline translation
     /// — today's serial path.
-    fn translate_at(&mut self, pc: u32, region: bool) -> Result<Arc<TBlock>, TranslateError> {
-        let limits = if region {
+    fn translate_at(
+        &mut self,
+        pc: u32,
+        shape: &RegionShape,
+    ) -> Result<Arc<TBlock>, TranslateError> {
+        let limits = if shape.is_region() {
             self.cfg.region_limits()
         } else {
             RegionLimits::single()
         };
         if let Some(sh) = &self.shared {
-            if let Some(b) = sh.consult(&self.mem, pc, region) {
+            if let Some(b) = sh.consult(&self.mem, pc, shape) {
                 return Ok(b);
             }
         }
-        if !region {
+        if !shape.is_region() {
             if let Some(host) = &mut self.host {
                 if let Some(b) = host.consult(pc, &self.mem) {
                     if let Some(sh) = &self.shared {
-                        sh.publish(&self.mem, &b, region);
+                        sh.publish(&self.mem, &b, shape);
                     }
                     return Ok(b);
                 }
             }
         }
-        let b = Arc::new(translate_region(&self.mem, pc, self.cfg.opt, &limits)?);
+        let b = Arc::new(match shape {
+            RegionShape::Recorded(path) => {
+                translate_region_along(&self.mem, pc, self.cfg.opt, &limits, path)?
+            }
+            _ => translate_region(&self.mem, pc, self.cfg.opt, &limits)?,
+        });
         if let Some(sh) = &self.shared {
-            sh.publish(&self.mem, &b, region);
+            sh.publish(&self.mem, &b, shape);
         }
         Ok(b)
     }
@@ -634,11 +812,39 @@ impl System {
             if block.ranges.len() > 1 {
                 self.stats.bump_ctr(Ctr::SuperblockEntries);
             }
+            // Demotion accounting: count every entry into a region built
+            // from a recording; its first-junction exits are noted in
+            // the exit arms below.
+            let recorded_root =
+                block.ranges.len() > 1 && self.recorded.contains_key(&block.guest_addr);
+            if recorded_root {
+                self.note_region_entry(block.guest_addr);
+            }
 
             // Self-modifying-code invalidation.
             let smc_fired = !smc.is_empty();
             for page in smc {
                 self.invalidate_page(page);
+            }
+
+            // Runtime path recording: while a promoted root awaits its
+            // region, one recording pass logs the actually-taken
+            // successor at every block exit, starting the next time
+            // execution enters the root as a single block. Both the
+            // arming and every logged step depend only on architectural
+            // events, so recordings — and the regions formed from them —
+            // are identical across host thread counts.
+            if self.recorder.is_some() {
+                self.record_step(&block, outcome.exit);
+            } else if !self.armed.is_empty() && block.ranges.len() == 1 {
+                if let Some(i) = self.armed.iter().position(|&a| a == block.guest_addr) {
+                    let root = self.armed.remove(i);
+                    self.recorder = Some(Recording {
+                        root,
+                        path: Vec::new(),
+                    });
+                    self.record_step(&block, outcome.exit);
+                }
             }
 
             match outcome.exit {
@@ -651,6 +857,9 @@ impl System {
                             self.stats.bump_ctr(Ctr::SuperblockSmcExits);
                         } else {
                             self.stats.bump_ctr(Ctr::SuperblockSideExits);
+                            if recorded_root && outcome.guards_passed == 0 {
+                                self.note_first_junction_exit(block.guest_addr);
+                            }
                         }
                     }
                     // Region promotion. A backward direct exit marks `t`
@@ -693,6 +902,29 @@ impl System {
                     self.pc = t;
                 }
                 BlockExit::Indirect(t) => {
+                    // A mid-region indirect guard that missed its
+                    // recorded target left the superblock early, exactly
+                    // like a side exit (a full run ending at an indirect
+                    // terminator has retired every member).
+                    if block.ranges.len() > 1 && retired < block.guest_insns as u64 {
+                        self.stats.bump_ctr(Ctr::SuperblockSideExits);
+                        if recorded_root && outcome.guards_passed == 0 {
+                            self.note_first_junction_exit(block.guest_addr);
+                        }
+                    }
+                    // An indirect backedge — a `ret` bouncing back to a
+                    // stable call site is the common shape — marks its
+                    // target hot, exactly like a direct backedge. Only
+                    // under path recording: the static through-path
+                    // predictor cannot see across an indirect, while a
+                    // recording crosses it under an inline target guard.
+                    if self.cfg.record_paths
+                        && self.cfg.region_limits().max_blocks > 1
+                        && t < block.guest_addr
+                        && !self.promoted.contains(&t)
+                    {
+                        self.promote(t);
+                    }
                     // Inline target-prediction cache (the paper's return
                     // predictor generalized): a compare patched next to
                     // the indirect site, checked before dispatch.
@@ -788,8 +1020,7 @@ impl System {
         self.stats.bump_ctr(Ctr::L1CodeMiss);
 
         // L1.5 banks.
-        if !self.l15.is_empty() {
-            let idx = (pc as usize >> 2) % self.l15.len();
+        if let Some(idx) = self.l15_index(pc) {
             let bank_tile = self.cfg.placement.l15_banks[idx];
             let wire = self.net_t(self.cfg.placement.exec, bank_tile, 1);
             self.now += wire;
@@ -869,13 +1100,27 @@ impl System {
         self.now += wire;
 
         // Install into L1.5 (if present) and L1.
-        if !self.l15.is_empty() {
-            let idx = (pc as usize >> 2) % self.l15.len();
+        if let Some(idx) = self.l15_index(pc) {
             self.l15[idx].insert(Arc::clone(&block));
         }
         self.install_l1(&block);
         let h = self.l1.lookup(pc);
         Ok((block, h))
+    }
+
+    /// The L1.5 bank serving `pc`, or `None` when no banks exist. Every
+    /// bank-index computation funnels through here: the modulus by the
+    /// live bank count can never divide by zero, and clamping to the
+    /// placement list keeps the tile lookup in bounds even if a future
+    /// morph step resizes the bank vector away from its boot-time
+    /// placement (today only the L2-bank/slave split morphs, but this
+    /// pole costs nothing to guard).
+    fn l15_index(&self, pc: u32) -> Option<usize> {
+        let n = self.l15.len().min(self.cfg.placement.l15_banks.len());
+        if n == 0 {
+            return None;
+        }
+        Some((pc as usize >> 2) % n)
     }
 
     fn install_l1(&mut self, block: &Arc<TBlock>) {
@@ -896,7 +1141,7 @@ impl System {
             self.queues.push(pc, 0);
             // The host pool only pre-translates single blocks; promoted
             // regions are translated inline when the slave is assigned.
-            if !self.shape_for(pc) {
+            if !self.shape_for(pc).is_region() {
                 if let Some(host) = &mut self.host {
                     host.submit(pc, 0);
                 }
@@ -925,9 +1170,20 @@ impl System {
                 None => {
                     // Nothing in flight and nothing committed: the pool is
                     // empty or the queue lost the entry; translate inline.
-                    match self.translate_at(pc, self.shape_for(pc)) {
+                    let shape = self.shape_for(pc);
+                    match self.translate_at(pc, &shape) {
                         Ok(b) => {
                             t += b.translate_cycles;
+                            // A demand-built region settles the pending
+                            // promotion exactly like a slave commit would
+                            // — leaving it set would make every later
+                            // assignment rebuild the region forever.
+                            if shape.is_region()
+                                && self.region_pending.remove(&pc)
+                                && matches!(shape, RegionShape::Recorded(_))
+                            {
+                                self.stats.bump_ctr(Ctr::SuperblockRecorded);
+                            }
                             self.record_block(&b);
                             self.l2code.commit(b);
                             return Ok(t);
@@ -969,12 +1225,12 @@ impl System {
     fn finish(&mut self, slave_idx: usize, inflight: InFlight) {
         let done = inflight.done_at;
         if inflight.addr != u32::MAX
-            && (inflight.cancelled || inflight.region != self.shape_for(inflight.addr))
+            && (inflight.cancelled || inflight.shape != self.shape_for(inflight.addr))
         {
             // The translation went stale in flight: an SMC store may
-            // have overwritten its source bytes, or the address was
-            // promoted so the single-block shape is no longer wanted.
-            // Drop the block; re-queue the region build if one is
+            // have overwritten its source bytes, a promotion or a fresh
+            // recording changed the wanted shape, or a demotion revoked
+            // it. Drop the block; re-queue the region build if one is
             // still owed, otherwise demand re-queues on next miss.
             self.l2code.clear_in_flight(inflight.addr);
             if self.region_pending.contains(&inflight.addr) {
@@ -1009,7 +1265,10 @@ impl System {
                 .record("translate.block_host_bytes", block.host_bytes() as u64);
             self.stats
                 .record("translate.block_guest_insns", block.guest_insns as u64);
-            if inflight.region && self.region_pending.remove(&inflight.addr) {
+            if inflight.shape.is_region() && self.region_pending.remove(&inflight.addr) {
+                if matches!(inflight.shape, RegionShape::Recorded(_)) {
+                    self.stats.bump_ctr(Ctr::SuperblockRecorded);
+                }
                 // The region replaces a live single-block translation:
                 // drop the stale copies at every level so the next
                 // fetch — or a chained L1 handle, via its generation
@@ -1118,7 +1377,7 @@ impl System {
             let Some((addr, depth)) = self.queues.pop() else {
                 break;
             };
-            if self.l2code.known(addr) || self.failed.contains(&addr) {
+            if self.settled(addr) {
                 continue;
             }
             self.start_translation(i, addr, depth, now);
@@ -1127,22 +1386,30 @@ impl System {
         any
     }
 
+    /// Whether a popped queue entry is already-settled work the
+    /// assigning slave should skip. A known address is settled — except
+    /// when a promotion is pending and nobody is building the region:
+    /// the resident single keeps running, but the region is still owed.
+    /// Every assignment path must apply the same exception: a region
+    /// build cancelled mid-flight by an SMC invalidation is re-queued
+    /// exactly once, and whichever path pops that entry while the
+    /// single is already resident would otherwise drop it — leaving the
+    /// address pending forever.
+    fn settled(&self, addr: u32) -> bool {
+        if self.failed.contains(&addr) {
+            return true;
+        }
+        self.l2code.known(addr)
+            && !(self.region_pending.contains(&addr) && self.l2code.in_flight_on(addr).is_none())
+    }
+
     fn assign_one(&mut self, slave_idx: usize, at: Cycle) {
         // Respect the demand reservation: slave 0 only takes depth 0.
         loop {
             let Some((addr, depth)) = self.queues.pop() else {
                 return;
             };
-            if self.failed.contains(&addr) {
-                continue;
-            }
-            // A known address is normally settled work — except when a
-            // promotion is pending: the resident single keeps running,
-            // but the region still has to be built (exactly once).
-            if self.l2code.known(addr)
-                && !(self.region_pending.contains(&addr)
-                    && self.l2code.in_flight_on(addr).is_none())
-            {
+            if self.settled(addr) {
                 continue;
             }
             if self.cfg.reserve_demand_slave && slave_idx == 0 && depth != 0 && self.pool.len() > 1
@@ -1163,8 +1430,8 @@ impl System {
         let manager = self.cfg.placement.manager;
         self.tracer
             .span(assign_start, 30, self.ttrack(manager), "assign");
-        let region = self.shape_for(addr);
-        let result = self.translate_at(addr, region).ok();
+        let shape = self.shape_for(addr);
+        let result = self.translate_at(addr, &shape).ok();
         let (cycles, words) = match &result {
             Some(b) => (b.translate_cycles, b.code.len() as u32),
             // Failed translations still burn decode time.
@@ -1187,7 +1454,7 @@ impl System {
             addr,
             depth,
             done_at,
-            region,
+            shape,
             cancelled: false,
             block: result.clone(),
         });
@@ -1277,7 +1544,7 @@ impl System {
                         addr: u32::MAX,
                         depth: 0,
                         done_at: ready,
-                        region: false,
+                        shape: RegionShape::Single,
                         cancelled: false,
                         block: None,
                     });
@@ -1316,6 +1583,11 @@ impl System {
             }
             self.l2code.invalidate(addr);
         }
+        // Flush inline target-prediction entries pointing into the
+        // page: the patched compares hold raw guest addresses, and a
+        // stale one surviving into re-translated code would dispatch
+        // into the revoked translation.
+        self.l1.purge_indirect_targets(page);
         self.code_pages.remove(&page);
         // In-flight slave translations may derive from the overwritten
         // bytes (their functional result is computed at assign time):
@@ -2072,6 +2344,281 @@ mod tests {
             "queue pressure must trigger reconfiguration: {:?}",
             report.stats
         );
+    }
+
+    /// Three phases of 1500 iterations each: the data-dependent branch
+    /// in the loop body takes the `+1` arm in phases one and three and
+    /// the `+2` arm in phase two, so any path recorded through the
+    /// junction stops holding twice. The phases are long because the
+    /// startup speculation burst keeps every slave busy for a while
+    /// (no preemption — §4.3): the loop-head region must still commit
+    /// early in phase one. Exit code 1500 + 3000 + 1500.
+    fn phase_flip_program() -> GuestImage {
+        image(|a| {
+            a.mov_ri(Reg::EAX, 0);
+            a.mov_ri(Reg::EDX, 0);
+            a.mov_ri(Reg::ESI, 3);
+            let phase = a.here();
+            a.mov_ri(Reg::ECX, 1_500);
+            let top = a.here();
+            a.test_ri(Reg::EDX, 1);
+            let arm_b = a.label();
+            let join = a.label();
+            a.jcc(Cond::Ne, arm_b);
+            a.add_ri(Reg::EAX, 1);
+            a.jmp(join);
+            a.bind(arm_b);
+            a.add_ri(Reg::EAX, 2);
+            a.bind(join);
+            a.dec_r(Reg::ECX);
+            a.jcc(Cond::Ne, top);
+            a.add_ri(Reg::EDX, 1);
+            a.dec_r(Reg::ESI);
+            a.jcc(Cond::Ne, phase);
+            a.exit_with_eax();
+        })
+    }
+
+    #[test]
+    fn cancelled_region_build_is_not_stuck_pending() {
+        // Regression: a region build cancelled mid-flight by an SMC
+        // invalidation used to leave its address in `region_pending`
+        // forever — the single-block translation stayed resident, so
+        // `assign_idle` skipped the re-queued entry as already-known
+        // work and the promotion never settled into a region.
+        //
+        // The loop body spans two basic blocks (an internal `jmp` splits
+        // it) so the rebuilt region is observably multi-member.
+        let img = image(|a| {
+            a.mov_ri(Reg::ECX, 10);
+            a.mov_ri(Reg::EAX, 0);
+            let top = a.here();
+            a.add_rr(Reg::EAX, Reg::ECX);
+            let mid = a.label();
+            a.jmp(mid);
+            a.bind(mid);
+            a.dec_r(Reg::ECX);
+            a.jcc(Cond::Ne, top);
+            a.exit_with_eax();
+        });
+        let mut cfg = VirtualArchConfig::paper_default();
+        cfg.record_paths = false; // drive the static promotion path
+        let mut sys = System::new(cfg, &img);
+        let top = BASE + 10;
+        // Seed the resident single-block translation, as demand would.
+        let single = sys
+            .translate_at(top, &RegionShape::Single)
+            .expect("translates");
+        sys.record_block(&single);
+        sys.l2code.commit(single);
+        // Promote: the region build is queued and a slave picks it up.
+        sys.promote(top);
+        assert!(sys.region_pending.contains(&top));
+        assert!(sys.assign_idle(Cycle(0)), "region build starts");
+        assert!(sys.pool.translating(top).is_some());
+        // SMC cancels every in-flight translation; the commit path must
+        // re-queue the owed region, and the next assignment must not
+        // drop it just because the single is resident.
+        sys.pool.cancel_in_flight();
+        sys.catch_up(Cycle(1_000_000));
+        assert!(
+            !sys.region_pending.contains(&top),
+            "cancelled region build left the promotion pending forever"
+        );
+        let resident = sys.l2code.get(top).expect("resident");
+        assert!(resident.ranges.len() > 1, "region rebuilt after cancel");
+    }
+
+    #[test]
+    fn zero_l15_banks_never_index_a_bank() {
+        // The zero-bank pole of the Figure 4 sweep: no bank index may
+        // ever be computed (the modulus would divide by zero), and the
+        // whole run must route L1 misses straight to the manager.
+        let img = loop_program(50);
+        let mut sys = System::new(VirtualArchConfig::with_l15_banks(0), &img);
+        assert_eq!(sys.l15_index(BASE), None, "no bank to index");
+        let report = sys.run(1_000_000).expect("runs");
+        assert_eq!(report.exit_code, Some((1..=50).sum::<u32>()));
+        assert_eq!(
+            report.stats.get("l15.hit") + report.stats.get("l15.miss"),
+            0,
+            "no L1.5 traffic without banks"
+        );
+    }
+
+    #[test]
+    fn recording_never_changes_guest_instruction_count() {
+        // The tentpole invariant: recorded-path regions change where
+        // *time* goes, never what the guest retires. Conditionals, an
+        // alternating (never fully predictable) branch, and a call/ret
+        // pair; compare recording on, static regions, and no regions.
+        let img = image(|a| {
+            let func = a.label();
+            a.mov_ri(Reg::ECX, 600);
+            let top = a.here();
+            a.test_ri(Reg::ECX, 1);
+            let odd = a.label();
+            let join = a.label();
+            a.jcc(Cond::Ne, odd);
+            a.add_ri(Reg::EAX, 1);
+            a.jmp(join);
+            a.bind(odd);
+            a.add_ri(Reg::EAX, 2);
+            a.bind(join);
+            a.call(func);
+            a.dec_r(Reg::ECX);
+            a.jcc(Cond::Ne, top);
+            a.exit_with_eax();
+            a.bind(func);
+            a.add_ri(Reg::EBX, 1);
+            a.ret();
+        });
+        let run = |record: bool, superblock: bool| {
+            let mut cfg = VirtualArchConfig::paper_default();
+            cfg.superblock = superblock;
+            cfg.record_paths = record;
+            let mut sys = System::new(cfg, &img);
+            sys.run(10_000_000).expect("runs")
+        };
+        let recorded = run(true, true);
+        let statik = run(false, true);
+        let off = run(false, false);
+        assert_eq!(recorded.exit_code, statik.exit_code);
+        assert_eq!(recorded.exit_code, off.exit_code);
+        assert_eq!(recorded.guest_insns, statik.guest_insns);
+        assert_eq!(recorded.guest_insns, off.guest_insns);
+        assert!(recorded.stats.get("superblock.recorded") > 0);
+    }
+
+    #[test]
+    fn recorded_paths_follow_branches_static_prediction_misses() {
+        // A hot loop whose body takes a *forward* conditional every
+        // iteration: the static through-path predictor grows along the
+        // fall-through arm, so its region side-exits at the first
+        // junction on every entry; the recording follows the taken arm
+        // and runs the region to the backedge.
+        let img = image(|a| {
+            a.mov_ri(Reg::EBX, 1);
+            a.mov_ri(Reg::ECX, 2_000);
+            let top = a.here();
+            a.test_ri(Reg::EBX, 1);
+            let taken = a.label();
+            a.jcc(Cond::Ne, taken);
+            a.add_ri(Reg::EAX, 1_000); // never runs
+            a.bind(taken);
+            a.add_ri(Reg::EAX, 1);
+            a.dec_r(Reg::ECX);
+            a.jcc(Cond::Ne, top);
+            a.exit_with_eax();
+        });
+        let run = |record: bool| {
+            let mut cfg = VirtualArchConfig::paper_default();
+            cfg.record_paths = record;
+            let mut sys = System::new(cfg, &img);
+            sys.run(10_000_000).expect("runs")
+        };
+        let rec = run(true);
+        let stat = run(false);
+        assert_eq!(rec.exit_code, Some(2_000));
+        assert_eq!(rec.exit_code, stat.exit_code);
+        assert_eq!(rec.guest_insns, stat.guest_insns);
+        assert!(rec.stats.get("superblock.recorded") >= 1);
+        let (rx, sx) = (
+            rec.stats.get("superblock.side_exits"),
+            stat.stats.get("superblock.side_exits"),
+        );
+        assert!(
+            rx * 10 < sx,
+            "recording must eliminate the always-mispredicted side exit: \
+             recorded={rx} static={sx}"
+        );
+    }
+
+    #[test]
+    fn recording_crosses_hot_returns_into_regions() {
+        // A hot call/ret pair. The static predictor cannot grow a
+        // region across the indirect `ret`; the recorder logs its
+        // actual target, the `ret`'s backward indirect exit promotes
+        // the return site, and the recorded regions cover the whole
+        // call/body/return cycle — entered every iteration, exiting
+        // early almost never (the return target is stable).
+        let img = image(|a| {
+            let func = a.label();
+            a.mov_ri(Reg::ECX, 1_500);
+            let top = a.here();
+            a.call(func);
+            a.dec_r(Reg::ECX);
+            a.jcc(Cond::Ne, top);
+            a.exit_with_eax();
+            a.bind(func);
+            a.add_ri(Reg::EAX, 1);
+            a.ret();
+        });
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        let report = sys.run(10_000_000).expect("runs");
+        assert_eq!(report.exit_code, Some(1_500));
+        assert!(report.stats.get("superblock.recorded") >= 1);
+        let entries = report.stats.get("superblock.entries");
+        let side = report.stats.get("superblock.side_exits");
+        assert!(entries > 1_000, "regions must carry the loop: {entries}");
+        assert!(
+            side * 20 < entries,
+            "the recorded return target must hold: side={side} entries={entries}"
+        );
+        assert_eq!(report.stats.get("superblock.demoted"), 0);
+    }
+
+    #[test]
+    fn flaky_recorded_path_re_records_then_pins() {
+        // Phase changes invalidate a recorded path twice: the first
+        // demotion discards the region and re-records along the new
+        // phase's path; the second pins the root single-block. Guest
+        // retirement stays identical to a recording-off run throughout.
+        let img = phase_flip_program();
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+        let report = sys.run(10_000_000).expect("runs");
+        assert_eq!(report.exit_code, Some(1_500 + 3_000 + 1_500));
+        assert!(
+            report.stats.get("superblock.recorded") >= 2,
+            "initial recording plus the re-recording: {:?}",
+            report.stats
+        );
+        assert!(
+            report.stats.get("superblock.re_recorded") >= 1,
+            "phase two must demote and re-record: {:?}",
+            report.stats
+        );
+        assert!(
+            report.stats.get("superblock.demoted") >= 1,
+            "phase three must pin the root: {:?}",
+            report.stats
+        );
+        let mut cfg = VirtualArchConfig::paper_default();
+        cfg.record_paths = false;
+        let off = System::new(cfg, &img).run(10_000_000).expect("runs");
+        assert_eq!(off.exit_code, report.exit_code);
+        assert_eq!(off.guest_insns, report.guest_insns);
+    }
+
+    #[test]
+    fn recording_and_demotion_identical_across_host_threads() {
+        // Promotion, recording, demotion, and re-recording all observe
+        // architectural events only: cycles and stats must stay
+        // bit-identical at every host thread count even while regions
+        // form, demote, and re-form mid-run.
+        let img = phase_flip_program();
+        let run = |threads: usize| {
+            let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+            sys.set_host_threads(threads);
+            sys.run(10_000_000).expect("runs")
+        };
+        let base = run(1);
+        assert_eq!(base.exit_code, Some(6_000));
+        for threads in [2, 4] {
+            let r = run(threads);
+            assert_eq!(r.cycles, base.cycles, "threads={threads}");
+            assert_eq!(r.stats, base.stats, "threads={threads}");
+        }
     }
 
     #[test]

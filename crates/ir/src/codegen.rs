@@ -471,6 +471,23 @@ fn emit_insn(em: &mut Emitter, alloc: &mut Alloc, insn: &MInsn) -> Result<(), Co
         MInsn::Boundary { resume } => {
             em.emit(RInsn::SmcGuard { resume });
         }
+        // Compare the computed target against the recorded successor and
+        // fall into the dispatcher when they differ. Like a side exit,
+        // guest state is already architectural in the fixed registers.
+        MInsn::IndirectGuard { reg, expected } => {
+            let rr = alloc.read(reg);
+            em.load_const(SCRATCH[2], expected);
+            let skip = em.here();
+            em.emit(RInsn::Branch {
+                cond: BrCond::Eq,
+                rs: rr,
+                rt: SCRATCH[2],
+                target: BranchTarget::Local(0), // patched
+            });
+            em.emit(RInsn::Dispatch { rs: rr });
+            let after = em.here();
+            em.patch(skip, after);
+        }
     }
     Ok(())
 }

@@ -26,7 +26,12 @@
 //! * [`region_smc`] — a store that patches a *later member of the same
 //!   superblock region* before control reaches it: in contract only
 //!   because the member-boundary `SmcGuard` exits ahead of the stale
-//!   bytes.
+//!   bytes;
+//! * [`recorded_path`] — hot loops with phase-stable and churning
+//!   data-dependent junctions plus a `call`/`ret` pair, the shape the
+//!   oracle's recorded-path run turns into `translate_region_along`
+//!   regions (exercises recorded-shape formation and its guard side
+//!   exits).
 //!
 //! All generators draw exclusively from the caller's [`Rng`], so a fixed
 //! seed reproduces the identical stream of [`Case`]s on every run.
@@ -672,12 +677,76 @@ pub fn region_smc(rng: &mut Rng) -> Case {
     }
 }
 
+/// Hot loops whose junctions go a data-dependent way — the workload
+/// shape runtime path recording exists for, and the oracle's
+/// recorded-path run turns into `translate_region_along` regions. Some
+/// junctions test bits of `EDI`, which the body never writes: those go
+/// the same way every iteration, so the recorded path holds and the
+/// region runs end to end. Others test bits of `EBX`, which churns
+/// every iteration: the recorded arm stops holding and the region must
+/// side-exit through its guards to exactly the address single-block
+/// execution reaches. A leaf `call`/`ret` pair adds the indirect exit
+/// a recording crosses under an inline target guard.
+pub fn recorded_path(rng: &mut Rng) -> Case {
+    let mut asm = Asm::new(CODE_BASE);
+    seed_regs(&mut asm, rng);
+    let l_main = asm.label();
+    asm.jmp(l_main);
+
+    // The leaf subroutine (clobbers only SB_SAFE registers).
+    let sub = asm.here();
+    for _ in 0..1 + rng.below(3) {
+        let a = SB_SAFE[rng.below(4) as usize];
+        match rng.below(3) {
+            0 => asm.add_ri(a, rng.next_u32() as i32),
+            1 => asm.rol_ri(a, 1 + rng.below(31) as u8),
+            _ => asm.xor_rr(a, SB_SAFE[rng.below(4) as usize]),
+        }
+    }
+    asm.ret();
+
+    asm.bind(l_main);
+    asm.mov_ri(Reg::ECX, 24 + rng.below(48) as u32);
+    let top = asm.here();
+    let n_junctions = 1 + rng.below(3) as usize;
+    for _ in 0..n_junctions {
+        let stable = rng.chance(1, 2);
+        asm.test_ri(if stable { Reg::EDI } else { Reg::EBX }, 1 << rng.below(10));
+        let arm = asm.label();
+        let join = asm.label();
+        asm.jcc(if rng.chance(1, 2) { Cond::E } else { Cond::Ne }, arm);
+        asm.add_ri(SB_SAFE[rng.below(4) as usize], rng.next_u32() as i32);
+        asm.jmp(join);
+        asm.bind(arm);
+        asm.xor_rr(
+            SB_SAFE[rng.below(4) as usize],
+            SB_SAFE[rng.below(4) as usize],
+        );
+        asm.bind(join);
+    }
+    if rng.chance(2, 3) {
+        asm.call(sub);
+    }
+    // Churn the unstable junction bits across iterations.
+    asm.add_rr(Reg::EBX, Reg::ESI);
+    asm.rol_ri(Reg::EBX, 5);
+    asm.dec_r(Reg::ECX);
+    asm.jcc(Cond::Ne, top);
+    flag_epilogue(&mut asm);
+    asm.hlt();
+    Case {
+        name: String::from("recorded_path"),
+        code: asm.finish().code,
+        input: Vec::new(),
+    }
+}
+
 /// A deterministic stream of cases drawn from every generator.
 ///
 /// Iterating yields `linear`, `branchy`, `flag_stress`, `memory`,
-/// `raw_bytes`, `smc`, `syscalls`, `superblock`, `indirect_chain`, and
-/// `region_smc` cases in a fixed weighted rotation; the same seed
-/// always produces the same stream.
+/// `raw_bytes`, `smc`, `syscalls`, `superblock`, `indirect_chain`,
+/// `region_smc`, and `recorded_path` cases in a fixed weighted
+/// rotation; the same seed always produces the same stream.
 pub struct CaseStream {
     rng: Rng,
     seed: u64,
@@ -699,7 +768,7 @@ impl Iterator for CaseStream {
     type Item = Case;
 
     fn next(&mut self) -> Option<Case> {
-        let mut case = match self.rng.below(13) {
+        let mut case = match self.rng.below(14) {
             0 | 1 => linear(&mut self.rng),
             2 => branchy(&mut self.rng),
             3 | 4 => flag_stress(&mut self.rng),
@@ -709,7 +778,8 @@ impl Iterator for CaseStream {
             9 => syscalls(&mut self.rng),
             10 => superblock(&mut self.rng),
             11 => indirect_chain(&mut self.rng),
-            _ => region_smc(&mut self.rng),
+            12 => region_smc(&mut self.rng),
+            _ => recorded_path(&mut self.rng),
         };
         case.name = format!("{}-{:#x}#{}", case.name, self.seed, self.idx);
         self.idx += 1;

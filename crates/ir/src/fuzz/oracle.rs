@@ -41,7 +41,12 @@
 //!
 //! Translation uses [`translate_region`] under
 //! [`RegionLimits::for_opt`], so `OptLevel::Full` runs exercise the same
-//! superblock regions the DBT executes. Stores into a *later, not yet
+//! superblock regions the DBT executes. A third translated run
+//! ([`run_translated_recorded`]) replays the DBT's runtime path
+//! recording protocol — single-block execution arms and records loop
+//! roots, then [`translate_region_along`] builds regions along the
+//! recorded paths — so recorded-shape regions (including the ones whose
+//! guards side-exit mid-region) are differentially checked too. Stores into a *later, not yet
 //! executed* member of the current region are back in contract: the
 //! `SmcGuard` at each member boundary exits to the next member's entry
 //! before any stale byte runs, and the oracle retranslates from there
@@ -50,9 +55,15 @@
 //! does not precede, or footprint bytes outside every member range (the
 //! successor flag-liveness scan) — is the case out of contract.
 
+use std::collections::{HashMap, HashSet};
+
 use crate::apply_helper;
 use crate::fuzz::Case;
-use crate::translate::{translate_region, OptLevel, RecordingSource, RegionLimits, TranslateError};
+use crate::translate::{
+    translate_region, translate_region_along, OptLevel, RecordingSource, RegionLimits,
+    TranslateError,
+};
+use crate::TBlock;
 use vta_raw::exec::{run_block, BlockExit, CoreState, DataPort, Fault};
 use vta_raw::isa::{HelperKind, MemOp, RReg};
 use vta_x86::{Cpu, CpuError, GuestMem, StopReason, SysState, SyscallResult, PAGE_SIZE};
@@ -286,32 +297,184 @@ fn run_translated(case: &Case, opt: OptLevel) -> RunResult {
         // the exit does not precede, or in footprint bytes outside every
         // member (the successor liveness scan) — is stale execution the
         // reference never saw, and the case is skipped, not compared.
-        if !port.dirty.is_empty() {
-            let resumes_before_dirty =
-                match out.exit {
-                    BlockExit::Goto(r) => block
-                        .ranges
-                        .iter()
-                        .position(|&(a, _)| a == r)
-                        .is_some_and(|j| {
-                            j >= 1
-                                && port.dirty.iter().all(|&d| {
-                                    block.ranges[j..]
-                                        .iter()
-                                        .any(|&(a, len)| d >= a && d < a + len)
-                                })
-                        }),
-                    _ => false,
-                };
-            if !resumes_before_dirty {
-                break Outcome::OutOfContract;
-            }
+        if stale_execution(&block, &out.exit, &port.dirty) {
+            break Outcome::OutOfContract;
         }
         match out.exit {
             BlockExit::Goto(t) | BlockExit::Indirect(t) => pc = t,
             BlockExit::Halt => break Outcome::Halt,
             BlockExit::Fault(f) => break fault_kind(f),
             BlockExit::Sys => {
+                let nr = state.get(RReg(1)); // EAX
+                let args = [
+                    state.get(RReg(4)), // EBX
+                    state.get(RReg(2)), // ECX
+                    state.get(RReg(3)), // EDX
+                ];
+                match sys.dispatch(&mut mem, nr, args) {
+                    SyscallResult::Continue(ret) => {
+                        state.set(RReg(1), ret);
+                        pc = state.get(RReg(26));
+                    }
+                    SyscallResult::Exit(code) => break Outcome::Exit(code),
+                }
+            }
+        }
+    };
+
+    let mut regs = [0u32; 8];
+    for (i, r) in regs.iter_mut().enumerate() {
+        *r = state.get(RReg(i as u8 + 1));
+    }
+    RunResult {
+        outcome,
+        regs,
+        mem,
+        output: sys.output,
+    }
+}
+
+/// Whether a block execution that dirtied its own translation's read
+/// footprint may have run stale bytes. `false` means the SmcGuard
+/// machinery provably exited before any dirtied byte could execute:
+/// the exit resumes at a later member's entry and every dirty byte
+/// lies at or past that resume point inside the region's member
+/// ranges. Anything else — a dirty byte in code the exit does not
+/// precede, or in footprint bytes outside every member (the successor
+/// liveness scan) — is stale execution the reference never saw.
+fn stale_execution(block: &TBlock, exit: &BlockExit, dirty: &[u32]) -> bool {
+    if dirty.is_empty() {
+        return false;
+    }
+    let resumes_before_dirty = match *exit {
+        BlockExit::Goto(r) => block
+            .ranges
+            .iter()
+            .position(|&(a, _)| a == r)
+            .is_some_and(|j| {
+                j >= 1
+                    && dirty.iter().all(|&d| {
+                        block.ranges[j..]
+                            .iter()
+                            .any(|&(a, len)| d >= a && d < a + len)
+                    })
+            }),
+        _ => false,
+    };
+    !resumes_before_dirty
+}
+
+/// One single-block step while a recording may be active: extends the
+/// recorded path with the actually-taken successor, closes it at the
+/// loop-closing backedge or the member cap, and arms backedge targets
+/// so a future pass through them starts a recording — the same
+/// protocol the DBT's promotion trigger drives.
+fn note_step(
+    paths: &mut HashMap<u32, Vec<u32>>,
+    armed: &mut HashSet<u32>,
+    recorder: &mut Option<(u32, Vec<u32>)>,
+    from: u32,
+    to: u32,
+    limits: &RegionLimits,
+) {
+    if let Some((root, path)) = recorder {
+        if to == *root {
+            // Loop closed: the region is root plus the recorded path.
+            let (root, path) = recorder.take().expect("recording");
+            if !path.is_empty() {
+                paths.insert(root, path);
+            }
+        } else {
+            path.push(to);
+            if path.len() + 1 >= limits.max_blocks as usize {
+                let (root, path) = recorder.take().expect("recording");
+                paths.insert(root, path);
+            }
+        }
+    }
+    if to <= from && !paths.contains_key(&to) {
+        armed.insert(to);
+    }
+}
+
+/// Runs a case the way the DBT runs it with runtime path recording on:
+/// single-block execution everywhere (at [`OptLevel::None`] — the
+/// recording pass observes architectural successors only), backedge
+/// targets armed for recording, and — once a path is recorded — a
+/// [`translate_region_along`] region at [`OptLevel::Full`] for each
+/// recorded root. This is the oracle's coverage of recorded-path
+/// region formation: wherever the recorded path stops holding, the
+/// region's guards must side-exit to precisely the address single-block
+/// execution would have reached.
+fn run_translated_recorded(case: &Case) -> RunResult {
+    let image = case.image();
+    let mut mem = image.build_mem();
+    let mut sys = SysState::new(image.brk_base);
+    sys.set_input(image.input.clone());
+
+    let full = RegionLimits::for_opt(OptLevel::Full);
+    let single = RegionLimits::single();
+    let mut state = CoreState::new();
+    state.set(RReg(5), image.initial_esp()); // ESP
+    let mut pc = image.entry;
+    let mut blocks = 0u32;
+
+    let mut paths: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut armed: HashSet<u32> = HashSet::new();
+    let mut recorder: Option<(u32, Vec<u32>)> = None;
+
+    let outcome = loop {
+        blocks += 1;
+        if blocks > BLOCK_BUDGET {
+            break Outcome::Limit;
+        }
+        let along = paths.get(&pc).cloned();
+        if along.is_some() {
+            // Entering a resident recorded region tears down any
+            // recording in progress, exactly like the DBT.
+            recorder = None;
+        } else if armed.remove(&pc) && recorder.is_none() {
+            recorder = Some((pc, Vec::new()));
+        }
+        let rec = RecordingSource::new(&mem);
+        let translated = match &along {
+            Some(path) => translate_region_along(&rec, pc, OptLevel::Full, &full, path),
+            None => translate_region(&rec, pc, OptLevel::None, &single),
+        };
+        let block = match translated {
+            Ok(b) => b,
+            Err(TranslateError::Decode(_)) => break Outcome::Fault(FaultKind::Undecodable),
+            Err(TranslateError::Codegen(_)) => break Outcome::Limit,
+        };
+        let reads = rec.into_read_set();
+        let mut port = OraclePort {
+            mem: &mut mem,
+            reads: &reads,
+            dirty: Vec::new(),
+        };
+        let out = run_block(&mut state, &block.code, &mut port, BLOCK_FUEL);
+        if stale_execution(&block, &out.exit, &port.dirty) {
+            break Outcome::OutOfContract;
+        }
+        match out.exit {
+            BlockExit::Goto(t) | BlockExit::Indirect(t) => {
+                if along.is_none() {
+                    note_step(
+                        &mut paths,
+                        &mut armed,
+                        &mut recorder,
+                        block.guest_addr,
+                        t,
+                        &full,
+                    );
+                }
+                pc = t;
+            }
+            BlockExit::Halt => break Outcome::Halt,
+            BlockExit::Fault(f) => break fault_kind(f),
+            BlockExit::Sys => {
+                // The DBT ends a recording at syscalls.
+                recorder = None;
                 let nr = state.get(RReg(1)); // EAX
                 let args = [
                     state.get(RReg(4)), // EBX
@@ -418,10 +581,11 @@ fn compare(opt: OptLevel, reference: &RunResult, dbt: &RunResult) -> Verdict {
     Verdict::Pass
 }
 
-/// Runs one case through the full three-way oracle.
+/// Runs one case through the full differential oracle.
 ///
 /// Returns the first non-[`Pass`](Verdict::Pass) verdict across the two
-/// optimization levels ([`OptLevel::None`] first).
+/// optimization levels ([`OptLevel::None`] first) and the recorded-path
+/// run (last).
 pub fn run_case(case: &Case) -> Verdict {
     let reference = run_reference(case);
     for opt in [OptLevel::None, OptLevel::Full] {
@@ -431,5 +595,15 @@ pub fn run_case(case: &Case) -> Verdict {
             other => return other,
         }
     }
-    Verdict::Pass
+    // Third translated run: recorded-path regions, the shape the DBT's
+    // runtime path recording builds (reported under `OptLevel::Full`
+    // with a `recorded-path` tag in the detail).
+    let dbt = run_translated_recorded(case);
+    match compare(OptLevel::Full, &reference, &dbt) {
+        Verdict::Diverge(mut d) => {
+            d.detail = format!("recorded-path run: {}", d.detail);
+            Verdict::Diverge(d)
+        }
+        other => other,
+    }
 }

@@ -383,6 +383,19 @@ pub enum MInsn {
         /// Guest address of the next member block.
         resume: u32,
     },
+    /// Recorded-path indirect junction: the recording pass observed the
+    /// indirect terminator here going to `expected`, and the region was
+    /// formed along that successor. At run time, if `reg` (the computed
+    /// guest target) differs from `expected`, leave the region through
+    /// the dispatcher at the computed address; otherwise fall through
+    /// into the next member. Architectural state must be fully
+    /// materialized here, exactly as at a [`MInsn::SideExit`].
+    IndirectGuard {
+        /// Register holding the computed guest target address.
+        reg: VReg,
+        /// The recorded successor the region continues into.
+        expected: u32,
+    },
 }
 
 impl MInsn {
@@ -448,6 +461,13 @@ impl MInsn {
             // flags word) must hold its architectural value here, since
             // execution may leave the region for the dispatcher.
             MInsn::SideExit { .. } | MInsn::Boundary { .. } => {
+                for r in 0..=8u32 {
+                    f(Val::Reg(VReg(r)));
+                }
+            }
+            // Also an exit point, and it reads the computed target.
+            MInsn::IndirectGuard { reg, .. } => {
+                f(Val::Reg(reg));
                 for r in 0..=8u32 {
                     f(Val::Reg(VReg(r)));
                 }

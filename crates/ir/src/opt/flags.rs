@@ -221,6 +221,12 @@ fn eliminate_with_liveout(
             MInsn::Boundary { resume } => {
                 live = live.union(exit_live(*resume));
             }
+            // A mismatching indirect guard leaves through the dispatcher
+            // at a computed address: the continuation is unknowable, so
+            // every flag is live here.
+            MInsn::IndirectGuard { .. } => {
+                live = FlagSet::ALL;
+            }
             _ => {}
         }
     }

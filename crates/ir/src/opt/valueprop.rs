@@ -137,7 +137,7 @@ pub fn propagate(block: &mut crate::mir::MBlock) {
             // Region exit points read state but write nothing; facts stay
             // valid across them (guest-reg writes are never removed across
             // a boundary, so the architectural state there is exact).
-            MInsn::SideExit { .. } | MInsn::Boundary { .. } => {}
+            MInsn::SideExit { .. } | MInsn::Boundary { .. } | MInsn::IndirectGuard { .. } => {}
         }
     }
 }

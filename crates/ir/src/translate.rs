@@ -13,9 +13,11 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use vta_raw::isa::RInsn;
 use vta_x86::decode::{CodeSource, DecodeError};
+use vta_x86::Cond;
 
 use crate::codegen::{codegen, CodegenError};
 use crate::lower::{lower_block, MAX_BLOCK_INSNS};
@@ -95,6 +97,35 @@ impl RegionLimits {
             OptLevel::Full => RegionLimits::default(),
             OptLevel::None => RegionLimits::single(),
         }
+    }
+}
+
+/// How the translation at a guest address was shaped.
+///
+/// The same guest address translates to *different* host code depending
+/// on whether (and along which path) region formation ran, so the shape
+/// must be part of every translation-cache and memo key. Because the
+/// recorded path is carried by value (not hashed down to a digest), two
+/// recordings that differ anywhere produce distinct keys and cross-cell
+/// memo reuse stays sound: a hit means the reusing cell would have
+/// formed the identical region from the identical bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RegionShape {
+    /// A plain single basic block.
+    Single,
+    /// A region extended along the statically-predicted path
+    /// ([`translate_region`]).
+    Static,
+    /// A region formed along an explicitly recorded successor path
+    /// ([`translate_region_along`]); the payload is the recorded
+    /// successor list, one entry per junction.
+    Recorded(Arc<[u32]>),
+}
+
+impl RegionShape {
+    /// Whether this shape involves region formation at all.
+    pub fn is_region(&self) -> bool {
+        !matches!(self, RegionShape::Single)
     }
 }
 
@@ -228,7 +259,49 @@ pub fn translate_region<S: CodeSource + ?Sized>(
     opt: OptLevel,
     limits: &RegionLimits,
 ) -> Result<TBlock, TranslateError> {
-    let (mut region, ranges, member_insns) = form_region(src, addr, limits)?;
+    let formed = form_region(src, addr, limits)?;
+    finish_region(src, opt, formed)
+}
+
+/// Translates a superblock region starting at `addr` along an explicitly
+/// *recorded* successor path instead of the static prediction: `path`
+/// holds the successor the recording pass observed at each block exit,
+/// in execution order — one entry per junction. The entry at an
+/// unconditional goto is redundant but still validated, so a recording
+/// taken against different resident code cannot splice a wrong member.
+///
+/// Formation stops at the first junction where the recorded successor no
+/// longer matches the decoded terminator (a gap in the recording), at a
+/// revisited member (the loop-closing backedge), when the path runs out,
+/// or at the usual `limits` caps. Indirect junctions become
+/// [`MInsn::IndirectGuard`]s: the region continues into the recorded
+/// target and falls back to dispatch when the computed target differs.
+/// Like [`translate_region`], the result is a pure function of `path`
+/// and the bytes fetched through `src`.
+///
+/// # Errors
+///
+/// Returns [`TranslateError`] on undecodable guest code at the entry
+/// block or pathological register pressure (with the same deterministic
+/// single-block fallback as [`translate_region`]).
+pub fn translate_region_along<S: CodeSource + ?Sized>(
+    src: &S,
+    addr: u32,
+    opt: OptLevel,
+    limits: &RegionLimits,
+    path: &[u32],
+) -> Result<TBlock, TranslateError> {
+    let formed = form_region_along(src, addr, limits, path)?;
+    finish_region(src, opt, formed)
+}
+
+/// Optimizes, register-allocates and code-generates a formed region.
+fn finish_region<S: CodeSource + ?Sized>(
+    src: &S,
+    opt: OptLevel,
+    formed: FormedRegion,
+) -> Result<TBlock, TranslateError> {
+    let (mut region, ranges, member_insns) = formed;
     match opt {
         OptLevel::Full => opt::optimize(&mut region, src),
         OptLevel::None => opt::baseline_only(&mut region, src),
@@ -240,7 +313,7 @@ pub fn translate_region<S: CodeSource + ?Sized>(
         // the translation runs inline, on a host worker, or in the fuzz
         // oracle — keeps host-parallel reuse bit-exact.
         Err(CodegenError::RegisterPressure { .. }) if ranges.len() > 1 => {
-            return translate_region(src, addr, opt, &RegionLimits::single());
+            return translate_region(src, region.guest_addr, opt, &RegionLimits::single());
         }
         Err(e) => return Err(e.into()),
     };
@@ -336,6 +409,99 @@ fn form_region<S: CodeSource + ?Sized>(
     Ok((region, ranges, member_insns))
 }
 
+/// Lowers the entry block at `addr` and extends it along the *recorded*
+/// successor path `path` (one entry per junction) into a merged
+/// [`MBlock`]. See [`translate_region_along`] for the stop rules.
+fn form_region_along<S: CodeSource + ?Sized>(
+    src: &S,
+    addr: u32,
+    limits: &RegionLimits,
+    path: &[u32],
+) -> Result<FormedRegion, TranslateError> {
+    /// What the junction into the next member carries.
+    enum Junction {
+        /// Unconditional: the boundary guard alone.
+        Plain,
+        /// Conditional: a side exit for the arm the recording did not take.
+        Side(Cond, u32),
+        /// Indirect: a guard comparing the computed target register
+        /// against the recorded successor.
+        Guard(VReg),
+    }
+
+    let mut region = lower_block(src, addr, MAX_BLOCK_INSNS)?;
+    let mut ranges = vec![(region.guest_addr, region.guest_len)];
+    let mut member_insns = vec![region.guest_insns];
+    let mut pages: Vec<u32> = pages_of(region.guest_addr, region.guest_len).collect();
+    let mut recorded = path.iter().copied();
+    while (ranges.len() as u32) < limits.max_blocks && region.guest_insns < limits.max_insns {
+        let Some(next) = recorded.next() else {
+            break;
+        };
+        // Validate the recorded successor against the decoded terminator.
+        // A mismatch is not an error: recordings can have gaps (e.g. an
+        // already-resident superblock ran several blocks between two
+        // recorded exits), and the region simply ends at the gap.
+        let (next, junction) = match region.term {
+            Term::Goto(t) => {
+                if next != t {
+                    break;
+                }
+                (t, Junction::Plain)
+            }
+            Term::CondGoto { cond, taken, fall } => {
+                if next == taken {
+                    (taken, Junction::Side(cond.negate(), fall))
+                } else if next == fall {
+                    (fall, Junction::Side(cond, taken))
+                } else {
+                    break;
+                }
+            }
+            // The whole point of recording: the observed target of an
+            // indirect terminator extends the region through it.
+            Term::Indirect(r) => (next, Junction::Guard(r)),
+            // Syscall, trap and halt still end the region.
+            _ => break,
+        };
+        // Never re-enter a member: the recording ends at the loop-closing
+        // backedge and loops close through dispatch, exactly as in
+        // statically-predicted formation.
+        if ranges.iter().any(|&(a, _)| a == next) {
+            break;
+        }
+        let Ok(member) = lower_block(src, next, MAX_BLOCK_INSNS) else {
+            break;
+        };
+        if region.guest_insns + member.guest_insns > limits.max_insns {
+            break;
+        }
+        let mut new_pages = pages.clone();
+        for p in pages_of(member.guest_addr, member.guest_len) {
+            if !new_pages.contains(&p) {
+                new_pages.push(p);
+            }
+        }
+        if new_pages.len() as u32 > limits.max_pages {
+            break;
+        }
+        pages = new_pages;
+        match junction {
+            Junction::Plain => {}
+            Junction::Side(cond, target) => region.insns.push(MInsn::SideExit { cond, target }),
+            Junction::Guard(reg) => region.insns.push(MInsn::IndirectGuard {
+                reg,
+                expected: next,
+            }),
+        }
+        region.insns.push(MInsn::Boundary { resume: next });
+        ranges.push((member.guest_addr, member.guest_len));
+        member_insns.push(member.guest_insns);
+        append_member(&mut region, member);
+    }
+    Ok((region, ranges, member_insns))
+}
+
 /// Appends `member`'s body to `region`, renumbering the member's
 /// temporaries above the region's current high-water mark.
 fn append_member(region: &mut MBlock, mut member: MBlock) {
@@ -395,6 +561,7 @@ fn shift_temps(insn: &mut MInsn, offset: u32) {
             }
         }
         MInsn::EvalCond { dst, .. } => sh(dst, offset),
+        MInsn::IndirectGuard { reg, .. } => sh(reg, offset),
         MInsn::ShiftFx { dst, a, count, .. } => {
             sh(dst, offset);
             shv(a, offset);
@@ -753,6 +920,172 @@ mod tests {
         });
         assert_eq!(b.ranges.len(), 3);
         assert!(matches!(b.term, Term::Goto(_)));
+    }
+
+    #[test]
+    fn recorded_path_follows_the_taken_arm() {
+        // sub eax,1; jne C; [fall B: add eax,2; hlt]; C: add eax,7; hlt
+        // Static prediction follows the fall-through; a recording that
+        // observed the taken arm extends the region into C instead.
+        let mut asm = Asm::new(0x1000);
+        let lc = asm.label();
+        asm.sub_ri(EAX, 1);
+        asm.jcc(vta_x86::Cond::Ne, lc);
+        asm.add_ri(EAX, 2);
+        asm.hlt();
+        asm.bind(lc);
+        asm.add_ri(EAX, 7);
+        asm.hlt();
+        let p = asm.finish();
+        let src = SliceSource::new(p.base, &p.code);
+        let single = translate_block(&src, p.base, OptLevel::Full).unwrap();
+        let Term::CondGoto { taken, fall, .. } = single.term else {
+            panic!("expected conditional terminator, got {:?}", single.term);
+        };
+        let stat =
+            translate_region(&src, p.base, OptLevel::Full, &RegionLimits::default()).unwrap();
+        assert_eq!(stat.ranges[1].0, fall, "static prediction falls through");
+        let rec = translate_region_along(
+            &src,
+            p.base,
+            OptLevel::Full,
+            &RegionLimits::default(),
+            &[taken],
+        )
+        .unwrap();
+        assert_eq!(rec.ranges.len(), 2, "ranges: {:?}", rec.ranges);
+        assert_eq!(rec.ranges[1].0, taken, "recorded path takes the branch");
+        assert_ne!(rec, stat);
+    }
+
+    #[test]
+    fn recorded_path_crosses_an_indirect() {
+        // add eax,1; ret; C: add eax,7; hlt — the recording observed the
+        // return going to C, so the region extends through the indirect
+        // with a guard that falls back to dispatch on any other target.
+        let mut asm = Asm::new(0x1000);
+        asm.add_ri(EAX, 1);
+        asm.ret();
+        asm.add_ri(EAX, 7);
+        asm.hlt();
+        let p = asm.finish();
+        let src = SliceSource::new(p.base, &p.code);
+        let single = translate_block(&src, p.base, OptLevel::Full).unwrap();
+        assert!(matches!(single.term, Term::Indirect(_)));
+        let c = single.end_addr();
+        let rec =
+            translate_region_along(&src, p.base, OptLevel::Full, &RegionLimits::default(), &[c])
+                .unwrap();
+        assert_eq!(rec.ranges.len(), 2, "ranges: {:?}", rec.ranges);
+        assert_eq!(rec.ranges[1].0, c);
+        assert_eq!(rec.term, Term::Halt, "region ends at the member's halt");
+        // Exactly one mid-region dispatch (the guard's mismatch path) and
+        // one SMC guard (the junction boundary).
+        let dispatches = rec
+            .code
+            .iter()
+            .filter(|i| matches!(i, RInsn::Dispatch { .. }))
+            .count();
+        assert_eq!(dispatches, 1, "guard keeps a dispatch for mismatches");
+        let guards = rec
+            .code
+            .iter()
+            .filter(|i| matches!(i, RInsn::SmcGuard { .. }))
+            .count();
+        assert_eq!(guards, 1);
+        // The static formation cannot cross the indirect at all.
+        let stat =
+            translate_region(&src, p.base, OptLevel::Full, &RegionLimits::default()).unwrap();
+        assert_eq!(stat.ranges.len(), 1);
+    }
+
+    #[test]
+    fn recorded_path_mismatch_stops_growth() {
+        // jmp C; C: add eax,1; hlt — a recorded successor that matches
+        // neither arm of the junction ends the region (a recording gap),
+        // and an empty recording is just the single block.
+        let mut asm = Asm::new(0x1000);
+        let lc = asm.label();
+        asm.jmp(lc);
+        asm.bind(lc);
+        asm.add_ri(EAX, 1);
+        asm.hlt();
+        let p = asm.finish();
+        let src = SliceSource::new(p.base, &p.code);
+        let bogus = translate_region_along(
+            &src,
+            p.base,
+            OptLevel::Full,
+            &RegionLimits::default(),
+            &[0xDEAD_0000],
+        )
+        .unwrap();
+        assert_eq!(bogus.ranges.len(), 1, "mismatch must stop formation");
+        let empty =
+            translate_region_along(&src, p.base, OptLevel::Full, &RegionLimits::default(), &[])
+                .unwrap();
+        assert_eq!(
+            empty,
+            translate_block(&src, p.base, OptLevel::Full).unwrap()
+        );
+    }
+
+    #[test]
+    fn recorded_path_matching_static_prediction_is_identical() {
+        // Same program as region_extends_through_predicted_path: when the
+        // recording agrees with the static prediction at every junction,
+        // the formed region is bit-identical to the static one.
+        let mut asm = Asm::new(0x1000);
+        let lb = asm.label();
+        let lc = asm.label();
+        asm.jmp(lc);
+        asm.bind(lb);
+        asm.add_ri(EAX, 1);
+        asm.hlt();
+        asm.bind(lc);
+        asm.sub_ri(EAX, 1);
+        asm.jcc(vta_x86::Cond::Ne, lb);
+        asm.add_ri(EAX, 7);
+        asm.hlt();
+        let p = asm.finish();
+        let src = SliceSource::new(p.base, &p.code);
+        let stat =
+            translate_region(&src, p.base, OptLevel::Full, &RegionLimits::default()).unwrap();
+        assert_eq!(stat.ranges.len(), 3);
+        let path = [stat.ranges[1].0, stat.ranges[2].0];
+        let rec = translate_region_along(
+            &src,
+            p.base,
+            OptLevel::Full,
+            &RegionLimits::default(),
+            &path,
+        )
+        .unwrap();
+        assert_eq!(rec, stat);
+    }
+
+    #[test]
+    fn recorded_path_closes_at_the_backedge() {
+        // top: sub eax,1; jne top — the recording ends where the path
+        // would re-enter the region root; the revisit rule ends it there
+        // even if the recorded path claims otherwise.
+        let mut asm = Asm::new(0x1000);
+        let top = asm.label();
+        asm.bind(top);
+        asm.sub_ri(EAX, 1);
+        asm.jcc(vta_x86::Cond::Ne, top);
+        asm.hlt();
+        let p = asm.finish();
+        let src = SliceSource::new(p.base, &p.code);
+        let rec = translate_region_along(
+            &src,
+            p.base,
+            OptLevel::Full,
+            &RegionLimits::default(),
+            &[p.base, p.base],
+        )
+        .unwrap();
+        assert_eq!(rec.ranges.len(), 1, "loop closes through dispatch");
     }
 
     #[test]

@@ -153,6 +153,19 @@ pub enum BlockExit {
     Fault(Fault),
 }
 
+impl BlockExit {
+    /// The guest address execution continues at, when the exit carries
+    /// one: the chain target of a `Goto` or the computed target of an
+    /// `Indirect`. This is what a region-recording pass logs as the
+    /// observed successor of the block.
+    pub fn successor(self) -> Option<u32> {
+        match self {
+            BlockExit::Goto(t) | BlockExit::Indirect(t) => Some(t),
+            BlockExit::Sys | BlockExit::Halt | BlockExit::Fault(_) => None,
+        }
+    }
+}
+
 /// Outcome of running a block: exit reason, cycles burned, instructions
 /// retired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +186,14 @@ pub struct RunOutcome {
     /// retired guest instructions exactly when a region exits early
     /// (side exit, SMC guard, fault).
     pub guards_passed: u32,
+}
+
+impl RunOutcome {
+    /// The observed successor address, when the exit carries one (see
+    /// [`BlockExit::successor`]).
+    pub fn successor(&self) -> Option<u32> {
+        self.exit.successor()
+    }
 }
 
 /// Executes one translated block to its exit.

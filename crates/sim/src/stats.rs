@@ -67,6 +67,9 @@ pub enum Ctr {
     SmcInvalidations,
     /// `spec.pushes` — speculative translation queue pushes.
     SpecPushes,
+    /// `superblock.demoted` — regions pinned back to single-block
+    /// translation after a re-recorded path also failed to hold.
+    SuperblockDemoted,
     /// `superblock.entries` — executions entering a multi-block region.
     SuperblockEntries,
     /// `superblock.promotions` — addresses promoted to region translation
@@ -75,6 +78,12 @@ pub enum Ctr {
     /// `superblock.side_exits` — region exits through a side exit
     /// (mispredicted internal branch) rather than the region terminator.
     SuperblockSideExits,
+    /// `superblock.re_recorded` — regions whose recorded path stopped
+    /// holding and entered a second (final) recording pass.
+    SuperblockReRecorded,
+    /// `superblock.recorded` — regions formed along a runtime-recorded
+    /// path (as opposed to the static prediction).
+    SuperblockRecorded,
     /// `superblock.smc_exits` — region exits forced by a self-modifying
     /// store observed at a member boundary guard.
     SuperblockSmcExits,
@@ -90,7 +99,7 @@ pub enum Ctr {
 
 impl Ctr {
     /// Number of interned counters (the size of the flat array).
-    pub const COUNT: usize = 33;
+    pub const COUNT: usize = 36;
 
     /// Every interned counter, in ascending name order.
     pub const ALL: [Ctr; Ctr::COUNT] = [
@@ -119,8 +128,11 @@ impl Ctr {
         Ctr::MorphToTranslator,
         Ctr::SmcInvalidations,
         Ctr::SpecPushes,
+        Ctr::SuperblockDemoted,
         Ctr::SuperblockEntries,
         Ctr::SuperblockPromotions,
+        Ctr::SuperblockReRecorded,
+        Ctr::SuperblockRecorded,
         Ctr::SuperblockSideExits,
         Ctr::SuperblockSmcExits,
         Ctr::Syscalls,
@@ -157,8 +169,11 @@ impl Ctr {
             Ctr::MorphToTranslator => "morph.to_translator",
             Ctr::SmcInvalidations => "smc.invalidations",
             Ctr::SpecPushes => "spec.pushes",
+            Ctr::SuperblockDemoted => "superblock.demoted",
             Ctr::SuperblockEntries => "superblock.entries",
             Ctr::SuperblockPromotions => "superblock.promotions",
+            Ctr::SuperblockReRecorded => "superblock.re_recorded",
+            Ctr::SuperblockRecorded => "superblock.recorded",
             Ctr::SuperblockSideExits => "superblock.side_exits",
             Ctr::SuperblockSmcExits => "superblock.smc_exits",
             Ctr::Syscalls => "syscalls",
@@ -197,8 +212,11 @@ impl Ctr {
             "morph.to_translator" => Ctr::MorphToTranslator,
             "smc.invalidations" => Ctr::SmcInvalidations,
             "spec.pushes" => Ctr::SpecPushes,
+            "superblock.demoted" => Ctr::SuperblockDemoted,
             "superblock.entries" => Ctr::SuperblockEntries,
             "superblock.promotions" => Ctr::SuperblockPromotions,
+            "superblock.re_recorded" => Ctr::SuperblockReRecorded,
+            "superblock.recorded" => Ctr::SuperblockRecorded,
             "superblock.side_exits" => Ctr::SuperblockSideExits,
             "superblock.smc_exits" => Ctr::SuperblockSmcExits,
             "syscalls" => Ctr::Syscalls,

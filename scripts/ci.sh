@@ -17,6 +17,9 @@
 #     benchmark must match the committed BENCH_metrics_vpr.csv golden
 #     byte-for-byte (regenerate with --metrics --bless when a simulated
 #     behavior change is intentional)
+#   superblock: perf --superblock --check — guest instruction
+#     retirement must be identical across off/static/recorded region
+#     modes for every benchmark × opt cell
 #   scaling gate: on multi-core hosts, the fig5 sweep at 4 threads must
 #     actually beat 1 thread (skipped on single-core hosts, where no
 #     wall-clock speedup is physically possible)
@@ -97,10 +100,18 @@ run_stage "determinism (threads 1/4/$(nproc))" \
 run_stage "metrics (perf --metrics --check)" \
     cargo run --release -q -p vta-bench --bin perf -- --metrics --check
 
+# Superblock stage: region formation (static or recorded) must never
+# change WHAT executes, only how it is grouped — guest instruction
+# retirement must be identical across off/static/recorded for every
+# benchmark × opt-level cell at Scale::Test.
+run_stage "superblock retirement (perf --superblock --check)" \
+    cargo run --release -q -p vta-bench --bin perf -- --superblock --check
+
 # Fuzz stage: differential fuzzing of the x86 front end. Two parts,
 # both deterministic and offline: (1) every committed minimized
 # reproducer in the regression corpus must replay clean through the
-# three-way oracle, and (2) a fixed-seed generated batch must complete
+# oracle (reference vs None vs Full vs recorded-path), and (2) a
+# fixed-seed generated batch must complete
 # with zero divergences. Fixed seeds mean the same case stream and the
 # same verdicts on every host; the binary exits nonzero (printing a
 # ready-to-commit corpus file) on any divergence.
