@@ -10,6 +10,7 @@
 //! cargo run --release -p vta-bench --bin perf -- --check       # verify determinism
 //! cargo run --release -p vta-bench --bin perf -- --metrics     # windowed time series
 //! cargo run --release -p vta-bench --bin perf -- --superblock  # refresh superblock A/B JSON
+//! cargo run --release -p vta-bench --bin perf -- --fabric-scaling  # 2 fabric workers beat 1?
 //! ```
 //!
 //! `--superblock` runs the region-formation A/B matrix (gzip/mcf/crafty/
@@ -35,25 +36,35 @@
 //! `--threads N` sets both the sweep's host-thread fan-out and the
 //! in-`System` worker-pool width used for the fingerprint runs, so a
 //! `--check` at `--threads 4` genuinely exercises the parallel
-//! translation path end to end.
+//! translation path end to end. `--fabric-workers N` likewise sets the
+//! epoch-parallel fabric partition count inside each fingerprinted
+//! `System` (the `VTA_FABRIC_WORKERS` env var reaches every other mode,
+//! including the metrics golden and the superblock matrix).
 //!
 //! With `--check`, the fingerprints are recomputed and compared against
 //! the checked-in `BENCH_dispatch.json`, and `BENCH_parallel.json` is
 //! validated for internal consistency — nothing is rewritten, and any
 //! drift exits nonzero. Crucially the `--check` stdout is identical for
-//! every `--threads` value, so CI can diff the output across thread
-//! counts to enforce the determinism invariant.
+//! every `--threads` and `--fabric-workers` value, so CI can diff the
+//! output across both axes to enforce the determinism invariant.
 //!
 //! With `--scaling`, the fig5 sweep runs at 1/2/4/8 threads (verifying
-//! fingerprints at each width) and the measured scaling is written to
-//! `BENCH_parallel.json`.
+//! fingerprints at each width), the `Scale::Large` highlight pair runs
+//! at 1/2/nproc fabric workers (verifying fingerprints at each count),
+//! and the measured trajectories are written to `BENCH_parallel.json`.
+//!
+//! `--fabric-scaling` is the core-count-gated CI gate: on a multi-core
+//! host the `Scale::Large` highlight pair at 2 fabric workers must beat
+//! 1 on wall clock; on a single-core host the stage reports itself
+//! skipped (epoch-parallelism cannot beat serial without physical
+//! cores) and exits 0.
 
 use vta_bench::metrics::{metrics_benchmark, phase_summary, series_csv, series_json};
 use vta_bench::perf::{
-    cycle_fingerprint, cycle_fingerprint_with_pool, parse_fingerprints, render_json,
-    render_parallel_json, render_superblock_json, run_fig5_probe, superblock_cells,
-    superblock_highlights, superblock_reconciles, validate_parallel, Fingerprint, ParallelPoint,
-    SweepPerf,
+    cycle_fingerprint, cycle_fingerprint_with_pool, fabric_highlight_wall, parse_fingerprints,
+    render_json, render_parallel_json, render_superblock_json, run_fig5_probe, superblock_cells,
+    superblock_highlights, superblock_reconciles, validate_parallel, FabricPoint, Fingerprint,
+    ParallelPoint, SweepPerf,
 };
 use vta_bench::trace::chrome_trace_json_with_metrics;
 use vta_dbt::VirtualArchConfig;
@@ -93,13 +104,21 @@ fn threads_arg() -> usize {
         .unwrap_or(1)
 }
 
-/// Recomputes the fingerprints (with `threads` host threads inside each
-/// fingerprinted `System`) and diffs them against the checked-in JSON;
-/// also validates `BENCH_parallel.json`. Returns the process exit code.
+fn fabric_workers_arg() -> usize {
+    arg_value("--fabric-workers")
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Recomputes the fingerprints (with `threads` host threads and
+/// `fabric_workers` fabric partitions inside each fingerprinted
+/// `System`) and diffs them against the checked-in JSON; also validates
+/// `BENCH_parallel.json`. Returns the process exit code.
 ///
-/// Everything printed to stdout here is independent of `threads`: ci.sh
-/// diffs this output across thread counts.
-fn check(threads: usize) -> i32 {
+/// Everything printed to stdout here is independent of `threads` and
+/// `fabric_workers`: ci.sh diffs this output across the whole matrix.
+fn check(threads: usize, fabric_workers: usize) -> i32 {
     let json = match std::fs::read_to_string("BENCH_dispatch.json") {
         Ok(j) => j,
         Err(e) => {
@@ -114,7 +133,7 @@ fn check(threads: usize) -> i32 {
             return 2;
         }
     };
-    let actual = cycle_fingerprint(threads);
+    let actual = cycle_fingerprint(threads, fabric_workers);
     let mut bad = false;
     for fp in &actual {
         match expected.iter().find(|(n, _)| n == fp.name) {
@@ -162,15 +181,17 @@ fn check(threads: usize) -> i32 {
     }
 }
 
-/// Runs the fig5 sweep at 1/2/4/8 threads, verifying the fingerprints
-/// are identical at every width, and writes `BENCH_parallel.json`.
+/// Runs the fig5 sweep at 1/2/4/8 threads and the `Scale::Large`
+/// highlight pair at 1/2/nproc fabric workers, verifying the
+/// fingerprints are identical at every point on both axes, and writes
+/// `BENCH_parallel.json`.
 fn scaling() -> i32 {
     let mut points: Vec<ParallelPoint> = Vec::new();
     let mut base_fp: Option<Vec<Fingerprint>> = None;
     let mut base_wall = 0.0f64;
     for threads in [1usize, 2, 4, 8] {
         let (perf, _) = run_fig5_probe(&format!("{threads} threads"), threads);
-        let fp = cycle_fingerprint(threads);
+        let fp = cycle_fingerprint(threads, 1);
         match &base_fp {
             None => base_fp = Some(fp),
             Some(base) => {
@@ -198,11 +219,72 @@ fn scaling() -> i32 {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let mut fabric_widths = vec![1usize, 2, cores];
+    fabric_widths.sort_unstable();
+    fabric_widths.dedup();
+    let mut fabric_points: Vec<FabricPoint> = Vec::new();
+    let mut fabric_base = 0.0f64;
+    for &workers in &fabric_widths {
+        let fp = cycle_fingerprint(1, workers);
+        if *base_fp.as_ref().expect("thread sweep ran first") != fp {
+            eprintln!("--scaling: fingerprints diverged at {workers} fabric workers");
+            return 1;
+        }
+        let wall = fabric_highlight_wall(workers);
+        if workers == 1 {
+            fabric_base = wall;
+        }
+        let speedup = fabric_base / wall.max(1e-9);
+        println!(
+            "--scaling: {workers} fabric workers: large highlights wall {wall:.3}s, \
+             speedup {speedup:.2}x"
+        );
+        fabric_points.push(FabricPoint {
+            workers,
+            wall_seconds: wall,
+            speedup_wall: speedup,
+        });
+    }
     let host = format!("{cores}-core host (speedup bounded by physical cores)");
-    let json = render_parallel_json(&host, &points, true);
+    let json = render_parallel_json(&host, &points, &fabric_points, true);
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("wrote BENCH_parallel.json");
     0
+}
+
+/// `--fabric-scaling`: the core-count-gated wall-clock gate. On a
+/// multi-core host, 2 fabric workers must beat 1 on the `Scale::Large`
+/// highlight pair; on a single-core host the gate cannot be meaningful
+/// (the epoch workers would time-slice one core), so it reports itself
+/// skipped and passes. Returns the process exit code.
+fn fabric_scaling() -> i32 {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 2 {
+        println!(
+            "--fabric-scaling: skipped: single-core host (epoch-parallel workers would \
+             time-slice one core; no wall-clock win is possible)"
+        );
+        return 0;
+    }
+    let wall1 = fabric_highlight_wall(1);
+    let wall2 = fabric_highlight_wall(2);
+    println!(
+        "--fabric-scaling: large highlights wall {wall1:.3}s @ 1 fabric worker, \
+         {wall2:.3}s @ 2 ({:.2}x)",
+        wall1 / wall2.max(1e-9)
+    );
+    if wall2 < wall1 {
+        println!("--fabric-scaling: PASS: 2 fabric workers beat 1 on a {cores}-core host");
+        0
+    } else {
+        eprintln!(
+            "--fabric-scaling: FAIL: 2 fabric workers ({wall2:.3}s) did not beat 1 \
+             ({wall1:.3}s) on a {cores}-core host"
+        );
+        1
+    }
 }
 
 /// `--superblock` mode: attest fingerprint thread-count invariance,
@@ -217,9 +299,9 @@ fn superblock_mode(check_only: bool) -> i32 {
             .unwrap_or(1);
         let mut widths = vec![1usize, 4, cores];
         widths.dedup();
-        let base = cycle_fingerprint(1);
+        let base = cycle_fingerprint(1, 1);
         for &w in &widths[1..] {
-            let fp = cycle_fingerprint(w);
+            let fp = cycle_fingerprint(w, 1);
             if fp != base {
                 eprintln!("--superblock: fingerprints diverged at {w} host threads");
                 return 1;
@@ -229,6 +311,11 @@ fn superblock_mode(check_only: bool) -> i32 {
             "--superblock: fingerprints identical at {:?} host threads",
             widths
         );
+        if cycle_fingerprint(1, 2) != base {
+            eprintln!("--superblock: fingerprints diverged at 2 fabric workers");
+            return 1;
+        }
+        println!("--superblock: fingerprints identical at [1, 2] fabric workers");
     }
     let cells = superblock_cells();
     for c in &cells {
@@ -398,6 +485,7 @@ fn metrics_check(bless: bool) -> i32 {
 
 fn main() {
     let threads = threads_arg();
+    let fabric_workers = fabric_workers_arg();
     if std::env::args().any(|a| a == "--metrics") {
         std::process::exit(metrics_mode(threads));
     }
@@ -405,8 +493,11 @@ fn main() {
         let check_only = std::env::args().any(|a| a == "--check");
         std::process::exit(superblock_mode(check_only));
     }
+    if std::env::args().any(|a| a == "--fabric-scaling") {
+        std::process::exit(fabric_scaling());
+    }
     if std::env::args().any(|a| a == "--check") {
-        std::process::exit(check(threads));
+        std::process::exit(check(threads, fabric_workers));
     }
     if std::env::args().any(|a| a == "--scaling") {
         std::process::exit(scaling());
@@ -425,13 +516,14 @@ fn main() {
         after.guest_insns_per_sec() / 1e6,
         after.sim_cycles_per_sec() / 1e6
     );
-    let (fp, pool) = cycle_fingerprint_with_pool(threads);
+    let (fp, pool, fabric) = cycle_fingerprint_with_pool(threads, fabric_workers);
     for f in &fp {
         println!("paper_default cycles {}: {}", f.name, f.cycles);
         println!("paper_default stats_fp {}: {:016x}", f.name, f.stats_fp);
     }
-    // Host-side pool counters (threads > 1 only). Informational: they
-    // depend on host scheduling, so they are never part of --check.
+    // Host-side pool counters (threads / fabric workers > 1 only).
+    // Informational: they depend on host scheduling, so they are never
+    // part of --check.
     if let Some(p) = pool {
         println!(
             "host pool ({} threads): {} submitted, {} translated ({} failed), {} hits / {} stale \
@@ -445,6 +537,23 @@ fn main() {
             p.misses,
             p.steals,
             p.discarded
+        );
+    }
+    if let Some(p) = fabric {
+        println!(
+            "fabric pool ({} workers): {} submitted, {} translated ({} failed), {} hits ({} \
+             waited) / {} stale / {} misses, {} reclaimed, {} discarded, {} exchanges",
+            fabric_workers,
+            p.submitted,
+            p.translated,
+            p.failed,
+            p.hits,
+            p.waited,
+            p.stale,
+            p.misses,
+            p.reclaimed,
+            p.discarded,
+            p.exchanges
         );
     }
     if write {

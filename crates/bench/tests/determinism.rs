@@ -84,7 +84,7 @@ fn fingerprints_match_checked_in_json() {
     let expected = vta_bench::perf::parse_fingerprints(&json).expect("parseable fingerprints");
     // Checked at 1 and 4 host threads: the frozen fingerprints pin the
     // serial path AND the worker-pool path to the same simulation.
-    let serial = vta_bench::perf::cycle_fingerprint(1);
+    let serial = vta_bench::perf::cycle_fingerprint(1, 1);
     for fp in &serial {
         let want = expected
             .iter()
@@ -96,11 +96,27 @@ fn fingerprints_match_checked_in_json() {
             fp.name
         );
     }
-    let parallel = vta_bench::perf::cycle_fingerprint(4);
+    let parallel = vta_bench::perf::cycle_fingerprint(4, 1);
     assert_eq!(
         serial, parallel,
         "host worker threads changed a fingerprint (cycles or stats)"
     );
+}
+
+/// Partitioning the tile fabric across epoch-lockstepped host workers is
+/// a wall-clock accelerator, never a semantic one: the fingerprints —
+/// cycles AND the full stats digest — must be bit-identical at every
+/// fabric worker count, alone and combined with host translator threads.
+#[test]
+fn fabric_workers_do_not_change_fingerprints() {
+    let base = vta_bench::perf::cycle_fingerprint(1, 1);
+    for (threads, workers) in [(1usize, 2usize), (1, 4), (4, 2)] {
+        let fp = vta_bench::perf::cycle_fingerprint(threads, workers);
+        assert_eq!(
+            base, fp,
+            "{workers} fabric workers x {threads} host threads changed a fingerprint"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,752 @@
+//! Epoch-parallel host workers for the partitioned tile fabric.
+//!
+//! [`vta_raw::fabric`] supplies the geometry: column-stripe partitions of
+//! the grid, a worker-count-invariant epoch horizon, and a canonical
+//! cross-partition exchange order. This module puts host threads behind
+//! that geometry. Each worker owns one partition's translation-slave
+//! tiles and builds their **region-shaped** translations (the heavy,
+//! multi-block superblock builds the single-block host pool in
+//! [`crate::host`] deliberately never takes); the coordinating thread —
+//! which owns the manager tile's partition and all manager state — runs
+//! the simulation and exchanges work with the partitions only through
+//! epoch-boundary message buffers.
+//!
+//! # Determinism
+//!
+//! Exactly the [`crate::host`] contract, earned the same way:
+//!
+//! - Workers translate from an immutable epoch-stamped snapshot of guest
+//!   memory and every commit carries its recorded read footprint
+//!   ([`ReadSet`]), revalidated against live memory at consult time. A
+//!   validated block is byte-for-byte what inline translation would have
+//!   produced, including its `translate_cycles` charge.
+//! - Cross-partition completions drain in canonical [`ExchangeKey`]
+//!   order — `(simulated cycle, src tile, dst tile, seq)`, every
+//!   component simulation-deterministic — so coordinator state is
+//!   independent of the wall-clock order workers finished in.
+//! - A miss (or a timed-out join) falls back to inline translation, the
+//!   serial path. Hit/miss patterns move host wall-clock only: simulated
+//!   cycles, stats, metrics series, and trace events never change.
+//!
+//! # Manager-partition invariants
+//!
+//! The manager's assign/commit loop — the busiest tile on crafty — stays
+//! **coordinator-only**: `manager_next_free`, the slave pool, and the
+//! speculation queues are never shared with workers. Workers receive
+//! only `Arc<GuestMem>` snapshots and job specs, and hand back commits
+//! through their partition outbox; Rust ownership makes violating this
+//! a compile error rather than a race.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use vta_ir::{
+    translate_region, translate_region_along, OptLevel, ReadSet, RecordingSource, RegionLimits,
+    RegionShape, TBlock,
+};
+use vta_raw::fabric::{
+    epoch_horizon, owner_of, partition_columns, EpochExchange, ExchangeKey, FabricPartition,
+};
+use vta_raw::TileId;
+use vta_x86::GuestMem;
+
+/// How long an idle worker parks before re-polling its lane (liveness
+/// bound for a missed wakeup; submits also signal).
+const PARK: Duration = Duration::from_millis(1);
+
+/// Longest the coordinator blocks joining one in-flight build before
+/// giving up and translating inline. Region builds take microseconds to
+/// low milliseconds of host time; this is a liveness backstop, not a
+/// tuning knob.
+const JOIN_WAIT: Duration = Duration::from_secs(2);
+
+/// Widest the adaptive epoch grows, as a multiple of the horizon, while
+/// no cross-partition traffic is moving.
+const MAX_EPOCH_STRETCH: u64 = 64;
+
+/// Host-side counters for the fabric pool.
+///
+/// Deliberately **not** part of [`Stats`](vta_sim::Stats), and — unlike
+/// the host pool — not registered as metrics gauges either: fabric
+/// progress depends on host scheduling, and the metrics windowed series
+/// must stay bit-identical at every fabric worker count.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FabricPerf {
+    /// Region jobs handed to partition workers (deduplicated).
+    pub submitted: u64,
+    /// Successful worker builds drained from partition outboxes.
+    pub translated: u64,
+    /// Worker builds that failed (speculation into data).
+    pub failed: u64,
+    /// Consults answered from a validated, footprint-verified build.
+    pub hits: u64,
+    /// Hits that blocked on a build still running on a worker.
+    pub waited: u64,
+    /// Queued jobs stolen back un-started at consult time (the
+    /// coordinator translates inline instead of waiting).
+    pub reclaimed: u64,
+    /// Cached builds rejected because live memory or the wanted shape
+    /// diverged (then evicted).
+    pub stale: u64,
+    /// Consults that found nothing usable (inline fallback).
+    pub misses: u64,
+    /// Drained commits discarded because a resnapshot advanced the
+    /// epoch while they were in flight.
+    pub discarded: u64,
+    /// Epoch-boundary exchanges that moved at least one commit.
+    pub exchanges: u64,
+}
+
+/// One region build assigned to a partition worker.
+struct Job {
+    seq: u64,
+    /// Simulated cycle the job was submitted at (exchange-order key).
+    cycle: u64,
+    /// Index of the slave tile this build stands for.
+    src: u16,
+    /// Index of the manager tile the completion is addressed to.
+    dst: u16,
+    addr: u32,
+    shape: RegionShape,
+}
+
+/// One finished build, buffered in its partition outbox until the next
+/// epoch boundary.
+struct Commit {
+    epoch: u64,
+    addr: u32,
+    shape: RegionShape,
+    /// `None` when translation failed; counted, never cached.
+    result: Option<(ReadSet, Arc<TBlock>)>,
+}
+
+/// A validated, coordinator-owned build.
+struct Done {
+    seq: u64,
+    shape: RegionShape,
+    reads: ReadSet,
+    block: Arc<TBlock>,
+}
+
+/// A job handed out but not yet drained back.
+struct Pending {
+    seq: u64,
+    lane: usize,
+    shape: RegionShape,
+}
+
+/// One partition's mailboxes: inbound jobs, outbound epoch exchange.
+struct Lane {
+    jobs: Mutex<Vec<Job>>,
+    outbox: Mutex<EpochExchange<Commit>>,
+}
+
+/// State shared between the coordinator and the partition workers.
+struct FabricShared {
+    /// `(epoch, snapshot)` — see [`crate::host::HostTranslators`].
+    snapshot: Mutex<(u64, Arc<GuestMem>)>,
+    lanes: Vec<Lane>,
+    park: Mutex<()>,
+    work: Condvar,
+    /// Signalled on every buffered commit (blocking joins wait here).
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Commits sitting in outboxes (fast epoch-boundary emptiness check).
+    out_pending: AtomicUsize,
+}
+
+/// The epoch-parallel fabric pool: one host worker per grid partition,
+/// exchanging region builds with the coordinator at epoch boundaries.
+///
+/// Created by [`System`](crate::System) when fabric workers > 1 and the
+/// configuration forms regions; owns the worker threads and joins them
+/// on drop.
+pub struct FabricTranslators {
+    shared: Arc<FabricShared>,
+    workers: Vec<JoinHandle<()>>,
+    parts: Vec<FabricPartition>,
+    width: u8,
+    /// Minimum cross-partition message latency (the epoch-length bound).
+    horizon: u64,
+    /// Current (adaptive) epoch length, `horizon ..= horizon * 64`.
+    epoch_len: u64,
+    /// Simulated cycle of the next scheduled epoch boundary.
+    next_drain: u64,
+    /// Snapshot epoch (coordinator's copy).
+    epoch: u64,
+    seq: u64,
+    /// Round-robin cursor over the slave-tile routes.
+    rr: usize,
+    /// `(slave tile index, owning lane)` in config slave order.
+    routes: Vec<(u16, usize)>,
+    manager_idx: u16,
+    done: HashMap<u32, Done>,
+    pending: HashMap<u32, Pending>,
+    perf: FabricPerf,
+    /// Jobs routed into each partition (boundary-coverage telemetry).
+    jobs_to: Vec<u64>,
+    /// Commits drained out of each partition.
+    commits_from: Vec<u64>,
+}
+
+/// Outcome of a cache probe, distinguishing a verified hit from a stale
+/// eviction so the counters stay honest.
+enum Found {
+    Hit(Arc<TBlock>),
+    Stale,
+    Absent,
+}
+
+impl FabricTranslators {
+    /// Spawns one worker per column-stripe partition of a `width`-column
+    /// grid (`workers` clamps to the column count). Workers build region
+    /// shapes at `opt` under `limits` on behalf of `slaves`, addressing
+    /// completions to `manager`.
+    pub fn new(
+        workers: usize,
+        opt: OptLevel,
+        limits: RegionLimits,
+        mem: &GuestMem,
+        width: u8,
+        slaves: &[TileId],
+        manager: TileId,
+    ) -> FabricTranslators {
+        let parts = partition_columns(width, workers.max(1));
+        let horizon = epoch_horizon(&parts).unwrap_or(u64::MAX);
+        let lanes = parts
+            .iter()
+            .map(|_| Lane {
+                jobs: Mutex::new(Vec::new()),
+                outbox: Mutex::new(EpochExchange::new()),
+            })
+            .collect();
+        let shared = Arc::new(FabricShared {
+            snapshot: Mutex::new((0, Arc::new(mem.clone()))),
+            lanes,
+            park: Mutex::new(()),
+            work: Condvar::new(),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            out_pending: AtomicUsize::new(0),
+        });
+        let handles = parts
+            .iter()
+            .map(|p| {
+                let shared = Arc::clone(&shared);
+                let id = p.id;
+                std::thread::Builder::new()
+                    .name(format!("vta-fabric-{id}"))
+                    .spawn(move || worker_loop(id, opt, limits, &shared))
+                    .expect("spawn fabric worker")
+            })
+            .collect();
+        let routes = slaves
+            .iter()
+            .map(|&t| (t.index(width) as u16, owner_of(t, &parts)))
+            .collect();
+        let lanes_n = parts.len();
+        FabricTranslators {
+            shared,
+            workers: handles,
+            width,
+            horizon,
+            epoch_len: horizon,
+            next_drain: horizon,
+            epoch: 0,
+            seq: 0,
+            rr: 0,
+            routes,
+            manager_idx: manager.index(width) as u16,
+            done: HashMap::new(),
+            pending: HashMap::new(),
+            perf: FabricPerf::default(),
+            jobs_to: vec![0; lanes_n],
+            commits_from: vec![0; lanes_n],
+            parts,
+        }
+    }
+
+    /// The column-stripe partitions this pool runs.
+    pub fn partitions(&self) -> &[FabricPartition] {
+        &self.parts
+    }
+
+    /// The epoch-length bound in simulated cycles.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Host-side counters (never folded into simulated stats).
+    pub fn perf(&self) -> FabricPerf {
+        self.perf
+    }
+
+    /// Per-partition `(jobs in, commits out)` — every pair > 0 means
+    /// traffic crossed that partition's boundary with the coordinator.
+    pub fn boundary_traffic(&self) -> Vec<(u64, u64)> {
+        self.jobs_to
+            .iter()
+            .zip(&self.commits_from)
+            .map(|(&a, &b)| (a, b))
+            .collect()
+    }
+
+    /// Hands a region build to the owning partition worker. Submitted at
+    /// simulated cycle `now` — the exchange-order key. Non-region shapes
+    /// are refused (the single-block host pool owns that shape);
+    /// duplicates of an already-pending or already-built `(addr, shape)`
+    /// are dropped.
+    pub fn submit(&mut self, addr: u32, shape: &RegionShape, now: u64) {
+        if !shape.is_region() {
+            return;
+        }
+        if let Some(p) = self.pending.get(&addr) {
+            if p.shape == *shape {
+                return;
+            }
+        }
+        if let Some(d) = self.done.get(&addr) {
+            if d.shape == *shape {
+                return;
+            }
+        }
+        let (src, lane) = self.routes[self.rr % self.routes.len().max(1)];
+        self.rr += 1;
+        self.seq += 1;
+        let job = Job {
+            seq: self.seq,
+            cycle: now,
+            src,
+            dst: self.manager_idx,
+            addr,
+            shape: shape.clone(),
+        };
+        if let Ok(mut jobs) = self.shared.lanes[lane].jobs.lock() {
+            jobs.push(job);
+        }
+        self.pending.insert(
+            addr,
+            Pending {
+                seq: self.seq,
+                lane,
+                shape: shape.clone(),
+            },
+        );
+        self.perf.submitted += 1;
+        self.jobs_to[lane] += 1;
+        self.shared.work.notify_all();
+    }
+
+    /// Epoch-boundary bookkeeping, called from the run loop with the
+    /// current simulated cycle. Past the scheduled boundary the
+    /// partition outboxes drain in canonical order; the next epoch
+    /// length then adapts — idle boundaries stretch it (up to 64× the
+    /// horizon) so a quiet fabric costs one compare per block, and any
+    /// traffic snaps it back to the minimum-latency bound.
+    pub fn tick(&mut self, now: u64) {
+        if now < self.next_drain {
+            return;
+        }
+        let moved = self.drain();
+        self.epoch_len = if moved == 0 {
+            (self.epoch_len.saturating_mul(2)).min(self.horizon.saturating_mul(MAX_EPOCH_STRETCH))
+        } else {
+            self.horizon
+        };
+        self.next_drain = now.saturating_add(self.epoch_len);
+    }
+
+    /// Looks up a validated build for `(addr, shape)`, draining first.
+    ///
+    /// A verified footprint returns the block — bit-identical to what
+    /// inline translation would produce. If the build is still in
+    /// flight: a job its worker has not started is stolen back (inline
+    /// is cheaper than waiting), a running build is joined with a
+    /// bounded block. Every other outcome is a miss; the caller falls
+    /// back to inline translation.
+    pub fn consult(
+        &mut self,
+        addr: u32,
+        shape: &RegionShape,
+        live: &GuestMem,
+    ) -> Option<Arc<TBlock>> {
+        self.drain();
+        match self.lookup(addr, shape, live) {
+            Found::Hit(b) => return Some(b),
+            Found::Stale => return None,
+            Found::Absent => {}
+        }
+        let Some(p) = self.pending.get(&addr) else {
+            self.perf.misses += 1;
+            return None;
+        };
+        if p.shape != *shape {
+            self.perf.misses += 1;
+            return None;
+        }
+        let (seq, lane) = (p.seq, p.lane);
+        if let Ok(mut jobs) = self.shared.lanes[lane].jobs.lock() {
+            if let Some(i) = jobs.iter().position(|j| j.seq == seq) {
+                jobs.remove(i);
+                self.pending.remove(&addr);
+                self.perf.reclaimed += 1;
+                self.perf.misses += 1;
+                return None;
+            }
+        }
+        // On a worker, or already buffered in an outbox: join it.
+        self.perf.waited += 1;
+        let deadline = Instant::now() + JOIN_WAIT;
+        loop {
+            self.drain();
+            match self.lookup(addr, shape, live) {
+                Found::Hit(b) => return Some(b),
+                Found::Stale => return None,
+                Found::Absent => {}
+            }
+            if !self.pending.contains_key(&addr) || Instant::now() >= deadline {
+                self.perf.misses += 1;
+                return None;
+            }
+            if let Ok(g) = self.shared.done_lock.lock() {
+                let _ = self.shared.done_cv.wait_timeout(g, PARK);
+            }
+        }
+    }
+
+    /// Replaces the workers' snapshot after an SMC invalidation,
+    /// discarding every cached and pending result derived from the old
+    /// bytes (old-epoch commits are dropped at drain).
+    pub fn resnapshot(&mut self, mem: &GuestMem) {
+        self.epoch += 1;
+        if let Ok(mut s) = self.shared.snapshot.lock() {
+            *s = (self.epoch, Arc::new(mem.clone()));
+        }
+        self.done.clear();
+        self.pending.clear();
+    }
+
+    fn lookup(&mut self, addr: u32, shape: &RegionShape, live: &GuestMem) -> Found {
+        match self.done.get(&addr) {
+            Some(d) if d.shape == *shape && d.reads.verify(live) => {
+                self.perf.hits += 1;
+                Found::Hit(Arc::clone(&d.block))
+            }
+            Some(_) => {
+                self.perf.stale += 1;
+                self.done.remove(&addr);
+                Found::Stale
+            }
+            None => Found::Absent,
+        }
+    }
+
+    /// Drains every partition outbox into one canonically ordered batch
+    /// and applies it. Returns how many commits moved.
+    fn drain(&mut self) -> usize {
+        if self.shared.out_pending.load(Ordering::Acquire) == 0 {
+            return 0;
+        }
+        let mut batch: Vec<(ExchangeKey, Commit)> = Vec::new();
+        for lane in &self.shared.lanes {
+            if let Ok(mut ob) = lane.outbox.lock() {
+                batch.append(&mut ob.drain_canonical());
+            }
+        }
+        let n = batch.len();
+        if n == 0 {
+            return 0;
+        }
+        self.shared.out_pending.fetch_sub(n, Ordering::AcqRel);
+        // Per-lane drains are canonical; the merged stream needs one
+        // more sort to interleave lanes deterministically.
+        batch.sort_by_key(|(k, _)| *k);
+        self.perf.exchanges += 1;
+        for (key, c) in batch {
+            let lane = self.lane_of(key.src);
+            self.commits_from[lane] += 1;
+            if self.pending.get(&c.addr).is_some_and(|p| p.seq <= key.seq) {
+                self.pending.remove(&c.addr);
+            }
+            if c.epoch != self.epoch {
+                self.perf.discarded += 1;
+                continue;
+            }
+            match c.result {
+                Some((reads, block)) => {
+                    self.perf.translated += 1;
+                    // A later submit supersedes an earlier one for the
+                    // same address, regardless of merge position.
+                    if self.done.get(&c.addr).is_none_or(|d| d.seq < key.seq) {
+                        self.done.insert(
+                            c.addr,
+                            Done {
+                                seq: key.seq,
+                                shape: c.shape,
+                                reads,
+                                block,
+                            },
+                        );
+                    }
+                }
+                None => self.perf.failed += 1,
+            }
+        }
+        n
+    }
+
+    /// The partition owning the tile with flat index `idx`.
+    fn lane_of(&self, idx: u16) -> usize {
+        let w = self.width.max(1);
+        let tile = TileId::new(idx as u8 % w, idx as u8 / w);
+        owner_of(tile, &self.parts)
+    }
+}
+
+impl Drop for FabricTranslators {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(lane_idx: usize, opt: OptLevel, limits: RegionLimits, shared: &FabricShared) {
+    let lane = &shared.lanes[lane_idx];
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let job = match lane.jobs.lock() {
+            Ok(mut q) => {
+                if q.is_empty() {
+                    None
+                } else {
+                    Some(q.remove(0))
+                }
+            }
+            Err(_) => break,
+        };
+        let Some(job) = job else {
+            if let Ok(g) = shared.park.lock() {
+                let _ = shared.work.wait_timeout(g, PARK);
+            }
+            continue;
+        };
+        let (epoch, snap) = match shared.snapshot.lock() {
+            Ok(s) => (s.0, Arc::clone(&s.1)),
+            Err(_) => break,
+        };
+        let rec = RecordingSource::new(&*snap);
+        let result = match &job.shape {
+            RegionShape::Recorded(path) => {
+                translate_region_along(&rec, job.addr, opt, &limits, path)
+            }
+            _ => translate_region(&rec, job.addr, opt, &limits),
+        }
+        .ok()
+        .map(|b| (rec.into_read_set(), Arc::new(b)));
+        let key = ExchangeKey {
+            cycle: job.cycle,
+            src: job.src,
+            dst: job.dst,
+            seq: job.seq,
+        };
+        if let Ok(mut ob) = lane.outbox.lock() {
+            ob.push(
+                key,
+                Commit {
+                    epoch,
+                    addr: job.addr,
+                    shape: job.shape,
+                    result,
+                },
+            );
+        }
+        shared.out_pending.fetch_add(1, Ordering::AcqRel);
+        shared.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vta_x86::{Asm, GuestImage, Reg};
+
+    fn looped_image() -> GuestImage {
+        let mut asm = Asm::new(0x0800_0000);
+        asm.mov_ri(Reg::EAX, 1);
+        let l = asm.label();
+        asm.jmp(l);
+        asm.bind(l);
+        asm.add_ri(Reg::EAX, 2);
+        asm.exit_with_eax();
+        GuestImage::from_code(asm.finish())
+    }
+
+    fn pool(workers: usize, mem: &GuestMem) -> FabricTranslators {
+        let limits = RegionLimits::for_opt(OptLevel::Full);
+        let slaves = vec![
+            TileId::new(3, 0),
+            TileId::new(1, 2),
+            TileId::new(0, 2),
+            TileId::new(1, 3),
+        ];
+        FabricTranslators::new(
+            workers,
+            OptLevel::Full,
+            limits,
+            mem,
+            4,
+            &slaves,
+            TileId::new(2, 0),
+        )
+    }
+
+    /// Polls until the workers land the build. Consulting an unstarted
+    /// job steals it back (the production fast path), so the poll
+    /// resubmits each round and sleeps first to let a worker win the
+    /// race.
+    fn wait_hit(
+        pool: &mut FabricTranslators,
+        addr: u32,
+        shape: &RegionShape,
+        mem: &GuestMem,
+    ) -> Option<Arc<TBlock>> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut cycle = 1_000;
+        while Instant::now() < deadline {
+            pool.submit(addr, shape, cycle); // no-op while pending/done
+            cycle += 1;
+            std::thread::sleep(Duration::from_millis(1));
+            if let Some(b) = pool.consult(addr, shape, mem) {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn fabric_region_build_matches_inline() {
+        let img = looped_image();
+        let mem = img.build_mem();
+        let limits = RegionLimits::for_opt(OptLevel::Full);
+        let mut pool = pool(2, &mem);
+        pool.submit(img.entry, &RegionShape::Static, 100);
+        let b = wait_hit(&mut pool, img.entry, &RegionShape::Static, &mem)
+            .expect("fabric worker built the region");
+        let inline = translate_region(&mem, img.entry, OptLevel::Full, &limits).expect("inline");
+        assert!(b.ranges.len() > 1, "region formed: {:?}", b.ranges);
+        assert_eq!(b.code, inline.code, "bit-identical host code");
+        assert_eq!(b.translate_cycles, inline.translate_cycles);
+        assert_eq!(b.ranges, inline.ranges);
+        assert!(pool.perf().hits >= 1);
+    }
+
+    #[test]
+    fn non_region_shapes_are_refused() {
+        let img = looped_image();
+        let mem = img.build_mem();
+        let mut pool = pool(2, &mem);
+        pool.submit(img.entry, &RegionShape::Single, 0);
+        assert_eq!(pool.perf().submitted, 0);
+        assert!(pool
+            .consult(img.entry, &RegionShape::Single, &mem)
+            .is_none());
+    }
+
+    #[test]
+    fn shape_mismatch_is_not_served() {
+        let img = looped_image();
+        let mem = img.build_mem();
+        let mut pool = pool(2, &mem);
+        pool.submit(img.entry, &RegionShape::Static, 7);
+        wait_hit(&mut pool, img.entry, &RegionShape::Static, &mem).expect("built");
+        // The recorded shape wants a different region: the static build
+        // must not satisfy it.
+        let rec = RegionShape::Recorded(Arc::from(vec![img.entry + 8].into_boxed_slice()));
+        assert!(pool.consult(img.entry, &rec, &mem).is_none());
+    }
+
+    #[test]
+    fn stale_footprint_is_evicted_not_served() {
+        let img = looped_image();
+        let mut mem = img.build_mem();
+        let mut pool = pool(2, &mem);
+        pool.submit(img.entry, &RegionShape::Static, 5);
+        wait_hit(&mut pool, img.entry, &RegionShape::Static, &mem).expect("initial hit");
+        let old = mem.read_u8(img.entry).unwrap();
+        mem.write_u8(img.entry, old ^ 0x01).unwrap();
+        assert!(
+            pool.consult(img.entry, &RegionShape::Static, &mem)
+                .is_none(),
+            "stale entry must not be served"
+        );
+        assert_eq!(pool.perf().stale, 1);
+    }
+
+    #[test]
+    fn resnapshot_discards_old_epoch_results() {
+        let img = looped_image();
+        let mut mem = img.build_mem();
+        let mut pool = pool(2, &mem);
+        pool.submit(img.entry, &RegionShape::Static, 5);
+        wait_hit(&mut pool, img.entry, &RegionShape::Static, &mem).expect("built");
+        let old = mem.read_u8(img.entry).unwrap();
+        mem.write_u8(img.entry, old ^ 0x01).unwrap();
+        pool.resnapshot(&mem);
+        assert!(
+            pool.consult(img.entry, &RegionShape::Static, &mem)
+                .is_none(),
+            "resnapshot clears the cache"
+        );
+    }
+
+    #[test]
+    fn unstarted_jobs_are_stolen_back() {
+        let img = looped_image();
+        let mem = img.build_mem();
+        // Zero live workers is impossible (clamped to >= 1 partition),
+        // so park the pool by flooding one lane faster than it drains:
+        // submit, then consult immediately — either the worker already
+        // finished (hit) or the job is reclaimed/joined. All paths are
+        // legal; the assertion is that consult never deadlocks and the
+        // counters stay consistent.
+        let mut pool = pool(2, &mem);
+        pool.submit(img.entry, &RegionShape::Static, 9);
+        let _ = pool.consult(img.entry, &RegionShape::Static, &mem);
+        let p = pool.perf();
+        assert_eq!(p.submitted, 1);
+        assert!(p.hits + p.reclaimed + p.waited >= 1 || p.misses >= 1);
+    }
+
+    #[test]
+    fn adaptive_epoch_stretches_when_idle_and_snaps_back() {
+        let img = looped_image();
+        let mem = img.build_mem();
+        let mut pool = pool(2, &mem);
+        let h = pool.horizon();
+        assert_eq!(h, 4, "one-word one-hop message latency");
+        // Idle boundaries double the epoch up to the cap.
+        let mut now = 0;
+        for _ in 0..20 {
+            now = pool.next_drain;
+            pool.tick(now);
+        }
+        assert_eq!(pool.epoch_len, h * MAX_EPOCH_STRETCH);
+        // Traffic snaps it back to the horizon.
+        pool.submit(img.entry, &RegionShape::Static, now);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.shared.out_pending.load(Ordering::Acquire) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        now = pool.next_drain;
+        pool.tick(now);
+        assert_eq!(pool.epoch_len, h, "traffic resets the epoch length");
+        assert!(pool.perf().exchanges >= 1);
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod codecache;
 pub mod config;
+pub mod fabric;
 pub mod host;
 pub mod memsys;
 pub mod morph;
@@ -54,6 +55,7 @@ pub mod system;
 pub mod timing;
 
 pub use config::{MorphConfig, Placement, VirtualArchConfig};
+pub use fabric::{FabricPerf, FabricTranslators};
 pub use host::{HostPerf, HostTranslators};
 pub use shared::SharedTranslations;
 pub use system::{RunReport, StopCause, System, SystemError};

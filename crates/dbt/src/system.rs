@@ -23,6 +23,7 @@ use vta_x86::{GuestImage, GuestMem, SysState, SyscallResult};
 
 use crate::codecache::{BlockHandle, L15Bank, L1Code, L2Code};
 use crate::config::VirtualArchConfig;
+use crate::fabric::{FabricPerf, FabricTranslators};
 use crate::host::{HostPerf, HostTranslators};
 use crate::memsys::MemSys;
 use crate::morph::{MorphAction, MorphManager};
@@ -168,6 +169,15 @@ pub struct System {
     /// Requested host parallelism (coordinator + `host_threads - 1`
     /// workers). Defaults to `VTA_HOST_THREADS`, else 1.
     host_threads: usize,
+    /// Epoch-parallel fabric workers: the grid partitioned into column
+    /// stripes, one host worker per partition building region-shaped
+    /// translations, exchanging with the coordinator at epoch
+    /// boundaries (`None` when `fabric_workers == 1`; see
+    /// [`crate::fabric`]).
+    fabric: Option<FabricTranslators>,
+    /// Requested fabric partition count. Defaults to
+    /// `VTA_FABRIC_WORKERS`, else 1 (the serial fabric).
+    fabric_workers: usize,
     /// Cycle-accurate event recorder (disabled unless
     /// [`System::enable_tracing`] is called; recording never changes
     /// simulated time).
@@ -288,6 +298,8 @@ impl System {
             shared: None,
             host: None,
             host_threads: host_threads_from_env(),
+            fabric: None,
+            fabric_workers: fabric_workers_from_env(),
             tracer: Tracer::disabled(),
             trk: Trk::default(),
             tile_tracks: Vec::new(),
@@ -548,6 +560,83 @@ impl System {
         }
     }
 
+    /// Sets the fabric partition count for subsequent [`System::run`]
+    /// calls: the grid is cut into that many column stripes, each with
+    /// a host worker building its slaves' region translations, joined
+    /// to the coordinator at epoch boundaries.
+    ///
+    /// `n == 1` (the default, or `VTA_FABRIC_WORKERS`) disables the
+    /// fabric pool — the serial path. Any `n` produces bit-identical
+    /// simulated cycles, stats, metrics series, and trace events; only
+    /// host wall-clock changes. Composes freely with
+    /// [`System::set_host_threads`]: the host pool owns single-block
+    /// shapes, the fabric pool owns region shapes.
+    pub fn set_fabric_workers(&mut self, n: usize) {
+        self.fabric_workers = n.max(1);
+        // Recreated lazily at the next run() with the new width.
+        self.fabric = None;
+    }
+
+    /// The configured fabric partition count
+    /// (see [`System::set_fabric_workers`]).
+    pub fn fabric_workers(&self) -> usize {
+        self.fabric_workers
+    }
+
+    /// Fabric-pool counters, if the pool is active. Host-side only —
+    /// never folded into [`RunReport::stats`] or the metrics series.
+    pub fn fabric_perf(&self) -> Option<FabricPerf> {
+        self.fabric.as_ref().map(FabricTranslators::perf)
+    }
+
+    /// Per-partition `(jobs in, commits out)` of the fabric pool, if
+    /// active (boundary-coverage telemetry for tests).
+    pub fn fabric_boundary_traffic(&self) -> Option<Vec<(u64, u64)>> {
+        self.fabric
+            .as_ref()
+            .map(FabricTranslators::boundary_traffic)
+    }
+
+    /// Spawns the fabric partition workers on first use. Regions are
+    /// the only shape the fabric builds, so a configuration that never
+    /// forms them (single-block region limits) skips the pool entirely.
+    /// No metrics gauges are registered for the fabric: the windowed
+    /// series must be bit-identical at every fabric worker count.
+    fn ensure_fabric_pool(&mut self) {
+        if self.fabric_workers > 1
+            && self.fabric.is_none()
+            && self.cfg.region_limits().max_blocks > 1
+        {
+            self.fabric = Some(FabricTranslators::new(
+                self.fabric_workers,
+                self.cfg.opt,
+                self.cfg.region_limits(),
+                &self.mem,
+                self.cfg.width,
+                &self.cfg.placement.slaves,
+                self.cfg.placement.manager,
+            ));
+        }
+    }
+
+    /// Hands `addr`'s region build to the fabric pool when one is owed:
+    /// called wherever a region-shaped translation is queued. Submits
+    /// carry the current simulated cycle — the canonical exchange-order
+    /// key.
+    fn fabric_submit(&mut self, addr: u32) {
+        if self.fabric.is_none() {
+            return;
+        }
+        let shape = self.shape_for(addr);
+        if !shape.is_region() {
+            return;
+        }
+        let now = self.now.as_u64();
+        if let Some(f) = &mut self.fabric {
+            f.submit(addr, &shape, now);
+        }
+    }
+
     /// The translation shape for `pc`: a recorded-path region once a
     /// recording has completed for a promoted address, the statically
     /// predicted region when path recording is off, and a single basic
@@ -588,6 +677,7 @@ impl System {
         } else {
             self.region_pending.insert(pc);
             self.queues.push(pc, 1);
+            self.fabric_submit(pc);
         }
     }
 
@@ -630,6 +720,7 @@ impl System {
         self.recorded.insert(rec.root, Arc::from(rec.path));
         self.region_pending.insert(rec.root);
         self.queues.push(rec.root, 1);
+        self.fabric_submit(rec.root);
     }
 
     /// Counts an entry into a recorded region. Both counters are halved
@@ -726,6 +817,16 @@ impl System {
                     return Ok(b);
                 }
             }
+        } else if let Some(fabric) = &mut self.fabric {
+            // Region shapes consult the fabric partition workers: a hit
+            // carries a verified read footprint, so it is byte-for-byte
+            // the block the inline call below would build.
+            if let Some(b) = fabric.consult(pc, shape, &self.mem) {
+                if let Some(sh) = &self.shared {
+                    sh.publish(&self.mem, &b, shape);
+                }
+                return Ok(b);
+            }
         }
         let b = Arc::new(match shape {
             RegionShape::Recorded(path) => {
@@ -747,6 +848,7 @@ impl System {
     /// code.
     pub fn run(&mut self, max_guest_insns: u64) -> Result<RunReport, SystemError> {
         self.ensure_host_pool();
+        self.ensure_fabric_pool();
         let stop = loop {
             if self.guest_insns >= max_guest_insns {
                 break (StopCause::InsnBudget, None);
@@ -954,6 +1056,13 @@ impl System {
             }
 
             self.catch_up(self.now);
+            // Epoch boundary: past the scheduled horizon the fabric
+            // partitions' outboxes drain in canonical order and the
+            // next epoch length is agreed (one compare when idle or
+            // when no fabric pool runs).
+            if let Some(fabric) = &mut self.fabric {
+                fabric.tick(self.now.as_u64());
+            }
             self.tracer
                 .counter(self.now, self.trk.qdepth, self.queues.len() as u64);
             // Windowed sampling: one branch when metrics are off. The
@@ -1139,12 +1248,13 @@ impl System {
     fn demand_translate(&mut self, pc: u32) -> Result<Cycle, SystemError> {
         if !self.l2code.known(pc) {
             self.queues.push(pc, 0);
-            // The host pool only pre-translates single blocks; promoted
-            // regions are translated inline when the slave is assigned.
-            if !self.shape_for(pc).is_region() {
-                if let Some(host) = &mut self.host {
-                    host.submit(pc, 0);
-                }
+            // The host pool only pre-translates single blocks; region
+            // shapes — promoted addresses re-translating after an
+            // invalidation — belong to the fabric partition workers.
+            if self.shape_for(pc).is_region() {
+                self.fabric_submit(pc);
+            } else if let Some(host) = &mut self.host {
+                host.submit(pc, 0);
             }
         }
         let mut t = self.now;
@@ -1235,6 +1345,7 @@ impl System {
             self.l2code.clear_in_flight(inflight.addr);
             if self.region_pending.contains(&inflight.addr) {
                 self.queues.push(inflight.addr, 1);
+                self.fabric_submit(inflight.addr);
             }
             self.assign_one(slave_idx, done);
             return;
@@ -1598,6 +1709,9 @@ impl System {
         if let Some(host) = &mut self.host {
             host.resnapshot(&self.mem);
         }
+        if let Some(fabric) = &mut self.fabric {
+            fabric.resnapshot(&self.mem);
+        }
         self.tracer
             .instant(self.now, self.trk.exec, "smc.invalidate", page as u64);
         // Invalidation round trips to the manager (same cost each way).
@@ -1625,6 +1739,16 @@ impl System {
 /// (the serial path).
 fn host_threads_from_env() -> usize {
     std::env::var("VTA_HOST_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Default fabric partition count: `VTA_FABRIC_WORKERS` if set and ≥ 1,
+/// else 1 (the serial fabric).
+fn fabric_workers_from_env() -> usize {
+    std::env::var("VTA_FABRIC_WORKERS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
@@ -2169,6 +2293,94 @@ mod tests {
             assert_eq!(r.exit_code, base.exit_code, "threads={threads}");
             assert_eq!(r.cycles, base.cycles, "threads={threads}");
             assert_eq!(r.stats, base.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fabric_workers_do_not_change_results() {
+        // The PR's tentpole invariant: simulated cycles AND stats are
+        // bit-identical at every fabric worker count, crossed with host
+        // translator threads. A hot multi-block loop body records a
+        // non-empty path, so region builds actually flow through the
+        // partition workers.
+        let img = image(|a| {
+            a.mov_ri(Reg::ECX, 800);
+            let top = a.here();
+            a.test_ri(Reg::EAX, 1);
+            let skip = a.label();
+            a.jcc(Cond::Ne, skip);
+            a.add_ri(Reg::EBX, 3);
+            a.bind(skip);
+            a.add_ri(Reg::EAX, 1);
+            a.dec_r(Reg::ECX);
+            a.jcc(Cond::Ne, top);
+            a.exit_with_eax();
+        });
+        let run = |fabric: usize, host: usize| {
+            let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+            sys.set_host_threads(host);
+            sys.set_fabric_workers(fabric);
+            let r = sys.run(10_000_000).expect("runs");
+            let submitted = sys.fabric_perf().map_or(0, |p| p.submitted);
+            (r, submitted)
+        };
+        let (base, none) = run(1, 1);
+        assert_eq!(none, 0, "no pool at one worker");
+        for (fabric, host) in [(2, 1), (4, 1), (2, 4), (4, 4)] {
+            let (r, submitted) = run(fabric, host);
+            assert_eq!(r.cycles, base.cycles, "fabric={fabric} host={host}");
+            assert_eq!(r.stats, base.stats, "fabric={fabric} host={host}");
+            assert_eq!(r.exit_code, base.exit_code, "fabric={fabric} host={host}");
+            assert!(submitted > 0, "region builds reached the fabric pool");
+        }
+    }
+
+    #[test]
+    fn fabric_smc_identical_across_worker_counts() {
+        // The interior-patch guest (same shape as the host-pool SMC
+        // test): revocation racing fabric region builds must stay
+        // bit-identical with the serial oracle.
+        let img = image(|a| {
+            a.mov_ri(Reg::ESI, 3);
+            a.mov_ri(Reg::EAX, 0);
+            let outer = a.here();
+            let y_entry = a.label();
+            let y_mid = a.label();
+            let y_end = a.label();
+            let done = a.label();
+            a.jmp(y_entry);
+            a.bind(y_end);
+            a.add_rr(Reg::EAX, Reg::EBX);
+            a.dec_r(Reg::ESI);
+            a.jcc(Cond::E, done);
+            a.mov_mi8(vta_x86::MemRef::abs(BASE + 0x1000 + 1), 90);
+            a.jmp(outer);
+            a.bind(done);
+            a.exit_with_eax();
+            while a.cur_addr() < BASE + 0xFF8 {
+                a.nop();
+            }
+            a.bind(y_entry);
+            a.jmp(y_mid);
+            while a.cur_addr() < BASE + 0x1000 {
+                a.nop();
+            }
+            a.bind(y_mid);
+            a.mov_ri(Reg::EBX, 11);
+            a.jmp(y_end);
+        });
+        let run = |fabric: usize| {
+            let mut sys = System::new(VirtualArchConfig::paper_default(), &img);
+            sys.set_fabric_workers(fabric);
+            sys.run(10_000_000).expect("runs")
+        };
+        let base = run(1);
+        assert_eq!(base.exit_code, Some(11 + 90 + 90));
+        for fabric in [2, 4] {
+            let r = run(fabric);
+            assert_eq!(r.exit_code, base.exit_code, "fabric={fabric}");
+            assert_eq!(r.cycles, base.cycles, "fabric={fabric}");
+            assert_eq!(r.stats, base.stats, "fabric={fabric}");
         }
     }
 

@@ -1,0 +1,183 @@
+//! Cross-partition stress for the epoch-parallel fabric: a seeded
+//! multi-region workload whose builds land in every partition, checked
+//! against the 1-worker oracle on stats, metrics series, and the stats
+//! fingerprint, plus a pool-level assertion that traffic actually
+//! crossed every partition boundary.
+
+use std::time::{Duration, Instant};
+
+use vta_dbt::{FabricTranslators, System, VirtualArchConfig};
+use vta_ir::{OptLevel, RegionLimits, RegionShape};
+use vta_raw::TileId;
+use vta_sim::MetricsConfig;
+use vta_x86::{Asm, Cond, GuestImage, Reg};
+
+const RUN_BUDGET: u64 = 2_000_000_000;
+
+/// Tiny deterministic generator (xorshift) so the workload is seeded
+/// and reproducible without any external RNG dependency.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// A seeded battery of hot loops, each with a conditional branch in the
+/// body (a junction, so path recording yields a non-trivial region that
+/// reaches the fabric pool). Every loop promotes independently, so the
+/// run submits a stream of region builds spread round-robin across the
+/// partition lanes.
+fn stress_image(seed: u64, loops: usize) -> (GuestImage, u32) {
+    let mut rng = Lcg(seed);
+    let mut asm = Asm::new(0x0800_0000);
+    let mut expected: u32 = 0;
+    asm.mov_ri(Reg::EBX, 0);
+    for _ in 0..loops {
+        let iters = 200 + (rng.next() % 300) as u32;
+        let bump = 1 + (rng.next() % 5) as i32;
+        let parity_bump = 1 + (rng.next() % 3) as i32;
+        asm.mov_ri(Reg::ECX, iters);
+        asm.mov_ri(Reg::EAX, 0);
+        let top = asm.label();
+        asm.bind(top);
+        asm.test_ri(Reg::EAX, 1);
+        let skip = asm.label();
+        asm.jcc(Cond::Ne, skip);
+        asm.add_ri(Reg::EBX, bump);
+        asm.bind(skip);
+        asm.add_ri(Reg::EAX, parity_bump);
+        asm.dec_r(Reg::ECX);
+        asm.jcc(Cond::Ne, top);
+        // Replay the loop arithmetic to know the architectural answer.
+        let mut eax: u32 = 0;
+        for _ in 0..iters {
+            if eax & 1 == 0 {
+                expected = expected.wrapping_add(bump as u32);
+            }
+            eax = eax.wrapping_add(parity_bump as u32);
+        }
+    }
+    asm.mov_rr(Reg::EAX, Reg::EBX);
+    asm.exit_with_eax();
+    (GuestImage::from_code(asm.finish()), expected)
+}
+
+/// The fabric run must be indistinguishable from the serial oracle on
+/// every simulated observable: exit code, cycles, the full stats set
+/// (reported via `first_difference` for a readable failure), the stats
+/// fingerprint, and the windowed metrics series.
+#[test]
+fn seeded_cross_partition_run_matches_serial_oracle() {
+    let (image, expected) = stress_image(0x5eed_cafe_f00d_0001, 6);
+    let run = |fabric_workers: usize| {
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &image);
+        sys.set_fabric_workers(fabric_workers);
+        sys.enable_metrics(MetricsConfig::default());
+        let report = sys.run(RUN_BUDGET).expect("stress image runs");
+        let metrics = sys.take_metrics();
+        let perf = sys.fabric_perf();
+        (report, metrics, perf)
+    };
+    let (oracle, oracle_metrics, oracle_perf) = run(1);
+    assert_eq!(oracle.exit_code, Some(expected), "oracle answer");
+    assert!(oracle_perf.is_none(), "1 worker spawns no fabric pool");
+    for workers in [2usize, 3, 4] {
+        let (r, m, perf) = run(workers);
+        assert_eq!(r.exit_code, oracle.exit_code, "{workers} workers");
+        assert_eq!(r.cycles, oracle.cycles, "{workers} workers");
+        assert_eq!(r.guest_insns, oracle.guest_insns, "{workers} workers");
+        assert_eq!(r.output, oracle.output, "{workers} workers");
+        if let Some(diff) = oracle.stats.first_difference(&r.stats) {
+            panic!("{workers} workers diverged from the serial oracle: {diff}");
+        }
+        assert_eq!(
+            oracle.stats.fingerprint(),
+            r.stats.fingerprint(),
+            "{workers} workers: stats fingerprint"
+        );
+        assert_eq!(
+            oracle_metrics.windows().collect::<Vec<_>>(),
+            m.windows().collect::<Vec<_>>(),
+            "{workers} workers: windowed metrics series"
+        );
+        assert_eq!(
+            oracle_metrics.events().collect::<Vec<_>>(),
+            m.events().collect::<Vec<_>>(),
+            "{workers} workers: metric events"
+        );
+        let perf = perf.expect("fabric pool ran");
+        assert!(
+            perf.submitted > 0,
+            "{workers} workers: region builds reached the fabric pool"
+        );
+    }
+}
+
+/// Pool-level boundary coverage: with slave tiles in every column and
+/// one partition per column, a round-robin job stream must put jobs
+/// into — and drain commits out of — every partition each epoch.
+#[test]
+fn traffic_crosses_every_partition_boundary() {
+    let (image, _) = stress_image(0x5eed_cafe_f00d_0002, 2);
+    let mem = image.build_mem();
+    // One slave per column so all four single-column partitions own one.
+    let slaves = [
+        TileId::new(0, 2),
+        TileId::new(1, 2),
+        TileId::new(2, 3),
+        TileId::new(3, 0),
+    ];
+    let mut pool = FabricTranslators::new(
+        4,
+        OptLevel::Full,
+        RegionLimits::for_opt(OptLevel::Full),
+        &mem,
+        4,
+        &slaves,
+        TileId::new(2, 0),
+    );
+    assert_eq!(pool.partitions().len(), 4);
+    // 32 distinct region roots, round-robin across the four lanes; the
+    // builds that miss real code still commit (as failures), so every
+    // lane must answer.
+    let mut cycle = pool.horizon();
+    for i in 0..32u32 {
+        pool.submit(image.entry + 4 * i, &RegionShape::Static, cycle);
+        cycle += 1;
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        cycle += pool.horizon();
+        pool.tick(cycle);
+        let traffic = pool.boundary_traffic();
+        let perf = pool.perf();
+        let covered = traffic
+            .iter()
+            .all(|&(jobs, commits)| jobs > 0 && commits > 0);
+        if covered && perf.translated + perf.failed == 32 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "boundary traffic never completed: {traffic:?}, \
+             {} of 32 commits drained",
+            perf.translated + perf.failed
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let perf = pool.perf();
+    assert_eq!(perf.submitted, 32, "all jobs entered a lane");
+    assert_eq!(
+        perf.translated + perf.failed,
+        32,
+        "every job committed back across its boundary"
+    );
+    assert!(perf.exchanges > 0, "epoch boundaries moved the commits");
+}

@@ -1,0 +1,293 @@
+//! Epoch-parallel partitioning of the tile fabric.
+//!
+//! The geometry layer for running the grid's tiles on a pool of host
+//! workers in lockstep epochs (the MTTCG shape: partition, step
+//! independently, exchange at statically known horizons). This module is
+//! pure bookkeeping — who owns which tile, how long an epoch may be, and
+//! in what order cross-partition messages are applied — so it can be
+//! tested exhaustively without a simulator attached.
+//!
+//! # The epoch-length rule
+//!
+//! Within an epoch, a worker may step its tiles without observing the
+//! other partitions, because no message sent after the epoch started can
+//! arrive before it ends: the epoch length is bounded by the **minimum
+//! cross-partition message latency**. With dimension-ordered routing and
+//! fixed per-hop latency that bound is static — the cheapest message
+//! between two partitions is one word over the smallest boundary hop
+//! count ([`net::INJECT_COST`] + hops × [`net::HOP_COST`] + 1 payload
+//! word + [`net::EJECT_COST`]).
+//!
+//! Crucially, [`epoch_horizon`] is **worker-count invariant** for column
+//! partitions of the same grid: every split puts some pair of adjacent
+//! columns in different partitions, and adjacent tiles are one hop
+//! apart. The horizon therefore never depends on *how many* partitions
+//! the grid was cut into — a precondition for bit-identical simulation
+//! at every worker count.
+//!
+//! # Canonical exchange order
+//!
+//! At an epoch boundary the partitions' in-flight messages are merged
+//! and applied in one total order, chosen so that it does not depend on
+//! the racy order workers *delivered* them in:
+//! `(cycle, src tile index, dst tile index, sequence)` — see
+//! [`ExchangeKey`]. Two workers can finish in any wall-clock order;
+//! the merged stream is identical.
+
+use crate::grid::TileId;
+use crate::net;
+
+/// One contiguous column stripe of the grid, owned by one worker.
+///
+/// Column stripes (rather than arbitrary tile sets) keep the partition
+/// boundary geometry trivial: the minimum cross-partition hop count is
+/// always 1 (adjacent columns), which is what pins [`epoch_horizon`]
+/// to a worker-count-invariant value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricPartition {
+    /// Partition (worker) id, `0..workers`.
+    pub id: usize,
+    /// First owned column (inclusive).
+    pub x0: u8,
+    /// One past the last owned column (exclusive).
+    pub x1: u8,
+}
+
+impl FabricPartition {
+    /// Whether this partition owns `tile`.
+    pub fn contains(&self, tile: TileId) -> bool {
+        self.x0 <= tile.x && tile.x < self.x1
+    }
+
+    /// Number of columns in the stripe.
+    pub fn width(&self) -> u8 {
+        self.x1 - self.x0
+    }
+}
+
+/// Cuts a `width`-column grid into at most `workers` balanced column
+/// stripes (left stripes get the remainder columns). More workers than
+/// columns clamp to one column per stripe — the finest partitioning the
+/// geometry supports. `workers == 0` is treated as 1.
+pub fn partition_columns(width: u8, workers: usize) -> Vec<FabricPartition> {
+    let parts = workers.clamp(1, width.max(1) as usize);
+    let base = width as usize / parts;
+    let extra = width as usize % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut x = 0u8;
+    for id in 0..parts {
+        let w = (base + usize::from(id < extra)) as u8;
+        out.push(FabricPartition {
+            id,
+            x0: x,
+            x1: x + w,
+        });
+        x += w;
+    }
+    out
+}
+
+/// The partition owning `tile`. Panics if the partitions do not cover
+/// the tile's column (they always do for [`partition_columns`] output
+/// and in-grid tiles).
+pub fn owner_of(tile: TileId, parts: &[FabricPartition]) -> usize {
+    parts
+        .iter()
+        .find(|p| p.contains(tile))
+        .map(|p| p.id)
+        .expect("partitions cover the grid")
+}
+
+/// The epoch length in cycles: the minimum latency of any message
+/// between two tiles in *different* partitions. `None` for a single
+/// partition (no cross-partition messages exist; the epoch is
+/// unbounded — the serial case).
+///
+/// For column stripes the minimum is always a one-word message over one
+/// hop between boundary-adjacent tiles, so the value is identical for
+/// every `workers >= 2` — the worker-count invariance the determinism
+/// story rests on.
+pub fn epoch_horizon(parts: &[FabricPartition]) -> Option<u64> {
+    if parts.len() < 2 {
+        return None;
+    }
+    // Boundary-adjacent tiles in neighboring stripes are exactly one
+    // hop apart; the cheapest message carries one payload word.
+    let min_hops = 1u64;
+    Some(net::INJECT_COST + min_hops * net::HOP_COST + 1 + net::EJECT_COST)
+}
+
+/// The total order cross-partition messages are applied in at an epoch
+/// boundary: by send cycle, then source tile index, then destination
+/// tile index, then a per-sender sequence number. Every component is
+/// simulation-deterministic, so the merged order is too — regardless of
+/// the wall-clock order workers delivered their outboxes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ExchangeKey {
+    /// Simulated cycle the message was sent at.
+    pub cycle: u64,
+    /// Source tile index (`TileId::index`).
+    pub src: u16,
+    /// Destination tile index.
+    pub dst: u16,
+    /// Tie-breaker for multiple messages on one `(cycle, src, dst)`.
+    pub seq: u64,
+}
+
+/// An epoch-boundary exchange buffer: messages accumulate in arrival
+/// order (racy across workers) and drain in canonical [`ExchangeKey`]
+/// order.
+#[derive(Debug)]
+pub struct EpochExchange<T> {
+    msgs: Vec<(ExchangeKey, T)>,
+}
+
+impl<T> Default for EpochExchange<T> {
+    fn default() -> Self {
+        EpochExchange { msgs: Vec::new() }
+    }
+}
+
+impl<T> EpochExchange<T> {
+    /// An empty exchange buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers one in-flight message.
+    pub fn push(&mut self, key: ExchangeKey, payload: T) {
+        self.msgs.push((key, payload));
+    }
+
+    /// Buffered message count.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Takes every buffered message, sorted into canonical order. The
+    /// sort key is fully deterministic, so the result is independent of
+    /// push order.
+    pub fn drain_canonical(&mut self) -> Vec<(ExchangeKey, T)> {
+        let mut out = std::mem::take(&mut self.msgs);
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_cover_and_balance() {
+        for width in 1u8..=8 {
+            for workers in 1usize..=10 {
+                let parts = partition_columns(width, workers);
+                assert!(!parts.is_empty());
+                assert!(parts.len() <= width as usize, "clamped to columns");
+                assert_eq!(parts[0].x0, 0);
+                assert_eq!(parts.last().unwrap().x1, width);
+                for w in parts.windows(2) {
+                    assert_eq!(w[0].x1, w[1].x0, "contiguous stripes");
+                }
+                let widths: Vec<u8> = parts.iter().map(FabricPartition::width).collect();
+                let (min, max) = (*widths.iter().min().unwrap(), *widths.iter().max().unwrap());
+                assert!(max - min <= 1, "balanced: {widths:?}");
+                assert!(min >= 1, "no empty stripe: {widths:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_tile_has_exactly_one_owner() {
+        let parts = partition_columns(4, 3);
+        for t in TileId::all(4, 4) {
+            let owners = parts.iter().filter(|p| p.contains(t)).count();
+            assert_eq!(owners, 1, "tile {t:?}");
+            let _ = owner_of(t, &parts); // must not panic
+        }
+    }
+
+    #[test]
+    fn horizon_is_worker_count_invariant() {
+        // The rule the determinism story rests on: every multi-worker
+        // split of the same grid yields the same epoch length.
+        let two = epoch_horizon(&partition_columns(4, 2)).expect("bounded");
+        for workers in 2..=8 {
+            assert_eq!(epoch_horizon(&partition_columns(4, workers)), Some(two));
+        }
+        assert_eq!(epoch_horizon(&partition_columns(4, 1)), None, "serial");
+        // And the value is the minimum one-word one-hop message cost.
+        assert_eq!(two, net::INJECT_COST + net::HOP_COST + 1 + net::EJECT_COST);
+    }
+
+    #[test]
+    fn canonical_drain_is_push_order_independent() {
+        // Shuffle with a seeded LCG (no external rand dependency) and
+        // check every shuffle drains to the same canonical stream.
+        let keys: Vec<ExchangeKey> = (0..40)
+            .map(|i| ExchangeKey {
+                cycle: (i * 7) % 5,
+                src: ((i * 3) % 4) as u16,
+                dst: ((i * 5) % 4) as u16,
+                seq: i,
+            })
+            .collect();
+        let canonical = {
+            let mut ex = EpochExchange::new();
+            for &k in &keys {
+                ex.push(k, k.seq);
+            }
+            ex.drain_canonical()
+        };
+        let mut rng = 0x5EEDu64;
+        for _ in 0..8 {
+            let mut shuffled = keys.clone();
+            for i in (1..shuffled.len()).rev() {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (rng >> 33) as usize % (i + 1);
+                shuffled.swap(i, j);
+            }
+            let mut ex = EpochExchange::new();
+            for &k in &shuffled {
+                ex.push(k, k.seq);
+            }
+            assert_eq!(ex.drain_canonical(), canonical);
+        }
+    }
+
+    #[test]
+    fn exchange_key_orders_by_cycle_then_src_then_dst_then_seq() {
+        let k = |cycle, src, dst, seq| ExchangeKey {
+            cycle,
+            src,
+            dst,
+            seq,
+        };
+        let mut v = vec![
+            k(1, 0, 0, 0),
+            k(0, 1, 0, 0),
+            k(0, 0, 1, 0),
+            k(0, 0, 0, 1),
+            k(0, 0, 0, 0),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                k(0, 0, 0, 0),
+                k(0, 0, 0, 1),
+                k(0, 0, 1, 0),
+                k(0, 1, 0, 0),
+                k(1, 0, 0, 0)
+            ]
+        );
+    }
+}

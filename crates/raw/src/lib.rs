@@ -36,6 +36,7 @@
 pub mod cache;
 pub mod dram;
 pub mod exec;
+pub mod fabric;
 pub mod grid;
 pub mod isa;
 pub mod net;

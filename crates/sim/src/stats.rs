@@ -441,6 +441,50 @@ impl Stats {
         h
     }
 
+    /// The first counter or histogram whose value differs from
+    /// `other`, as a human-readable description — `None` when the two
+    /// registries are equal. Oracle-comparison tests (e.g. the
+    /// epoch-parallel fabric stress test) use this to report *which*
+    /// counter diverged instead of dumping two full registries.
+    pub fn first_difference(&self, other: &Stats) -> Option<String> {
+        let mine: Vec<(&str, u64)> = self.iter().collect();
+        let theirs: Vec<(&str, u64)> = other.iter().collect();
+        let mut a = mine.iter().peekable();
+        let mut b = theirs.iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(an, av)), Some(&&(bn, bv))) if an == bn => {
+                    if av != bv {
+                        return Some(format!("counter {an}: {av} vs {bv}"));
+                    }
+                    a.next();
+                    b.next();
+                }
+                (Some(&&(an, _)), Some(&&(bn, _))) => {
+                    let missing = if an < bn { an } else { bn };
+                    return Some(format!("counter {missing}: present on one side only"));
+                }
+                (Some(&&(an, _)), None) | (None, Some(&&(an, _))) => {
+                    return Some(format!("counter {an}: present on one side only"));
+                }
+                (None, None) => break,
+            }
+        }
+        for (name, h) in &self.histograms {
+            match other.histograms.get(name) {
+                Some(o) if h == o => {}
+                Some(_) => return Some(format!("histogram {name}: distributions differ")),
+                None => return Some(format!("histogram {name}: present on one side only")),
+            }
+        }
+        for name in other.histograms.keys() {
+            if !self.histograms.contains_key(name) {
+                return Some(format!("histogram {name}: present on one side only"));
+            }
+        }
+        None
+    }
+
     /// Merges another registry into this one, summing counters.
     pub fn merge(&mut self, other: &Stats) {
         for (a, b) in self.fixed.iter_mut().zip(other.fixed.iter()) {

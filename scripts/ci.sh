@@ -5,14 +5,16 @@
 # package holds the proptest/criterion suites and is built on request
 # only.
 #
-# The gate is a staged matrix with per-stage timing:
+# The gate is a staged matrix with per-stage timing (human summary at
+# the end, machine-readable in ci-timings.json):
 #
 #   fmt
 #   clippy   × {default, --no-default-features}
 #   build    × {default, --no-default-features}   (release)
 #   test     × {default, --no-default-features}   (debug-for-tests)
-#   determinism: perf --check at --threads 1, 4, $(nproc); every
-#     fingerprint AND the full --check stdout must be identical
+#   determinism: perf --check across {threads 1, 4} × {fabric workers
+#     1, 2, $(nproc)}; every fingerprint AND the full --check stdout
+#     must be identical at every point of the matrix
 #   metrics: perf --metrics --check — the windowed series for the vpr
 #     benchmark must match the committed BENCH_metrics_vpr.csv golden
 #     byte-for-byte (regenerate with --metrics --bless when a simulated
@@ -20,26 +22,48 @@
 #   superblock: perf --superblock --check — guest instruction
 #     retirement must be identical across off/static/recorded region
 #     modes for every benchmark × opt cell
+#   fuzz: differential fuzzing under all three feature combinations
+#     that exist in the field (default = trace+metrics, neither, and
+#     trace-without-metrics — the combination that was never exercised
+#     before)
 #   scaling gate: on multi-core hosts, the fig5 sweep at 4 threads must
 #     actually beat 1 thread (skipped on single-core hosts, where no
 #     wall-clock speedup is physically possible)
+#   fabric scaling gate: on multi-core hosts, the Scale::Large
+#     superblock highlights at 2 fabric workers must beat 1 (same
+#     single-core skip rule)
+#
+# Every stage that skips itself says so inline AND in the end-of-run
+# summary — a skip is a host limitation, never a silent pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-STAGE_SUMMARY=()
+STAGE_NAMES=()
+STAGE_SECS=()
+STAGE_STATUS=()
+# Stage functions set this non-empty (with a reason) to report
+# themselves skipped; run_stage resets it before each stage.
+STAGE_SKIPPED=""
 
 # run_stage <name> <cmd...>: time one stage, fail loudly, remember it.
 run_stage() {
     local name="$1"
     shift
     local t0=$SECONDS
+    STAGE_SKIPPED=""
     echo "ci: ── stage: $name"
     "$@"
     local dt=$((SECONDS - t0))
-    STAGE_SUMMARY+=("$(printf '%-38s %4ds' "$name" "$dt")")
-    echo "ci: ── stage: $name ok (${dt}s)"
+    local status=ok
+    if [ -n "$STAGE_SKIPPED" ]; then
+        status="skipped: $STAGE_SKIPPED"
+    fi
+    STAGE_NAMES+=("$name")
+    STAGE_SECS+=("$dt")
+    STAGE_STATUS+=("$status")
+    echo "ci: ── stage: $name $status (${dt}s)"
 }
 
 run_stage "fmt" \
@@ -64,35 +88,44 @@ run_stage "test (no-default-features)" \
     cargo test -q --workspace --no-default-features
 
 # Determinism stage: simulated cycles and stats must match the frozen
-# fingerprints in BENCH_dispatch.json bit-for-bit at every host thread
-# count, and the --check output itself must not depend on the thread
-# count (it prints cycles + a full stats digest per benchmark).
+# fingerprints in BENCH_dispatch.json bit-for-bit at every point of the
+# {host translator threads} × {fabric workers} matrix, and the --check
+# output itself must not depend on either count (it prints cycles + a
+# full stats digest per benchmark).
 determinism_stage() {
     # No `trap ... RETURN` here: a RETURN trap set inside a function
     # stays installed for every later function return in the script
     # (where the local it references no longer exists — an unbound
     # variable under `set -u`). Clean up explicitly instead; on
     # failure the tempdir is left behind for inspection.
-    local nproc_threads out_dir
-    nproc_threads="$(nproc)"
+    local out_dir ref t f
     out_dir="$(mktemp -d)"
-    local t
-    for t in 1 4 "$nproc_threads"; do
-        echo "ci:    perf --check --threads $t"
-        cargo run --release -q -p vta-bench --bin perf -- --check --threads "$t" \
-            > "$out_dir/check-$t.txt"
+    local fabrics="1 2"
+    case "$(nproc)" in
+        1 | 2) ;;
+        *) fabrics="$fabrics $(nproc)" ;;
+    esac
+    ref=""
+    for f in $fabrics; do
+        for t in 1 4; do
+            echo "ci:    perf --check --threads $t --fabric-workers $f"
+            cargo run --release -q -p vta-bench --bin perf -- --check \
+                --threads "$t" --fabric-workers "$f" > "$out_dir/check-$t-$f.txt"
+            if [ -z "$ref" ]; then
+                ref="$out_dir/check-$t-$f.txt"
+            elif ! diff -q "$ref" "$out_dir/check-$t-$f.txt" > /dev/null; then
+                echo "ci: FAIL: perf --check output differs across the matrix" >&2
+                echo "ci:       (threads $t, fabric workers $f vs threads 1, fabric 1)" >&2
+                echo "ci:       outputs kept in $out_dir" >&2
+                diff "$ref" "$out_dir/check-$t-$f.txt" >&2 || true
+                return 1
+            fi
+        done
     done
-    if ! diff -q "$out_dir/check-1.txt" "$out_dir/check-4.txt" \
-        || ! diff -q "$out_dir/check-1.txt" "$out_dir/check-$nproc_threads.txt"; then
-        echo "ci: FAIL: perf --check output differs across thread counts" >&2
-        echo "ci:       outputs kept in $out_dir" >&2
-        diff "$out_dir/check-1.txt" "$out_dir/check-4.txt" >&2 || true
-        return 1
-    fi
-    echo "ci:    fingerprints identical at threads 1, 4, $nproc_threads"
+    echo "ci:    fingerprints and full stdout identical at threads {1,4} x fabric {$fabrics}"
     rm -rf "$out_dir"
 }
-run_stage "determinism (threads 1/4/$(nproc))" \
+run_stage "determinism (threads x fabric matrix)" \
     determinism_stage
 
 # Metrics stage: the windowed time series is a pure function of
@@ -111,13 +144,22 @@ run_stage "superblock retirement (perf --superblock --check)" \
 # both deterministic and offline: (1) every committed minimized
 # reproducer in the regression corpus must replay clean through the
 # oracle (reference vs None vs Full vs recorded-path), and (2) a
-# fixed-seed generated batch must complete
-# with zero divergences. Fixed seeds mean the same case stream and the
-# same verdicts on every host; the binary exits nonzero (printing a
-# ready-to-commit corpus file) on any divergence.
+# fixed-seed generated batch must complete with zero divergences.
+# Fixed seeds mean the same case stream and the same verdicts on every
+# host; the binary exits nonzero (printing a ready-to-commit corpus
+# file) on any divergence.
+#
+# The corpus also replays under trace-without-metrics — before this
+# combination was added, the fuzz stage only ever ran with metrics and
+# trace toggled together (default = both on, --no-default-features =
+# both off), so the trace-enabled/metrics-disabled build was never
+# exercised at all.
 fuzz_stage() {
     cargo run --release -q -p vta-bench --bin fuzz -- \
         --corpus crates/ir/tests/corpus
+    echo "ci:    corpus replay, --no-default-features --features trace"
+    cargo run --release -q -p vta-bench --no-default-features --features trace \
+        --bin fuzz -- --corpus crates/ir/tests/corpus
     cargo run --release -q -p vta-bench --bin fuzz -- \
         --cases 4000 --seed 0x5EED
     cargo run --release -q -p vta-bench --bin fuzz -- \
@@ -135,8 +177,9 @@ run_stage "fuzz (fixed-seed smoke)" \
 # the determinism stage via --check).
 scaling_stage() {
     if [ "$(nproc)" -lt 2 ]; then
-        echo "ci:    single-core host: wall-clock speedup is physically impossible;"
+        echo "ci:    skipped: single-core host: wall-clock speedup is physically impossible;"
         echo "ci:    skipping the speedup assertion (artifact still validated by --check)"
+        STAGE_SKIPPED="single-core host"
         return 0
     fi
     local out
@@ -161,8 +204,55 @@ scaling_stage() {
 run_stage "scaling ($(nproc) cores)" \
     scaling_stage
 
+# Fabric scaling gate: partitioning the tile grid across epoch-parallel
+# workers must beat the serial fabric on wall clock where the host has
+# the cores to run them. perf --fabric-scaling gates itself on the core
+# count and prints an explicit "skipped: single-core" line when the
+# assertion is physically meaningless.
+fabric_scaling_stage() {
+    local out
+    out="$(cargo run --release -q -p vta-bench --bin perf -- --fabric-scaling)"
+    printf '%s\n' "$out" | sed 's/^/ci:    /'
+    if printf '%s\n' "$out" | grep -q "skipped: single-core"; then
+        STAGE_SKIPPED="single-core host"
+    fi
+}
+run_stage "fabric scaling ($(nproc) cores)" \
+    fabric_scaling_stage
+
 echo "ci: stage timings:"
-for line in "${STAGE_SUMMARY[@]}"; do
-    echo "ci:   $line"
+for i in "${!STAGE_NAMES[@]}"; do
+    printf 'ci:   %-38s %4ds %s\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}" "${STAGE_STATUS[$i]}"
 done
+SKIPPED_ANY=0
+for i in "${!STAGE_NAMES[@]}"; do
+    case "${STAGE_STATUS[$i]}" in
+        skipped:*)
+            if [ "$SKIPPED_ANY" -eq 0 ]; then
+                echo "ci: skipped stages (host limitations, not passes):"
+                SKIPPED_ANY=1
+            fi
+            echo "ci:   ${STAGE_NAMES[$i]} — ${STAGE_STATUS[$i]#skipped: }"
+            ;;
+    esac
+done
+
+# Machine-readable per-stage timings (uploaded as a CI artifact).
+{
+    echo '{'
+    echo '  "stages": ['
+    total=0
+    for i in "${!STAGE_NAMES[@]}"; do
+        total=$((total + STAGE_SECS[i]))
+        comma=','
+        [ "$((i + 1))" -eq "${#STAGE_NAMES[@]}" ] && comma=''
+        status="${STAGE_STATUS[$i]}"
+        printf '    { "name": "%s", "seconds": %d, "status": "%s" }%s\n' \
+            "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}" "$status" "$comma"
+    done
+    echo '  ],'
+    printf '  "total_seconds": %d\n' "$total"
+    echo '}'
+} > ci-timings.json
+echo "ci: wrote ci-timings.json"
 echo "ci: all tier-1 checks passed"
