@@ -11,7 +11,23 @@
 //! cargo run --release -p vta-bench --bin perf -- --metrics     # windowed time series
 //! cargo run --release -p vta-bench --bin perf -- --superblock  # refresh superblock A/B JSON
 //! cargo run --release -p vta-bench --bin perf -- --fabric-scaling  # 2 fabric workers beat 1?
+//! cargo run --release -p vta-bench --bin perf -- --profile     # host wall-time breakdown
 //! ```
+//!
+//! `--profile [--bench B] [--scale test|small|large] [--threads N]
+//! [--fabric-workers M]` runs one benchmark (default: crafty at
+//! `Scale::Large`) with the host wall-clock span profiler AND the
+//! cycle tracer enabled, prints the per-thread top-phases table plus
+//! the manager-duty breakdown (deterministic `manager.*` cycle
+//! counters), and writes `BENCH_profile.json` and a merged two-clock
+//! Perfetto timeline `profile_B_trace.json` (simulated-cycle tracks as
+//! process 1, host wall tracks as process 2). Combined forms:
+//! `--profile --check` reruns the determinism check with profiling
+//! enabled inside every fingerprinted system — its stdout must be
+//! byte-identical to a plain `--check` (ci.sh diffs it); `--profile
+//! --overhead` measures the profiler's own cost on the fingerprint
+//! benchmarks and fails if the median run is >5% slower than with
+//! profiling off.
 //!
 //! `--superblock` runs the region-formation A/B matrix (gzip/mcf/crafty/
 //! interp × both opt levels × off/static/recorded superblock modes),
@@ -61,12 +77,16 @@
 
 use vta_bench::metrics::{metrics_benchmark, phase_summary, series_csv, series_json};
 use vta_bench::perf::{
-    cycle_fingerprint, cycle_fingerprint_with_pool, fabric_highlight_wall, parse_fingerprints,
-    render_json, render_parallel_json, render_superblock_json, run_fig5_probe, superblock_cells,
+    cycle_fingerprint, cycle_fingerprint_profiled, cycle_fingerprint_with_pool,
+    fabric_highlight_wall, host_pools_summary, parse_fingerprints, render_json,
+    render_parallel_json, render_superblock_json, run_fig5_probe, superblock_cells,
     superblock_highlights, superblock_reconciles, validate_parallel, FabricPoint, Fingerprint,
     ParallelPoint, SweepPerf,
 };
-use vta_bench::trace::chrome_trace_json_with_metrics;
+use vta_bench::profile::{
+    manager_report, profile_benchmark, profile_overhead, render_profile_json, top_phases_report,
+};
+use vta_bench::trace::{chrome_trace_json_two_clock, chrome_trace_json_with_metrics};
 use vta_dbt::VirtualArchConfig;
 use vta_sim::{MetricsConfig, Tracer};
 use vta_workloads::Scale;
@@ -116,9 +136,10 @@ fn fabric_workers_arg() -> usize {
 /// `System`) and diffs them against the checked-in JSON; also validates
 /// `BENCH_parallel.json`. Returns the process exit code.
 ///
-/// Everything printed to stdout here is independent of `threads` and
-/// `fabric_workers`: ci.sh diffs this output across the whole matrix.
-fn check(threads: usize, fabric_workers: usize) -> i32 {
+/// Everything printed to stdout here is independent of `threads`,
+/// `fabric_workers`, AND `profiled`: ci.sh diffs this output across
+/// the whole matrix and across profiling on/off.
+fn check(threads: usize, fabric_workers: usize, profiled: bool) -> i32 {
     let json = match std::fs::read_to_string("BENCH_dispatch.json") {
         Ok(j) => j,
         Err(e) => {
@@ -133,7 +154,11 @@ fn check(threads: usize, fabric_workers: usize) -> i32 {
             return 2;
         }
     };
-    let actual = cycle_fingerprint(threads, fabric_workers);
+    let actual = if profiled {
+        cycle_fingerprint_profiled(threads, fabric_workers)
+    } else {
+        cycle_fingerprint(threads, fabric_workers)
+    };
     let mut bad = false;
     for fp in &actual {
         match expected.iter().find(|(n, _)| n == fp.name) {
@@ -363,6 +388,75 @@ fn superblock_mode(check_only: bool) -> i32 {
     0
 }
 
+/// `--profile` mode: run one benchmark with the host wall profiler and
+/// the cycle tracer both on, print the two breakdowns (host wall
+/// phases per thread; manager duties in simulated cycles), and write
+/// the trajectory JSON plus the merged two-clock Perfetto timeline.
+/// Returns the process exit code.
+fn profile_mode(threads: usize, fabric_workers: usize) -> i32 {
+    let bench = arg_value("--bench").unwrap_or_else(|| "crafty".to_string());
+    let scale = match arg_value("--scale").as_deref() {
+        None | Some("large") => Scale::Large,
+        Some("small") => Scale::Small,
+        Some("test") => Scale::Test,
+        Some(other) => {
+            eprintln!("--profile: unknown --scale {other} (want test|small|large)");
+            return 2;
+        }
+    };
+    let run = profile_benchmark(&bench, scale, threads, fabric_workers, 1 << 16);
+    println!(
+        "--profile: {} @ Scale::{:?}, {} host thread{}, {} fabric worker{}: {} cycles, \
+         {} guest insns, wall {:.3}s",
+        run.bench,
+        scale,
+        threads,
+        if threads == 1 { "" } else { "s" },
+        fabric_workers,
+        if fabric_workers == 1 { "" } else { "s" },
+        run.cycles,
+        run.guest_insns,
+        run.wall_seconds
+    );
+    print!("{}", top_phases_report(&run.profile));
+    print!("{}", manager_report(&run.manager));
+    let trace_path = format!("profile_{bench}_trace.json");
+    for (path, content) in [
+        ("BENCH_profile.json".to_string(), render_profile_json(&run)),
+        (
+            trace_path,
+            chrome_trace_json_two_clock(&run.tracer, None, Some(&run.profile)),
+        ),
+    ] {
+        std::fs::write(&path, content).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+    0
+}
+
+/// `--profile --overhead`: the profiler must be close to free. Runs
+/// the fingerprint benchmarks with profiling off and on (interleaved,
+/// min-of-N to shed scheduler noise) and fails if enabling it costs
+/// more than 5% wall.
+fn overhead_mode() -> i32 {
+    let (off, on) = profile_overhead(9);
+    let ratio = on / off.max(1e-9);
+    println!(
+        "--profile --overhead: fingerprint benches min wall {off:.3}s off, {on:.3}s on \
+         ({ratio:.3}x)"
+    );
+    if ratio > 1.05 {
+        eprintln!(
+            "--profile --overhead: FAIL: profiling costs {:.1}% (> 5% budget)",
+            (ratio - 1.0) * 100.0
+        );
+        1
+    } else {
+        println!("--profile --overhead: ok (within the 5% budget)");
+        0
+    }
+}
+
 /// The committed metrics golden: benchmark, interval, and file name.
 /// Serial on purpose — host-pool gauges are only registered when a
 /// worker pool spawns, so the serial column set is host-independent.
@@ -496,8 +590,15 @@ fn main() {
     if std::env::args().any(|a| a == "--fabric-scaling") {
         std::process::exit(fabric_scaling());
     }
+    let profiled = std::env::args().any(|a| a == "--profile");
+    if profiled && std::env::args().any(|a| a == "--overhead") {
+        std::process::exit(overhead_mode());
+    }
     if std::env::args().any(|a| a == "--check") {
-        std::process::exit(check(threads, fabric_workers));
+        std::process::exit(check(threads, fabric_workers, profiled));
+    }
+    if profiled {
+        std::process::exit(profile_mode(threads, fabric_workers));
     }
     if std::env::args().any(|a| a == "--scaling") {
         std::process::exit(scaling());
@@ -521,41 +622,13 @@ fn main() {
         println!("paper_default cycles {}: {}", f.name, f.cycles);
         println!("paper_default stats_fp {}: {:016x}", f.name, f.stats_fp);
     }
-    // Host-side pool counters (threads / fabric workers > 1 only).
-    // Informational: they depend on host scheduling, so they are never
-    // part of --check.
-    if let Some(p) = pool {
-        println!(
-            "host pool ({} threads): {} submitted, {} translated ({} failed), {} hits / {} stale \
-             / {} misses, {} steals, {} discarded epochs",
-            threads,
-            p.submitted,
-            p.translated,
-            p.failed,
-            p.hits,
-            p.stale,
-            p.misses,
-            p.steals,
-            p.discarded
-        );
-    }
-    if let Some(p) = fabric {
-        println!(
-            "fabric pool ({} workers): {} submitted, {} translated ({} failed), {} hits ({} \
-             waited) / {} stale / {} misses, {} reclaimed, {} discarded, {} exchanges",
-            fabric_workers,
-            p.submitted,
-            p.translated,
-            p.failed,
-            p.hits,
-            p.waited,
-            p.stale,
-            p.misses,
-            p.reclaimed,
-            p.discarded,
-            p.exchanges
-        );
-    }
+    // Host-side pool counters (threads / fabric workers > 1 only) as
+    // one unified section. Informational: they depend on host
+    // scheduling, so they are never part of --check.
+    print!(
+        "{}",
+        host_pools_summary(threads, fabric_workers, pool.as_ref(), fabric.as_ref())
+    );
     if write {
         let json = render_json(&pre_opt_baseline(), &after, &fp);
         std::fs::write("BENCH_dispatch.json", &json).expect("write BENCH_dispatch.json");

@@ -16,6 +16,7 @@ pub mod figures;
 pub mod json_lint;
 pub mod metrics;
 pub mod perf;
+pub mod profile;
 pub mod table;
 pub mod trace;
 

@@ -19,7 +19,7 @@
 use std::fmt::Write as _;
 
 use vta_dbt::{RunReport, System, VirtualArchConfig};
-use vta_sim::{Ctr, Metrics, TraceConfig, TraceEvent, Tracer};
+use vta_sim::{Ctr, Metrics, ProfileReport, TraceConfig, TraceEvent, Tracer};
 use vta_workloads::Scale;
 
 /// Runs `bench` at `scale` under `cfg` with tracing enabled; returns the
@@ -74,6 +74,21 @@ pub fn chrome_trace_json(tracer: &Tracer) -> String {
 /// gauge, and the series' point annotations as instants on a synthetic
 /// `metrics` thread.
 pub fn chrome_trace_json_with_metrics(tracer: &Tracer, metrics: Option<&Metrics>) -> String {
+    chrome_trace_json_two_clock(tracer, metrics, None)
+}
+
+/// The full two-clock-domain export: simulated-cycle tracks (process 1,
+/// where `ts` reads in cycles) merged with the host wall-clock profile
+/// (process 2, where `ts` reads in real microseconds). Perfetto shows
+/// both processes on one timeline; the `process_name` metadata labels
+/// which clock each group of tracks is on. The host tracks carry the
+/// profiler's **inclusive** timeline spans, so nested phases render as
+/// nested slices.
+pub fn chrome_trace_json_two_clock(
+    tracer: &Tracer,
+    metrics: Option<&Metrics>,
+    profile: Option<&ProfileReport>,
+) -> String {
     let mut out = String::from("[\n");
     let pid = 1u32;
     let mut first = true;
@@ -250,6 +265,50 @@ pub fn chrome_trace_json_with_metrics(tracer: &Tracer, metrics: Option<&Metrics>
             push(&mut out, &mut first, &l);
         }
     }
+
+    // Host wall-clock tracks: a second process so the two clock
+    // domains stay visually separate while sharing one timeline.
+    if let Some(p) = profile.filter(|p| !p.threads.is_empty()) {
+        let host_pid = pid + 1;
+        push(
+            &mut out,
+            &mut first,
+            &format!(
+                "  {{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"simulated fabric (ts = cycles)\"}}}}"
+            ),
+        );
+        push(
+            &mut out,
+            &mut first,
+            &format!(
+                "  {{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{host_pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"host wall clock (ts = real \\u00b5s)\"}}}}"
+            ),
+        );
+        for (i, t) in p.threads.iter().enumerate() {
+            let tid = i as u32 + 1;
+            let mut line = format!(
+                "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{host_pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":\""
+            );
+            json_escape(&mut line, &t.name);
+            line.push_str("\"}}");
+            push(&mut out, &mut first, &line);
+            for ev in &t.events {
+                let mut l = String::from("  {\"name\":\"");
+                json_escape(&mut l, ev.phase);
+                let _ = write!(
+                    l,
+                    "\",\"ph\":\"X\",\"pid\":{host_pid},\"tid\":{tid},\"ts\":{:.3},\
+                     \"dur\":{:.3}}}",
+                    ev.start_nanos as f64 / 1e3,
+                    (ev.dur_nanos as f64 / 1e3).max(0.001)
+                );
+                push(&mut out, &mut first, &l);
+            }
+        }
+    }
     out.push_str("\n]\n");
     out
 }
@@ -395,6 +454,43 @@ mod tests {
         // A disabled series adds nothing.
         let bare = chrome_trace_json_with_metrics(&Tracer::disabled(), Some(&Metrics::disabled()));
         assert_eq!(bare, chrome_trace_json(&Tracer::disabled()));
+    }
+
+    #[test]
+    fn two_clock_merge_adds_host_process() {
+        use vta_sim::{PhaseTotal, ProfEvent, ProfileReport, ThreadProfile};
+        let profile = ProfileReport {
+            wall_nanos: 5_000_000,
+            threads: vec![ThreadProfile {
+                name: "host.worker0".to_string(),
+                phases: vec![PhaseTotal {
+                    phase: "host.translate",
+                    nanos: 1_500,
+                    count: 1,
+                }],
+                events: vec![ProfEvent {
+                    phase: "host.translate",
+                    start_nanos: 2_500,
+                    dur_nanos: 1_500,
+                }],
+                dropped: 0,
+            }],
+        };
+        let s = chrome_trace_json_two_clock(&Tracer::disabled(), None, Some(&profile));
+        crate::json_lint::check(&s).expect("valid JSON");
+        assert!(s.contains("host wall clock"), "{s}");
+        assert!(s.contains("simulated fabric"), "{s}");
+        assert!(s.contains("\"name\":\"host.worker0\""), "{s}");
+        // 2500ns start, 1500ns duration → 2.500µs / 1.500µs.
+        assert!(s.contains("\"ts\":2.500,\"dur\":1.500"), "{s}");
+        // Host tracks live in their own process (pid 2).
+        assert!(s.contains("\"pid\":2,\"tid\":1"), "{s}");
+        // An empty profile changes nothing.
+        let bare = chrome_trace_json_two_clock(&Tracer::disabled(), None, None);
+        assert_eq!(bare, chrome_trace_json(&Tracer::disabled()));
+        let empty =
+            chrome_trace_json_two_clock(&Tracer::disabled(), None, Some(&ProfileReport::default()));
+        assert_eq!(empty, bare);
     }
 
     #[cfg(feature = "trace")]

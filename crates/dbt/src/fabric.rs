@@ -51,6 +51,7 @@ use vta_raw::fabric::{
     epoch_horizon, owner_of, partition_columns, EpochExchange, ExchangeKey, FabricPartition,
 };
 use vta_raw::TileId;
+use vta_sim::{Profiler, ThreadProf};
 use vta_x86::GuestMem;
 
 /// How long an idle worker parks before re-polling its lane (liveness
@@ -206,6 +207,7 @@ impl FabricTranslators {
     /// grid (`workers` clamps to the column count). Workers build region
     /// shapes at `opt` under `limits` on behalf of `slaves`, addressing
     /// completions to `manager`.
+    #[allow(clippy::too_many_arguments)] // one arg per fabric resource
     pub fn new(
         workers: usize,
         opt: OptLevel,
@@ -214,6 +216,7 @@ impl FabricTranslators {
         width: u8,
         slaves: &[TileId],
         manager: TileId,
+        profiler: &Profiler,
     ) -> FabricTranslators {
         let parts = partition_columns(width, workers.max(1));
         let horizon = epoch_horizon(&parts).unwrap_or(u64::MAX);
@@ -239,9 +242,15 @@ impl FabricTranslators {
             .map(|p| {
                 let shared = Arc::clone(&shared);
                 let id = p.id;
+                let profiler = profiler.clone();
                 std::thread::Builder::new()
                     .name(format!("vta-fabric-{id}"))
-                    .spawn(move || worker_loop(id, opt, limits, &shared))
+                    .spawn(move || {
+                        // Lock-free per-thread recorder; flushes when
+                        // the worker exits (pool drop).
+                        let mut prof = profiler.thread(&format!("fabric.worker{id}"));
+                        worker_loop(id, opt, limits, &shared, &mut prof);
+                    })
                     .expect("spawn fabric worker")
             })
             .collect();
@@ -348,11 +357,15 @@ impl FabricTranslators {
     /// length then adapts — idle boundaries stretch it (up to 64× the
     /// horizon) so a quiet fabric costs one compare per block, and any
     /// traffic snaps it back to the minimum-latency bound.
-    pub fn tick(&mut self, now: u64) {
+    pub fn tick(&mut self, now: u64, prof: &mut ThreadProf) {
         if now < self.next_drain {
             return;
         }
+        // Past the early-out above this runs once per epoch, not per
+        // block, so the clock reads fit the profiling budget.
+        prof.enter("fabric.drain");
         let moved = self.drain();
+        prof.exit();
         self.epoch_len = if moved == 0 {
             (self.epoch_len.saturating_mul(2)).min(self.horizon.saturating_mul(MAX_EPOCH_STRETCH))
         } else {
@@ -374,8 +387,13 @@ impl FabricTranslators {
         addr: u32,
         shape: &RegionShape,
         live: &GuestMem,
+        prof: &mut ThreadProf,
     ) -> Option<Arc<TBlock>> {
+        // Coordinator-side phases recorded on the *caller's* recorder
+        // (the run thread), nesting inside its translate span.
+        prof.enter("fabric.drain");
         self.drain();
+        prof.exit();
         match self.lookup(addr, shape, live) {
             Found::Hit(b) => return Some(b),
             Found::Stale => return None,
@@ -390,17 +408,40 @@ impl FabricTranslators {
             return None;
         }
         let (seq, lane) = (p.seq, p.lane);
-        if let Ok(mut jobs) = self.shared.lanes[lane].jobs.lock() {
-            if let Some(i) = jobs.iter().position(|j| j.seq == seq) {
-                jobs.remove(i);
-                self.pending.remove(&addr);
-                self.perf.reclaimed += 1;
-                self.perf.misses += 1;
-                return None;
-            }
+        prof.enter("fabric.steal_back");
+        let stolen = match self.shared.lanes[lane].jobs.lock() {
+            Ok(mut jobs) => match jobs.iter().position(|j| j.seq == seq) {
+                Some(i) => {
+                    jobs.remove(i);
+                    true
+                }
+                None => false,
+            },
+            Err(_) => false,
+        };
+        prof.exit();
+        if stolen {
+            self.pending.remove(&addr);
+            self.perf.reclaimed += 1;
+            self.perf.misses += 1;
+            return None;
         }
         // On a worker, or already buffered in an outbox: join it.
         self.perf.waited += 1;
+        prof.enter("fabric.join_wait");
+        let r = self.join_wait(addr, shape, live);
+        prof.exit();
+        r
+    }
+
+    /// Blocks (bounded by [`JOIN_WAIT`]) for an in-flight build of
+    /// `(addr, shape)` to land, draining between waits.
+    fn join_wait(
+        &mut self,
+        addr: u32,
+        shape: &RegionShape,
+        live: &GuestMem,
+    ) -> Option<Arc<TBlock>> {
         let deadline = Instant::now() + JOIN_WAIT;
         loop {
             self.drain();
@@ -518,7 +559,13 @@ impl Drop for FabricTranslators {
     }
 }
 
-fn worker_loop(lane_idx: usize, opt: OptLevel, limits: RegionLimits, shared: &FabricShared) {
+fn worker_loop(
+    lane_idx: usize,
+    opt: OptLevel,
+    limits: RegionLimits,
+    shared: &FabricShared,
+    prof: &mut ThreadProf,
+) {
     let lane = &shared.lanes[lane_idx];
     while !shared.shutdown.load(Ordering::SeqCst) {
         let job = match lane.jobs.lock() {
@@ -532,15 +579,18 @@ fn worker_loop(lane_idx: usize, opt: OptLevel, limits: RegionLimits, shared: &Fa
             Err(_) => break,
         };
         let Some(job) = job else {
+            prof.enter("fabric.park");
             if let Ok(g) = shared.park.lock() {
                 let _ = shared.work.wait_timeout(g, PARK);
             }
+            prof.exit();
             continue;
         };
-        let (epoch, snap) = match shared.snapshot.lock() {
-            Ok(s) => (s.0, Arc::clone(&s.1)),
-            Err(_) => break,
-        };
+        prof.enter("fabric.snapshot");
+        let snap = shared.snapshot.lock().map(|s| (s.0, Arc::clone(&s.1)));
+        prof.exit();
+        let Ok((epoch, snap)) = snap else { break };
+        prof.enter("fabric.build");
         let rec = RecordingSource::new(&*snap);
         let result = match &job.shape {
             RegionShape::Recorded(path) => {
@@ -550,6 +600,8 @@ fn worker_loop(lane_idx: usize, opt: OptLevel, limits: RegionLimits, shared: &Fa
         }
         .ok()
         .map(|b| (rec.into_read_set(), Arc::new(b)));
+        prof.exit();
+        prof.enter("fabric.commit");
         let key = ExchangeKey {
             cycle: job.cycle,
             src: job.src,
@@ -569,6 +621,7 @@ fn worker_loop(lane_idx: usize, opt: OptLevel, limits: RegionLimits, shared: &Fa
         }
         shared.out_pending.fetch_add(1, Ordering::AcqRel);
         shared.done_cv.notify_all();
+        prof.exit();
     }
 }
 
@@ -604,6 +657,7 @@ mod tests {
             4,
             &slaves,
             TileId::new(2, 0),
+            &Profiler::disabled(),
         )
     }
 
@@ -623,7 +677,7 @@ mod tests {
             pool.submit(addr, shape, cycle); // no-op while pending/done
             cycle += 1;
             std::thread::sleep(Duration::from_millis(1));
-            if let Some(b) = pool.consult(addr, shape, mem) {
+            if let Some(b) = pool.consult(addr, shape, mem, &mut ThreadProf::disabled()) {
                 return Some(b);
             }
         }
@@ -655,7 +709,12 @@ mod tests {
         pool.submit(img.entry, &RegionShape::Single, 0);
         assert_eq!(pool.perf().submitted, 0);
         assert!(pool
-            .consult(img.entry, &RegionShape::Single, &mem)
+            .consult(
+                img.entry,
+                &RegionShape::Single,
+                &mem,
+                &mut ThreadProf::disabled()
+            )
             .is_none());
     }
 
@@ -669,7 +728,9 @@ mod tests {
         // The recorded shape wants a different region: the static build
         // must not satisfy it.
         let rec = RegionShape::Recorded(Arc::from(vec![img.entry + 8].into_boxed_slice()));
-        assert!(pool.consult(img.entry, &rec, &mem).is_none());
+        assert!(pool
+            .consult(img.entry, &rec, &mem, &mut ThreadProf::disabled())
+            .is_none());
     }
 
     #[test]
@@ -682,8 +743,13 @@ mod tests {
         let old = mem.read_u8(img.entry).unwrap();
         mem.write_u8(img.entry, old ^ 0x01).unwrap();
         assert!(
-            pool.consult(img.entry, &RegionShape::Static, &mem)
-                .is_none(),
+            pool.consult(
+                img.entry,
+                &RegionShape::Static,
+                &mem,
+                &mut ThreadProf::disabled()
+            )
+            .is_none(),
             "stale entry must not be served"
         );
         assert_eq!(pool.perf().stale, 1);
@@ -700,8 +766,13 @@ mod tests {
         mem.write_u8(img.entry, old ^ 0x01).unwrap();
         pool.resnapshot(&mem);
         assert!(
-            pool.consult(img.entry, &RegionShape::Static, &mem)
-                .is_none(),
+            pool.consult(
+                img.entry,
+                &RegionShape::Static,
+                &mem,
+                &mut ThreadProf::disabled()
+            )
+            .is_none(),
             "resnapshot clears the cache"
         );
     }
@@ -718,7 +789,12 @@ mod tests {
         // counters stay consistent.
         let mut pool = pool(2, &mem);
         pool.submit(img.entry, &RegionShape::Static, 9);
-        let _ = pool.consult(img.entry, &RegionShape::Static, &mem);
+        let _ = pool.consult(
+            img.entry,
+            &RegionShape::Static,
+            &mem,
+            &mut ThreadProf::disabled(),
+        );
         let p = pool.perf();
         assert_eq!(p.submitted, 1);
         assert!(p.hits + p.reclaimed + p.waited >= 1 || p.misses >= 1);
@@ -735,7 +811,7 @@ mod tests {
         let mut now = 0;
         for _ in 0..20 {
             now = pool.next_drain;
-            pool.tick(now);
+            pool.tick(now, &mut ThreadProf::disabled());
         }
         assert_eq!(pool.epoch_len, h * MAX_EPOCH_STRETCH);
         // Traffic snaps it back to the horizon.
@@ -745,7 +821,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         now = pool.next_drain;
-        pool.tick(now);
+        pool.tick(now, &mut ThreadProf::disabled());
         assert_eq!(pool.epoch_len, h, "traffic resets the epoch length");
         assert!(pool.perf().exchanges >= 1);
     }

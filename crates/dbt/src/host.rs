@@ -43,6 +43,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use vta_ir::{translate_region, OptLevel, ReadSet, RecordingSource, RegionLimits, TBlock};
+use vta_sim::{Profiler, ThreadProf};
 use vta_x86::GuestMem;
 
 use crate::specq::ShardedSpecQueue;
@@ -140,6 +141,7 @@ impl HostTranslators {
         opt: OptLevel,
         limits: RegionLimits,
         mem: &GuestMem,
+        profiler: &Profiler,
     ) -> HostTranslators {
         let workers = workers.max(1);
         let queue = Arc::new(ShardedSpecQueue::new(workers));
@@ -156,9 +158,16 @@ impl HostTranslators {
                 let queue = Arc::clone(&queue);
                 let shared = Arc::clone(&shared);
                 let tx = tx.clone();
+                let profiler = profiler.clone();
                 std::thread::Builder::new()
                     .name(format!("vta-xlate-{i}"))
-                    .spawn(move || worker_loop(i, opt, limits, &queue, &shared, &tx))
+                    .spawn(move || {
+                        // The recorder lives on the worker's own stack:
+                        // recording is lock-free, and the profile
+                        // flushes when the worker exits (pool drop).
+                        let mut prof = profiler.thread(&format!("host.worker{i}"));
+                        worker_loop(i, opt, limits, &queue, &shared, &tx, &mut prof);
+                    })
                     .expect("spawn translation worker")
             })
             .collect();
@@ -191,9 +200,20 @@ impl HostTranslators {
     /// `live` byte-for-byte — in which case the block is exactly what
     /// inline translation would produce. A stale entry is evicted and
     /// the address may be resubmitted.
-    pub fn consult(&mut self, addr: u32, live: &GuestMem) -> Option<Arc<TBlock>> {
+    pub fn consult(
+        &mut self,
+        addr: u32,
+        live: &GuestMem,
+        prof: &mut ThreadProf,
+    ) -> Option<Arc<TBlock>> {
+        // Coordinator-side phases recorded on the *caller's* recorder
+        // (the run thread), so they nest inside its translate span and
+        // the exclusive-time breakdown stays truthful.
+        prof.enter("host.drain");
         self.drain();
-        match self.done.get(&addr) {
+        prof.exit();
+        prof.enter("host.revalidate");
+        let r = match self.done.get(&addr) {
             Some(d) if d.reads.verify(live) => {
                 self.perf.hits += 1;
                 Some(Arc::clone(&d.block))
@@ -208,7 +228,9 @@ impl HostTranslators {
                 self.perf.misses += 1;
                 None
             }
-        }
+        };
+        prof.exit();
+        r
     }
 
     /// Replaces the workers' snapshot with the current live memory after
@@ -282,33 +304,40 @@ fn worker_loop(
     queue: &ShardedSpecQueue,
     shared: &PoolShared,
     tx: &Sender<Commit>,
+    prof: &mut ThreadProf,
 ) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         let Some((addr, _depth)) = queue.pop_worker(idx) else {
             // Park until a submit signals or the timeout re-polls.
+            prof.enter("host.park");
             if let Ok(g) = shared.park.lock() {
                 let _ = shared.work.wait_timeout(g, PARK);
             }
+            prof.exit();
             continue;
         };
-        let (epoch, snap) = match shared.snapshot.lock() {
-            Ok(s) => (s.0, Arc::clone(&s.1)),
-            Err(_) => break,
-        };
+        prof.enter("host.snapshot");
+        let snap = shared.snapshot.lock().map(|s| (s.0, Arc::clone(&s.1)));
+        prof.exit();
+        let Ok((epoch, snap)) = snap else { break };
+        prof.enter("host.translate");
         let rec = RecordingSource::new(&*snap);
         let result = translate_region(&rec, addr, opt, &limits)
             .ok()
             .map(|b| (rec.into_read_set(), Arc::new(b)));
+        prof.exit();
+        prof.enter("host.commit");
         let seq = shared.commit_seq.fetch_add(1, Ordering::Relaxed);
-        if tx
+        let sent = tx
             .send(Commit {
                 seq,
                 epoch,
                 addr,
                 result,
             })
-            .is_err()
-        {
+            .is_ok();
+        prof.exit();
+        if !sent {
             break; // coordinator gone
         }
     }
@@ -333,7 +362,7 @@ mod tests {
     fn wait_hit(pool: &mut HostTranslators, addr: u32, mem: &GuestMem) -> Option<Arc<TBlock>> {
         let deadline = Instant::now() + Duration::from_secs(10);
         while Instant::now() < deadline {
-            if let Some(b) = pool.consult(addr, mem) {
+            if let Some(b) = pool.consult(addr, mem, &mut ThreadProf::disabled()) {
                 return Some(b);
             }
             std::thread::sleep(Duration::from_millis(1));
@@ -345,7 +374,13 @@ mod tests {
     fn worker_translation_matches_inline() {
         let img = image();
         let mem = img.build_mem();
-        let mut pool = HostTranslators::new(2, OptLevel::Full, RegionLimits::single(), &mem);
+        let mut pool = HostTranslators::new(
+            2,
+            OptLevel::Full,
+            RegionLimits::single(),
+            &mem,
+            &Profiler::disabled(),
+        );
         pool.submit(img.entry, 0);
         let b = wait_hit(&mut pool, img.entry, &mem).expect("worker translated");
         let inline = vta_ir::translate_block(&mem, img.entry, OptLevel::Full).expect("inline");
@@ -367,7 +402,7 @@ mod tests {
         let img = GuestImage::from_code(asm.finish());
         let mem = img.build_mem();
         let limits = RegionLimits::for_opt(OptLevel::Full);
-        let mut pool = HostTranslators::new(2, OptLevel::Full, limits, &mem);
+        let mut pool = HostTranslators::new(2, OptLevel::Full, limits, &mem, &Profiler::disabled());
         pool.submit(img.entry, 0);
         let b = wait_hit(&mut pool, img.entry, &mem).expect("worker translated");
         let inline = translate_region(&mem, img.entry, OptLevel::Full, &limits).expect("inline");
@@ -380,7 +415,13 @@ mod tests {
     fn stale_footprint_is_evicted_not_served() {
         let img = image();
         let mut mem = img.build_mem();
-        let mut pool = HostTranslators::new(1, OptLevel::Full, RegionLimits::single(), &mem);
+        let mut pool = HostTranslators::new(
+            1,
+            OptLevel::Full,
+            RegionLimits::single(),
+            &mem,
+            &Profiler::disabled(),
+        );
         pool.submit(img.entry, 0);
         wait_hit(&mut pool, img.entry, &mem).expect("initial hit");
         // Overwrite the first code byte in *live* memory only; the
@@ -388,7 +429,8 @@ mod tests {
         let old = mem.read_u8(img.entry).unwrap();
         mem.write_u8(img.entry, old ^ 0x01).unwrap();
         assert!(
-            pool.consult(img.entry, &mem).is_none(),
+            pool.consult(img.entry, &mem, &mut ThreadProf::disabled())
+                .is_none(),
             "stale entry must not be served"
         );
         assert_eq!(pool.perf().stale, 1);
@@ -409,15 +451,23 @@ mod tests {
     fn failed_translations_are_counted_not_cached() {
         let img = image();
         let mem = img.build_mem();
-        let mut pool = HostTranslators::new(1, OptLevel::Full, RegionLimits::single(), &mem);
+        let mut pool = HostTranslators::new(
+            1,
+            OptLevel::Full,
+            RegionLimits::single(),
+            &mem,
+            &Profiler::disabled(),
+        );
         // An unmapped address: every fetch misses, translation fails.
         pool.submit(0x4000_0000, 0);
         let deadline = Instant::now() + Duration::from_secs(10);
         while pool.perf().failed == 0 && Instant::now() < deadline {
-            pool.consult(0x4000_0000, &mem);
+            pool.consult(0x4000_0000, &mem, &mut ThreadProf::disabled());
             std::thread::sleep(Duration::from_millis(1));
         }
         assert_eq!(pool.perf().failed, 1);
-        assert!(pool.consult(0x4000_0000, &mem).is_none());
+        assert!(pool
+            .consult(0x4000_0000, &mem, &mut ThreadProf::disabled())
+            .is_none());
     }
 }

@@ -18,7 +18,10 @@ use vta_ir::{
 use vta_raw::exec::{run_block, BlockExit, CoreState, DataPort, Fault};
 use vta_raw::isa::{HelperKind, MemOp, RReg};
 use vta_raw::{Dram, TileId};
-use vta_sim::{Ctr, Cycle, GaugeId, Metrics, MetricsConfig, Stats, TraceConfig, Tracer, TrackId};
+use vta_sim::{
+    Ctr, Cycle, GaugeId, Metrics, MetricsConfig, ProfConfig, ProfileReport, Profiler, Stats,
+    ThreadProf, TraceConfig, Tracer, TrackId,
+};
 use vta_x86::{GuestImage, GuestMem, SysState, SyscallResult};
 
 use crate::codecache::{BlockHandle, L15Bank, L1Code, L2Code};
@@ -192,6 +195,14 @@ pub struct System {
     metrics: Metrics,
     /// Gauge ids for the metrics series columns.
     gauges: Gauges,
+    /// Host wall-clock profiling session (disabled unless
+    /// [`System::enable_profiling`] is called). The *second* clock
+    /// domain: host-side only, never folded into [`RunReport::stats`],
+    /// the metrics series, or any fingerprinted output.
+    profiler: Profiler,
+    /// The run loop's own span recorder (the `"run"` thread in the
+    /// profile); worker pools carry their own.
+    prof_thread: ThreadProf,
 }
 
 /// Gauge ids registered with the metrics recorder. The simulated gauges
@@ -305,6 +316,8 @@ impl System {
             tile_tracks: Vec::new(),
             metrics: Metrics::disabled(),
             gauges: Gauges::default(),
+            profiler: Profiler::disabled(),
+            prof_thread: ThreadProf::disabled(),
             timing,
             cfg,
         }
@@ -408,6 +421,47 @@ impl System {
     /// run), leaving a disabled one behind.
     pub fn take_metrics(&mut self) -> Metrics {
         std::mem::take(&mut self.metrics)
+    }
+
+    /// Turns on host wall-clock profiling (call before [`System::run`]).
+    ///
+    /// The profiler is the simulated machine's *second* clock domain:
+    /// it records what the host did — run-loop phases, worker-pool
+    /// activity — in wall nanoseconds, while the [`Tracer`] records
+    /// what the simulated machine did in cycles. Like the tracer and
+    /// the metrics recorder it is a pure observer: instrumented code
+    /// only reads the host clock and never branches on what it read,
+    /// so simulated cycles, [`Stats`], metrics series, and trace
+    /// events are bit-identical with profiling on or off.
+    pub fn enable_profiling(&mut self, pcfg: ProfConfig) {
+        self.profiler = Profiler::new(pcfg);
+        self.prof_thread = self.profiler.thread("run");
+        // Pools spawned before this call carry disabled recorders;
+        // respawn them lazily at the next run() with live ones.
+        self.host = None;
+        self.fabric = None;
+    }
+
+    /// The profiling session handle (disabled unless
+    /// [`System::enable_profiling`] was called).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Finishes the profiling session and collects every thread's
+    /// profile, leaving a disabled profiler behind.
+    ///
+    /// Joins the worker pools (their recorders flush on worker exit)
+    /// and flushes the run loop's own recorder first, so the report
+    /// covers every instrumented thread. Pools respawn lazily on the
+    /// next [`System::run`].
+    pub fn take_profile(&mut self) -> ProfileReport {
+        self.host = None;
+        self.fabric = None;
+        self.prof_thread = Default::default(); // replaced value flushes on drop
+        let report = self.profiler.report();
+        self.profiler = Profiler::disabled();
+        report
     }
 
     /// A full interned-counter snapshot at the current simulated time,
@@ -555,6 +609,7 @@ impl System {
                 self.cfg.opt,
                 RegionLimits::single(),
                 &self.mem,
+                &self.profiler,
             ));
             self.register_host_gauges();
         }
@@ -615,6 +670,7 @@ impl System {
                 self.cfg.width,
                 &self.cfg.placement.slaves,
                 self.cfg.placement.manager,
+                &self.profiler,
             ));
         }
     }
@@ -798,6 +854,20 @@ impl System {
         pc: u32,
         shape: &RegionShape,
     ) -> Result<Arc<TBlock>, TranslateError> {
+        // Host profile phase: inline translation work on the run
+        // thread (memo/pool consults plus the inline build on a miss).
+        // Reading the host clock never changes simulated state.
+        self.prof_thread.enter("run.translate");
+        let r = self.translate_at_inner(pc, shape);
+        self.prof_thread.exit();
+        r
+    }
+
+    fn translate_at_inner(
+        &mut self,
+        pc: u32,
+        shape: &RegionShape,
+    ) -> Result<Arc<TBlock>, TranslateError> {
         let limits = if shape.is_region() {
             self.cfg.region_limits()
         } else {
@@ -810,7 +880,7 @@ impl System {
         }
         if !shape.is_region() {
             if let Some(host) = &mut self.host {
-                if let Some(b) = host.consult(pc, &self.mem) {
+                if let Some(b) = host.consult(pc, &self.mem, &mut self.prof_thread) {
                     if let Some(sh) = &self.shared {
                         sh.publish(&self.mem, &b, shape);
                     }
@@ -821,7 +891,7 @@ impl System {
             // Region shapes consult the fabric partition workers: a hit
             // carries a verified read footprint, so it is byte-for-byte
             // the block the inline call below would build.
-            if let Some(b) = fabric.consult(pc, shape, &self.mem) {
+            if let Some(b) = fabric.consult(pc, shape, &self.mem, &mut self.prof_thread) {
                 if let Some(sh) = &self.shared {
                     sh.publish(&self.mem, &b, shape);
                 }
@@ -1061,7 +1131,7 @@ impl System {
             // next epoch length is agreed (one compare when idle or
             // when no fabric pool runs).
             if let Some(fabric) = &mut self.fabric {
-                fabric.tick(self.now.as_u64());
+                fabric.tick(self.now.as_u64(), &mut self.prof_thread);
             }
             self.tracer
                 .counter(self.now, self.trk.qdepth, self.queues.len() as u64);
@@ -1121,6 +1191,20 @@ impl System {
     /// Obtains the translated block for `pc`, charging the lookup costs of
     /// whichever code-cache level supplies it.
     fn fetch_block(&mut self, pc: u32) -> Result<(Arc<TBlock>, Option<BlockHandle>), SystemError> {
+        // Host profile phase: the dispatch slow path (an L1 code miss
+        // walking L1.5 / the L2 manager, possibly demand-translating).
+        // The chained fast path in run() is deliberately uninstrumented:
+        // a per-block clock read would not fit the profiling budget.
+        self.prof_thread.enter("run.dispatch");
+        let r = self.fetch_block_inner(pc);
+        self.prof_thread.exit();
+        r
+    }
+
+    fn fetch_block_inner(
+        &mut self,
+        pc: u32,
+    ) -> Result<(Arc<TBlock>, Option<BlockHandle>), SystemError> {
         if let Some(h) = self.l1.lookup(pc) {
             self.stats.bump_ctr(Ctr::L1CodeHit);
             let b = Arc::clone(self.l1.handle_block(h).expect("fresh handle"));
@@ -1168,12 +1252,14 @@ impl System {
             .access_traced(self.now, 2, &mut self.tracer, self.trk.dram, "l2meta")
             .max(self.now);
         self.manager_next_free = self.now;
-        self.tracer.span(
-            svc_start,
-            self.now.saturating_since(svc_start),
-            self.ttrack(manager),
-            "l2.lookup",
-        );
+        let svc = self.now.saturating_since(svc_start);
+        self.tracer
+            .span(svc_start, svc, self.ttrack(manager), "l2.lookup");
+        // Manager activity attribution: demand lookups are the
+        // "network service" share of the manager tile's occupancy.
+        // Purely simulated arithmetic — deterministic across host
+        // thread counts, identical with profiling on or off.
+        self.stats.add("manager.service_cycles", svc);
         self.stats.bump_ctr(Ctr::L2CodeAccess);
 
         let block = if let Some(b) = self.l2code.get(pc) {
@@ -1311,9 +1397,21 @@ impl System {
     fn catch_up(&mut self, now: Cycle) {
         loop {
             let mut progressed = false;
+            // Host profile phase: one span per drain *burst*, not per
+            // commit — only entered when a commit actually pops, so the
+            // empty per-block catch_up call never reads the host clock,
+            // and a 10-commit burst costs two reads instead of twenty.
+            let mut in_span = false;
             while let Some((i, inflight)) = self.pool.pop_done(now) {
                 progressed = true;
+                if !in_span {
+                    self.prof_thread.enter("run.commit");
+                    in_span = true;
+                }
                 self.finish(i, inflight);
+            }
+            if in_span {
+                self.prof_thread.exit();
             }
             if self.assign_idle(now) {
                 progressed = true;
@@ -1326,8 +1424,16 @@ impl System {
 
     /// Commits completions due by `now` (used while blocked on demand).
     fn commit_ready(&mut self, now: Cycle) {
+        let mut in_span = false;
         while let Some((i, inflight)) = self.pool.pop_done(now) {
+            if !in_span {
+                self.prof_thread.enter("run.commit");
+                in_span = true;
+            }
             self.finish(i, inflight);
+        }
+        if in_span {
+            self.prof_thread.exit();
         }
         self.assign_idle(now);
     }
@@ -1357,6 +1463,7 @@ impl System {
             let commit_cost = 40 + block.code.len() as u64 / 2;
             let commit_start = self.manager_next_free.max(done);
             self.manager_next_free = commit_start + commit_cost;
+            self.stats.add("manager.commit_cycles", commit_cost);
             self.tracer.span(
                 commit_start,
                 commit_cost,
@@ -1537,6 +1644,7 @@ impl System {
         // Handing out work occupies the manager's software loop.
         let assign_start = self.manager_next_free.max(at);
         self.manager_next_free = assign_start + 30;
+        self.stats.add("manager.assign_cycles", 30);
         let tile = self.pool.slave(slave_idx).tile;
         let manager = self.cfg.placement.manager;
         self.tracer
@@ -1623,6 +1731,10 @@ impl System {
         let lag = m.last_lag();
         match action {
             Some(MorphAction::CacheToTranslator) => {
+                // Host profile phase: only an *applied* morph action
+                // reads the host clock; the per-block decide() poll
+                // above never does.
+                self.prof_thread.enter("run.morph");
                 if let Some((tile, dirty)) = self.memsys.remove_bank() {
                     // Explicit role-change event at the switch point:
                     // old role -> new role, with the queue depth that
@@ -1641,7 +1753,9 @@ impl System {
                         trk_dram,
                         "morph.writeback",
                     );
-                    self.now += self.timing.reconfig_per_dirty_line * dirty as u64 / 8 + 50;
+                    let charged = self.timing.reconfig_per_dirty_line * dirty as u64 / 8 + 50;
+                    self.stats.add("manager.morph_cycles", charged);
+                    self.now += charged;
                     self.tracer.instant(
                         self.now,
                         self.ttrack(tile),
@@ -1661,8 +1775,10 @@ impl System {
                     });
                     self.stats.bump_ctr(Ctr::MorphToTranslator);
                 }
+                self.prof_thread.exit();
             }
             Some(MorphAction::TranslatorToCache) => {
+                self.prof_thread.enter("run.morph");
                 if let Some((tile, free_at)) = self.pool.shrink(self.now) {
                     self.tracer
                         .instant(self.now, trk_morph, "role: slave->l2bank", qlen as u64);
@@ -1673,10 +1789,12 @@ impl System {
                     let bank = self.memsys.banks.last_mut().expect("just added");
                     bank.next_free = free_at + self.timing.reconfig;
                     bank.track = track;
+                    self.stats.add("manager.morph_cycles", 50);
                     self.now += 50;
                     self.tracer.instant(self.now, track, "role.cache", 0);
                     self.stats.bump_ctr(Ctr::MorphToCache);
                 }
+                self.prof_thread.exit();
             }
             None => {}
         }
@@ -1717,6 +1835,8 @@ impl System {
         // Invalidation round trips to the manager (same cost each way).
         let (exec, manager) = (self.cfg.placement.exec, self.cfg.placement.manager);
         let round_trip = self.net_t(exec, manager, 1) + self.net_t(manager, exec, 1);
+        self.stats
+            .add("manager.service_cycles", self.timing.manager_service);
         self.now += self.timing.manager_service + round_trip;
     }
 

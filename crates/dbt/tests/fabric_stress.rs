@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use vta_dbt::{FabricTranslators, System, VirtualArchConfig};
 use vta_ir::{OptLevel, RegionLimits, RegionShape};
 use vta_raw::TileId;
-use vta_sim::MetricsConfig;
+use vta_sim::{MetricsConfig, Profiler, ThreadProf};
 use vta_x86::{Asm, Cond, GuestImage, Reg};
 
 const RUN_BUDGET: u64 = 2_000_000_000;
@@ -142,6 +142,7 @@ fn traffic_crosses_every_partition_boundary() {
         4,
         &slaves,
         TileId::new(2, 0),
+        &Profiler::disabled(),
     );
     assert_eq!(pool.partitions().len(), 4);
     // 32 distinct region roots, round-robin across the four lanes; the
@@ -155,7 +156,7 @@ fn traffic_crosses_every_partition_boundary() {
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {
         cycle += pool.horizon();
-        pool.tick(cycle);
+        pool.tick(cycle, &mut ThreadProf::disabled());
         let traffic = pool.boundary_traffic();
         let perf = pool.perf();
         let covered = traffic

@@ -28,6 +28,7 @@
 mod cycle;
 mod event;
 pub mod metrics;
+pub mod prof;
 mod rng;
 mod stats;
 pub mod trace;
@@ -35,6 +36,9 @@ pub mod trace;
 pub use cycle::Cycle;
 pub use event::EventQueue;
 pub use metrics::{GaugeId, MetricEvent, Metrics, MetricsConfig, Window};
+pub use prof::{
+    PhaseTotal, ProfConfig, ProfEvent, ProfileReport, Profiler, ThreadProf, ThreadProfile,
+};
 pub use rng::Rng;
 pub use stats::{Ctr, Histogram, Stats};
 pub use trace::{Coord, LinkStats, TraceConfig, TraceEvent, Tracer, TrackId};

@@ -22,10 +22,16 @@
 #   superblock: perf --superblock --check — guest instruction
 #     retirement must be identical across off/static/recorded region
 #     modes for every benchmark × opt cell
-#   fuzz: differential fuzzing under all three feature combinations
-#     that exist in the field (default = trace+metrics, neither, and
-#     trace-without-metrics — the combination that was never exercised
-#     before)
+#   profile: the host wall-time profiler must be invisible to the
+#     simulation — perf --profile --check stdout must be byte-identical
+#     to plain --check across {threads 1,4} × {fabric 1,2} and in the
+#     no-default-features build (where the profiler compiles out), and
+#     the profiler's own wall cost on the fingerprint benches must stay
+#     under 5% (perf --profile --overhead, min-of-N)
+#   fuzz: differential fuzzing under the feature combinations that
+#     exist in the field (default = trace+metrics+prof, none of them,
+#     trace-without-metrics, and prof-alone — the profiler hooks must
+#     not perturb the oracle)
 #   scaling gate: on multi-core hosts, the fig5 sweep at 4 threads must
 #     actually beat 1 thread (skipped on single-core hosts, where no
 #     wall-clock speedup is physically possible)
@@ -140,6 +146,55 @@ run_stage "metrics (perf --metrics --check)" \
 run_stage "superblock retirement (perf --superblock --check)" \
     cargo run --release -q -p vta-bench --bin perf -- --superblock --check
 
+# Profile stage: host wall-clock profiling is the second clock domain
+# and must never leak into the first — enabling it inside every
+# fingerprinted System must leave the --check stdout (cycles AND full
+# stats digests) byte-identical, in the default build at every point
+# of the {threads} × {fabric} matrix and in the no-default-features
+# build where the profiler compiles down to no-ops. The profiler's own
+# cost is gated too: min-of-N interleaved wall on the fingerprint
+# benches must stay within 5% (one retry — the assertion measures the
+# instrumentation, not a noisy neighbor).
+profile_stage() {
+    local out_dir t f
+    out_dir="$(mktemp -d)"
+    for f in 1 2; do
+        for t in 1 4; do
+            echo "ci:    perf --check vs --profile --check (threads $t, fabric $f)"
+            cargo run --release -q -p vta-bench --bin perf -- --check \
+                --threads "$t" --fabric-workers "$f" > "$out_dir/plain-$t-$f.txt"
+            cargo run --release -q -p vta-bench --bin perf -- --profile --check \
+                --threads "$t" --fabric-workers "$f" > "$out_dir/prof-$t-$f.txt"
+            if ! diff -q "$out_dir/plain-$t-$f.txt" "$out_dir/prof-$t-$f.txt" > /dev/null; then
+                echo "ci: FAIL: --profile --check stdout differs from --check" >&2
+                echo "ci:       (threads $t, fabric workers $f; outputs kept in $out_dir)" >&2
+                diff "$out_dir/plain-$t-$f.txt" "$out_dir/prof-$t-$f.txt" >&2 || true
+                return 1
+            fi
+        done
+    done
+    echo "ci:    perf --profile --check, --no-default-features (profiler compiled out)"
+    cargo run --release -q -p vta-bench --no-default-features --bin perf -- --check \
+        > "$out_dir/plain-off.txt"
+    cargo run --release -q -p vta-bench --no-default-features --bin perf -- --profile --check \
+        > "$out_dir/prof-off.txt"
+    if ! diff -q "$out_dir/plain-off.txt" "$out_dir/prof-off.txt" > /dev/null; then
+        echo "ci: FAIL: --profile --check stdout differs without the prof feature" >&2
+        diff "$out_dir/plain-off.txt" "$out_dir/prof-off.txt" >&2 || true
+        return 1
+    fi
+    echo "ci:    profiling on/off stdout identical at threads {1,4} x fabric {1,2} + feature-off"
+    if ! cargo run --release -q -p vta-bench --bin perf -- --profile --overhead \
+        | sed 's/^/ci:    /'; then
+        echo "ci:    overhead gate failed once; retrying (guards against a noisy host)"
+        cargo run --release -q -p vta-bench --bin perf -- --profile --overhead \
+            | sed 's/^/ci:    /'
+    fi
+    rm -rf "$out_dir"
+}
+run_stage "profile (on/off invariance + overhead)" \
+    profile_stage
+
 # Fuzz stage: differential fuzzing of the x86 front end. Two parts,
 # both deterministic and offline: (1) every committed minimized
 # reproducer in the regression corpus must replay clean through the
@@ -159,6 +214,11 @@ fuzz_stage() {
         --corpus crates/ir/tests/corpus
     echo "ci:    corpus replay, --no-default-features --features trace"
     cargo run --release -q -p vta-bench --no-default-features --features trace \
+        --bin fuzz -- --corpus crates/ir/tests/corpus
+    # Prof-alone: the profiler's hooks (host clock reads on translation
+    # slow paths) must not perturb the differential oracle either.
+    echo "ci:    corpus replay, --no-default-features --features prof"
+    cargo run --release -q -p vta-bench --no-default-features --features prof \
         --bin fuzz -- --corpus crates/ir/tests/corpus
     cargo run --release -q -p vta-bench --bin fuzz -- \
         --cases 4000 --seed 0x5EED
