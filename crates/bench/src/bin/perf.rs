@@ -15,11 +15,12 @@
 //! ```
 //!
 //! `--profile [--bench B] [--scale test|small|large] [--threads N]
-//! [--fabric-workers M]` runs one benchmark (default: crafty at
-//! `Scale::Large`) with the host wall-clock span profiler AND the
-//! cycle tracer enabled, prints the per-thread top-phases table plus
-//! the manager-duty breakdown (deterministic `manager.*` cycle
-//! counters), and writes `BENCH_profile.json` and a merged two-clock
+//! [--fabric-workers M] [--manager-shards S]` runs one benchmark
+//! (default: crafty at `Scale::Large`) with the host wall-clock span
+//! profiler AND the cycle tracer enabled, prints the per-thread
+//! top-phases table plus the manager-duty breakdown (deterministic
+//! `manager.*` cycle counters) and the per-shard manager attribution,
+//! and writes `BENCH_profile.json` and a merged two-clock
 //! Perfetto timeline `profile_B_trace.json` (simulated-cycle tracks as
 //! process 1, host wall tracks as process 2). Combined forms:
 //! `--profile --check` reruns the determinism check with profiling
@@ -56,13 +57,18 @@
 //! epoch-parallel fabric partition count inside each fingerprinted
 //! `System` (the `VTA_FABRIC_WORKERS` env var reaches every other mode,
 //! including the metrics golden and the superblock matrix).
+//! `--manager-shards S` (or `VTA_MANAGER_SHARDS`) sets the manager
+//! service-shard count: per-partition duty attribution over one shared
+//! service ring, so simulated behavior is bit-identical at every count
+//! and only the per-shard report changes.
 //!
 //! With `--check`, the fingerprints are recomputed and compared against
 //! the checked-in `BENCH_dispatch.json`, and `BENCH_parallel.json` is
 //! validated for internal consistency — nothing is rewritten, and any
 //! drift exits nonzero. Crucially the `--check` stdout is identical for
-//! every `--threads` and `--fabric-workers` value, so CI can diff the
-//! output across both axes to enforce the determinism invariant.
+//! every `--threads`, `--fabric-workers`, and `--manager-shards` value,
+//! so CI can diff the output across all three axes to enforce the
+//! determinism invariant.
 //!
 //! With `--scaling`, the fig5 sweep runs at 1/2/4/8 threads (verifying
 //! fingerprints at each width), the `Scale::Large` highlight pair runs
@@ -84,7 +90,8 @@ use vta_bench::perf::{
     ParallelPoint, SweepPerf,
 };
 use vta_bench::profile::{
-    manager_report, profile_benchmark, profile_overhead, render_profile_json, top_phases_report,
+    manager_report, profile_benchmark, profile_overhead, render_profile_json, shard_report,
+    top_phases_report,
 };
 use vta_bench::trace::{chrome_trace_json_two_clock, chrome_trace_json_with_metrics};
 use vta_dbt::VirtualArchConfig;
@@ -131,15 +138,30 @@ fn fabric_workers_arg() -> usize {
         .unwrap_or(1)
 }
 
-/// Recomputes the fingerprints (with `threads` host threads and
-/// `fabric_workers` fabric partitions inside each fingerprinted
-/// `System`) and diffs them against the checked-in JSON; also validates
-/// `BENCH_parallel.json`. Returns the process exit code.
+/// `--manager-shards N`, falling back to `VTA_MANAGER_SHARDS` (the env
+/// route reaches modes without explicit plumbing), else 1.
+fn manager_shards_arg() -> usize {
+    arg_value("--manager-shards")
+        .and_then(|v| v.parse::<usize>().ok())
+        .or_else(|| {
+            std::env::var("VTA_MANAGER_SHARDS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        })
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Recomputes the fingerprints (with `threads` host threads,
+/// `fabric_workers` fabric partitions, and `manager_shards` manager
+/// service shards inside each fingerprinted `System`) and diffs them
+/// against the checked-in JSON; also validates `BENCH_parallel.json`.
+/// Returns the process exit code.
 ///
 /// Everything printed to stdout here is independent of `threads`,
-/// `fabric_workers`, AND `profiled`: ci.sh diffs this output across
-/// the whole matrix and across profiling on/off.
-fn check(threads: usize, fabric_workers: usize, profiled: bool) -> i32 {
+/// `fabric_workers`, `manager_shards`, AND `profiled`: ci.sh diffs
+/// this output across the whole matrix and across profiling on/off.
+fn check(threads: usize, fabric_workers: usize, manager_shards: usize, profiled: bool) -> i32 {
     let json = match std::fs::read_to_string("BENCH_dispatch.json") {
         Ok(j) => j,
         Err(e) => {
@@ -155,9 +177,9 @@ fn check(threads: usize, fabric_workers: usize, profiled: bool) -> i32 {
         }
     };
     let actual = if profiled {
-        cycle_fingerprint_profiled(threads, fabric_workers)
+        cycle_fingerprint_profiled(threads, fabric_workers, manager_shards)
     } else {
-        cycle_fingerprint(threads, fabric_workers)
+        cycle_fingerprint(threads, fabric_workers, manager_shards)
     };
     let mut bad = false;
     for fp in &actual {
@@ -216,7 +238,7 @@ fn scaling() -> i32 {
     let mut base_wall = 0.0f64;
     for threads in [1usize, 2, 4, 8] {
         let (perf, _) = run_fig5_probe(&format!("{threads} threads"), threads);
-        let fp = cycle_fingerprint(threads, 1);
+        let fp = cycle_fingerprint(threads, 1, 1);
         match &base_fp {
             None => base_fp = Some(fp),
             Some(base) => {
@@ -250,7 +272,7 @@ fn scaling() -> i32 {
     let mut fabric_points: Vec<FabricPoint> = Vec::new();
     let mut fabric_base = 0.0f64;
     for &workers in &fabric_widths {
-        let fp = cycle_fingerprint(1, workers);
+        let fp = cycle_fingerprint(1, workers, 1);
         if *base_fp.as_ref().expect("thread sweep ran first") != fp {
             eprintln!("--scaling: fingerprints diverged at {workers} fabric workers");
             return 1;
@@ -324,9 +346,9 @@ fn superblock_mode(check_only: bool) -> i32 {
             .unwrap_or(1);
         let mut widths = vec![1usize, 4, cores];
         widths.dedup();
-        let base = cycle_fingerprint(1, 1);
+        let base = cycle_fingerprint(1, 1, 1);
         for &w in &widths[1..] {
-            let fp = cycle_fingerprint(w, 1);
+            let fp = cycle_fingerprint(w, 1, 1);
             if fp != base {
                 eprintln!("--superblock: fingerprints diverged at {w} host threads");
                 return 1;
@@ -336,11 +358,16 @@ fn superblock_mode(check_only: bool) -> i32 {
             "--superblock: fingerprints identical at {:?} host threads",
             widths
         );
-        if cycle_fingerprint(1, 2) != base {
+        if cycle_fingerprint(1, 2, 1) != base {
             eprintln!("--superblock: fingerprints diverged at 2 fabric workers");
             return 1;
         }
         println!("--superblock: fingerprints identical at [1, 2] fabric workers");
+        if cycle_fingerprint(1, 1, 2) != base {
+            eprintln!("--superblock: fingerprints diverged at 2 manager shards");
+            return 1;
+        }
+        println!("--superblock: fingerprints identical at [1, 2] manager shards");
     }
     let cells = superblock_cells();
     for c in &cells {
@@ -393,7 +420,7 @@ fn superblock_mode(check_only: bool) -> i32 {
 /// phases per thread; manager duties in simulated cycles), and write
 /// the trajectory JSON plus the merged two-clock Perfetto timeline.
 /// Returns the process exit code.
-fn profile_mode(threads: usize, fabric_workers: usize) -> i32 {
+fn profile_mode(threads: usize, fabric_workers: usize, manager_shards: usize) -> i32 {
     let bench = arg_value("--bench").unwrap_or_else(|| "crafty".to_string());
     let scale = match arg_value("--scale").as_deref() {
         None | Some("large") => Scale::Large,
@@ -404,22 +431,32 @@ fn profile_mode(threads: usize, fabric_workers: usize) -> i32 {
             return 2;
         }
     };
-    let run = profile_benchmark(&bench, scale, threads, fabric_workers, 1 << 16);
+    let run = profile_benchmark(
+        &bench,
+        scale,
+        threads,
+        fabric_workers,
+        manager_shards,
+        1 << 16,
+    );
     println!(
-        "--profile: {} @ Scale::{:?}, {} host thread{}, {} fabric worker{}: {} cycles, \
-         {} guest insns, wall {:.3}s",
+        "--profile: {} @ Scale::{:?}, {} host thread{}, {} fabric worker{}, {} manager \
+         shard{}: {} cycles, {} guest insns, wall {:.3}s",
         run.bench,
         scale,
         threads,
         if threads == 1 { "" } else { "s" },
         fabric_workers,
         if fabric_workers == 1 { "" } else { "s" },
+        run.manager_shards,
+        if run.manager_shards == 1 { "" } else { "s" },
         run.cycles,
         run.guest_insns,
         run.wall_seconds
     );
     print!("{}", top_phases_report(&run.profile));
     print!("{}", manager_report(&run.manager));
+    print!("{}", shard_report(&run.shards, run.cycles));
     let trace_path = format!("profile_{bench}_trace.json");
     for (path, content) in [
         ("BENCH_profile.json".to_string(), render_profile_json(&run)),
@@ -580,6 +617,7 @@ fn metrics_check(bless: bool) -> i32 {
 fn main() {
     let threads = threads_arg();
     let fabric_workers = fabric_workers_arg();
+    let manager_shards = manager_shards_arg();
     if std::env::args().any(|a| a == "--metrics") {
         std::process::exit(metrics_mode(threads));
     }
@@ -595,10 +633,10 @@ fn main() {
         std::process::exit(overhead_mode());
     }
     if std::env::args().any(|a| a == "--check") {
-        std::process::exit(check(threads, fabric_workers, profiled));
+        std::process::exit(check(threads, fabric_workers, manager_shards, profiled));
     }
     if profiled {
-        std::process::exit(profile_mode(threads, fabric_workers));
+        std::process::exit(profile_mode(threads, fabric_workers, manager_shards));
     }
     if std::env::args().any(|a| a == "--scaling") {
         std::process::exit(scaling());
@@ -617,7 +655,7 @@ fn main() {
         after.guest_insns_per_sec() / 1e6,
         after.sim_cycles_per_sec() / 1e6
     );
-    let (fp, pool, fabric) = cycle_fingerprint_with_pool(threads, fabric_workers);
+    let (fp, pool, fabric) = cycle_fingerprint_with_pool(threads, fabric_workers, manager_shards);
     for f in &fp {
         println!("paper_default cycles {}: {}", f.name, f.cycles);
         println!("paper_default stats_fp {}: {:016x}", f.name, f.stats_fp);

@@ -84,7 +84,7 @@ fn fingerprints_match_checked_in_json() {
     let expected = vta_bench::perf::parse_fingerprints(&json).expect("parseable fingerprints");
     // Checked at 1 and 4 host threads: the frozen fingerprints pin the
     // serial path AND the worker-pool path to the same simulation.
-    let serial = vta_bench::perf::cycle_fingerprint(1, 1);
+    let serial = vta_bench::perf::cycle_fingerprint(1, 1, 1);
     for fp in &serial {
         let want = expected
             .iter()
@@ -96,7 +96,7 @@ fn fingerprints_match_checked_in_json() {
             fp.name
         );
     }
-    let parallel = vta_bench::perf::cycle_fingerprint(4, 1);
+    let parallel = vta_bench::perf::cycle_fingerprint(4, 1, 1);
     assert_eq!(
         serial, parallel,
         "host worker threads changed a fingerprint (cycles or stats)"
@@ -109,12 +109,29 @@ fn fingerprints_match_checked_in_json() {
 /// fabric worker count, alone and combined with host translator threads.
 #[test]
 fn fabric_workers_do_not_change_fingerprints() {
-    let base = vta_bench::perf::cycle_fingerprint(1, 1);
+    let base = vta_bench::perf::cycle_fingerprint(1, 1, 1);
     for (threads, workers) in [(1usize, 2usize), (1, 4), (4, 2)] {
-        let fp = vta_bench::perf::cycle_fingerprint(threads, workers);
+        let fp = vta_bench::perf::cycle_fingerprint(threads, workers, 1);
         assert_eq!(
             base, fp,
             "{workers} fabric workers x {threads} host threads changed a fingerprint"
+        );
+    }
+}
+
+/// Manager service shards are duty *attribution*, not timing: the
+/// shards arbitrate on one shared service ring, so the fingerprints —
+/// cycles AND the full stats digest — must be bit-identical at every
+/// shard count, alone and combined with the other two host axes.
+#[test]
+fn manager_shards_do_not_change_fingerprints() {
+    let base = vta_bench::perf::cycle_fingerprint(1, 1, 1);
+    for (threads, workers, shards) in [(1usize, 1usize, 2usize), (1, 1, 4), (4, 2, 2)] {
+        let fp = vta_bench::perf::cycle_fingerprint(threads, workers, shards);
+        assert_eq!(
+            base, fp,
+            "{shards} manager shards x {workers} fabric workers x {threads} host threads \
+             changed a fingerprint"
         );
     }
 }

@@ -544,6 +544,23 @@ impl L2Code {
     pub fn used_bytes(&self) -> u64 {
         self.used
     }
+
+    /// Per-shard view of committed residency: `(blocks, bytes)` summed
+    /// over the guest addresses each shard owns. `owner` maps a guest
+    /// address to its shard index (out-of-range indices are clamped to
+    /// the last shard). Host-side reporting only — never feeds back
+    /// into timing, and deliberately iterates the HashMap without an
+    /// order guarantee because addition commutes.
+    pub fn shard_residency<F: Fn(u32) -> usize>(&self, shards: usize, owner: F) -> Vec<(u64, u64)> {
+        let n = shards.max(1);
+        let mut res = vec![(0u64, 0u64); n];
+        for (&addr, b) in &self.blocks {
+            let i = owner(addr).min(n - 1);
+            res[i].0 += 1;
+            res[i].1 += b.host_bytes() as u64;
+        }
+        res
+    }
 }
 
 #[cfg(test)]

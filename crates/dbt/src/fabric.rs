@@ -31,9 +31,14 @@
 //! # Manager-partition invariants
 //!
 //! The manager's assign/commit loop — the busiest tile on crafty — stays
-//! **coordinator-only**: `manager_next_free`, the slave pool, and the
-//! speculation queues are never shared with workers. Workers receive
-//! only `Arc<GuestMem>` snapshots and job specs, and hand back commits
+//! **coordinator-only**: the [`crate::manager::ManagerShards`] service
+//! ring (successor to the scalar `manager_next_free`), the slave pool,
+//! and the speculation queues are never shared with workers. Manager
+//! *sharding* does not change this: shards partition duty attribution on
+//! the coordinating thread and exchange cross-stripe charges at epoch
+//! boundaries in the same canonical [`ExchangeKey`] order used here —
+//! they are not worker-thread state. Workers receive only
+//! `Arc<GuestMem>` snapshots and job specs, and hand back commits
 //! through their partition outbox; Rust ownership makes violating this
 //! a compile error rather than a race.
 

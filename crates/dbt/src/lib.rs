@@ -46,6 +46,7 @@ pub mod codecache;
 pub mod config;
 pub mod fabric;
 pub mod host;
+pub mod manager;
 pub mod memsys;
 pub mod morph;
 pub mod shared;
@@ -57,6 +58,7 @@ pub mod timing;
 pub use config::{MorphConfig, Placement, VirtualArchConfig};
 pub use fabric::{FabricPerf, FabricTranslators};
 pub use host::{HostPerf, HostTranslators};
+pub use manager::{ManagerDuty, ManagerShardReport, ManagerShards, ShardDuty};
 pub use shared::SharedTranslations;
 pub use system::{RunReport, StopCause, System, SystemError};
 pub use timing::Timing;

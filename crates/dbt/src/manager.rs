@@ -1,0 +1,499 @@
+//! Per-partition sharding of the manager tile's service loop.
+//!
+//! PR 9's profiler pinned the manager tile as the busiest tile on
+//! crafty at `Scale::Large` (31.1% occupancy), with 30.0 points of it
+//! in `manager.service_cycles` — L2 request lookups and SMC
+//! invalidation walks. This module splits that service state by fabric
+//! partition, reusing the geometry layer the epoch-parallel fabric
+//! already proved out ([`vta_raw::fabric`]): `partition_columns` cuts
+//! the grid into column stripes, `owner_of` decides which shard owns a
+//! request, and cross-shard traffic settles only at epoch boundaries in
+//! canonical [`ExchangeKey`] order.
+//!
+//! # Ownership rules
+//!
+//! - An **L2 request** (demand lookup, commit, assign) is owned by the
+//!   shard whose stripe contains the request's *home tile*: guest
+//!   addresses interleave across the manager row's columns word by word
+//!   ([`ManagerShards::home_of_addr`]), exactly like the L1.5 banks
+//!   interleave block addresses. Keying ownership by address (rather
+//!   than by requesting tile) is what actually distributes the load:
+//!   both L1.5 bank tiles sit in partition 0 of a two-way column split,
+//!   so tile-keyed ownership would leave shard 1 idle.
+//! - An **SMC invalidation walk** is owned by the home tile of the
+//!   invalidated page's base address ([`ManagerShards::home_of_page`]).
+//! - **Morph reconfiguration** stays coordinator-only: it is charged to
+//!   the shard owning the manager tile itself, never handed off.
+//!
+//! # The shared service ring
+//!
+//! Sharding splits *attribution*, not *timing*: all shards serialize on
+//! one service-ring clock ([`ManagerShards::begin`] /
+//! [`ManagerShards::release`]) whose semantics are bit-identical to the
+//! historical scalar `manager_next_free`. This is the conservative
+//! model — the shards arbitrate for one DRAM-side metadata port — and
+//! it is what keeps every fingerprint, stats digest, metrics window,
+//! and trace event identical at every `{host threads} × {fabric
+//! workers} × {manager shards}` point. The per-shard duty counters
+//! live *outside* [`vta_sim::Stats`] (the same rule as
+//! [`crate::fabric::FabricPerf`]): `perf --profile` reports them, the
+//! fingerprints never see them. Relaxing the ring into truly
+//! independent per-shard clocks is future work and would be a
+//! simulated-behavior change requiring a golden re-bless.
+//!
+//! # Epoch handoff
+//!
+//! A charge whose *source* tile lies in a different stripe than its
+//! owning shard is a cross-shard handoff: it is buffered in an
+//! [`EpochExchange`] keyed by `(cycle, src, dst, seq)` and folded into
+//! the owner's counters only when the simulation crosses the next
+//! epoch boundary (the same worker-count-invariant horizon the fabric
+//! uses — [`vta_raw::fabric::epoch_horizon`]). Handoffs therefore
+//! settle in one canonical order regardless of shard count, and
+//! [`ManagerShards::flush`] settles any tail at end of run.
+
+use vta_raw::fabric::FabricPartition;
+use vta_raw::fabric::{epoch_horizon, owner_of, partition_columns, EpochExchange, ExchangeKey};
+use vta_raw::TileId;
+use vta_sim::Cycle;
+
+/// Which manager duty a charge belongs to. Mirrors the `manager.*`
+/// counters in [`vta_sim::Stats`]; the per-shard sums of each duty
+/// reconcile exactly with the corresponding aggregate counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManagerDuty {
+    /// L2 request lookups + SMC walks (`manager.service_cycles`).
+    Service,
+    /// DRAM stall past the fixed service time during a lookup
+    /// (`manager.dram_wait_cycles`) — occupied-but-waiting, split out
+    /// so sharding wins are measured against honest tile-busy time.
+    DramWait,
+    /// Committing finished translations (`manager.commit_cycles`).
+    Commit,
+    /// Handing work to translator tiles (`manager.assign_cycles`).
+    Assign,
+    /// Applying fabric morphs (`manager.morph_cycles`).
+    Morph,
+}
+
+/// One shard's settled duty-cycle accumulators. Host-side attribution
+/// only — never part of fingerprinted [`vta_sim::Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardDuty {
+    /// Settled `Service` cycles.
+    pub service_cycles: u64,
+    /// Settled `DramWait` cycles.
+    pub dram_wait_cycles: u64,
+    /// Settled `Commit` cycles.
+    pub commit_cycles: u64,
+    /// Settled `Assign` cycles.
+    pub assign_cycles: u64,
+    /// Settled `Morph` cycles.
+    pub morph_cycles: u64,
+    /// Requests serviced (lookups + walks) by this shard.
+    pub requests: u64,
+    /// Charges that arrived from another stripe via epoch handoff.
+    pub handoffs_in: u64,
+}
+
+impl ShardDuty {
+    /// Busy cycles: everything the shard's tile actively computes.
+    /// `DramWait` is excluded — the tile is occupied but stalled, and
+    /// the split exists precisely so this number is honest.
+    pub fn busy_cycles(&self) -> u64 {
+        self.service_cycles + self.commit_cycles + self.assign_cycles + self.morph_cycles
+    }
+
+    fn add(&mut self, duty: ManagerDuty, cycles: u64) {
+        match duty {
+            ManagerDuty::Service => self.service_cycles += cycles,
+            ManagerDuty::DramWait => self.dram_wait_cycles += cycles,
+            ManagerDuty::Commit => self.commit_cycles += cycles,
+            ManagerDuty::Assign => self.assign_cycles += cycles,
+            ManagerDuty::Morph => self.morph_cycles += cycles,
+        }
+    }
+}
+
+/// A settled snapshot of the shard layer, for `perf --profile` and the
+/// `BENCH_profile.json` per-shard section.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ManagerShardReport {
+    /// Per-shard duty accumulators, index = shard id.
+    pub shards: Vec<ShardDuty>,
+    /// Per-shard column ranges `(x0, x1)`, index = shard id.
+    pub columns: Vec<(u8, u8)>,
+    /// Per-shard translation-slave load `(busy_cycles, completed)`,
+    /// keyed by each slave tile's stripe — filled in by
+    /// `System::manager_shard_report` from [`crate::slave::SlavePool::partition_load`].
+    pub slave_load: Vec<(u64, u64)>,
+    /// Per-shard committed L2 residency `(blocks, bytes)`, keyed by each
+    /// guest address's home stripe — filled in by
+    /// `System::manager_shard_report` from [`crate::codecache::L2Code::shard_residency`].
+    pub l2_residency: Vec<(u64, u64)>,
+}
+
+impl ManagerShardReport {
+    /// The maximum per-shard busy cycles — the serialization point's
+    /// height after sharding (compare against the aggregate busy
+    /// cycles at one shard).
+    pub fn max_busy_cycles(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(ShardDuty::busy_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One deferred cross-shard charge (see module docs).
+#[derive(Debug, Clone, Copy)]
+struct Charge {
+    shard: usize,
+    duty: ManagerDuty,
+    cycles: u64,
+    request: bool,
+}
+
+/// The manager's service state, split into per-partition shards over a
+/// shared service-ring clock. Replaces the scalar `manager_next_free`.
+#[derive(Debug)]
+pub struct ManagerShards {
+    width: u8,
+    manager: TileId,
+    parts: Vec<FabricPartition>,
+    /// Epoch length; `None` for one shard (no cross-shard traffic).
+    horizon: Option<u64>,
+    /// The shared service-ring clock: next cycle the manager's service
+    /// loop is free. Bit-identical semantics to the historical scalar.
+    ring: Cycle,
+    shards: Vec<ShardDuty>,
+    /// Cross-shard charges awaiting their epoch boundary.
+    exchange: EpochExchange<Charge>,
+    /// Index of the last epoch whose handoffs have settled.
+    settled_epoch: u64,
+    /// Per-push tie-breaker for the exchange key.
+    seq: u64,
+}
+
+impl ManagerShards {
+    /// Builds the shard layer: `shards` column stripes over a
+    /// `width`-column grid whose manager tile is `manager`. Clamped
+    /// like the fabric — at most one stripe per column, at least one.
+    pub fn new(width: u8, manager: TileId, shards: usize) -> ManagerShards {
+        let parts = partition_columns(width, shards);
+        let horizon = epoch_horizon(&parts);
+        let n = parts.len();
+        ManagerShards {
+            width,
+            manager,
+            parts,
+            horizon,
+            ring: Cycle::ZERO,
+            shards: vec![ShardDuty::default(); n],
+            exchange: EpochExchange::new(),
+            settled_epoch: 0,
+            seq: 0,
+        }
+    }
+
+    /// Number of shards (after clamping to the column count).
+    pub fn count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The shared ring clock — the drop-in replacement for reading the
+    /// historical `manager_next_free`.
+    pub fn next_free(&self) -> Cycle {
+        self.ring
+    }
+
+    /// The home tile of a guest address: word-interleaved across the
+    /// manager row's columns, the same distribution rule the L1.5
+    /// banks use for block addresses.
+    pub fn home_of_addr(&self, addr: u32) -> TileId {
+        let col = ((addr >> 2) % self.width.max(1) as u32) as u8;
+        TileId::new(col, self.manager.y)
+    }
+
+    /// The home tile of an invalidated page (SMC walks).
+    pub fn home_of_page(&self, page: u32) -> TileId {
+        self.home_of_addr(page << 12)
+    }
+
+    /// The shard owning `home`.
+    pub fn owner(&self, home: TileId) -> usize {
+        owner_of(home, &self.parts)
+    }
+
+    /// Reserves the service ring: the earliest cycle a request arriving
+    /// at `at` may start service. Pure read; pair with
+    /// [`ManagerShards::release`].
+    pub fn begin(&self, at: Cycle) -> Cycle {
+        at.max(self.ring)
+    }
+
+    /// Releases the ring at `end` (the reserved window's close).
+    pub fn release(&mut self, end: Cycle) {
+        self.ring = end;
+    }
+
+    /// Attributes `cycles` of `duty` to the shard owning `home`.
+    /// `request` additionally counts one serviced request. A charge
+    /// whose source stripe differs from the owner's is buffered and
+    /// settles at the next epoch boundary in canonical order; same-
+    /// stripe charges (and everything under one shard) settle
+    /// immediately. Timing is never deferred — only attribution is.
+    pub fn charge(
+        &mut self,
+        home: TileId,
+        src: TileId,
+        duty: ManagerDuty,
+        cycles: u64,
+        at: Cycle,
+        request: bool,
+    ) {
+        if cycles == 0 && !request {
+            return;
+        }
+        let shard = self.owner(home);
+        let cross = self.horizon.is_some() && self.owner(src) != shard;
+        if !cross {
+            self.shards[shard].add(duty, cycles);
+            self.shards[shard].requests += u64::from(request);
+            return;
+        }
+        let key = ExchangeKey {
+            cycle: at.as_u64(),
+            src: src.index(self.width) as u16,
+            dst: home.index(self.width) as u16,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        self.exchange.push(
+            key,
+            Charge {
+                shard,
+                duty,
+                cycles,
+                request,
+            },
+        );
+    }
+
+    /// Epoch-boundary settlement: folds every buffered handoff from
+    /// *completed* epochs into its owner shard, in canonical
+    /// `(cycle, src, dst, seq)` order. Call sites pass the current
+    /// simulated cycle; charges from the still-open epoch stay
+    /// buffered. One compare when nothing is pending.
+    pub fn tick(&mut self, now: Cycle) {
+        let Some(h) = self.horizon else { return };
+        let epoch = now.as_u64() / h;
+        if epoch <= self.settled_epoch || self.exchange.is_empty() {
+            self.settled_epoch = self.settled_epoch.max(epoch);
+            return;
+        }
+        let boundary = epoch * h;
+        for (key, c) in self.exchange.drain_canonical() {
+            if key.cycle < boundary {
+                self.shards[c.shard].add(c.duty, c.cycles);
+                self.shards[c.shard].requests += u64::from(c.request);
+                self.shards[c.shard].handoffs_in += 1;
+            } else {
+                self.exchange.push(key, c);
+            }
+        }
+        self.settled_epoch = epoch;
+    }
+
+    /// End-of-run settlement: drains every remaining handoff (still in
+    /// canonical order). After this the per-shard duty sums reconcile
+    /// exactly with the aggregate `manager.*` stats counters.
+    pub fn flush(&mut self) {
+        for (_, c) in self.exchange.drain_canonical() {
+            self.shards[c.shard].add(c.duty, c.cycles);
+            self.shards[c.shard].requests += u64::from(c.request);
+            self.shards[c.shard].handoffs_in += 1;
+        }
+    }
+
+    /// Charges still awaiting an epoch boundary (test observability).
+    pub fn pending_handoffs(&self) -> usize {
+        self.exchange.len()
+    }
+
+    /// A settled snapshot (callers should [`ManagerShards::flush`]
+    /// first at end of run).
+    pub fn report(&self) -> ManagerShardReport {
+        ManagerShardReport {
+            shards: self.shards.clone(),
+            columns: self.parts.iter().map(|p| (p.x0, p.x1)).collect(),
+            slave_load: Vec::new(),
+            l2_residency: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(shards: usize) -> ManagerShards {
+        // The paper grid: 4x4, manager at (2,0).
+        ManagerShards::new(4, TileId::new(2, 0), shards)
+    }
+
+    #[test]
+    fn single_shard_settles_everything_immediately() {
+        let mut m = mk(1);
+        assert_eq!(m.count(), 1);
+        let home = m.home_of_addr(0x0800_0004);
+        m.charge(
+            home,
+            TileId::new(1, 1),
+            ManagerDuty::Service,
+            90,
+            Cycle(10),
+            true,
+        );
+        assert_eq!(m.pending_handoffs(), 0);
+        assert_eq!(m.shards[0].service_cycles, 90);
+        assert_eq!(m.shards[0].requests, 1);
+        assert_eq!(m.shards[0].handoffs_in, 0);
+    }
+
+    #[test]
+    fn home_interleaves_addresses_across_all_columns() {
+        let m = mk(2);
+        let cols: std::collections::HashSet<u8> = (0..16u32)
+            .map(|i| m.home_of_addr(0x0800_0000 + i * 4).x)
+            .collect();
+        assert_eq!(cols.len(), 4, "every column is a home: {cols:?}");
+        // And both shards own some of them.
+        let owners: std::collections::HashSet<usize> = (0..16u32)
+            .map(|i| m.owner(m.home_of_addr(0x0800_0000 + i * 4)))
+            .collect();
+        assert_eq!(owners.len(), 2);
+    }
+
+    #[test]
+    fn cross_stripe_charge_waits_for_its_epoch_boundary() {
+        let mut m = mk(2);
+        let h = epoch_horizon(&partition_columns(4, 2)).expect("bounded");
+        // exec (1,1) sits in stripe 0; pick an address homed in stripe 1.
+        let addr = (0x0800_0000u32..)
+            .step_by(4)
+            .find(|&a| m.owner(m.home_of_addr(a)) == 1)
+            .unwrap();
+        let home = m.home_of_addr(addr);
+        m.charge(
+            home,
+            TileId::new(1, 1),
+            ManagerDuty::Service,
+            90,
+            Cycle(3),
+            true,
+        );
+        assert_eq!(m.pending_handoffs(), 1, "cross-stripe charge is deferred");
+        assert_eq!(m.shards[1].service_cycles, 0);
+        // Still inside epoch 0: nothing settles.
+        m.tick(Cycle(h - 1));
+        assert_eq!(m.pending_handoffs(), 1);
+        // Crossing the boundary settles it, tagged as a handoff.
+        m.tick(Cycle(h));
+        assert_eq!(m.pending_handoffs(), 0);
+        assert_eq!(m.shards[1].service_cycles, 90);
+        assert_eq!(m.shards[1].requests, 1);
+        assert_eq!(m.shards[1].handoffs_in, 1);
+    }
+
+    #[test]
+    fn same_epoch_charges_stay_buffered_until_their_own_boundary() {
+        let mut m = mk(2);
+        let h = epoch_horizon(&partition_columns(4, 2)).expect("bounded");
+        let addr = (0x0800_0000u32..)
+            .step_by(4)
+            .find(|&a| m.owner(m.home_of_addr(a)) == 1)
+            .unwrap();
+        let home = m.home_of_addr(addr);
+        // One charge in epoch 0, one in epoch 1.
+        m.charge(
+            home,
+            TileId::new(1, 1),
+            ManagerDuty::Commit,
+            40,
+            Cycle(1),
+            false,
+        );
+        m.charge(
+            home,
+            TileId::new(1, 1),
+            ManagerDuty::Commit,
+            50,
+            Cycle(h + 1),
+            false,
+        );
+        m.tick(Cycle(h + 2));
+        assert_eq!(m.shards[1].commit_cycles, 40, "epoch-1 charge still open");
+        assert_eq!(m.pending_handoffs(), 1);
+        m.flush();
+        assert_eq!(m.shards[1].commit_cycles, 90);
+        assert_eq!(m.shards[1].handoffs_in, 2);
+    }
+
+    #[test]
+    fn ring_semantics_match_the_historical_scalar() {
+        let mut m = mk(2);
+        // Reserve-release round trips behave like max-then-advance.
+        let s1 = m.begin(Cycle(100));
+        assert_eq!(s1, Cycle(100));
+        m.release(s1 + 90);
+        let s2 = m.begin(Cycle(120));
+        assert_eq!(s2, Cycle(190), "second request queues behind the first");
+        m.release(s2 + 30);
+        assert_eq!(m.next_free(), Cycle(220));
+        // The ring is shared: shard count never changes it.
+        let mut one = mk(1);
+        let t1 = one.begin(Cycle(100));
+        one.release(t1 + 90);
+        let t2 = one.begin(Cycle(120));
+        one.release(t2 + 30);
+        assert_eq!(one.next_free(), m.next_free());
+    }
+
+    #[test]
+    fn report_sums_reconcile_with_total_charges() {
+        let mut m = mk(2);
+        let mut total = 0u64;
+        for i in 0..200u32 {
+            let addr = 0x0800_0000 + i * 4;
+            let cycles = 30 + (i as u64 % 7);
+            total += cycles;
+            m.charge(
+                m.home_of_addr(addr),
+                TileId::new(1, 1),
+                ManagerDuty::Service,
+                cycles,
+                Cycle(i as u64 * 3),
+                true,
+            );
+        }
+        m.flush();
+        let r = m.report();
+        let sum: u64 = r.shards.iter().map(|s| s.service_cycles).sum();
+        assert_eq!(sum, total, "per-shard sums telescope to the aggregate");
+        let reqs: u64 = r.shards.iter().map(|s| s.requests).sum();
+        assert_eq!(reqs, 200);
+        assert!(r.shards.iter().all(|s| s.requests > 0), "both shards serve");
+        assert!(r.max_busy_cycles() < total, "the peak genuinely drops");
+        assert_eq!(r.columns, vec![(0, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn shards_clamp_to_grid_columns() {
+        let m = ManagerShards::new(4, TileId::new(2, 0), 16);
+        assert_eq!(m.count(), 4);
+        let m = ManagerShards::new(4, TileId::new(2, 0), 0);
+        assert_eq!(m.count(), 1);
+    }
+}

@@ -28,6 +28,7 @@ use crate::codecache::{BlockHandle, L15Bank, L1Code, L2Code};
 use crate::config::VirtualArchConfig;
 use crate::fabric::{FabricPerf, FabricTranslators};
 use crate::host::{HostPerf, HostTranslators};
+use crate::manager::{ManagerDuty, ManagerShardReport, ManagerShards};
 use crate::memsys::MemSys;
 use crate::morph::{MorphAction, MorphManager};
 use crate::shared::SharedTranslations;
@@ -124,7 +125,13 @@ pub struct System {
     pool: SlavePool,
     memsys: MemSys,
     dram: Dram,
-    manager_next_free: Cycle,
+    /// The manager's service state, sharded by fabric partition over a
+    /// shared service ring (see [`crate::manager`]). Replaces the
+    /// historical scalar `manager_next_free`: the ring clock keeps its
+    /// exact timing semantics, the shards carry per-partition duty
+    /// attribution. Shard count defaults to `VTA_MANAGER_SHARDS`,
+    /// else 1.
+    mgr: ManagerShards,
     morph: Option<MorphManager>,
     stats: Stats,
     guest_insns: u64,
@@ -289,7 +296,7 @@ impl System {
             pool: SlavePool::new(&cfg.placement.slaves),
             memsys: MemSys::new(&cfg.placement.l2_banks, cfg.l2_bank_bytes),
             dram: Dram::new(timing.dram_latency, timing.dram_word),
-            manager_next_free: Cycle::ZERO,
+            mgr: ManagerShards::new(cfg.width, cfg.placement.manager, manager_shards_from_env()),
             morph: cfg
                 .morph
                 .map(|m| MorphManager::new(m, min_banks, max_banks.max(min_banks))),
@@ -650,6 +657,45 @@ impl System {
         self.fabric
             .as_ref()
             .map(FabricTranslators::boundary_traffic)
+    }
+
+    /// Sets the manager shard count for subsequent [`System::run`]
+    /// calls: the manager's service-loop state is split into that many
+    /// per-partition shards (see [`crate::manager`]), with cross-shard
+    /// attribution handed off only at epoch boundaries in canonical
+    /// order.
+    ///
+    /// `n == 1` (the default, or `VTA_MANAGER_SHARDS`) keeps the
+    /// aggregate single-shard view. Any `n` produces bit-identical
+    /// simulated cycles, stats, metrics series, and trace events — the
+    /// shards share one service-ring clock, so only the per-shard
+    /// attribution in [`System::manager_shard_report`] changes.
+    /// Rebuilds the shard layer, resetting its duty counters.
+    pub fn set_manager_shards(&mut self, n: usize) {
+        self.mgr = ManagerShards::new(self.cfg.width, self.cfg.placement.manager, n.max(1));
+    }
+
+    /// The configured manager shard count, clamped to the grid's
+    /// columns (see [`System::set_manager_shards`]).
+    pub fn manager_shards(&self) -> usize {
+        self.mgr.count()
+    }
+
+    /// Per-shard manager duty attribution, settled through the end of
+    /// the run (any handoffs still awaiting an epoch boundary are
+    /// folded in first). Host-side reporting only — never part of
+    /// [`RunReport::stats`] or any fingerprinted output; the per-shard
+    /// duty sums reconcile exactly with the aggregate `manager.*`
+    /// stats counters.
+    pub fn manager_shard_report(&mut self) -> ManagerShardReport {
+        self.mgr.flush();
+        let mut report = self.mgr.report();
+        let n = report.shards.len();
+        report.slave_load = self.pool.partition_load(n, |tile| self.mgr.owner(tile));
+        report.l2_residency = self
+            .l2code
+            .shard_residency(n, |addr| self.mgr.owner(self.mgr.home_of_addr(addr)));
+        report
     }
 
     /// Spawns the fabric partition workers on first use. Regions are
@@ -1133,6 +1179,9 @@ impl System {
             if let Some(fabric) = &mut self.fabric {
                 fabric.tick(self.now.as_u64(), &mut self.prof_thread);
             }
+            // Manager-shard handoffs settle on the same horizon (one
+            // compare when single-sharded or nothing is pending).
+            self.mgr.tick(self.now);
             self.tracer
                 .counter(self.now, self.trk.qdepth, self.queues.len() as u64);
             // Windowed sampling: one branch when metrics are off. The
@@ -1162,6 +1211,11 @@ impl System {
         if let Some(m) = &self.morph {
             self.stats.set_ctr(Ctr::MorphReconfigs, m.reconfigs);
         }
+
+        // Settle any manager-shard handoffs still awaiting an epoch
+        // boundary, so the per-shard duty sums reconcile with the
+        // aggregate `manager.*` counters from here on.
+        self.mgr.flush();
 
         // Close the final (off-grid) window and seal the series; the
         // windowed sums now telescope to the totals set just above.
@@ -1213,6 +1267,7 @@ impl System {
         self.stats.bump_ctr(Ctr::L1CodeMiss);
 
         // L1.5 banks.
+        let mut missed_bank: Option<TileId> = None;
         if let Some(idx) = self.l15_index(pc) {
             let bank_tile = self.cfg.placement.l15_banks[idx];
             let wire = self.net_t(self.cfg.placement.exec, bank_tile, 1);
@@ -1236,30 +1291,68 @@ impl System {
                 return Ok((b, h));
             }
             self.stats.bump_ctr(Ctr::L15Miss);
+            missed_bank = Some(bank_tile);
         }
 
-        // L2 manager.
+        // L2 manager. A request that missed in an L1.5 bank is
+        // *forwarded* from the bank tile — the wire is charged from the
+        // bank, not teleported back to the execution tile — and the
+        // bank simultaneously sends the execution tile a one-word miss
+        // notification so the dispatch loop knows to wait on the
+        // manager. Both legs leave the bank at the same cycle, so the
+        // request's effective latency is their max.
         let manager = self.cfg.placement.manager;
-        let wire = self.net_t(self.cfg.placement.exec, manager, 1);
-        self.now += wire;
+        let src = match missed_bank {
+            Some(bank_tile) => {
+                let forward = self.net_t(bank_tile, manager, 1);
+                let notify = self.net_t(bank_tile, self.cfg.placement.exec, 1);
+                self.now += forward.max(notify);
+                bank_tile
+            }
+            None => {
+                let wire = self.net_t(self.cfg.placement.exec, manager, 1);
+                self.now += wire;
+                self.cfg.placement.exec
+            }
+        };
         self.catch_up(self.now);
-        self.now = self.now.max(self.manager_next_free);
-        let svc_start = self.now;
-        self.now += self.timing.manager_service;
-        // The manager looks its metadata up in DRAM-resident structures.
+        let svc_start = self.mgr.begin(self.now);
+        let svc_end = svc_start + self.timing.manager_service;
+        // The manager looks its metadata up in DRAM-resident
+        // structures. The stall past the fixed service time is a DRAM
+        // wait — occupied-but-waiting, not work — and is counted apart
+        // from service so sharding wins measure against honest
+        // tile-busy time.
         self.now = self
             .dram
-            .access_traced(self.now, 2, &mut self.tracer, self.trk.dram, "l2meta")
-            .max(self.now);
-        self.manager_next_free = self.now;
-        let svc = self.now.saturating_since(svc_start);
-        self.tracer
-            .span(svc_start, svc, self.ttrack(manager), "l2.lookup");
+            .access_traced(svc_end, 2, &mut self.tracer, self.trk.dram, "l2meta")
+            .max(svc_end);
+        self.mgr.release(self.now);
+        let svc = self.timing.manager_service;
+        let dram_wait = self.now.saturating_since(svc_end);
+        self.tracer.span(
+            svc_start,
+            self.now.saturating_since(svc_start),
+            self.ttrack(manager),
+            "l2.lookup",
+        );
         // Manager activity attribution: demand lookups are the
         // "network service" share of the manager tile's occupancy.
         // Purely simulated arithmetic — deterministic across host
         // thread counts, identical with profiling on or off.
         self.stats.add("manager.service_cycles", svc);
+        self.stats.add("manager.dram_wait_cycles", dram_wait);
+        let home = self.mgr.home_of_addr(pc);
+        self.mgr
+            .charge(home, src, ManagerDuty::Service, svc, svc_start, true);
+        self.mgr.charge(
+            home,
+            src,
+            ManagerDuty::DramWait,
+            dram_wait,
+            svc_start,
+            false,
+        );
         self.stats.bump_ctr(Ctr::L2CodeAccess);
 
         let block = if let Some(b) = self.l2code.get(pc) {
@@ -1461,9 +1554,22 @@ impl System {
             // competes with demand lookups for the shared resource — the
             // congestion the paper blames for vpr/gcc/crafty (§4.3).
             let commit_cost = 40 + block.code.len() as u64 / 2;
-            let commit_start = self.manager_next_free.max(done);
-            self.manager_next_free = commit_start + commit_cost;
+            let commit_start = self.mgr.begin(done);
+            self.mgr.release(commit_start + commit_cost);
             self.stats.add("manager.commit_cycles", commit_cost);
+            // The commit is owned by the shard homing the block's
+            // address; the slave tile is the message source, so a
+            // cross-stripe commit settles at the next epoch boundary.
+            let home = self.mgr.home_of_addr(block.guest_addr);
+            let slave_tile = self.pool.slave(slave_idx).tile;
+            self.mgr.charge(
+                home,
+                slave_tile,
+                ManagerDuty::Commit,
+                commit_cost,
+                commit_start,
+                false,
+            );
             self.tracer.span(
                 commit_start,
                 commit_cost,
@@ -1642,11 +1748,14 @@ impl System {
 
     fn start_translation(&mut self, slave_idx: usize, addr: u32, depth: u8, at: Cycle) {
         // Handing out work occupies the manager's software loop.
-        let assign_start = self.manager_next_free.max(at);
-        self.manager_next_free = assign_start + 30;
+        let assign_start = self.mgr.begin(at);
+        self.mgr.release(assign_start + 30);
         self.stats.add("manager.assign_cycles", 30);
         let tile = self.pool.slave(slave_idx).tile;
         let manager = self.cfg.placement.manager;
+        let home = self.mgr.home_of_addr(addr);
+        self.mgr
+            .charge(home, manager, ManagerDuty::Assign, 30, assign_start, false);
         self.tracer
             .span(assign_start, 30, self.ttrack(manager), "assign");
         let shape = self.shape_for(addr);
@@ -1755,6 +1864,11 @@ impl System {
                     );
                     let charged = self.timing.reconfig_per_dirty_line * dirty as u64 / 8 + 50;
                     self.stats.add("manager.morph_cycles", charged);
+                    // Morphing stays coordinator-only: charged to the
+                    // shard owning the manager tile, never handed off.
+                    let mtile = self.cfg.placement.manager;
+                    self.mgr
+                        .charge(mtile, mtile, ManagerDuty::Morph, charged, self.now, false);
                     self.now += charged;
                     self.tracer.instant(
                         self.now,
@@ -1790,6 +1904,9 @@ impl System {
                     bank.next_free = free_at + self.timing.reconfig;
                     bank.track = track;
                     self.stats.add("manager.morph_cycles", 50);
+                    let mtile = self.cfg.placement.manager;
+                    self.mgr
+                        .charge(mtile, mtile, ManagerDuty::Morph, 50, self.now, false);
                     self.now += 50;
                     self.tracer.instant(self.now, track, "role.cache", 0);
                     self.stats.bump_ctr(Ctr::MorphToCache);
@@ -1832,12 +1949,37 @@ impl System {
         }
         self.tracer
             .instant(self.now, self.trk.exec, "smc.invalidate", page as u64);
-        // Invalidation round trips to the manager (same cost each way).
+        // The invalidation round-trips to the manager, and the walk
+        // occupies the manager's service loop like any other request:
+        // it reserves the shared service ring, so it queues behind an
+        // in-progress commit or lookup and — the bug this fixes — a
+        // background commit can no longer be booked into the same
+        // window the walk was already charged for.
         let (exec, manager) = (self.cfg.placement.exec, self.cfg.placement.manager);
-        let round_trip = self.net_t(exec, manager, 1) + self.net_t(manager, exec, 1);
+        let wire_there = self.net_t(exec, manager, 1);
+        let walk_start = self.mgr.begin(self.now + wire_there);
+        let walk_end = walk_start + self.timing.manager_service;
+        self.mgr.release(walk_end);
+        self.tracer.span(
+            walk_start,
+            self.timing.manager_service,
+            self.ttrack(manager),
+            "smc.walk",
+        );
         self.stats
             .add("manager.service_cycles", self.timing.manager_service);
-        self.now += self.timing.manager_service + round_trip;
+        let home = self.mgr.home_of_page(page);
+        self.mgr.charge(
+            home,
+            exec,
+            ManagerDuty::Service,
+            self.timing.manager_service,
+            walk_start,
+            true,
+        );
+        self.now = walk_end;
+        let wire_back = self.net_t(manager, exec, 1);
+        self.now += wire_back;
     }
 
     /// Network cost of one message, recorded in the trace at `self.now`.
@@ -1869,6 +2011,16 @@ fn host_threads_from_env() -> usize {
 /// else 1 (the serial fabric).
 fn fabric_workers_from_env() -> usize {
     std::env::var("VTA_FABRIC_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Default manager shard count: `VTA_MANAGER_SHARDS` if set and ≥ 1,
+/// else 1 (the aggregate single-shard view).
+fn manager_shards_from_env() -> usize {
+    std::env::var("VTA_MANAGER_SHARDS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)

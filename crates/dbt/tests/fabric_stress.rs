@@ -6,10 +6,10 @@
 
 use std::time::{Duration, Instant};
 
-use vta_dbt::{FabricTranslators, System, VirtualArchConfig};
+use vta_dbt::{FabricTranslators, ManagerShardReport, ShardDuty, System, VirtualArchConfig};
 use vta_ir::{OptLevel, RegionLimits, RegionShape};
 use vta_raw::TileId;
-use vta_sim::{MetricsConfig, Profiler, ThreadProf};
+use vta_sim::{MetricsConfig, Profiler, Stats, ThreadProf};
 use vta_x86::{Asm, Cond, GuestImage, Reg};
 
 const RUN_BUDGET: u64 = 2_000_000_000;
@@ -116,6 +116,104 @@ fn seeded_cross_partition_run_matches_serial_oracle() {
         assert!(
             perf.submitted > 0,
             "{workers} workers: region builds reached the fabric pool"
+        );
+    }
+}
+
+/// The per-shard duty sums must telescope exactly to the aggregate
+/// `manager.*` counters — the shard layer is attribution over the same
+/// charges, so nothing may be lost or double-counted in the handoff.
+fn assert_shards_reconcile(sr: &ManagerShardReport, stats: &Stats, label: &str) {
+    let sum = |f: fn(&ShardDuty) -> u64| sr.shards.iter().map(f).sum::<u64>();
+    let pairs: [(&str, u64); 5] = [
+        ("manager.service_cycles", sum(|s| s.service_cycles)),
+        ("manager.dram_wait_cycles", sum(|s| s.dram_wait_cycles)),
+        ("manager.commit_cycles", sum(|s| s.commit_cycles)),
+        ("manager.assign_cycles", sum(|s| s.assign_cycles)),
+        ("manager.morph_cycles", sum(|s| s.morph_cycles)),
+    ];
+    for (name, shard_sum) in pairs {
+        assert_eq!(
+            shard_sum,
+            stats.get(name),
+            "{label}: per-shard {name} sum does not reconcile with the aggregate"
+        );
+    }
+}
+
+/// Manager shards are duty attribution over one shared service ring:
+/// every simulated observable — exit code, cycles, the full stats set,
+/// the fingerprint, the windowed metrics series — must be bit-identical
+/// to the 1-shard oracle at every shard count and fabric-worker
+/// combination, while the cross-stripe charges genuinely cross epoch
+/// boundaries (handoffs observed) and the per-shard sums reconcile.
+#[test]
+fn manager_shards_match_serial_oracle_and_reconcile() {
+    let (image, expected) = stress_image(0x5eed_cafe_f00d_0003, 6);
+    let run = |fabric_workers: usize, shards: usize| {
+        let mut sys = System::new(VirtualArchConfig::paper_default(), &image);
+        sys.set_fabric_workers(fabric_workers);
+        sys.set_manager_shards(shards);
+        sys.enable_metrics(MetricsConfig::default());
+        let report = sys.run(RUN_BUDGET).expect("stress image runs");
+        let metrics = sys.take_metrics();
+        let shard_report = sys.manager_shard_report();
+        (report, metrics, shard_report)
+    };
+    let (oracle, oracle_metrics, oracle_shards) = run(1, 1);
+    assert_eq!(oracle.exit_code, Some(expected), "oracle answer");
+    assert_eq!(oracle_shards.shards.len(), 1);
+    assert_eq!(
+        oracle_shards.shards[0].handoffs_in, 0,
+        "a single shard owns every stripe; nothing is ever handed off"
+    );
+    assert_shards_reconcile(&oracle_shards, &oracle.stats, "1 shard");
+    for (workers, shards) in [(1usize, 2usize), (1, 4), (2, 2)] {
+        let label = format!("{shards} shards x {workers} fabric workers");
+        let (r, m, sr) = run(workers, shards);
+        assert_eq!(r.exit_code, oracle.exit_code, "{label}");
+        assert_eq!(r.cycles, oracle.cycles, "{label}");
+        assert_eq!(r.guest_insns, oracle.guest_insns, "{label}");
+        assert_eq!(r.output, oracle.output, "{label}");
+        if let Some(diff) = oracle.stats.first_difference(&r.stats) {
+            panic!("{label} diverged from the 1-shard oracle: {diff}");
+        }
+        assert_eq!(
+            oracle.stats.fingerprint(),
+            r.stats.fingerprint(),
+            "{label}: stats fingerprint"
+        );
+        assert_eq!(
+            oracle_metrics.windows().collect::<Vec<_>>(),
+            m.windows().collect::<Vec<_>>(),
+            "{label}: windowed metrics series"
+        );
+        assert_eq!(sr.shards.len(), shards, "{label}: shard count");
+        assert_shards_reconcile(&sr, &r.stats, &label);
+        // Commits arrive from slave tiles spread across the columns and
+        // lookups are address-interleaved, so with >= 2 shards some
+        // charges MUST have crossed a stripe boundary — i.e. the epoch
+        // handoff path is genuinely exercised, not vacuously green.
+        let handoffs: u64 = sr.shards.iter().map(|s| s.handoffs_in).sum();
+        assert!(handoffs > 0, "{label}: no charge crossed a stripe");
+        assert!(
+            sr.shards.iter().filter(|s| s.requests > 0).count() >= 2,
+            "{label}: address interleave left all service on one shard"
+        );
+        // The partitioned slave/L2 views re-bucket the same totals the
+        // 1-shard view sees — no slave cycles or committed bytes may be
+        // lost to the partitioning.
+        let busy = |v: &[(u64, u64)]| v.iter().map(|&(a, _)| a).sum::<u64>();
+        let bytes = |v: &[(u64, u64)]| v.iter().map(|&(_, b)| b).sum::<u64>();
+        assert_eq!(
+            busy(&sr.slave_load),
+            busy(&oracle_shards.slave_load),
+            "{label}: slave partition view lost busy cycles"
+        );
+        assert_eq!(
+            bytes(&sr.l2_residency),
+            bytes(&oracle_shards.l2_residency),
+            "{label}: L2 residency view lost committed bytes"
         );
     }
 }

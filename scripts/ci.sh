@@ -13,8 +13,9 @@
 #   build    × {default, --no-default-features}   (release)
 #   test     × {default, --no-default-features}   (debug-for-tests)
 #   determinism: perf --check across {threads 1, 4} × {fabric workers
-#     1, 2, $(nproc)}; every fingerprint AND the full --check stdout
-#     must be identical at every point of the matrix
+#     1, 2, $(nproc)} × {manager shards 1, 2}; every fingerprint AND
+#     the full --check stdout must be identical at every point of the
+#     matrix
 #   metrics: perf --metrics --check — the windowed series for the vpr
 #     benchmark must match the committed BENCH_metrics_vpr.csv golden
 #     byte-for-byte (regenerate with --metrics --bless when a simulated
@@ -95,16 +96,18 @@ run_stage "test (no-default-features)" \
 
 # Determinism stage: simulated cycles and stats must match the frozen
 # fingerprints in BENCH_dispatch.json bit-for-bit at every point of the
-# {host translator threads} × {fabric workers} matrix, and the --check
-# output itself must not depend on either count (it prints cycles + a
-# full stats digest per benchmark).
+# {host translator threads} × {fabric workers} × {manager shards}
+# matrix, and the --check output itself must not depend on any of the
+# three counts (it prints cycles + a full stats digest per benchmark).
+# Manager shards are duty attribution over one shared service ring, so
+# they must be timing-invisible like the other two host-side axes.
 determinism_stage() {
     # No `trap ... RETURN` here: a RETURN trap set inside a function
     # stays installed for every later function return in the script
     # (where the local it references no longer exists — an unbound
     # variable under `set -u`). Clean up explicitly instead; on
     # failure the tempdir is left behind for inspection.
-    local out_dir ref t f
+    local out_dir ref t f s
     out_dir="$(mktemp -d)"
     local fabrics="1 2"
     case "$(nproc)" in
@@ -114,24 +117,28 @@ determinism_stage() {
     ref=""
     for f in $fabrics; do
         for t in 1 4; do
-            echo "ci:    perf --check --threads $t --fabric-workers $f"
-            cargo run --release -q -p vta-bench --bin perf -- --check \
-                --threads "$t" --fabric-workers "$f" > "$out_dir/check-$t-$f.txt"
-            if [ -z "$ref" ]; then
-                ref="$out_dir/check-$t-$f.txt"
-            elif ! diff -q "$ref" "$out_dir/check-$t-$f.txt" > /dev/null; then
-                echo "ci: FAIL: perf --check output differs across the matrix" >&2
-                echo "ci:       (threads $t, fabric workers $f vs threads 1, fabric 1)" >&2
-                echo "ci:       outputs kept in $out_dir" >&2
-                diff "$ref" "$out_dir/check-$t-$f.txt" >&2 || true
-                return 1
-            fi
+            for s in 1 2; do
+                echo "ci:    perf --check --threads $t --fabric-workers $f --manager-shards $s"
+                cargo run --release -q -p vta-bench --bin perf -- --check \
+                    --threads "$t" --fabric-workers "$f" --manager-shards "$s" \
+                    > "$out_dir/check-$t-$f-$s.txt"
+                if [ -z "$ref" ]; then
+                    ref="$out_dir/check-$t-$f-$s.txt"
+                elif ! diff -q "$ref" "$out_dir/check-$t-$f-$s.txt" > /dev/null; then
+                    echo "ci: FAIL: perf --check output differs across the matrix" >&2
+                    echo "ci:       (threads $t, fabric workers $f, shards $s" >&2
+                    echo "ci:        vs threads 1, fabric 1, shards 1)" >&2
+                    echo "ci:       outputs kept in $out_dir" >&2
+                    diff "$ref" "$out_dir/check-$t-$f-$s.txt" >&2 || true
+                    return 1
+                fi
+            done
         done
     done
-    echo "ci:    fingerprints and full stdout identical at threads {1,4} x fabric {$fabrics}"
+    echo "ci:    fingerprints and full stdout identical at threads {1,4} x fabric {$fabrics} x shards {1,2}"
     rm -rf "$out_dir"
 }
-run_stage "determinism (threads x fabric matrix)" \
+run_stage "determinism (threads x fabric x shards matrix)" \
     determinism_stage
 
 # Metrics stage: the windowed time series is a pure function of
